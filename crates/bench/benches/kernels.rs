@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the tensor/nn kernels every experiment
+//! spends its time in: GEMM, GRU steps, Gumbel sampling, softmax.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dar_nn::gumbel::gumbel_softmax_st;
+use dar_nn::{BiGru, Module};
+use dar_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &(m, k, n) in &[(64usize, 114usize, 128usize), (128, 114, 128), (256, 256, 256)] {
+        let a = Tensor::new(vec![0.5; m * k], &[m, k]);
+        let b = Tensor::new(vec![0.25; k * n], &[k, n]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| a.matmul(b)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gru_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigru_forward");
+    group.sample_size(10);
+    for &(batch, len, hidden) in &[(64usize, 56usize, 64usize), (32, 56, 64)] {
+        let mut rng = dar_tensor::rng(0);
+        let gru = BiGru::new(&mut rng, 50, hidden);
+        let x = Tensor::new(vec![0.1; batch * len * 50], &[batch, len, 50]);
+        let mask = Tensor::ones(&[batch, len]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{batch}_l{len}_h{hidden}")),
+            &(gru, x, mask),
+            |bench, (gru, x, mask)| {
+                bench.iter(|| dar_tensor::no_grad(|| gru.forward(x, Some(mask))))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gru_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigru_train_step");
+    group.sample_size(10);
+    let mut rng = dar_tensor::rng(1);
+    let gru = BiGru::new(&mut rng, 50, 64);
+    let x = Tensor::new(vec![0.1; 64 * 56 * 50], &[64, 56, 50]);
+    group.bench_function("fwd+bwd b64_l56_h64", |bench| {
+        bench.iter(|| {
+            for p in gru.params() {
+                p.zero_grad();
+            }
+            gru.forward(&x, None).sum().backward();
+        })
+    });
+    group.finish();
+}
+
+fn bench_gumbel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gumbel_st");
+    group.sample_size(30);
+    let logits = Tensor::param(vec![0.3; 64 * 56 * 2], &[64 * 56, 2]);
+    group.bench_function("b64_l56", |bench| {
+        let mut rng = dar_tensor::rng(2);
+        bench.iter(|| gumbel_softmax_st(&logits, 0.7, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    group.sample_size(30);
+    let x = Tensor::new(vec![0.5; 64 * 128], &[64, 128]);
+    group.bench_function("64x128", |bench| bench.iter(|| x.softmax()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gru_forward,
+    bench_gru_backward,
+    bench_gumbel,
+    bench_softmax
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Fig. 3a (and Figs. 7–8): the relationship between RNP's full-text
+//! accuracy and its rationale quality, across the five hyper-parameter
+//! sets of Table X. Run with an aspect argument:
+//!
+//! ```sh
+//! cargo run --release -p dar-bench --bin fig3a            # Service (Fig 3a)
+//! cargo run --release -p dar-bench --bin fig3a location   # Fig 7
+//! cargo run --release -p dar-bench --bin fig3a cleanliness # Fig 8
+//! ```
+
+use dar_bench::{aspect_alpha, dataset, Profile};
+use dar_core::prelude::*;
+
+/// Table X's five hyper-parameter sets, scaled to this repo's dimensions
+/// (paper: lr {1,2}e-4, batch {256,512}, hidden {100,200} at GloVe-100d).
+const PARAMS: [(f32, usize, usize); 5] = [
+    (1e-3, 64, 32),  // Param1
+    (1e-3, 64, 64),  // Param2
+    (2e-3, 64, 64),  // Param3
+    (1e-3, 128, 64), // Param4
+    (2e-3, 128, 64), // Param5
+];
+
+fn main() {
+    let aspect = match std::env::args().nth(1).as_deref() {
+        None | Some("service") => Aspect::Service,
+        Some("location") => Aspect::Location,
+        Some("cleanliness") => Aspect::Cleanliness,
+        Some(other) => panic!("unknown hotel aspect '{other}'"),
+    };
+    let profile = Profile::from_env();
+    println!("== Fig 3a — RNP full-text acc vs rationale F1, SynHotel-{} ==", aspect.name());
+    println!("(profile {}, seed {})", profile.name, profile.seeds[0]);
+    println!("{:<8} {:>8} {:>8} {:>10} {:>12}", "param", "lr", "batch", "hidden", "");
+    println!("{:<8} {:>10} {:>12}", "", "full-acc", "rationale-F1");
+
+    let seed = profile.seeds[0];
+    let data = dataset(aspect, &profile, seed);
+    let mut series = Vec::new();
+    for (i, &(lr, batch, hidden)) in PARAMS.iter().enumerate() {
+        let cfg = RationaleConfig {
+            sparsity: aspect_alpha(aspect),
+            lr,
+            hidden,
+            ..Default::default()
+        };
+        let mut rng = dar_core::rng(seed + i as u64);
+        let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
+        let ml = pretrain::max_len(&data);
+        let mut model = Rnp::new(&cfg, &emb, ml, &mut rng);
+        let tcfg = TrainConfig {
+            epochs: profile.epochs,
+            batch_size: batch,
+            patience: Some((profile.epochs / 2).max(3)),
+            ..Default::default()
+        };
+        let rep = Trainer::new(tcfg).fit(&mut model, &data, &mut rng);
+        let full = rep.test.full_text_acc.unwrap_or(0.0);
+        println!(
+            "Param{:<3} {:>10.1} {:>12.1}   (lr {lr}, batch {batch}, hidden {hidden})",
+            i + 1,
+            full * 100.0,
+            rep.test.f1 * 100.0
+        );
+        series.push((full, rep.test.f1));
+    }
+
+    // The paper's claim is a positive relationship between the two series.
+    let corr = pearson(&series);
+    println!("\nPearson correlation(full-text acc, rationale F1) = {corr:.2}");
+    println!("paper shape: the two curves rise and fall together (positive corr).");
+}
+
+fn pearson(xy: &[(f32, f32)]) -> f32 {
+    let n = xy.len() as f32;
+    let (mx, my) = (
+        xy.iter().map(|p| p.0).sum::<f32>() / n,
+        xy.iter().map(|p| p.1).sum::<f32>() / n,
+    );
+    let cov: f32 = xy.iter().map(|&(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f32 = xy.iter().map(|&(x, _)| (x - mx).powi(2)).sum();
+    let vy: f32 = xy.iter().map(|&(_, y)| (y - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}

@@ -1,0 +1,25 @@
+//! Table III: main results on SynHotel (Location / Service / Cleanliness)
+//! for RNP, CAR, DMR, Inter_RAT, A2R, and DAR.
+//!
+//! ```sh
+//! DAR_PROFILE=quick cargo run --release -p dar-bench --bin table3
+//! ```
+
+use dar_bench::{print_header, run_mean, Profile};
+use dar_core::prelude::*;
+
+fn main() {
+    let profile = Profile::from_env();
+    let cfg = RationaleConfig::default();
+    let methods = ["RNP", "CAR", "DMR", "Inter_RAT", "A2R", "DAR"];
+    for aspect in [Aspect::Location, Aspect::Service, Aspect::Cleanliness] {
+        print_header(&format!("Table III — SynHotel {}", aspect.name()), &profile);
+        for name in methods {
+            let m = run_mean(name, aspect, &cfg, &profile);
+            println!("{name:<16} {}", m.row());
+        }
+        println!();
+    }
+    println!("paper shape: DAR best everywhere (56.0/48.4/39.5 F1); CAR and DMR");
+    println!("report no Acc because their selectors consume the label.");
+}

@@ -1,0 +1,80 @@
+//! Table VIII: the **skewed generator** synthetic setting on
+//! SynBeer-Palate. The generator is pretrained to leak the label through
+//! the first token's selection until its "classifier accuracy" exceeds a
+//! threshold; RNP then exploits the leak while DAR recovers.
+//!
+//! ```sh
+//! DAR_PROFILE=quick cargo run --release -p dar-bench --bin table8
+//! ```
+
+use dar_bench::{aspect_alpha, dataset, Profile};
+use dar_core::prelude::*;
+
+fn main() {
+    let profile = Profile::from_env();
+    let aspect = Aspect::Palate;
+    println!("== Table VIII — skewed generator on SynBeer-Palate ==");
+    println!("(profile: {}, seeds {:?})", profile.name, profile.seeds);
+    println!(
+        "{:<10} {:<6} {:>8} {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "setting", "model", "Pre_acc", "S", "Acc", "P", "R", "F1"
+    );
+
+    for threshold in [0.60f32, 0.65, 0.70, 0.75] {
+        for method in ["RNP", "DAR"] {
+            let mut rows = Vec::new();
+            let mut pre_accs = Vec::new();
+            for &seed in &profile.seeds {
+                let (report, pre_acc) = run_skewed_gen(method, aspect, threshold, &profile, seed);
+                rows.push(report.test);
+                pre_accs.push(pre_acc);
+            }
+            let m = dar_bench::MeanMetrics::of(&rows);
+            let pre = pre_accs.iter().sum::<f32>() / pre_accs.len() as f32;
+            println!(
+                "skew{:<6.1} {:<6} {:>8.1} {:>5.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+                threshold * 100.0,
+                method,
+                pre * 100.0,
+                m.sparsity * 100.0,
+                m.acc.map(|a| a * 100.0).unwrap_or(f32::NAN),
+                m.precision * 100.0,
+                m.recall * 100.0,
+                m.f1 * 100.0
+            );
+        }
+    }
+    println!("\npaper shape: RNP's F1 falls off a cliff past skew70 (10.8 → 8.8)");
+    println!("while DAR degrades gracefully (51.2 → 49.7).");
+}
+
+fn run_skewed_gen(
+    method: &str,
+    aspect: Aspect,
+    threshold: f32,
+    profile: &Profile,
+    seed: u64,
+) -> (TrainReport, f32) {
+    let data = dataset(aspect, profile, seed);
+    let cfg = RationaleConfig { sparsity: aspect_alpha(aspect), ..Default::default() };
+    let mut rng = dar_core::rng(seed + 97);
+    let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
+    let ml = pretrain::max_len(&data);
+    let (gen, pre_acc) = pretrain::skewed_generator(&cfg, &emb, &data, threshold, &mut rng);
+    let mut model: Box<dyn RationaleModel> = match method {
+        "RNP" => {
+            let mut rnp = Rnp::new(&cfg, &emb, ml, &mut rng);
+            rnp.set_generator(gen);
+            Box::new(rnp)
+        }
+        "DAR" => {
+            let disc =
+                pretrain::full_text_predictor(&cfg, &emb, &data, profile.pretrain_epochs, &mut rng);
+            let mut dar = Dar::new(&cfg, &emb, disc, ml, &mut rng);
+            dar.set_generator(gen);
+            Box::new(dar)
+        }
+        other => panic!("unexpected method {other}"),
+    };
+    (Trainer::new(profile.train_config()).fit(model.as_mut(), &data, &mut rng), pre_acc)
+}

@@ -1,0 +1,36 @@
+//! Table IX: statistics of the generated datasets (counts, balance,
+//! annotation sparsity) next to the paper's values for the real corpora.
+//!
+//! ```sh
+//! DAR_PROFILE=full cargo run --release -p dar-bench --bin table9
+//! ```
+
+use dar_bench::{dataset, Profile};
+use dar_core::prelude::*;
+use dar_data::DatasetStats;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("== Table IX — dataset statistics (profile {}) ==", profile.name);
+    let paper = [
+        (Aspect::Appearance, 18.5),
+        (Aspect::Aroma, 15.6),
+        (Aspect::Palate, 12.4),
+        (Aspect::Location, 8.5),
+        (Aspect::Service, 11.5),
+        (Aspect::Cleanliness, 8.9),
+    ];
+    for (aspect, paper_sparsity) in paper {
+        let data = dataset(aspect, &profile, 17);
+        let stats = DatasetStats::compute(&data);
+        println!("{stats}");
+        println!(
+            "{:<24} paper sparsity {:.1}%  (delta {:+.1})",
+            "",
+            paper_sparsity,
+            stats.sparsity_pct - paper_sparsity
+        );
+    }
+    println!("\nabsolute counts are scaled for CPU training; balance and sparsity");
+    println!("are the properties the experiments depend on.");
+}

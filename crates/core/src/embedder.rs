@@ -1,0 +1,83 @@
+//! The shared, frozen embedding table used by every player.
+//!
+//! The paper follows DMR/A2R: 100-d GloVe vectors, shared by generator and
+//! predictors. Here the vectors come from the GloVe-style pretrainer of
+//! `dar-text`, trained on the synthetic corpus itself (DESIGN.md §4).
+
+use dar_data::AspectDataset;
+use dar_nn::Embedding;
+use dar_tensor::{Rng, Tensor};
+use dar_text::{GloveConfig, GloveTrainer};
+
+/// A cheaply clonable, frozen embedding lookup (clones share the table).
+pub struct SharedEmbedding {
+    table: Tensor,
+    dim: usize,
+}
+
+impl Clone for SharedEmbedding {
+    fn clone(&self) -> Self {
+        SharedEmbedding { table: self.table.clone(), dim: self.dim }
+    }
+}
+
+impl SharedEmbedding {
+    /// Pretrain GloVe-style vectors on the dataset's own corpus.
+    pub fn pretrained(data: &AspectDataset, dim: usize, rng: &mut Rng) -> Self {
+        let cfg = GloveConfig { dim, epochs: 8, window: 4, ..Default::default() };
+        let table = GloveTrainer::new(cfg).train(&data.corpus(), data.vocab.len(), rng);
+        Self::from_table(table, data.vocab.len(), dim)
+    }
+
+    /// Random (untrained) embeddings — faster for unit tests.
+    pub fn random(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+        Self::from_table(dar_tensor::init::normal(rng, vocab * dim, 0.0, 0.3), vocab, dim)
+    }
+
+    /// Wrap an existing `[vocab * dim]` table.
+    pub fn from_table(table: Vec<f32>, vocab: usize, dim: usize) -> Self {
+        let emb = Embedding::from_pretrained(table, vocab, dim, false);
+        SharedEmbedding { table: emb.table.clone(), dim }
+    }
+
+    /// Look up a padded batch into `[b, l, dim]`.
+    pub fn lookup(&self, ids: &[Vec<usize>]) -> Tensor {
+        let b = ids.len();
+        let l = ids[0].len();
+        let flat: Vec<usize> = ids.iter().flatten().copied().collect();
+        self.table.gather_rows(&flat).reshape(&[b, l, self.dim])
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.table.shape()[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_shape_and_sharing() {
+        let mut rng = dar_tensor::rng(0);
+        let e = SharedEmbedding::random(10, 4, &mut rng);
+        let out = e.lookup(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(out.shape(), &[2, 2, 4]);
+        let e2 = e.clone();
+        assert_eq!(e2.vocab(), 10);
+        // Clones share storage: same tensor id.
+        assert_eq!(e.table.id(), e2.table.id());
+    }
+
+    #[test]
+    fn frozen_no_grad() {
+        let mut rng = dar_tensor::rng(1);
+        let e = SharedEmbedding::random(5, 3, &mut rng);
+        let y = e.lookup(&[vec![0, 1]]);
+        assert!(!y.requires_grad());
+    }
+}

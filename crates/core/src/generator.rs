@@ -1,0 +1,196 @@
+//! The generator player: encodes the full input and emits a binary
+//! token-selection mask `M` via Gumbel-softmax straight-through (Eq. (1)).
+
+use dar_data::Batch;
+use dar_nn::gumbel::{gumbel_softmax_st, hard_softmax_st};
+use dar_nn::{BiGru, Linear, Module, TransformerConfig, TransformerEncoder};
+use dar_tensor::{Rng, Tensor};
+
+use crate::config::{EncoderKind, RationaleConfig};
+use crate::embedder::SharedEmbedding;
+
+/// Sequence encoder shared by the players (GRU main setting, transformer
+/// for the Table VI experiment).
+pub enum Encoder {
+    BiGru(BiGru),
+    Transformer(Box<TransformerEncoder>),
+}
+
+impl Encoder {
+    pub fn new(cfg: &RationaleConfig, vocab: usize, max_len: usize, rng: &mut Rng) -> Self {
+        match cfg.encoder {
+            EncoderKind::BiGru => Encoder::BiGru(BiGru::new(rng, cfg.emb_dim, cfg.hidden)),
+            EncoderKind::Transformer => Encoder::Transformer(Box::new(TransformerEncoder::new(
+                rng,
+                TransformerConfig {
+                    vocab,
+                    dim: cfg.emb_dim,
+                    heads: 4,
+                    layers: 2,
+                    ff_dim: 2 * cfg.emb_dim,
+                    max_len: max_len.max(256),
+                    mask_token: dar_text::vocab::MASK,
+                },
+            ))),
+        }
+    }
+
+    /// Encode embedded tokens `[b, l, e]` into features `[b, l, d]`.
+    pub fn forward(&self, x: &Tensor, mask: &Tensor) -> Tensor {
+        match self {
+            Encoder::BiGru(g) => g.forward(x, Some(mask)),
+            Encoder::Transformer(t) => t.forward_embedded(x, mask),
+        }
+    }
+}
+
+impl Module for Encoder {
+    fn params(&self) -> Vec<Tensor> {
+        match self {
+            Encoder::BiGru(g) => g.params(),
+            Encoder::Transformer(t) => t.params(),
+        }
+    }
+}
+
+/// The generator `f_G`: encoder + per-token 2-way selection head.
+pub struct Generator {
+    pub embedding: SharedEmbedding,
+    pub encoder: Encoder,
+    pub head: Linear,
+    tau: f32,
+}
+
+impl Generator {
+    pub fn new(
+        cfg: &RationaleConfig,
+        embedding: &SharedEmbedding,
+        max_len: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let encoder = Encoder::new(cfg, embedding.vocab(), max_len, rng);
+        let head = Linear::new(rng, cfg.enc_out_dim(), 2);
+        Generator { embedding: embedding.clone(), encoder, head, tau: cfg.tau }
+    }
+
+    /// Per-token selection logits `[b*l, 2]` for a batch.
+    pub fn selection_logits(&self, batch: &Batch) -> Tensor {
+        let x = self.embedding.lookup(&batch.ids);
+        let h = self.encoder.forward(&x, &batch.mask);
+        let s = h.shape().to_vec();
+        self.head.forward(&h.reshape(&[s[0] * s[1], s[2]]))
+    }
+
+    /// Sample a binary rationale mask `[b, l]` (1 = selected).
+    ///
+    /// Training uses Gumbel noise; evaluation is the deterministic argmax.
+    /// Padding positions are forced to 0 either way.
+    pub fn sample_mask(&self, batch: &Batch, rng: Option<&mut Rng>) -> Tensor {
+        let logits = self.selection_logits(batch);
+        let sel = match rng {
+            Some(r) => gumbel_softmax_st(&logits, self.tau, r),
+            None => hard_softmax_st(&logits),
+        };
+        let b = batch.len();
+        let l = batch.seq_len();
+        // Column 1 is the "select" class.
+        sel.narrow(1, 1, 1).reshape(&[b, l]).mul(&batch.mask)
+    }
+
+    /// Soft selection probabilities `[b, l]` (A2R's soft head, also useful
+    /// for inspection).
+    pub fn soft_probs(&self, batch: &Batch) -> Tensor {
+        let logits = self.selection_logits(batch);
+        let b = batch.len();
+        let l = batch.seq_len();
+        logits.softmax().narrow(1, 1, 1).reshape(&[b, l]).mul(&batch.mask)
+    }
+}
+
+impl Module for Generator {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.encoder.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_data::Review;
+
+    fn batch() -> Batch {
+        let reviews: Vec<Review> = (0..3)
+            .map(|i| Review {
+                ids: vec![3 + i, 4, 5, 6][..=i + 1].to_vec(),
+                label: i % 2,
+                rationale: vec![false; i + 2],
+                first_sentence_end: 1,
+            })
+            .collect();
+        let refs: Vec<&Review> = reviews.iter().collect();
+        Batch::from_reviews(&refs)
+    }
+
+    fn generator() -> (Generator, Batch) {
+        let mut rng = dar_tensor::rng(0);
+        let emb = SharedEmbedding::random(16, 8, &mut rng);
+        let cfg = RationaleConfig { emb_dim: 8, hidden: 6, ..Default::default() };
+        (Generator::new(&cfg, &emb, 16, &mut rng), batch())
+    }
+
+    #[test]
+    fn mask_is_binary_and_padding_free() {
+        let (g, b) = generator();
+        let mut rng = dar_tensor::rng(1);
+        let m = g.sample_mask(&b, Some(&mut rng));
+        assert_eq!(m.shape(), &[3, 4]);
+        let mv = m.to_vec();
+        let pad = b.mask.to_vec();
+        for (i, &v) in mv.iter().enumerate() {
+            assert!(v == 0.0 || v == 1.0, "non-binary mask value {v}");
+            if pad[i] == 0.0 {
+                assert_eq!(v, 0.0, "selected a padding token");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_mask_is_deterministic() {
+        let (g, b) = generator();
+        assert_eq!(g.sample_mask(&b, None).to_vec(), g.sample_mask(&b, None).to_vec());
+    }
+
+    #[test]
+    fn soft_probs_in_unit_interval() {
+        let (g, b) = generator();
+        for &p in g.soft_probs(&b).to_vec().iter() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn gradients_reach_generator_params() {
+        let (g, b) = generator();
+        let mut rng = dar_tensor::rng(2);
+        let m = g.sample_mask(&b, Some(&mut rng));
+        m.sum().backward();
+        let with_grad = g.params().iter().filter(|p| p.grad_vec().is_some()).count();
+        assert!(with_grad > 0, "no generator parameter received grads");
+    }
+
+    #[test]
+    fn transformer_encoder_variant_runs() {
+        let mut rng = dar_tensor::rng(3);
+        let emb = SharedEmbedding::random(16, 8, &mut rng);
+        let cfg = RationaleConfig {
+            emb_dim: 8,
+            encoder: EncoderKind::Transformer,
+            ..Default::default()
+        };
+        let g = Generator::new(&cfg, &emb, 16, &mut rng);
+        let m = g.sample_mask(&batch(), None);
+        assert_eq!(m.shape(), &[3, 4]);
+    }
+}

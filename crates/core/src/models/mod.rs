@@ -1,0 +1,129 @@
+//! The rationalization models: the vanilla RNP game, the paper's DAR, and
+//! the published baselines (A2R, DMR, Inter_RAT, CAR, 3PLAYER, VIB).
+
+mod a2r;
+mod car;
+mod dar;
+mod dmr;
+mod inter_rat;
+mod rnp;
+mod three_player;
+mod vib;
+
+pub use a2r::A2r;
+pub use car::{Car, ClassConditionalGenerator};
+pub use dar::Dar;
+pub use dmr::Dmr;
+pub use inter_rat::InterRat;
+pub use rnp::Rnp;
+pub use three_player::ThreePlayer;
+pub use vib::Vib;
+
+use dar_data::Batch;
+use dar_tensor::{Rng, Tensor};
+
+/// Deterministic inference output of a model on one batch.
+pub struct Inference {
+    /// Binary rationale masks, one padded row per review.
+    pub masks: Vec<Vec<f32>>,
+    /// Prediction logits from the rationale input (`None` for
+    /// label-conditioned selectors like CAR/DMR).
+    pub logits: Option<Tensor>,
+    /// Prediction logits of the same predictor on the full input — the
+    /// alignment probe.
+    pub full_logits: Option<Tensor>,
+}
+
+/// A trainable rationalization model.
+pub trait RationaleModel {
+    /// Display name (matches the paper's method names).
+    fn name(&self) -> &'static str;
+
+    /// Trainable parameters (frozen discriminators are excluded).
+    fn params(&self) -> Vec<Tensor>;
+
+    /// One optimization step on a batch; returns the scalar loss.
+    fn train_step(&mut self, batch: &Batch, rng: &mut Rng) -> f32;
+
+    /// Deterministic inference (argmax masks, no Gumbel noise).
+    fn infer(&self, batch: &Batch) -> Inference;
+
+    /// (generator count, predictor count) as reported in Table IV.
+    fn player_modules(&self) -> (usize, usize) {
+        (1, 1)
+    }
+
+    /// Snapshot trainable parameter values (early stopping).
+    fn snapshot(&self) -> Vec<Vec<f32>> {
+        self.params().iter().map(|p| p.to_vec()).collect()
+    }
+
+    /// Restore a snapshot taken from the same model.
+    fn restore(&mut self, snap: &[Vec<f32>]) {
+        let params = self.params();
+        assert_eq!(params.len(), snap.len(), "snapshot shape mismatch");
+        for (p, s) in params.iter().zip(snap) {
+            p.set_values(s.clone());
+        }
+    }
+
+    /// Total trainable scalar parameters.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Convert a mask tensor `[b, l]` into per-review rows.
+pub(crate) fn mask_rows(z: &Tensor, batch: &Batch) -> Vec<Vec<f32>> {
+    let l = batch.seq_len();
+    z.to_vec().chunks(l).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for model unit tests: a tiny separable dataset on
+    //! which any sound model must learn quickly.
+
+    use dar_data::synth::{Aspect, SynthConfig};
+    use dar_data::{AspectDataset, SynBeer};
+
+    use crate::config::RationaleConfig;
+    use crate::embedder::SharedEmbedding;
+
+    /// A small Beer-Aroma dataset (fast to train in tests).
+    pub fn tiny_dataset(seed: u64) -> AspectDataset {
+        let cfg = SynthConfig {
+            n_train: 192,
+            n_dev: 48,
+            n_test: 48,
+            ..SynthConfig::beer(Aspect::Aroma)
+        };
+        SynBeer::generate(&cfg, &mut dar_tensor::rng(seed))
+    }
+
+    /// Small-model config for tests.
+    pub fn tiny_config() -> RationaleConfig {
+        RationaleConfig {
+            emb_dim: 24,
+            hidden: 24,
+            sparsity: 0.16,
+            lr: 2e-3,
+            ..Default::default()
+        }
+    }
+
+    pub fn tiny_embedding(data: &AspectDataset, seed: u64) -> SharedEmbedding {
+        SharedEmbedding::random(data.vocab.len(), tiny_config().emb_dim, &mut dar_tensor::rng(seed))
+    }
+
+    /// Max sequence length across splits (encoder sizing).
+    pub fn max_len(data: &AspectDataset) -> usize {
+        data.train
+            .iter()
+            .chain(&data.dev)
+            .chain(&data.test)
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(1)
+    }
+}

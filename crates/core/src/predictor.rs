@@ -1,0 +1,135 @@
+//! The predictor player `f_P`: classifies from masked (rationale)
+//! embeddings, guaranteeing the *certification of exclusion* — tokens
+//! outside the mask are zeroed before the encoder and cannot contribute.
+
+use dar_data::Batch;
+use dar_nn::pooling::masked_max_pool;
+use dar_nn::{Linear, Module};
+use dar_tensor::{Rng, Tensor};
+
+use crate::config::RationaleConfig;
+use crate::embedder::SharedEmbedding;
+use crate::generator::Encoder;
+
+/// Encoder + masked max-pool + linear classification head.
+pub struct Predictor {
+    pub embedding: SharedEmbedding,
+    pub encoder: Encoder,
+    pub head: Linear,
+}
+
+impl Predictor {
+    pub fn new(
+        cfg: &RationaleConfig,
+        embedding: &SharedEmbedding,
+        max_len: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let encoder = Encoder::new(cfg, embedding.vocab(), max_len, rng);
+        let head = Linear::new(rng, cfg.enc_out_dim(), cfg.classes);
+        Predictor { embedding: embedding.clone(), encoder, head }
+    }
+
+    /// Classify from a rationale: embeddings are multiplied by the binary
+    /// mask `z [b, l]` (Eq. (1)'s `Z = M ⊙ X`), so unselected tokens are
+    /// zero vectors to the encoder.
+    pub fn forward_masked(&self, batch: &Batch, z: &Tensor) -> Tensor {
+        let b = batch.len();
+        let l = batch.seq_len();
+        assert_eq!(z.shape(), &[b, l], "rationale mask shape mismatch");
+        let x = self.embedding.lookup(&batch.ids);
+        let masked = x.mul(&z.reshape(&[b, l, 1]));
+        let h = self.encoder.forward(&masked, &batch.mask);
+        self.head.forward(&masked_max_pool(&h, &batch.mask))
+    }
+
+    /// Classify from the full input (`z = 1` everywhere) — the paper's
+    /// full-text probe and the `predictor^t` input path.
+    pub fn forward_full(&self, batch: &Batch) -> Tensor {
+        self.forward_masked(batch, &batch.mask.clone())
+    }
+}
+
+impl Module for Predictor {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.encoder.params();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_data::Review;
+
+    fn batch_from(idss: Vec<Vec<usize>>) -> Batch {
+        let reviews: Vec<Review> = idss
+            .into_iter()
+            .map(|ids| Review {
+                rationale: vec![false; ids.len()],
+                first_sentence_end: 1,
+                label: 0,
+                ids,
+            })
+            .collect();
+        let refs: Vec<&Review> = reviews.iter().collect();
+        Batch::from_reviews(&refs)
+    }
+
+    fn predictor() -> Predictor {
+        let mut rng = dar_tensor::rng(0);
+        let emb = SharedEmbedding::random(32, 8, &mut rng);
+        let cfg = RationaleConfig { emb_dim: 8, hidden: 6, ..Default::default() };
+        Predictor::new(&cfg, &emb, 16, &mut rng)
+    }
+
+    #[test]
+    fn output_shape() {
+        let p = predictor();
+        let b = batch_from(vec![vec![3, 4, 5], vec![6, 7, 8]]);
+        let z = Tensor::ones(&[2, 3]);
+        assert_eq!(p.forward_masked(&b, &z).shape(), &[2, 2]);
+    }
+
+    /// Certification of exclusion: changing an unselected token never
+    /// changes the prediction.
+    #[test]
+    fn exclusion_certified() {
+        let p = predictor();
+        let z = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
+        let a = p.forward_masked(&batch_from(vec![vec![3, 4, 5]]), &z).to_vec();
+        let b = p.forward_masked(&batch_from(vec![vec![3, 29, 5]]), &z).to_vec();
+        assert_eq!(a, b, "unselected token influenced the prediction");
+    }
+
+    /// Selected tokens must matter.
+    #[test]
+    fn selected_tokens_matter() {
+        let p = predictor();
+        let z = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
+        let a = p.forward_masked(&batch_from(vec![vec![3, 4, 5]]), &z).to_vec();
+        let b = p.forward_masked(&batch_from(vec![vec![17, 4, 5]]), &z).to_vec();
+        assert_ne!(a, b, "selected token had no influence");
+    }
+
+    #[test]
+    fn full_text_uses_everything() {
+        let p = predictor();
+        let a = p.forward_full(&batch_from(vec![vec![3, 4, 5]])).to_vec();
+        let b = p.forward_full(&batch_from(vec![vec![3, 29, 5]])).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn padding_never_contributes() {
+        let p = predictor();
+        // Same review, one padded next to a longer neighbor.
+        let lone = p.forward_full(&batch_from(vec![vec![3, 4]])).to_vec();
+        let padded = p.forward_full(&batch_from(vec![vec![3, 4], vec![5, 6, 7, 8]]));
+        let first_row = &padded.to_vec()[..2];
+        for (x, y) in lone.iter().zip(first_row) {
+            assert!((x - y).abs() < 1e-5, "padding leaked: {x} vs {y}");
+        }
+    }
+}

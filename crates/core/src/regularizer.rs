@@ -1,0 +1,145 @@
+//! The short-and-coherent rationale regularizer of Eq. (3):
+//!
+//! ```text
+//! Ω(M) = λ1 | ‖M‖₁ / l − α |  +  λ2 Σ_t | m_t − m_{t−1} |
+//! ```
+//!
+//! computed per example over real (unpadded) tokens and averaged over the
+//! batch.
+
+use dar_data::Batch;
+use dar_tensor::Tensor;
+
+use crate::config::RationaleConfig;
+
+/// Sparsity term: mean over the batch of `| selected/len − α |`.
+pub fn sparsity_loss(z: &Tensor, batch: &Batch, alpha: f32) -> Tensor {
+    let lens = Tensor::new(
+        batch.lengths.iter().map(|&l| l as f32).collect(),
+        &[batch.len(), 1],
+    );
+    // z is already zero on padding, so the row sum counts real selections.
+    let frac = z.sum_axis(1, true).div(&lens); // [b, 1]
+    frac.add_scalar(-alpha).abs().mean()
+}
+
+/// Coherence term: mean over the batch of `Σ_t |m_t − m_{t−1}|`,
+/// normalized by length so long reviews are not over-penalized.
+pub fn coherence_loss(z: &Tensor, batch: &Batch) -> Tensor {
+    let l = batch.seq_len();
+    if l < 2 {
+        return Tensor::scalar(0.0);
+    }
+    let cur = z.narrow(1, 1, l - 1);
+    let prev = z.narrow(1, 0, l - 1);
+    // Transitions involving padding are zero-minus-zero (mask already
+    // zeroes padding), except the edge real->pad which counts once and is
+    // a true "rationale ends" transition; keep it.
+    let lens = Tensor::new(
+        batch.lengths.iter().map(|&l| l as f32).collect(),
+        &[batch.len(), 1],
+    );
+    cur.sub(&prev).abs().sum_axis(1, true).div(&lens).mean()
+}
+
+/// Full Ω(M).
+pub fn omega(z: &Tensor, batch: &Batch, cfg: &RationaleConfig) -> Tensor {
+    sparsity_loss(z, batch, cfg.sparsity)
+        .scale(cfg.lambda1)
+        .add(&coherence_loss(z, batch).scale(cfg.lambda2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_data::Review;
+
+    fn batch(lens: &[usize]) -> Batch {
+        let reviews: Vec<Review> = lens
+            .iter()
+            .map(|&n| Review {
+                ids: vec![5; n],
+                label: 0,
+                rationale: vec![false; n],
+                first_sentence_end: 1,
+            })
+            .collect();
+        let refs: Vec<&Review> = reviews.iter().collect();
+        Batch::from_reviews(&refs)
+    }
+
+    #[test]
+    fn sparsity_zero_at_target() {
+        let b = batch(&[4]);
+        let z = Tensor::new(vec![1.0, 1.0, 0.0, 0.0], &[1, 4]);
+        let cfg = RationaleConfig { sparsity: 0.5, ..Default::default() };
+        assert!(sparsity_loss(&z, &b, cfg.sparsity).item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparsity_penalizes_over_and_under() {
+        let b = batch(&[4]);
+        let all = Tensor::ones(&[1, 4]);
+        let none = Tensor::zeros(&[1, 4]);
+        let over = sparsity_loss(&all, &b, 0.25).item();
+        let under = sparsity_loss(&none, &b, 0.25).item();
+        assert!((over - 0.75).abs() < 1e-6);
+        assert!((under - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparsity_respects_true_lengths_not_padding() {
+        // Two reviews of lengths 2 and 4; selecting 1 token in the short
+        // one is 50% sparsity regardless of padding to length 4.
+        let b = batch(&[2, 4]);
+        let z = Tensor::new(vec![1., 0., 0., 0., 1., 1., 0., 0.], &[2, 4]);
+        let loss = sparsity_loss(&z, &b, 0.5).item();
+        assert!(loss.abs() < 1e-6, "padding distorted sparsity: {loss}");
+    }
+
+    #[test]
+    fn coherence_counts_transitions() {
+        let b = batch(&[4]);
+        let blocky = Tensor::new(vec![1.0, 1.0, 0.0, 0.0], &[1, 4]);
+        let scattered = Tensor::new(vec![1.0, 0.0, 1.0, 0.0], &[1, 4]);
+        let cb = coherence_loss(&blocky, &b).item();
+        let cs = coherence_loss(&scattered, &b).item();
+        assert!(cs > cb, "scattered {cs} not above blocky {cb}");
+    }
+
+    #[test]
+    fn coherence_zero_for_uniform_mask() {
+        let b = batch(&[4]);
+        assert!(coherence_loss(&Tensor::ones(&[1, 4]), &b).item().abs() < 1e-5);
+        assert!(coherence_loss(&Tensor::zeros(&[1, 4]), &b).item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn omega_combines_with_weights() {
+        let b = batch(&[4]);
+        let z = Tensor::new(vec![1.0, 0.0, 1.0, 0.0], &[1, 4]);
+        let cfg = RationaleConfig {
+            sparsity: 0.5,
+            lambda1: 2.0,
+            lambda2: 3.0,
+            ..Default::default()
+        };
+        let want = 2.0 * sparsity_loss(&z, &b, 0.5).item() + 3.0 * coherence_loss(&z, &b).item();
+        assert!((omega(&z, &b, &cfg).item() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn omega_differentiable() {
+        let b = batch(&[3]);
+        let z = Tensor::param(vec![0.6, 0.4, 0.2], &[1, 3]);
+        omega(&z, &b, &RationaleConfig::default()).backward();
+        assert!(z.grad_vec().is_some());
+    }
+
+    #[test]
+    fn single_token_review_has_zero_coherence() {
+        let b = batch(&[1]);
+        let z = Tensor::ones(&[1, 1]);
+        assert_eq!(coherence_loss(&z, &b).item(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The training loop: epochs of shuffled batches, dev-accuracy early
+//! stopping with best-weight restoration (paper App. B), and final test
+//! evaluation.
+
+use dar_data::{AspectDataset, BatchIter};
+
+use crate::config::TrainConfig;
+use crate::eval::{evaluate_model, RationaleMetrics};
+use crate::models::RationaleModel;
+use crate::Rng;
+
+/// Per-epoch record.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochLog {
+    pub epoch: usize,
+    pub train_loss: f32,
+    /// Dev accuracy with rationale input (or dev F1 for label-conditioned
+    /// selectors that report no accuracy).
+    pub dev_score: f32,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    pub model_name: String,
+    pub epochs_run: usize,
+    pub best_epoch: usize,
+    pub history: Vec<EpochLog>,
+    /// Metrics on the annotated test split with best-dev weights restored.
+    pub test: RationaleMetrics,
+    /// Dev metrics at the best epoch.
+    pub dev: RationaleMetrics,
+}
+
+/// Trains any [`RationaleModel`] on an [`AspectDataset`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trainer {
+    pub cfg: TrainConfig,
+}
+
+impl Trainer {
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// Model-selection score on dev: accuracy when available (the paper's
+    /// early-stopping criterion), else rationale F1.
+    fn dev_score(m: &RationaleMetrics) -> f32 {
+        m.acc.unwrap_or(m.f1)
+    }
+
+    /// Run the full loop and return the report. The model is left holding
+    /// its best-dev weights.
+    pub fn fit(
+        &self,
+        model: &mut dyn RationaleModel,
+        data: &AspectDataset,
+        rng: &mut Rng,
+    ) -> TrainReport {
+        let cfg = self.cfg;
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut best_score = f32::NEG_INFINITY;
+        let mut best_epoch = 0;
+        let mut best_snap = model.snapshot();
+        let mut since_best = 0usize;
+
+        for epoch in 0..cfg.epochs {
+            let mut loss_sum = 0.0;
+            let mut n = 0usize;
+            for batch in BatchIter::shuffled(&data.train, cfg.batch_size, rng) {
+                loss_sum += model.train_step(&batch, rng);
+                n += 1;
+            }
+            let train_loss = loss_sum / n.max(1) as f32;
+            let dev_metrics = evaluate_model(model, &data.dev, cfg.batch_size);
+            let score = Self::dev_score(&dev_metrics);
+            history.push(EpochLog { epoch, train_loss, dev_score: score });
+            if cfg.verbose {
+                println!(
+                    "[{}] epoch {epoch:>3}  loss {train_loss:.4}  dev {score:.4}",
+                    model.name()
+                );
+            }
+            if score > best_score {
+                best_score = score;
+                best_epoch = epoch;
+                best_snap = model.snapshot();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if let Some(patience) = cfg.patience {
+                    if since_best >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+
+        model.restore(&best_snap);
+        let dev = evaluate_model(model, &data.dev, cfg.batch_size);
+        let test = evaluate_model(model, &data.test, cfg.batch_size);
+        TrainReport {
+            model_name: model.name().to_owned(),
+            epochs_run: history.len(),
+            best_epoch,
+            history,
+            test,
+            dev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::models::test_support::{max_len, tiny_config, tiny_dataset, tiny_embedding};
+    use crate::models::Rnp;
+
+    #[test]
+    fn fit_produces_history_and_restores_best() {
+        let data = tiny_dataset(130);
+        let cfg = tiny_config();
+        let emb = tiny_embedding(&data, 131);
+        let mut rng = dar_tensor::rng(132);
+        let mut model = Rnp::new(&cfg, &emb, max_len(&data), &mut rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            patience: None,
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &data, &mut rng);
+        assert_eq!(report.history.len(), 4);
+        assert!(report.best_epoch < 4);
+        assert!(report.test.sparsity >= 0.0 && report.test.sparsity <= 1.0);
+        assert!(report.test.f1 >= 0.0 && report.test.f1 <= 1.0);
+    }
+
+    #[test]
+    fn early_stopping_halts() {
+        let data = tiny_dataset(133);
+        let cfg = tiny_config();
+        let emb = tiny_embedding(&data, 134);
+        let mut rng = dar_tensor::rng(135);
+        let mut model = Rnp::new(&cfg, &emb, max_len(&data), &mut rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            patience: Some(1),
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &data, &mut rng);
+        assert!(
+            report.epochs_run < 50,
+            "patience 1 should stop early, ran {}",
+            report.epochs_run
+        );
+    }
+}

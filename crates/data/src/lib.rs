@@ -1,0 +1,29 @@
+//! `dar-data`: synthetic multi-aspect review datasets with planted
+//! token-level rationales — the stand-ins for BeerAdvocate (McAuley et al.)
+//! and HotelReview (Wang et al.), which are not redistributable.
+//!
+//! The generators reproduce the structural properties the DAR paper's
+//! phenomena depend on (DESIGN.md §4):
+//!
+//! 1. each aspect has a sparse, localized ground-truth rationale
+//!    (aspect-specific sentiment words inside that aspect's sentence);
+//! 2. non-rationale tokens (filler, topic words, punctuation) carry no
+//!    label signal, so any accuracy routed through them is a
+//!    generator-created shortcut — the rationale-shift channel;
+//! 3. aspect polarities are correlated through a latent "overall quality"
+//!    unless decorrelated, mirroring Lei et al.'s decorrelated subsets;
+//! 4. in SynBeer the first sentence is (usually) the Appearance sentence,
+//!    which the skewed-predictor experiment of Table VII relies on.
+
+pub mod loader;
+pub mod review;
+pub mod splits;
+pub mod stats;
+pub mod synth;
+
+pub use loader::{Batch, BatchIter};
+pub use review::{AspectDataset, Review};
+pub use stats::DatasetStats;
+pub use synth::beer::SynBeer;
+pub use synth::hotel::SynHotel;
+pub use synth::{Aspect, Domain, SynthConfig};

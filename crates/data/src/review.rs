@@ -1,0 +1,127 @@
+//! Review and dataset containers.
+
+use dar_text::Vocab;
+
+use crate::synth::Aspect;
+
+/// A single review, encoded for one target aspect.
+#[derive(Debug, Clone)]
+pub struct Review {
+    /// Token ids (unpadded).
+    pub ids: Vec<usize>,
+    /// Binary label of the target aspect (0 negative, 1 positive).
+    pub label: usize,
+    /// Token-level human-rationale annotation for the target aspect
+    /// (parallel to `ids`). Only meaningful on the test split, as in the
+    /// real corpora where annotations exist on the test set only.
+    pub rationale: Vec<bool>,
+    /// Index one past the end of the first sentence (position after the
+    /// first sentence terminator) — used by the skewed-predictor setting.
+    pub first_sentence_end: usize,
+}
+
+impl Review {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Fraction of tokens annotated as rationale.
+    pub fn rationale_sparsity(&self) -> f32 {
+        if self.ids.is_empty() {
+            return 0.0;
+        }
+        self.rationale.iter().filter(|&&b| b).count() as f32 / self.ids.len() as f32
+    }
+
+    /// A copy truncated to the first sentence (skewed-predictor
+    /// pretraining data, Table VII).
+    pub fn first_sentence(&self) -> Review {
+        let end = self.first_sentence_end.min(self.ids.len()).max(1);
+        Review {
+            ids: self.ids[..end].to_vec(),
+            label: self.label,
+            rationale: self.rationale[..end].to_vec(),
+            first_sentence_end: end,
+        }
+    }
+}
+
+/// A dataset for one aspect of one domain, split as in the paper
+/// (App. A / Table IX): balanced train, dev, and an annotated test split.
+#[derive(Debug, Clone)]
+pub struct AspectDataset {
+    pub name: String,
+    pub aspect: Aspect,
+    pub train: Vec<Review>,
+    pub dev: Vec<Review>,
+    pub test: Vec<Review>,
+    pub vocab: Vocab,
+}
+
+impl AspectDataset {
+    /// Decode a review back to tokens for display.
+    pub fn decode(&self, review: &Review) -> Vec<&str> {
+        self.vocab.decode(&review.ids)
+    }
+
+    /// Mean annotated sparsity over the test split (the `Sparsity` column
+    /// of Table IX).
+    pub fn annotation_sparsity(&self) -> f32 {
+        if self.test.is_empty() {
+            return 0.0;
+        }
+        self.test.iter().map(Review::rationale_sparsity).sum::<f32>() / self.test.len() as f32
+    }
+
+    /// All id sequences (for embedding pretraining).
+    pub fn corpus(&self) -> dar_text::Corpus {
+        dar_text::Corpus {
+            docs: self
+                .train
+                .iter()
+                .chain(&self.dev)
+                .chain(&self.test)
+                .map(|r| r.ids.clone())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn review() -> Review {
+        Review {
+            ids: vec![5, 6, 7, 8, 9, 10],
+            label: 1,
+            rationale: vec![false, true, true, false, false, false],
+            first_sentence_end: 4,
+        }
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        assert!((review().rationale_sparsity() - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_sentence_truncation() {
+        let r = review().first_sentence();
+        assert_eq!(r.ids, vec![5, 6, 7, 8]);
+        assert_eq!(r.rationale.len(), 4);
+        assert_eq!(r.label, 1);
+    }
+
+    #[test]
+    fn first_sentence_clamps_to_len() {
+        let mut r = review();
+        r.first_sentence_end = 100;
+        assert_eq!(r.first_sentence().len(), 6);
+    }
+}

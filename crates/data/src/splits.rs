@@ -1,0 +1,64 @@
+//! Split utilities: label balance accounting and re-splitting.
+
+use crate::review::Review;
+
+/// Positive/negative counts of a split (the Pos/Neg columns of Table IX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelBalance {
+    pub pos: usize,
+    pub neg: usize,
+}
+
+impl LabelBalance {
+    pub fn of(reviews: &[Review]) -> Self {
+        let pos = reviews.iter().filter(|r| r.label == 1).count();
+        LabelBalance { pos, neg: reviews.len() - pos }
+    }
+
+    /// Largest class share (0.5 = perfectly balanced).
+    pub fn majority_fraction(&self) -> f32 {
+        let total = (self.pos + self.neg).max(1);
+        self.pos.max(self.neg) as f32 / total as f32
+    }
+}
+
+/// Deterministically split reviews into two parts with `first` elements in
+/// the first (no shuffling — callers shuffle beforehand if needed).
+pub fn split_at(reviews: Vec<Review>, first: usize) -> (Vec<Review>, Vec<Review>) {
+    assert!(first <= reviews.len(), "split point beyond dataset");
+    let mut a = reviews;
+    let b = a.split_off(first);
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(label: usize) -> Review {
+        Review { ids: vec![5], label, rationale: vec![false], first_sentence_end: 1 }
+    }
+
+    #[test]
+    fn balance_counts() {
+        let rs = vec![mk(0), mk(1), mk(1)];
+        let b = LabelBalance::of(&rs);
+        assert_eq!(b, LabelBalance { pos: 2, neg: 1 });
+        assert!((b.majority_fraction() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_preserves_order_and_total() {
+        let rs = vec![mk(0), mk(1), mk(0), mk(1)];
+        let (a, b) = split_at(rs, 1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a[0].label, 0);
+    }
+
+    #[test]
+    fn empty_balance_is_safe() {
+        let b = LabelBalance::of(&[]);
+        assert_eq!(b.majority_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! SynHotel: the synthetic HotelReview stand-in (longer, noisier reviews
+//! with sparser annotations than SynBeer).
+
+use dar_tensor::Rng;
+
+use crate::review::AspectDataset;
+use crate::synth::{writer, Aspect, Domain, SynthConfig};
+
+/// Generator facade for the hotel domain.
+pub struct SynHotel;
+
+impl SynHotel {
+    /// Generate with explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg.aspect` is not a hotel aspect.
+    pub fn generate(cfg: &SynthConfig, rng: &mut Rng) -> AspectDataset {
+        assert_eq!(cfg.aspect.domain(), Domain::Hotel, "SynHotel needs a hotel aspect");
+        writer::generate(cfg, rng)
+    }
+
+    /// Generate with the paper-matched defaults for `aspect`.
+    pub fn default_aspect(aspect: Aspect, rng: &mut Rng) -> AspectDataset {
+        Self::generate(&SynthConfig::hotel(aspect), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Aspect;
+
+    fn quick(aspect: Aspect) -> AspectDataset {
+        let mut rng = dar_tensor::rng(11);
+        SynHotel::generate(&SynthConfig::hotel(aspect).scaled(0.1), &mut rng)
+    }
+
+    #[test]
+    fn annotation_sparsity_near_table_ix() {
+        // Paper Table IX: Location 8.5, Service 11.5, Cleanliness 8.9 (%).
+        for (aspect, target) in
+            [(Aspect::Location, 0.085), (Aspect::Service, 0.115), (Aspect::Cleanliness, 0.089)]
+        {
+            let d = quick(aspect);
+            let s = d.annotation_sparsity();
+            assert!(
+                (s - target).abs() < 0.06,
+                "{aspect:?}: sparsity {s:.3} too far from paper {target:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn hotel_reviews_are_longer_than_beer() {
+        let h = quick(Aspect::Service);
+        let mut rng = dar_tensor::rng(11);
+        let b = crate::synth::beer::SynBeer::generate(
+            &SynthConfig::beer(Aspect::Aroma).scaled(0.1),
+            &mut rng,
+        );
+        let hl: f32 =
+            h.test.iter().map(|r| r.len() as f32).sum::<f32>() / h.test.len() as f32;
+        let bl: f32 =
+            b.test.iter().map(|r| r.len() as f32).sum::<f32>() / b.test.len() as f32;
+        assert!(hl > bl, "hotel mean len {hl} not above beer {bl}");
+    }
+
+    #[test]
+    fn vocab_contains_the_shortcut_dash() {
+        let d = quick(Aspect::Location);
+        assert!(d.vocab.contains("-"));
+        // And it actually occurs in the corpus.
+        let dash = d.vocab.id("-");
+        let occurrences: usize = d
+            .train
+            .iter()
+            .map(|r| r.ids.iter().filter(|&&t| t == dash).count())
+            .sum();
+        assert!(occurrences > 0, "dash never appears");
+    }
+
+    #[test]
+    fn dash_frequency_is_label_independent() {
+        // The shortcut channel must carry no label signal in the raw data.
+        let d = quick(Aspect::Cleanliness);
+        let dash = d.vocab.id("-");
+        let mut per_label = [0.0f32; 2];
+        let mut counts = [0usize; 2];
+        for r in &d.train {
+            per_label[r.label] +=
+                r.ids.iter().filter(|&&t| t == dash).count() as f32 / r.len() as f32;
+            counts[r.label] += 1;
+        }
+        let p0 = per_label[0] / counts[0] as f32;
+        let p1 = per_label[1] / counts[1] as f32;
+        assert!((p0 - p1).abs() < 0.01, "dash rate differs by label: {p0} vs {p1}");
+    }
+
+    #[test]
+    fn no_first_sentence_bias() {
+        // Hotel sentences are fully shuffled; the Location annotation
+        // should lead in roughly 1/3 of reviews, not 90%.
+        let d = quick(Aspect::Location);
+        let leading = d
+            .test
+            .iter()
+            .filter(|r| r.rationale[..r.first_sentence_end].iter().any(|&b| b))
+            .count();
+        let frac = leading as f32 / d.test.len() as f32;
+        assert!(frac < 0.65, "location led {frac:.2} of reviews despite no bias");
+    }
+}

@@ -1,0 +1,296 @@
+//! Word banks for the synthetic review domains.
+//!
+//! Three kinds of tokens, mirroring the information structure of the real
+//! corpora (DESIGN.md §4):
+//!
+//! * **topic** words — indicate an aspect but not its polarity;
+//! * **sentiment** words — aspect-specific *and* polarity-specific; these
+//!   are the planted ground-truth rationales;
+//! * **filler** (+ intensifiers, starters, punctuation) — carry no label
+//!   signal at all, making them the only channel a colluding generator can
+//!   use to smuggle the label past the predictor.
+
+use crate::synth::{Aspect, Domain};
+
+/// Word banks for one aspect.
+pub struct AspectLexicon {
+    pub aspect: Aspect,
+    pub topic: &'static [&'static str],
+    pub positive: &'static [&'static str],
+    pub negative: &'static [&'static str],
+    /// Topic tokens placed in the annotated core span (controls the
+    /// per-aspect annotation sparsity of Table IX).
+    pub core_topic_tokens: usize,
+}
+
+/// Word banks shared inside a domain.
+pub struct DomainLexicon {
+    pub domain: Domain,
+    pub aspects: Vec<AspectLexicon>,
+    pub fillers: &'static [&'static str],
+    pub intensifiers: &'static [&'static str],
+    pub be_verbs: &'static [&'static str],
+    pub starters: &'static [&'static str],
+    pub punctuation: &'static [&'static str],
+}
+
+const INTENSIFIERS: &[&str] =
+    &["very", "quite", "rather", "really", "somewhat", "fairly", "truly", "notably"];
+
+const BE_VERBS: &[&str] = &["is", "was", "seems", "looks", "feels", "appears", "stays"];
+
+const STARTERS: &[&str] = &["the", "this", "that", "its", "a", "my", "our"];
+
+const PUNCT: &[&str] = &[".", ",", "!", "-", ";", "(", ")"];
+
+const BEER_FILLERS: &[&str] = &[
+    "i", "poured", "bottle", "into", "pint", "glass", "tonight", "with", "friends", "after",
+    "dinner", "bought", "from", "local", "store", "last", "week", "it", "came", "in", "twelve",
+    "ounce", "serving", "at", "cellar", "temperature", "we", "tried", "another", "round",
+    "before", "game", "started", "label", "says", "brewed", "since", "review", "notes", "follow",
+    "overall", "session", "style", "ale", "lager", "batch", "number", "listed", "on", "side",
+    "and", "then", "some", "more", "of", "to", "for", "as", "had", "have", "not", "but", "so",
+    "one", "two", "first", "second", "again", "also", "while", "during", "about", "around",
+];
+
+const HOTEL_FILLERS: &[&str] = &[
+    "we", "stayed", "three", "nights", "in", "june", "for", "a", "conference", "downtown",
+    "booked", "through", "website", "months", "ahead", "checked", "in", "around", "noon",
+    "our", "luggage", "arrived", "later", "the", "lobby", "had", "coffee", "available",
+    "breakfast", "buffet", "ran", "until", "ten", "parking", "garage", "next", "door",
+    "elevator", "took", "us", "to", "eighth", "floor", "front", "desk", "gave", "map",
+    "of", "and", "then", "some", "more", "as", "it", "was", "not", "but", "so", "also",
+    "while", "during", "about", "trip", "visit", "family", "kids", "business", "weekend",
+    "city", "airport", "shuttle", "taxi", "station", "restaurant", "nearby", "street",
+];
+
+// ---------------------------------------------------------------------
+// Beer aspects
+// ---------------------------------------------------------------------
+
+const BEER_APPEARANCE_TOPIC: &[&str] =
+    &["head", "color", "lacing", "pour", "foam", "body", "hue", "clarity", "carbonation"];
+const BEER_APPEARANCE_POS: &[&str] = &[
+    "golden", "glistening", "radiant", "creamy", "lustrous", "sparkling", "amber-bright",
+    "inviting", "crystal-clear", "frothy", "luminous", "rich-hued",
+];
+const BEER_APPEARANCE_NEG: &[&str] = &[
+    "murky", "lifeless", "watery-looking", "drab", "cloudy-dull", "patchy", "greyish",
+    "unappealing", "flat-looking", "soupy", "swampy", "dingy",
+];
+
+const BEER_AROMA_TOPIC: &[&str] =
+    &["aroma", "nose", "smell", "scent", "bouquet", "fragrance", "whiff"];
+const BEER_AROMA_POS: &[&str] = &[
+    "citrusy", "floral", "piney", "fruity", "honeyed", "spicy-sweet", "aromatic", "zesty",
+    "perfumed", "caramel-laced", "resinous", "fragrant",
+];
+const BEER_AROMA_NEG: &[&str] = &[
+    "skunky", "musty", "sulfuric", "stale-smelling", "metallic", "cardboardy", "rancid",
+    "vinegary", "funky-off", "chemical", "sour-off", "dank-stale",
+];
+
+const BEER_PALATE_TOPIC: &[&str] =
+    &["palate", "mouthfeel", "finish", "texture", "aftertaste", "feel"];
+const BEER_PALATE_POS: &[&str] = &[
+    "velvety", "smooth", "crisp", "silky", "full-bodied", "balanced", "rounded", "luscious",
+    "refreshing", "satisfying", "plush", "lively",
+];
+const BEER_PALATE_NEG: &[&str] = &[
+    "astringent", "thin", "harsh", "cloying", "chalky", "grainy-rough", "bitter-harsh",
+    "syrupy-flat", "abrasive", "hollow", "puckering", "gritty",
+];
+
+// ---------------------------------------------------------------------
+// Hotel aspects
+// ---------------------------------------------------------------------
+
+const HOTEL_LOCATION_TOPIC: &[&str] =
+    &["location", "neighborhood", "area", "surroundings", "position", "spot"];
+const HOTEL_LOCATION_POS: &[&str] = &[
+    "central", "convenient", "walkable", "scenic", "well-connected", "prime", "picturesque",
+    "accessible", "ideal", "charming-area", "handy", "well-placed",
+];
+const HOTEL_LOCATION_NEG: &[&str] = &[
+    "remote", "isolated", "sketchy", "noisy-street", "inconvenient", "rundown-block",
+    "far-flung", "industrial", "desolate", "awkward-to-reach", "gridlocked", "seedy",
+];
+
+const HOTEL_SERVICE_TOPIC: &[&str] =
+    &["service", "staff", "reception", "concierge", "housekeeping", "crew"];
+const HOTEL_SERVICE_POS: &[&str] = &[
+    "attentive", "courteous", "friendly", "prompt", "helpful", "gracious", "welcoming",
+    "professional", "accommodating", "responsive", "thoughtful", "obliging",
+];
+const HOTEL_SERVICE_NEG: &[&str] = &[
+    "rude", "dismissive", "sluggish", "unhelpful", "surly", "indifferent", "disorganized",
+    "hostile", "neglectful", "curt", "apathetic", "incompetent",
+];
+
+const HOTEL_CLEAN_TOPIC: &[&str] =
+    &["room", "bathroom", "linens", "carpet", "bedding", "towels", "suite"];
+const HOTEL_CLEAN_POS: &[&str] = &[
+    "spotless", "immaculate", "pristine", "fresh-smelling", "sanitized", "tidy", "gleaming",
+    "well-kept", "dust-free", "laundered", "polished", "hygienic",
+];
+const HOTEL_CLEAN_NEG: &[&str] = &[
+    "filthy", "grimy", "stained", "moldy", "dusty", "sticky", "smelly", "unwashed",
+    "cockroach-ridden", "mildewed", "grubby", "soiled",
+];
+
+impl DomainLexicon {
+    /// The lexicon for a domain.
+    pub fn for_domain(domain: Domain) -> Self {
+        match domain {
+            Domain::Beer => DomainLexicon {
+                domain,
+                aspects: vec![
+                    AspectLexicon {
+                        aspect: Aspect::Appearance,
+                        topic: BEER_APPEARANCE_TOPIC,
+                        positive: BEER_APPEARANCE_POS,
+                        negative: BEER_APPEARANCE_NEG,
+                        core_topic_tokens: 2,
+                    },
+                    AspectLexicon {
+                        aspect: Aspect::Aroma,
+                        topic: BEER_AROMA_TOPIC,
+                        positive: BEER_AROMA_POS,
+                        negative: BEER_AROMA_NEG,
+                        core_topic_tokens: 2,
+                    },
+                    AspectLexicon {
+                        aspect: Aspect::Palate,
+                        topic: BEER_PALATE_TOPIC,
+                        positive: BEER_PALATE_POS,
+                        negative: BEER_PALATE_NEG,
+                        core_topic_tokens: 1,
+                    },
+                ],
+                fillers: BEER_FILLERS,
+                intensifiers: INTENSIFIERS,
+                be_verbs: BE_VERBS,
+                starters: STARTERS,
+                punctuation: PUNCT,
+            },
+            Domain::Hotel => DomainLexicon {
+                domain,
+                aspects: vec![
+                    AspectLexicon {
+                        aspect: Aspect::Location,
+                        topic: HOTEL_LOCATION_TOPIC,
+                        positive: HOTEL_LOCATION_POS,
+                        negative: HOTEL_LOCATION_NEG,
+                        core_topic_tokens: 1,
+                    },
+                    AspectLexicon {
+                        aspect: Aspect::Service,
+                        topic: HOTEL_SERVICE_TOPIC,
+                        positive: HOTEL_SERVICE_POS,
+                        negative: HOTEL_SERVICE_NEG,
+                        core_topic_tokens: 2,
+                    },
+                    AspectLexicon {
+                        aspect: Aspect::Cleanliness,
+                        topic: HOTEL_CLEAN_TOPIC,
+                        positive: HOTEL_CLEAN_POS,
+                        negative: HOTEL_CLEAN_NEG,
+                        core_topic_tokens: 1,
+                    },
+                ],
+                fillers: HOTEL_FILLERS,
+                intensifiers: INTENSIFIERS,
+                be_verbs: BE_VERBS,
+                starters: STARTERS,
+                punctuation: PUNCT,
+            },
+        }
+    }
+
+    /// Lexicon for the named aspect.
+    pub fn aspect(&self, aspect: Aspect) -> &AspectLexicon {
+        self.aspects
+            .iter()
+            .find(|a| a.aspect == aspect)
+            .unwrap_or_else(|| panic!("{aspect:?} not in {:?} lexicon", self.domain))
+    }
+
+    /// All distinct word types of the domain (for vocabulary building).
+    pub fn all_words(&self) -> Vec<&'static str> {
+        let mut words: Vec<&'static str> = Vec::new();
+        for a in &self.aspects {
+            words.extend_from_slice(a.topic);
+            words.extend_from_slice(a.positive);
+            words.extend_from_slice(a.negative);
+        }
+        words.extend_from_slice(self.fillers);
+        words.extend_from_slice(self.intensifiers);
+        words.extend_from_slice(self.be_verbs);
+        words.extend_from_slice(self.starters);
+        words.extend_from_slice(self.punctuation);
+        words.sort_unstable();
+        words.dedup();
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Sentiment banks must be disjoint across aspects and polarities —
+    /// otherwise the "aspect-specific rationale" premise breaks.
+    #[test]
+    fn sentiment_banks_are_disjoint() {
+        for domain in [Domain::Beer, Domain::Hotel] {
+            let lex = DomainLexicon::for_domain(domain);
+            let mut seen: HashSet<&str> = HashSet::new();
+            for a in &lex.aspects {
+                for &w in a.positive.iter().chain(a.negative) {
+                    assert!(seen.insert(w), "duplicate sentiment word {w:?} in {domain:?}");
+                }
+            }
+        }
+    }
+
+    /// Filler banks must not contain any sentiment word (they must be
+    /// label-independent).
+    #[test]
+    fn fillers_carry_no_sentiment() {
+        for domain in [Domain::Beer, Domain::Hotel] {
+            let lex = DomainLexicon::for_domain(domain);
+            let sentiment: HashSet<&str> = lex
+                .aspects
+                .iter()
+                .flat_map(|a| a.positive.iter().chain(a.negative))
+                .copied()
+                .collect();
+            for &f in lex.fillers {
+                assert!(!sentiment.contains(f), "filler {f:?} is a sentiment word");
+            }
+        }
+    }
+
+    #[test]
+    fn aspect_lookup() {
+        let lex = DomainLexicon::for_domain(Domain::Beer);
+        assert_eq!(lex.aspect(Aspect::Palate).core_topic_tokens, 1);
+    }
+
+    #[test]
+    fn all_words_deduplicated() {
+        let lex = DomainLexicon::for_domain(Domain::Hotel);
+        let words = lex.all_words();
+        let set: HashSet<_> = words.iter().collect();
+        assert_eq!(set.len(), words.len());
+        assert!(words.len() > 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in")]
+    fn cross_domain_aspect_panics() {
+        let lex = DomainLexicon::for_domain(Domain::Beer);
+        let _ = lex.aspect(Aspect::Service);
+    }
+}

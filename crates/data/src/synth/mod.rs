@@ -1,0 +1,155 @@
+//! Synthetic review generators.
+
+pub mod beer;
+pub mod hotel;
+pub mod lexicon;
+mod writer;
+
+/// Review domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    Beer,
+    Hotel,
+}
+
+/// The six trained aspects of the paper (three per domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aspect {
+    // Beer
+    Appearance,
+    Aroma,
+    Palate,
+    // Hotel
+    Location,
+    Service,
+    Cleanliness,
+}
+
+impl Aspect {
+    pub fn domain(&self) -> Domain {
+        match self {
+            Aspect::Appearance | Aspect::Aroma | Aspect::Palate => Domain::Beer,
+            Aspect::Location | Aspect::Service | Aspect::Cleanliness => Domain::Hotel,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aspect::Appearance => "Appearance",
+            Aspect::Aroma => "Aroma",
+            Aspect::Palate => "Palate",
+            Aspect::Location => "Location",
+            Aspect::Service => "Service",
+            Aspect::Cleanliness => "Cleanliness",
+        }
+    }
+
+    /// The three aspects of this aspect's domain, in generation order.
+    pub fn domain_aspects(&self) -> [Aspect; 3] {
+        match self.domain() {
+            Domain::Beer => [Aspect::Appearance, Aspect::Aroma, Aspect::Palate],
+            Domain::Hotel => [Aspect::Location, Aspect::Service, Aspect::Cleanliness],
+        }
+    }
+}
+
+/// Generation parameters shared by both domains.
+///
+/// Defaults are scaled-down versions of the paper's Table IX corpora: the
+/// structural properties (sparsity, balance, correlation) match while
+/// absolute counts are sized for CPU training.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Target aspect (labels and annotations refer to it).
+    pub aspect: Aspect,
+    pub n_train: usize,
+    pub n_dev: usize,
+    pub n_test: usize,
+    /// Probability that each aspect's polarity copies the latent overall
+    /// quality (otherwise it is drawn independently). 0.0 = fully
+    /// decorrelated (Lei et al.'s subsets, the paper's setting);
+    /// ~0.7 mimics the raw BeerAdvocate correlation.
+    pub correlation: f32,
+    /// Fraction of training labels flipped at random (annotation noise of
+    /// real review scores).
+    pub label_noise: f32,
+    /// Probability that the first sentence is the Appearance/first-domain
+    /// aspect (SynBeer uses 0.9, matching "the first sentence is usually
+    /// about appearance"; SynHotel shuffles).
+    pub first_sentence_bias: f32,
+    /// Number of pure-filler sentences appended to dilute sparsity.
+    pub filler_sentences: usize,
+    /// Filler tokens added inside each aspect sentence (min, max).
+    pub filler_in_sentence: (usize, usize),
+    /// Sentiment tokens per aspect sentence (rationale carriers).
+    pub sentiment_tokens: usize,
+}
+
+impl SynthConfig {
+    /// Beer defaults (per-aspect sparsity ≈ 18.5 / 15.6 / 12.4 %).
+    pub fn beer(aspect: Aspect) -> Self {
+        assert_eq!(aspect.domain(), Domain::Beer, "not a beer aspect");
+        SynthConfig {
+            aspect,
+            n_train: 1600,
+            n_dev: 300,
+            n_test: 200,
+            correlation: 0.0,
+            label_noise: 0.02,
+            first_sentence_bias: 0.9,
+            filler_sentences: 1,
+            filler_in_sentence: (2, 5),
+            sentiment_tokens: 2,
+        }
+    }
+
+    /// Hotel defaults: longer, noisier reviews with sparser annotations
+    /// (≈ 8.5 / 11.5 / 8.9 %).
+    pub fn hotel(aspect: Aspect) -> Self {
+        assert_eq!(aspect.domain(), Domain::Hotel, "not a hotel aspect");
+        SynthConfig {
+            aspect,
+            n_train: 2000,
+            n_dev: 300,
+            n_test: 200,
+            correlation: 0.0,
+            label_noise: 0.02,
+            first_sentence_bias: 0.0,
+            filler_sentences: 3,
+            filler_in_sentence: (3, 7),
+            sentiment_tokens: 1,
+        }
+    }
+
+    /// Shrink all split sizes by `factor` (quick test/bench runs).
+    pub fn scaled(mut self, factor: f32) -> Self {
+        self.n_train = ((self.n_train as f32 * factor) as usize).max(8);
+        self.n_dev = ((self.n_dev as f32 * factor) as usize).max(8);
+        self.n_test = ((self.n_test as f32 * factor) as usize).max(8);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aspect_domains() {
+        assert_eq!(Aspect::Aroma.domain(), Domain::Beer);
+        assert_eq!(Aspect::Service.domain(), Domain::Hotel);
+        assert_eq!(Aspect::Palate.domain_aspects()[0], Aspect::Appearance);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a beer aspect")]
+    fn beer_config_rejects_hotel_aspect() {
+        let _ = SynthConfig::beer(Aspect::Service);
+    }
+
+    #[test]
+    fn scaled_keeps_minimums() {
+        let c = SynthConfig::beer(Aspect::Aroma).scaled(0.0001);
+        assert!(c.n_train >= 8 && c.n_dev >= 8 && c.n_test >= 8);
+    }
+}

@@ -1,0 +1,198 @@
+//! The shared review writer behind [`super::beer`] and [`super::hotel`].
+
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+
+use dar_tensor::Rng;
+use dar_text::Vocab;
+
+use crate::review::{AspectDataset, Review};
+use crate::synth::lexicon::{AspectLexicon, DomainLexicon};
+use crate::synth::SynthConfig;
+
+fn pick<'a>(rng: &mut Rng, items: &[&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// One sentence: surface tokens plus per-token rationale flags (all false
+/// unless this is the target aspect's sentence).
+struct Sentence {
+    tokens: Vec<String>,
+    rationale: Vec<bool>,
+}
+
+fn push(s: &mut Sentence, tok: &str, core: bool) {
+    s.tokens.push(tok.to_owned());
+    s.rationale.push(core);
+}
+
+/// An aspect sentence: `<starter> [core: topic.. be-verb intensifier?
+/// sentiment (and sentiment)*] filler.. <punct>`; the core span is the
+/// human-rationale annotation when `is_target`.
+fn aspect_sentence(
+    lex: &DomainLexicon,
+    alex: &AspectLexicon,
+    label: usize,
+    is_target: bool,
+    cfg: &SynthConfig,
+    rng: &mut Rng,
+) -> Sentence {
+    let mut s = Sentence { tokens: Vec::new(), rationale: Vec::new() };
+    push(&mut s, pick(rng, lex.starters), false);
+    // Core (annotated) span.
+    let mut topics: Vec<&str> = alex.topic.to_vec();
+    topics.shuffle(rng);
+    for t in topics.iter().take(alex.core_topic_tokens) {
+        push(&mut s, t, is_target);
+    }
+    push(&mut s, pick(rng, lex.be_verbs), is_target);
+    if rng.gen::<f32>() < 0.6 {
+        push(&mut s, pick(rng, lex.intensifiers), is_target);
+    }
+    let bank = if label == 1 { alex.positive } else { alex.negative };
+    let mut sentiments: Vec<&str> = bank.to_vec();
+    sentiments.shuffle(rng);
+    for (k, w) in sentiments.iter().take(cfg.sentiment_tokens.max(1)).enumerate() {
+        if k > 0 {
+            push(&mut s, "and", is_target);
+        }
+        push(&mut s, w, is_target);
+    }
+    // Label-independent tail filler, with occasional mid-sentence
+    // punctuation — the shortcut tokens of Fig. 2.
+    let (lo, hi) = cfg.filler_in_sentence;
+    let n_fill = rng.gen_range(lo..=hi.max(lo + 1));
+    for _ in 0..n_fill {
+        if rng.gen::<f32>() < 0.12 {
+            push(&mut s, if rng.gen::<f32>() < 0.5 { "-" } else { "," }, false);
+        }
+        push(&mut s, pick(rng, lex.fillers), false);
+    }
+    push(&mut s, if rng.gen::<f32>() < 0.15 { "!" } else { "." }, false);
+    s
+}
+
+/// A pure-filler sentence (no aspect content, no annotation).
+fn filler_sentence(lex: &DomainLexicon, rng: &mut Rng) -> Sentence {
+    let mut s = Sentence { tokens: Vec::new(), rationale: Vec::new() };
+    push(&mut s, pick(rng, lex.starters), false);
+    let n = rng.gen_range(4..9);
+    for _ in 0..n {
+        if rng.gen::<f32>() < 0.08 {
+            push(&mut s, "-", false);
+        }
+        push(&mut s, pick(rng, lex.fillers), false);
+    }
+    push(&mut s, ".", false);
+    s
+}
+
+/// Generate a full review for a forced target label.
+///
+/// The latent "overall quality" equals the target label; other aspects
+/// copy it with probability `cfg.correlation` and are drawn independently
+/// otherwise.
+fn gen_review(
+    lex: &DomainLexicon,
+    cfg: &SynthConfig,
+    target_label: usize,
+    vocab: &Vocab,
+    rng: &mut Rng,
+) -> Review {
+    let aspects = cfg.aspect.domain_aspects();
+    let overall = target_label;
+    let labels: Vec<usize> = aspects
+        .iter()
+        .map(|&a| {
+            if a == cfg.aspect {
+                target_label
+            } else if rng.gen::<f32>() < cfg.correlation {
+                overall
+            } else {
+                rng.gen_range(0..2)
+            }
+        })
+        .collect();
+
+    // Sentence order: with probability `first_sentence_bias` the domain's
+    // first aspect (Appearance for beer) leads; the rest are shuffled.
+    let mut order: Vec<usize> = (0..aspects.len()).collect();
+    order.shuffle(rng);
+    if rng.gen::<f32>() < cfg.first_sentence_bias {
+        if let Some(pos) = order.iter().position(|&i| i == 0) {
+            order.swap(0, pos);
+        }
+    }
+
+    let mut sentences: Vec<Sentence> = Vec::new();
+    for &ai in &order {
+        sentences.push(aspect_sentence(
+            lex,
+            &lex.aspects[ai],
+            labels[ai],
+            aspects[ai] == cfg.aspect,
+            cfg,
+            rng,
+        ));
+    }
+    for _ in 0..cfg.filler_sentences {
+        // Filler sentences never lead: the first sentence stays the biased
+        // aspect sentence, which Table VII's skew setting relies on.
+        let pos = rng.gen_range(1..=sentences.len());
+        sentences.insert(pos, filler_sentence(lex, rng));
+    }
+
+    let first_sentence_end = sentences[0].tokens.len();
+    let mut ids = Vec::new();
+    let mut rationale = Vec::new();
+    for s in &sentences {
+        for (tok, &core) in s.tokens.iter().zip(&s.rationale) {
+            ids.push(vocab.id(tok));
+            rationale.push(core);
+        }
+    }
+    Review { ids, label: target_label, rationale, first_sentence_end }
+}
+
+fn gen_split(
+    lex: &DomainLexicon,
+    cfg: &SynthConfig,
+    n: usize,
+    label_noise: f32,
+    vocab: &Vocab,
+    rng: &mut Rng,
+) -> Vec<Review> {
+    (0..n)
+        .map(|i| {
+            // Alternating labels force exact balance (paper App. A:
+            // "randomly select examples ... to construct a balanced set").
+            let mut r = gen_review(lex, cfg, i % 2, vocab, rng);
+            if label_noise > 0.0 && rng.gen::<f32>() < label_noise {
+                r.label = 1 - r.label;
+            }
+            r
+        })
+        .collect()
+}
+
+/// Generate a full aspect dataset.
+pub(crate) fn generate(cfg: &SynthConfig, rng: &mut Rng) -> AspectDataset {
+    let lex = DomainLexicon::for_domain(cfg.aspect.domain());
+    let mut vocab = Vocab::empty();
+    for w in lex.all_words() {
+        vocab.insert(w);
+    }
+    let train = gen_split(&lex, cfg, cfg.n_train, cfg.label_noise, &vocab, rng);
+    let dev = gen_split(&lex, cfg, cfg.n_dev, cfg.label_noise, &vocab, rng);
+    // Test labels stay clean so rationale metrics are measured against
+    // uncorrupted ground truth.
+    let test = gen_split(&lex, cfg, cfg.n_test, 0.0, &vocab, rng);
+    AspectDataset {
+        name: format!("Syn{:?}-{}", cfg.aspect.domain(), cfg.aspect.name()),
+        aspect: cfg.aspect,
+        train,
+        dev,
+        test,
+        vocab,
+    }
+}

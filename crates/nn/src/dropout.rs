@@ -1,0 +1,60 @@
+//! Inverted dropout.
+
+use rand::Rng as _;
+
+use dar_tensor::{Rng, Tensor};
+
+/// Inverted dropout: at train time, zero each element with probability `p`
+/// and scale survivors by `1/(1-p)`; identity at eval time.
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout { p }
+    }
+
+    pub fn forward(&self, x: &Tensor, rng: &mut Rng, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        x.mul(&Tensor::new(mask, x.shape()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = dar_tensor::rng(0);
+        let d = Dropout::new(0.5);
+        let x = Tensor::new(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(d.forward(&x, &mut rng, false).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut rng = dar_tensor::rng(1);
+        let d = Dropout::new(0.3);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, &mut rng, true).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_in_train() {
+        let mut rng = dar_tensor::rng(2);
+        let d = Dropout::new(0.0);
+        let x = Tensor::new(vec![4.0, 5.0], &[2]);
+        assert_eq!(d.forward(&x, &mut rng, true).to_vec(), vec![4.0, 5.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Token embedding table, optionally initialized from pretrained vectors
+//! (the GloVe substitute of `dar-text`).
+
+use dar_tensor::{init, Rng, Tensor};
+
+use crate::module::Module;
+
+/// A `[vocab, dim]` embedding table.
+pub struct Embedding {
+    pub table: Tensor,
+    trainable: bool,
+}
+
+impl Embedding {
+    /// Randomly initialized trainable table.
+    pub fn new(rng: &mut Rng, vocab: usize, dim: usize) -> Self {
+        Embedding {
+            table: Tensor::param(init::normal(rng, vocab * dim, 0.0, 0.1), &[vocab, dim]),
+            trainable: true,
+        }
+    }
+
+    /// Table initialized from pretrained vectors.
+    ///
+    /// The paper follows DMR/A2R in using frozen GloVe vectors; pass
+    /// `trainable = false` to reproduce that.
+    pub fn from_pretrained(vectors: Vec<f32>, vocab: usize, dim: usize, trainable: bool) -> Self {
+        assert_eq!(vectors.len(), vocab * dim, "pretrained vector size mismatch");
+        let table = if trainable {
+            Tensor::param(vectors, &[vocab, dim])
+        } else {
+            Tensor::new(vectors, &[vocab, dim])
+        };
+        Embedding { table, trainable }
+    }
+
+    /// Look up a batch of padded id sequences into `[b, l, dim]`.
+    pub fn forward_batch(&self, ids: &[Vec<usize>]) -> Tensor {
+        let b = ids.len();
+        assert!(b > 0, "empty batch");
+        let l = ids[0].len();
+        assert!(ids.iter().all(|s| s.len() == l), "ragged batch; pad first");
+        let flat: Vec<usize> = ids.iter().flatten().copied().collect();
+        let dim = self.dim();
+        self.table.gather_rows(&flat).reshape(&[b, l, dim])
+    }
+
+    /// Look up a flat id list into `[n, dim]`.
+    pub fn forward_flat(&self, ids: &[usize]) -> Tensor {
+        self.table.gather_rows(ids)
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.table.shape()[0]
+    }
+
+    pub fn dim(&self) -> usize {
+        self.table.shape()[1]
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<Tensor> {
+        if self.trainable {
+            vec![self.table.clone()]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_lookup_shape() {
+        let mut rng = dar_tensor::rng(0);
+        let emb = Embedding::new(&mut rng, 10, 4);
+        let out = emb.forward_batch(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(out.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn frozen_table_has_no_params() {
+        let emb = Embedding::from_pretrained(vec![0.0; 20], 5, 4, false);
+        assert!(emb.params().is_empty());
+        assert_eq!(emb.num_params(), 0);
+    }
+
+    #[test]
+    fn trainable_pretrained_receives_grads() {
+        let emb = Embedding::from_pretrained(vec![0.5; 8], 2, 4, true);
+        let y = emb.forward_flat(&[0, 1, 1]);
+        y.sum().backward();
+        let g = emb.table.grad_vec().unwrap();
+        assert_eq!(g, vec![1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged batch")]
+    fn ragged_batch_panics() {
+        let mut rng = dar_tensor::rng(0);
+        let emb = Embedding::new(&mut rng, 10, 4);
+        let _ = emb.forward_batch(&[vec![1], vec![1, 2]]);
+    }
+}

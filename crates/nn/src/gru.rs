@@ -1,0 +1,269 @@
+//! GRU (Cho et al., 2014) cell and sequence encoders.
+//!
+//! The paper uses "200-dimension bi-directional gated recurrent units
+//! followed by one linear layer for each of the players"; [`BiGru`] is that
+//! encoder. Padded positions (mask 0) carry the previous hidden state
+//! through unchanged, so batch padding never leaks into the encoding.
+
+use dar_tensor::ops::structural::{concat, stack};
+use dar_tensor::{init, Rng, Tensor};
+
+use crate::module::Module;
+
+/// A single GRU cell with fused gate weights.
+///
+/// Gates (`x_t: [b, in]`, `h: [b, hidden]`):
+/// ```text
+/// [z; r] = sigmoid([x, h] @ W_zr + b_zr)
+/// h~     = tanh([x, r ⊙ h] @ W_h + b_h)
+/// h'     = (1 − z) ⊙ h + z ⊙ h~
+/// ```
+pub struct GruCell {
+    w_zr: Tensor,
+    b_zr: Tensor,
+    w_h: Tensor,
+    b_h: Tensor,
+    hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
+        GruCell {
+            w_zr: init::xavier_param(rng, in_dim + hidden, 2 * hidden),
+            b_zr: init::zeros_param(&[2 * hidden]),
+            w_h: init::xavier_param(rng, in_dim + hidden, hidden),
+            b_h: init::zeros_param(&[hidden]),
+            hidden,
+        }
+    }
+
+    /// One recurrence step. `mask_t` is `[b, 1]` (1 = real token, 0 = pad);
+    /// padded rows keep their previous state.
+    pub fn step(&self, x_t: &Tensor, h: &Tensor, mask_t: Option<&Tensor>) -> Tensor {
+        let xh = x_t.cat(h, 1);
+        let zr = self.w_zr_forward(&xh).sigmoid();
+        let z = zr.narrow(1, 0, self.hidden);
+        let r = zr.narrow(1, self.hidden, self.hidden);
+        let xrh = x_t.cat(&r.mul(h), 1);
+        let h_cand = xrh.matmul(&self.w_h).add(&self.b_h).tanh();
+        let one_minus_z = z.neg().add_scalar(1.0);
+        let h_new = one_minus_z.mul(h).add(&z.mul(&h_cand));
+        match mask_t {
+            Some(m) => {
+                let keep = m.neg().add_scalar(1.0);
+                m.mul(&h_new).add(&keep.mul(h))
+            }
+            None => h_new,
+        }
+    }
+
+    fn w_zr_forward(&self, xh: &Tensor) -> Tensor {
+        xh.matmul(&self.w_zr).add(&self.b_zr)
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Module for GruCell {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.w_zr.clone(), self.b_zr.clone(), self.w_h.clone(), self.b_h.clone()]
+    }
+}
+
+/// Unidirectional GRU over `[b, l, in]`, producing per-step outputs
+/// `[b, l, hidden]`.
+pub struct Gru {
+    cell: GruCell,
+    reverse: bool,
+}
+
+impl Gru {
+    pub fn new(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
+        Gru { cell: GruCell::new(rng, in_dim, hidden), reverse: false }
+    }
+
+    /// A GRU that reads the sequence right-to-left.
+    pub fn new_reverse(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
+        Gru { cell: GruCell::new(rng, in_dim, hidden), reverse: true }
+    }
+
+    /// Encode a batch. `mask` is `[b, l]` with 1 for real tokens.
+    /// Returns `[b, l, hidden]` aligned with the input order (the reverse
+    /// direction's outputs are re-reversed).
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 3, "Gru expects [b, l, in], got {s:?}");
+        let (b, l, e) = (s[0], s[1], s[2]);
+        let mut h = Tensor::zeros(&[b, self.cell.hidden]);
+        let mut outs: Vec<Tensor> = Vec::with_capacity(l);
+        let steps: Vec<usize> =
+            if self.reverse { (0..l).rev().collect() } else { (0..l).collect() };
+        for &t in &steps {
+            let x_t = x.narrow(1, t, 1).reshape(&[b, e]);
+            let m_t = mask.map(|m| m.narrow(1, t, 1));
+            h = self.cell.step(&x_t, &h, m_t.as_ref());
+            outs.push(h.clone());
+        }
+        if self.reverse {
+            outs.reverse();
+        }
+        // [l, b, hidden] -> [b, l, hidden]
+        stack(&outs).permute3([1, 0, 2])
+    }
+}
+
+impl Module for Gru {
+    fn params(&self) -> Vec<Tensor> {
+        self.cell.params()
+    }
+}
+
+/// Bidirectional GRU: forward and reverse passes concatenated to
+/// `[b, l, 2*hidden]` — the paper's standard encoder.
+pub struct BiGru {
+    fwd: Gru,
+    bwd: Gru,
+}
+
+impl BiGru {
+    pub fn new(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
+        BiGru { fwd: Gru::new(rng, in_dim, hidden), bwd: Gru::new_reverse(rng, in_dim, hidden) }
+    }
+
+    /// Encode `[b, l, in]` into `[b, l, 2*hidden]`.
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        let f = self.fwd.forward(x, mask);
+        let r = self.bwd.forward(x, mask);
+        concat(&[f, r], 2)
+    }
+
+    /// Output feature dimension (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.cell.hidden()
+    }
+}
+
+impl Module for BiGru {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.fwd.params();
+        p.extend(self.bwd.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_tensor::grad_check::check_gradients;
+    use dar_tensor::Tensor;
+
+    #[test]
+    fn cell_step_shapes() {
+        let mut rng = dar_tensor::rng(0);
+        let cell = GruCell::new(&mut rng, 3, 5);
+        let x = Tensor::zeros(&[2, 3]);
+        let h = Tensor::zeros(&[2, 5]);
+        let h2 = cell.step(&x, &h, None);
+        assert_eq!(h2.shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_bounded() {
+        let mut rng = dar_tensor::rng(1);
+        let cell = GruCell::new(&mut rng, 2, 4);
+        let mut h = Tensor::zeros(&[1, 4]);
+        for _ in 0..50 {
+            h = cell.step(&Tensor::zeros(&[1, 2]), &h, None);
+        }
+        assert!(h.to_vec().iter().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn mask_freezes_padded_rows() {
+        let mut rng = dar_tensor::rng(2);
+        let cell = GruCell::new(&mut rng, 2, 3);
+        let h = Tensor::new(vec![0.5, -0.5, 0.25, 0.1, 0.2, 0.3], &[2, 3]);
+        let x = Tensor::ones(&[2, 2]);
+        let mask = Tensor::new(vec![1.0, 0.0], &[2, 1]);
+        let h2 = cell.step(&x, &h, Some(&mask));
+        let v = h2.to_vec();
+        // Row 1 (mask 0) must be identical to its previous state.
+        assert_eq!(&v[3..], &[0.1, 0.2, 0.3]);
+        // Row 0 (mask 1) must have changed.
+        assert_ne!(&v[..3], &[0.5, -0.5, 0.25]);
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = dar_tensor::rng(3);
+        let gru = Gru::new(&mut rng, 4, 6);
+        let x = Tensor::zeros(&[2, 5, 4]);
+        let y = gru.forward(&x, None);
+        assert_eq!(y.shape(), &[2, 5, 6]);
+    }
+
+    #[test]
+    fn reverse_gru_sees_future() {
+        // For a reverse GRU, output at t=0 must depend on the token at t=2.
+        let mut rng = dar_tensor::rng(4);
+        let gru = Gru::new_reverse(&mut rng, 1, 2);
+        let a = Tensor::new(vec![0.0, 0.0, 1.0], &[1, 3, 1]);
+        let b = Tensor::new(vec![0.0, 0.0, -1.0], &[1, 3, 1]);
+        let ya = gru.forward(&a, None).narrow(1, 0, 1).to_vec();
+        let yb = gru.forward(&b, None).narrow(1, 0, 1).to_vec();
+        assert_ne!(ya, yb);
+    }
+
+    #[test]
+    fn forward_gru_ignores_future() {
+        let mut rng = dar_tensor::rng(4);
+        let gru = Gru::new(&mut rng, 1, 2);
+        let a = Tensor::new(vec![0.5, 0.0, 1.0], &[1, 3, 1]);
+        let b = Tensor::new(vec![0.5, 0.0, -1.0], &[1, 3, 1]);
+        let ya = gru.forward(&a, None).narrow(1, 0, 2).to_vec();
+        let yb = gru.forward(&b, None).narrow(1, 0, 2).to_vec();
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn bigru_concat_dim() {
+        let mut rng = dar_tensor::rng(5);
+        let enc = BiGru::new(&mut rng, 3, 4);
+        let y = enc.forward(&Tensor::zeros(&[2, 6, 3]), None);
+        assert_eq!(y.shape(), &[2, 6, 8]);
+        assert_eq!(enc.out_dim(), 8);
+    }
+
+    #[test]
+    fn bigru_param_count() {
+        let mut rng = dar_tensor::rng(6);
+        let enc = BiGru::new(&mut rng, 3, 4);
+        // Per direction: (3+4)*8 + 8 + (3+4)*4 + 4 = 56+8+28+4 = 96.
+        assert_eq!(enc.num_params(), 192);
+    }
+
+    #[test]
+    fn gru_gradients_flow_to_all_params() {
+        let mut rng = dar_tensor::rng(7);
+        let gru = Gru::new(&mut rng, 2, 3);
+        let x = Tensor::new(vec![0.1; 2 * 4 * 2], &[2, 4, 2]);
+        let loss = gru.forward(&x, None).sum();
+        loss.backward();
+        for p in gru.params() {
+            let g = p.grad_vec().expect("param missing grad");
+            assert!(g.iter().any(|&v| v != 0.0), "all-zero grad");
+        }
+    }
+
+    #[test]
+    fn gru_gradcheck_small() {
+        let mut rng = dar_tensor::rng(8);
+        let gru = Gru::new(&mut rng, 2, 2);
+        let params = gru.params();
+        let x = Tensor::new(vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2], &[1, 3, 2]);
+        let rep = check_gradients(&params, |_| gru.forward(&x, None).square().sum(), 1e-2);
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+}

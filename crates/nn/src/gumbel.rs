@@ -1,0 +1,98 @@
+//! Gumbel-softmax straight-through sampling (Jang et al., 2017) — the
+//! reparameterization the paper uses to binarize the generator's token
+//! selection (Eq. (1)).
+
+use dar_tensor::{init, Rng, Tensor};
+
+/// Differentiable sample from `softmax((logits + Gumbel noise) / tau)`,
+/// binarized with the straight-through trick: forward values are an exact
+/// one-hot of the per-row argmax, while gradients flow through the soft
+/// sample.
+pub fn gumbel_softmax_st(logits: &Tensor, tau: f32, rng: &mut Rng) -> Tensor {
+    assert!(tau > 0.0, "temperature must be positive");
+    let classes = *logits.shape().last().expect("logits need a class dim");
+    let noise = Tensor::new(init::gumbel_noise(rng, logits.len()), logits.shape());
+    let y = logits.add(&noise).scale(1.0 / tau).softmax();
+    let hard = Tensor::one_hot(&y.argmax_rows(), classes).reshape(logits.shape());
+    // values: y - y + hard == hard exactly; grads: d/dlogits of y.
+    y.sub(&y.detach()).add(&hard)
+}
+
+/// Deterministic (no noise) straight-through binarization — used at eval
+/// time so rationales are reproducible.
+pub fn hard_softmax_st(logits: &Tensor) -> Tensor {
+    let classes = *logits.shape().last().expect("logits need a class dim");
+    let y = logits.softmax();
+    let hard = Tensor::one_hot(&y.argmax_rows(), classes).reshape(logits.shape());
+    y.sub(&y.detach()).add(&hard)
+}
+
+/// Plain Gumbel-softmax (soft, not binarized) — used by A2R's soft head.
+pub fn gumbel_softmax_soft(logits: &Tensor, tau: f32, rng: &mut Rng) -> Tensor {
+    assert!(tau > 0.0, "temperature must be positive");
+    let noise = Tensor::new(init::gumbel_noise(rng, logits.len()), logits.shape());
+    logits.add(&noise).scale(1.0 / tau).softmax()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_tensor::Tensor;
+
+    #[test]
+    fn st_outputs_are_exactly_binary() {
+        let mut rng = dar_tensor::rng(0);
+        let logits = Tensor::param(vec![0.3, -0.2, 1.5, 0.8, -1.0, 0.0], &[3, 2]);
+        let y = gumbel_softmax_st(&logits, 1.0, &mut rng);
+        for &v in y.to_vec().iter() {
+            assert!(v == 0.0 || v == 1.0, "non-binary ST output {v}");
+        }
+        for row in y.to_vec().chunks(2) {
+            assert_eq!(row.iter().sum::<f32>(), 1.0);
+        }
+    }
+
+    #[test]
+    fn st_gradient_flows_to_logits() {
+        let mut rng = dar_tensor::rng(1);
+        let logits = Tensor::param(vec![0.5, -0.5], &[1, 2]);
+        let y = gumbel_softmax_st(&logits, 0.7, &mut rng);
+        y.narrow(1, 0, 1).sum().backward();
+        let g = logits.grad_vec().expect("no grad reached logits");
+        assert!(g.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn low_temperature_tracks_argmax() {
+        // With a large logit gap and tiny tau, the hard sample should almost
+        // always pick the larger logit.
+        let mut rng = dar_tensor::rng(2);
+        let logits = Tensor::new(vec![5.0, -5.0], &[1, 2]);
+        let mut picks0 = 0;
+        for _ in 0..100 {
+            let y = gumbel_softmax_st(&logits, 0.1, &mut rng);
+            if y.to_vec()[0] == 1.0 {
+                picks0 += 1;
+            }
+        }
+        assert!(picks0 > 95, "picked argmax only {picks0}/100 times");
+    }
+
+    #[test]
+    fn hard_softmax_is_deterministic() {
+        let logits = Tensor::new(vec![0.2, 0.9, 1.4, -0.3], &[2, 2]);
+        let a = hard_softmax_st(&logits).to_vec();
+        let b = hard_softmax_st(&logits).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_sample_is_a_distribution() {
+        let mut rng = dar_tensor::rng(3);
+        let logits = Tensor::new(vec![0.0, 0.0, 0.0], &[1, 3]);
+        let y = gumbel_softmax_soft(&logits, 1.0, &mut rng).to_vec();
+        assert!((y.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(y.iter().all(|&p| p > 0.0));
+    }
+}

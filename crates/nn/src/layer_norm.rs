@@ -1,0 +1,82 @@
+//! Layer normalization over the last dimension (transformer substrate).
+
+use dar_tensor::Tensor;
+
+use crate::module::Module;
+
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, per last-dim row.
+pub struct LayerNorm {
+    pub gamma: Tensor,
+    pub beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::param(vec![1.0; dim], &[dim]),
+            beta: Tensor::param(vec![0.0; dim], &[dim]),
+            eps: 1e-5,
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let rank = x.shape().len();
+        let axis = rank - 1;
+        let mean = x.mean_axis(axis, true);
+        let centered = x.sub(&mean);
+        let var = centered.square().mean_axis(axis, true);
+        let normed = centered.div(&var.add_scalar(self.eps).sqrt());
+        normed.mul(&self.gamma).add(&self.beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_standardized() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]);
+        let y = ln.forward(&x).to_vec();
+        for row in y.chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let ln = LayerNorm::new(2);
+        ln.gamma.set_values(vec![2.0, 2.0]);
+        ln.beta.set_values(vec![1.0, 1.0]);
+        let x = Tensor::new(vec![-1.0, 1.0], &[1, 2]);
+        let y = ln.forward(&x).to_vec();
+        assert!((y[0] - (-2.0 + 1.0) * (1.0 / (1.0f32 + 1e-5).sqrt())).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_reach_gamma_and_beta() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::new(vec![0.5, -1.0, 2.0], &[1, 3]);
+        ln.forward(&x).square().sum().backward();
+        assert!(ln.gamma.grad_vec().is_some());
+        assert!(ln.beta.grad_vec().is_some());
+    }
+
+    #[test]
+    fn works_on_3d_input() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::ones(&[2, 3, 4]);
+        assert_eq!(ln.forward(&x).shape(), &[2, 3, 4]);
+    }
+}

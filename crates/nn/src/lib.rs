@@ -1,0 +1,33 @@
+//! `dar-nn`: neural-network layers built on [`dar_tensor`], providing every
+//! component the DAR paper's players are assembled from.
+//!
+//! * [`Linear`], [`Embedding`], [`Dropout`], [`LayerNorm`] — basic layers.
+//! * [`Gru`] / [`BiGru`] — the bidirectional GRU encoders used by both the
+//!   generator and the predictors (paper §V-A "Models").
+//! * [`gumbel`] — Gumbel-softmax straight-through binarization for the
+//!   rationale mask `M` of Eq. (1).
+//! * [`pooling`] — masked max/mean pooling over time.
+//! * [`TransformerEncoder`] — a small pre-trainable transformer standing in
+//!   for BERT in the Table VI experiment.
+//! * [`loss`] — cross-entropy, KL and JS divergences, accuracy.
+
+pub mod dropout;
+pub mod embedding;
+pub mod gru;
+pub mod gumbel;
+pub mod layer_norm;
+pub mod linear;
+pub mod loss;
+pub mod module;
+pub mod pooling;
+pub mod transformer;
+
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gru::{BiGru, Gru};
+pub use layer_norm::LayerNorm;
+pub use linear::Linear;
+pub use module::Module;
+pub use transformer::{TransformerConfig, TransformerEncoder};
+
+pub use dar_tensor::{rng, Rng, Tensor};

@@ -1,0 +1,73 @@
+//! The [`Module`] trait: parameter enumeration shared by all layers and by
+//! the rationalization players built on top of them.
+
+use dar_tensor::Tensor;
+
+/// Anything holding trainable parameters.
+pub trait Module {
+    /// The trainable parameter tensors, in a stable order.
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Total scalar parameter count (used by the Table IV complexity
+    /// comparison).
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Clear all accumulated gradients.
+    fn zero_grads(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Copy parameter values from `src` into `dst` (shapes must match
+/// pairwise). Used to initialize a player from a pretrained one, e.g. the
+/// skewed-predictor setting of Table VII.
+pub fn copy_params(src: &dyn Module, dst: &dyn Module) {
+    let s = src.params();
+    let d = dst.params();
+    assert_eq!(s.len(), d.len(), "parameter lists differ in length");
+    for (a, b) in s.iter().zip(&d) {
+        assert_eq!(a.shape(), b.shape(), "parameter shape mismatch");
+        b.set_values(a.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair(Tensor, Tensor);
+    impl Module for Pair {
+        fn params(&self) -> Vec<Tensor> {
+            vec![self.0.clone(), self.1.clone()]
+        }
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        let m = Pair(Tensor::param(vec![0.0; 6], &[2, 3]), Tensor::param(vec![0.0; 3], &[3]));
+        assert_eq!(m.num_params(), 9);
+    }
+
+    #[test]
+    fn copy_params_transfers_values() {
+        let a = Pair(Tensor::param(vec![1.0; 4], &[2, 2]), Tensor::param(vec![2.0; 2], &[2]));
+        let b = Pair(Tensor::param(vec![0.0; 4], &[2, 2]), Tensor::param(vec![0.0; 2], &[2]));
+        copy_params(&a, &b);
+        assert_eq!(b.0.to_vec(), vec![1.0; 4]);
+        assert_eq!(b.1.to_vec(), vec![2.0; 2]);
+    }
+
+    #[test]
+    fn zero_grads_clears_all() {
+        let m = Pair(Tensor::param(vec![0.0], &[1]), Tensor::param(vec![0.0], &[1]));
+        for p in m.params() {
+            p.accumulate_grad(&[1.0]);
+        }
+        m.zero_grads();
+        assert!(m.params().iter().all(|p| p.grad_vec().is_none()));
+    }
+}

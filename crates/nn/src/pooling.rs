@@ -1,0 +1,75 @@
+//! Masked pooling over the time axis of `[b, l, h]` encodings.
+
+use dar_tensor::Tensor;
+
+/// Max over time, with padded positions (`mask` 0) pushed to -1e9 so they
+/// never win. `mask: [b, l]`.
+pub fn masked_max_pool(x: &Tensor, mask: &Tensor) -> Tensor {
+    let s = x.shape();
+    assert_eq!(s.len(), 3, "masked_max_pool expects [b, l, h], got {s:?}");
+    let (b, l) = (s[0], s[1]);
+    assert_eq!(mask.shape(), &[b, l], "mask shape mismatch");
+    // additive mask: (mask - 1) * 1e9 => 0 for real, -1e9 for pad.
+    let neg = mask.add_scalar(-1.0).scale(1e9).reshape(&[b, l, 1]);
+    x.add(&neg).max_axis(1, false)
+}
+
+/// Mean over real tokens: `sum(x * mask) / sum(mask)` per row. `mask: [b, l]`.
+pub fn masked_mean_pool(x: &Tensor, mask: &Tensor) -> Tensor {
+    let s = x.shape();
+    assert_eq!(s.len(), 3, "masked_mean_pool expects [b, l, h], got {s:?}");
+    let (b, l) = (s[0], s[1]);
+    assert_eq!(mask.shape(), &[b, l], "mask shape mismatch");
+    let m3 = mask.reshape(&[b, l, 1]);
+    let summed = x.mul(&m3).sum_axis(1, false); // [b, h]
+    let counts = mask.sum_axis(1, true).clamp(1.0, f32::INFINITY); // [b, 1]
+    summed.div(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_tensor::Tensor;
+
+    #[test]
+    fn max_pool_ignores_padding() {
+        // Token 1 has the max but is padded out.
+        let x = Tensor::new(vec![1.0, 9.0, 2.0], &[1, 3, 1]);
+        let mask = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
+        let y = masked_max_pool(&x, &mask);
+        assert_eq!(y.to_vec(), vec![2.0]);
+    }
+
+    #[test]
+    fn mean_pool_divides_by_real_count() {
+        let x = Tensor::new(vec![2.0, 100.0, 4.0], &[1, 3, 1]);
+        let mask = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
+        let y = masked_mean_pool(&x, &mask);
+        assert_eq!(y.to_vec(), vec![3.0]);
+    }
+
+    #[test]
+    fn mean_pool_all_masked_is_finite() {
+        let x = Tensor::new(vec![5.0, 5.0], &[1, 2, 1]);
+        let mask = Tensor::zeros(&[1, 2]);
+        let y = masked_mean_pool(&x, &mask);
+        assert!(y.to_vec()[0].is_finite());
+        assert_eq!(y.to_vec(), vec![0.0]);
+    }
+
+    #[test]
+    fn pools_backprop_only_through_selected() {
+        let x = Tensor::param(vec![1.0, 9.0, 2.0], &[1, 3, 1]);
+        let mask = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
+        masked_max_pool(&x, &mask).sum().backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let x = Tensor::zeros(&[4, 7, 6]);
+        let mask = Tensor::ones(&[4, 7]);
+        assert_eq!(masked_max_pool(&x, &mask).shape(), &[4, 6]);
+        assert_eq!(masked_mean_pool(&x, &mask).shape(), &[4, 6]);
+    }
+}

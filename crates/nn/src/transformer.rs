@@ -1,0 +1,338 @@
+//! A small pre-trainable transformer encoder — the repo's stand-in for
+//! BERT-base in the Table VI experiment (see DESIGN.md §4 for the
+//! substitution argument).
+//!
+//! Architecture: learned token + position embeddings, pre-LayerNorm blocks
+//! of multi-head self-attention and a GELU MLP, and a masked-token
+//! pretraining objective ([`TransformerEncoder::mlm_loss`]).
+
+use rand::Rng as _;
+
+use dar_tensor::ops::structural::concat;
+use dar_tensor::{Rng, Tensor};
+
+use crate::embedding::Embedding;
+use crate::layer_norm::LayerNorm;
+use crate::linear::Linear;
+use crate::loss::weighted_cross_entropy;
+use crate::module::Module;
+
+/// Hyper-parameters of the encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    pub vocab: usize,
+    pub dim: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub ff_dim: usize,
+    pub max_len: usize,
+    /// Token id used for `[MASK]` during pretraining.
+    pub mask_token: usize,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        TransformerConfig {
+            vocab: 1000,
+            dim: 64,
+            heads: 4,
+            layers: 2,
+            ff_dim: 128,
+            max_len: 128,
+            mask_token: 1,
+        }
+    }
+}
+
+struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+}
+
+impl MultiHeadAttention {
+    fn new(rng: &mut Rng, dim: usize, heads: usize) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        MultiHeadAttention {
+            wq: Linear::new(rng, dim, dim),
+            wk: Linear::new(rng, dim, dim),
+            wv: Linear::new(rng, dim, dim),
+            wo: Linear::new(rng, dim, dim),
+            heads,
+        }
+    }
+
+    /// `x: [b, l, d]`, `additive_mask: [b, 1, l]` (0 real / -1e9 pad).
+    fn forward(&self, x: &Tensor, additive_mask: &Tensor) -> Tensor {
+        let s = x.shape();
+        let (b, l, d) = (s[0], s[1], s[2]);
+        let dh = d / self.heads;
+        let q = self.wq.forward_seq(x);
+        let k = self.wk.forward_seq(x);
+        let v = self.wv.forward_seq(x);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = q.narrow(2, h * dh, dh); // [b, l, dh]
+            let kh = k.narrow(2, h * dh, dh);
+            let vh = v.narrow(2, h * dh, dh);
+            let scores = qh.bmm(&kh.permute3([0, 2, 1])).scale(scale); // [b, l, l]
+            let attn = scores.add(additive_mask).softmax();
+            head_outs.push(attn.bmm(&vh)); // [b, l, dh]
+        }
+        let merged = concat(&head_outs, 2); // [b, l, d]
+        debug_assert_eq!(merged.shape(), &[b, l, d]);
+        self.wo.forward_seq(&merged)
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.wq.params();
+        p.extend(self.wk.params());
+        p.extend(self.wv.params());
+        p.extend(self.wo.params());
+        p
+    }
+}
+
+struct Block {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl Block {
+    fn new(rng: &mut Rng, cfg: &TransformerConfig) -> Self {
+        Block {
+            ln1: LayerNorm::new(cfg.dim),
+            attn: MultiHeadAttention::new(rng, cfg.dim, cfg.heads),
+            ln2: LayerNorm::new(cfg.dim),
+            ff1: Linear::new(rng, cfg.dim, cfg.ff_dim),
+            ff2: Linear::new(rng, cfg.ff_dim, cfg.dim),
+        }
+    }
+
+    fn forward(&self, x: &Tensor, additive_mask: &Tensor) -> Tensor {
+        // Pre-norm residual blocks.
+        let a = self.attn.forward(&self.ln1.forward(x), additive_mask);
+        let x = x.add(&a);
+        let f = self.ff2.forward_seq(&self.ff1.forward_seq(&self.ln2.forward(&x)).gelu());
+        x.add(&f)
+    }
+}
+
+impl Module for Block {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.ln1.params();
+        p.extend(self.attn.params());
+        p.extend(self.ln2.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
+        p
+    }
+}
+
+/// The encoder: embeddings + transformer blocks + final LayerNorm, with an
+/// MLM head for pretraining.
+pub struct TransformerEncoder {
+    pub cfg: TransformerConfig,
+    tok: Embedding,
+    pos: Tensor,
+    blocks: Vec<Block>,
+    ln_out: LayerNorm,
+    mlm_head: Linear,
+}
+
+impl TransformerEncoder {
+    pub fn new(rng: &mut Rng, cfg: TransformerConfig) -> Self {
+        let tok = Embedding::new(rng, cfg.vocab, cfg.dim);
+        let pos = Tensor::param(
+            dar_tensor::init::normal(rng, cfg.max_len * cfg.dim, 0.0, 0.02),
+            &[cfg.max_len, cfg.dim],
+        );
+        let blocks = (0..cfg.layers).map(|_| Block::new(rng, &cfg)).collect();
+        let ln_out = LayerNorm::new(cfg.dim);
+        let mlm_head = Linear::new(rng, cfg.dim, cfg.vocab);
+        TransformerEncoder { cfg, tok, pos, blocks, ln_out, mlm_head }
+    }
+
+    /// Encode embedded inputs `[b, l, d]` with padding `mask: [b, l]` into
+    /// contextual states `[b, l, d]`.
+    ///
+    /// Taking embeddings (not ids) keeps the rationale-masking interface
+    /// identical to the GRU encoders: the caller multiplies embeddings by
+    /// the rationale mask before encoding.
+    pub fn forward_embedded(&self, x: &Tensor, mask: &Tensor) -> Tensor {
+        let s = x.shape();
+        let (b, l, d) = (s[0], s[1], s[2]);
+        assert!(l <= self.cfg.max_len, "sequence length {l} exceeds max_len");
+        assert_eq!(d, self.cfg.dim);
+        let pos = self.pos.narrow(0, 0, l).reshape(&[1, l, d]);
+        let mut h = x.add(&pos);
+        let additive = mask.add_scalar(-1.0).scale(1e9).reshape(&[b, 1, l]);
+        for blk in &self.blocks {
+            h = blk.forward(&h, &additive);
+        }
+        self.ln_out.forward(&h)
+    }
+
+    /// Embed token ids and encode them.
+    pub fn forward_ids(&self, ids: &[Vec<usize>], mask: &Tensor) -> Tensor {
+        let x = self.tok.forward_batch(ids);
+        self.forward_embedded(&x, mask)
+    }
+
+    /// The token embedding table (shared with downstream players that mask
+    /// embeddings before encoding).
+    pub fn embedding(&self) -> &Embedding {
+        &self.tok
+    }
+
+    /// Masked-language-model loss for one batch: each real token is
+    /// replaced by `[MASK]` with probability `mask_prob` and must be
+    /// predicted from context.
+    pub fn mlm_loss(
+        &self,
+        ids: &[Vec<usize>],
+        pad_mask: &Tensor,
+        mask_prob: f32,
+        rng: &mut Rng,
+    ) -> Tensor {
+        let b = ids.len();
+        let l = ids[0].len();
+        let pad = pad_mask.to_vec();
+        let mut corrupted: Vec<Vec<usize>> = ids.to_vec();
+        let mut weights = vec![0.0f32; b * l];
+        let mut targets = vec![0usize; b * l];
+        let mut any = false;
+        for (i, seq) in ids.iter().enumerate() {
+            for (t, &tok) in seq.iter().enumerate() {
+                targets[i * l + t] = tok;
+                if pad[i * l + t] > 0.5 && rng.gen::<f32>() < mask_prob {
+                    corrupted[i][t] = self.cfg.mask_token;
+                    weights[i * l + t] = 1.0;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            // Degenerate draw: mask the first real token to keep the loss
+            // well-defined.
+            corrupted[0][0] = self.cfg.mask_token;
+            weights[0] = 1.0;
+        }
+        let h = self.forward_ids(&corrupted, pad_mask); // [b, l, d]
+        let logits = self.mlm_head.forward(&h.reshape(&[b * l, self.cfg.dim]));
+        weighted_cross_entropy(&logits, &targets, &Tensor::new(weights, &[b * l]))
+    }
+}
+
+impl Module for TransformerEncoder {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.tok.params();
+        p.push(self.pos.clone());
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.ln_out.params());
+        p.extend(self.mlm_head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_tensor::optim::{zero_grads, Adam, Optimizer};
+
+    fn tiny_cfg() -> TransformerConfig {
+        TransformerConfig {
+            vocab: 20,
+            dim: 16,
+            heads: 2,
+            layers: 2,
+            ff_dim: 32,
+            max_len: 12,
+            mask_token: 1,
+        }
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let mut rng = dar_tensor::rng(0);
+        let enc = TransformerEncoder::new(&mut rng, tiny_cfg());
+        let ids = vec![vec![2, 3, 4, 5], vec![6, 7, 0, 0]];
+        let mask = Tensor::new(vec![1., 1., 1., 1., 1., 1., 0., 0.], &[2, 4]);
+        let h = enc.forward_ids(&ids, &mask);
+        assert_eq!(h.shape(), &[2, 4, 16]);
+    }
+
+    #[test]
+    fn padding_does_not_change_real_token_states() {
+        // Encoding [a b] must match encoding [a b pad pad] on the first two
+        // positions (attention masks the pads out).
+        let mut rng = dar_tensor::rng(1);
+        let enc = TransformerEncoder::new(&mut rng, tiny_cfg());
+        let short = enc.forward_ids(&[vec![2, 3]], &Tensor::ones(&[1, 2]));
+        let long = enc.forward_ids(
+            &[vec![2, 3, 9, 9]],
+            &Tensor::new(vec![1., 1., 0., 0.], &[1, 4]),
+        );
+        let a = short.to_vec();
+        let b = long.narrow(1, 0, 2).to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4, "pad leaked into encoding: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn position_matters() {
+        let mut rng = dar_tensor::rng(2);
+        let enc = TransformerEncoder::new(&mut rng, tiny_cfg());
+        let mask = Tensor::ones(&[1, 2]);
+        let ab = enc.forward_ids(&[vec![2, 3]], &mask).to_vec();
+        let ba = enc.forward_ids(&[vec![3, 2]], &mask).to_vec();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn mlm_loss_is_finite_and_trainable() {
+        let mut rng = dar_tensor::rng(3);
+        let enc = TransformerEncoder::new(&mut rng, tiny_cfg());
+        let ids = vec![vec![2, 3, 4, 5, 6, 7]];
+        let mask = Tensor::ones(&[1, 6]);
+        let loss = enc.mlm_loss(&ids, &mask, 0.5, &mut rng);
+        assert!(loss.item().is_finite());
+        loss.backward();
+        let touched =
+            enc.params().iter().filter(|p| p.grad_vec().is_some()).count();
+        assert!(touched > 0);
+    }
+
+    #[test]
+    fn mlm_pretraining_reduces_loss() {
+        // A deterministic bigram corpus: token 2k is always followed by
+        // 2k+1. A few steps of MLM must cut the loss markedly.
+        let mut rng = dar_tensor::rng(4);
+        let enc = TransformerEncoder::new(&mut rng, tiny_cfg());
+        let mut opt = Adam::with_lr(3e-3);
+        let ids: Vec<Vec<usize>> =
+            (0..8).map(|i| vec![2 + 2 * (i % 4), 3 + 2 * (i % 4), 2, 3]).collect();
+        let mask = Tensor::ones(&[8, 4]);
+        let first = enc.mlm_loss(&ids, &mask, 0.3, &mut rng).item();
+        let mut last = first;
+        for _ in 0..30 {
+            let loss = enc.mlm_loss(&ids, &mask, 0.3, &mut rng);
+            zero_grads(&enc.params());
+            loss.backward();
+            opt.step(&enc.params());
+            last = loss.item();
+        }
+        assert!(last < first * 0.8, "MLM did not learn: {first} -> {last}");
+    }
+}

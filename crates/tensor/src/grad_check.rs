@@ -1,0 +1,84 @@
+//! Finite-difference gradient checking, shared by the test suites of every
+//! downstream crate.
+
+use crate::Tensor;
+
+/// Result of a gradient check: largest absolute and relative error seen.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    pub max_abs_err: f32,
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// True when errors are within `tol` (relative, with absolute fallback
+    /// for tiny gradients).
+    pub fn ok(&self, tol: f32) -> bool {
+        self.max_rel_err < tol || self.max_abs_err < tol
+    }
+}
+
+/// Compare the autograd gradient of `f` w.r.t. `inputs` against central
+/// finite differences.
+///
+/// `f` must be a pure function of the input values: it is re-evaluated many
+/// times with perturbed inputs. The closure receives the same tensors each
+/// call (values mutated in place between calls).
+pub fn check_gradients(
+    inputs: &[Tensor],
+    f: impl Fn(&[Tensor]) -> Tensor,
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic pass.
+    for t in inputs {
+        t.zero_grad();
+    }
+    let loss = f(inputs);
+    assert_eq!(loss.len(), 1, "grad check requires a scalar loss");
+    loss.backward();
+    let analytic: Vec<Vec<f32>> =
+        inputs.iter().map(|t| t.grad_vec().unwrap_or_else(|| vec![0.0; t.len()])).collect();
+
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for (ti, t) in inputs.iter().enumerate() {
+        for i in 0..t.len() {
+            let orig = t.values()[i];
+            t.update_values(|v| v[i] = orig + eps);
+            let up = crate::no_grad(|| f(inputs)).item();
+            t.update_values(|v| v[i] = orig - eps);
+            let down = crate::no_grad(|| f(inputs)).item();
+            t.update_values(|v| v[i] = orig);
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[ti][i];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1e-4);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_gradients;
+    use crate::Tensor;
+
+    #[test]
+    fn quadratic_gradient_matches() {
+        let x = Tensor::param(vec![1.5, -0.5, 2.0], &[3]);
+        let rep = check_gradients(&[x], |ins| ins[0].square().sum(), 1e-3);
+        assert!(rep.ok(1e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // A function whose autograd gradient is deliberately broken via
+        // detach: check must report a large error.
+        let x = Tensor::param(vec![2.0], &[1]);
+        let rep = check_gradients(&[x], |ins| ins[0].detach().square().sum().add(&ins[0].sum()), 1e-3);
+        // Analytic grad = 1 (only the linear term), numeric ≈ 2x + 1 = 5.
+        assert!(rep.max_abs_err > 1.0, "{rep:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Weight initializers. All initializers are deterministic given the RNG.
+
+use rand::Rng as _;
+
+use crate::{Rng, Tensor};
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(rng: &mut Rng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    assert!(hi > lo, "uniform requires hi > lo");
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Standard-normal values scaled to `mean`, `std` (Box–Muller).
+pub fn normal(rng: &mut Rng, n: usize, mean: f32, std: f32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(1e-7f32..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            mean + std * z
+        })
+        .collect()
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(rng: &mut Rng, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, fan_in * fan_out, -bound, bound)
+}
+
+/// A `[rows, cols]` parameter tensor with Xavier-uniform values.
+pub fn xavier_param(rng: &mut Rng, rows: usize, cols: usize) -> Tensor {
+    Tensor::param(xavier_uniform(rng, rows, cols), &[rows, cols])
+}
+
+/// A zero-initialized parameter tensor (biases).
+pub fn zeros_param(shape: &[usize]) -> Tensor {
+    Tensor::param(vec![0.0; shape.iter().product()], shape)
+}
+
+/// Sample standard Gumbel noise `-ln(-ln(u))`, used by Gumbel-softmax.
+pub fn gumbel_noise(rng: &mut Rng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            let u: f32 = rng.gen_range(1e-7f32..1.0);
+            -(-(u.ln())).ln()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = crate::rng(7);
+        let v = uniform(&mut rng, 1000, -0.5, 0.5);
+        assert!(v.iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = crate::rng(11);
+        let v = normal(&mut rng, 20_000, 1.0, 2.0);
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = crate::rng(3);
+        let big = xavier_uniform(&mut rng, 1000, 1000, );
+        let bound = (6.0f32 / 2000.0).sqrt();
+        assert!(big.iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform(&mut crate::rng(42), 10, 0.0, 1.0);
+        let b = uniform(&mut crate::rng(42), 10, 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gumbel_noise_is_finite() {
+        let mut rng = crate::rng(5);
+        let g = gumbel_noise(&mut rng, 1000);
+        assert!(g.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,71 @@
+//! Non-differentiable helpers: argmax, one-hot encoding, and comparisons.
+//! These produce leaf tensors (no gradient history).
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Row-wise argmax over the last dimension. Returns plain indices.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let c = *self.shape().last().expect("argmax needs at least one dim");
+        assert!(c > 0, "argmax over empty dimension");
+        let v = self.values();
+        v.chunks_exact(c)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// One-hot encode indices into a `[n, classes]` leaf tensor.
+    pub fn one_hot(ids: &[usize], classes: usize) -> Tensor {
+        let mut out = vec![0.0f32; ids.len() * classes];
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < classes, "one_hot id {id} >= classes {classes}");
+            out[r * classes + id] = 1.0;
+        }
+        Tensor::new(out, &[ids.len(), classes])
+    }
+
+    /// Elementwise `self > threshold` as a 0/1 leaf tensor (no grad).
+    pub fn gt_scalar(&self, threshold: f32) -> Tensor {
+        let out: Vec<f32> =
+            self.values().iter().map(|&x| if x > threshold { 1.0 } else { 0.0 }).collect();
+        Tensor::new(out, self.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn argmax_rows_basic() {
+        let x = Tensor::new(vec![0.1, 0.9, 0.7, 0.3], &[2, 2]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let oh = Tensor::one_hot(&[2, 0], 3);
+        assert_eq!(oh.shape(), &[2, 3]);
+        assert_eq!(oh.to_vec(), vec![0., 0., 1., 1., 0., 0.]);
+    }
+
+    #[test]
+    fn gt_scalar_has_no_grad() {
+        let x = Tensor::param(vec![-1.0, 0.5, 2.0], &[3]);
+        let y = x.gt_scalar(0.0);
+        assert_eq!(y.to_vec(), vec![0.0, 1.0, 1.0]);
+        assert!(!y.requires_grad());
+    }
+
+    #[test]
+    #[should_panic(expected = "one_hot id")]
+    fn one_hot_rejects_out_of_range() {
+        let _ = Tensor::one_hot(&[3], 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Matrix multiplication: a blocked, multi-threaded 2-D GEMM kernel plus a
+//! batched 3-D variant used by attention.
+
+use crate::Tensor;
+
+/// Rows below this size are not worth spreading across threads.
+const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
+
+/// `out[m,n] += a[m,k] * b[k,n]` — ikj loop order so the inner loop is a
+/// vectorizable axpy over contiguous rows of `b` and `out`.
+fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Threaded GEMM: splits output rows across scoped threads when the work is
+/// large enough to amortize spawning.
+pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    let flops = 2 * m * k * n;
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if flops < PARALLEL_FLOP_THRESHOLD || threads < 2 || m < 2 * threads {
+        gemm_serial(a, b, &mut out, m, k, n);
+        return out;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || {
+                gemm_serial(a_chunk, b, chunk, rows, k, n);
+            });
+            row0 += rows;
+        }
+    });
+    out
+}
+
+/// Materialize the transpose of a row-major `[r, c]` matrix.
+pub(crate) fn transpose_raw(x: &[f32], r: usize, c: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = x[i * c + j];
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// 2-D matrix product `self[m,k] @ other[k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    /// Panics on non-2-D operands or mismatched inner dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (sa, sb) = (self.shape(), other.shape());
+        assert_eq!(sa.len(), 2, "matmul lhs must be 2-D, got {sa:?}");
+        assert_eq!(sb.len(), 2, "matmul rhs must be 2-D, got {sb:?}");
+        assert_eq!(sa[1], sb[0], "matmul inner dims differ: {sa:?} @ {sb:?}");
+        let (m, k, n) = (sa[0], sa[1], sb[1]);
+        let values = gemm(&self.values(), &other.values(), m, k, n);
+        Tensor::from_op(
+            values,
+            vec![m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let (a, b) = (&parents[0], &parents[1]);
+                if a.requires_grad() {
+                    // dA = G @ B^T : [m,n] @ [n,k]
+                    let bt = transpose_raw(&b.values(), k, n);
+                    let ga = gemm(g, &bt, m, n, k);
+                    a.accumulate_grad(&ga);
+                }
+                if b.requires_grad() {
+                    // dB = A^T @ G : [k,m] @ [m,n]
+                    let at = transpose_raw(&a.values(), m, k);
+                    let gb = gemm(&at, g, k, m, n);
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+
+    /// Batched matrix product `self[b,m,k] @ other[b,k,n] -> [b,m,n]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        let (sa, sb) = (self.shape(), other.shape());
+        assert_eq!(sa.len(), 3, "bmm lhs must be 3-D, got {sa:?}");
+        assert_eq!(sb.len(), 3, "bmm rhs must be 3-D, got {sb:?}");
+        assert_eq!(sa[0], sb[0], "bmm batch dims differ: {sa:?} vs {sb:?}");
+        assert_eq!(sa[2], sb[1], "bmm inner dims differ: {sa:?} @ {sb:?}");
+        let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
+        let av = self.values();
+        let bv = other.values();
+        let mut values = vec![0.0f32; bs * m * n];
+        for i in 0..bs {
+            let a_i = &av[i * m * k..(i + 1) * m * k];
+            let b_i = &bv[i * k * n..(i + 1) * k * n];
+            gemm_serial(a_i, b_i, &mut values[i * m * n..(i + 1) * m * n], m, k, n);
+        }
+        drop(av);
+        drop(bv);
+        Tensor::from_op(
+            values,
+            vec![bs, m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let (a, b) = (&parents[0], &parents[1]);
+                let av = a.values();
+                let bv = b.values();
+                if a.requires_grad() {
+                    let mut ga = vec![0.0f32; bs * m * k];
+                    for i in 0..bs {
+                        let bt = transpose_raw(&bv[i * k * n..(i + 1) * k * n], k, n);
+                        gemm_serial(
+                            &g[i * m * n..(i + 1) * m * n],
+                            &bt,
+                            &mut ga[i * m * k..(i + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                    drop(av);
+                    a.accumulate_grad(&ga);
+                } else {
+                    drop(av);
+                }
+                if b.requires_grad() {
+                    let av = a.values();
+                    let mut gb = vec![0.0f32; bs * k * n];
+                    for i in 0..bs {
+                        let at = transpose_raw(&av[i * m * k..(i + 1) * m * k], m, k);
+                        gemm_serial(
+                            &at,
+                            &g[i * m * n..(i + 1) * m * n],
+                            &mut gb[i * k * n..(i + 1) * k * n],
+                            k,
+                            m,
+                            n,
+                        );
+                    }
+                    drop(av);
+                    drop(bv);
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_2x2_identity() {
+        let a = Tensor::new(vec![1., 2., 3., 4.], &[2, 2]);
+        let i = Tensor::new(vec![1., 0., 0., 1.], &[2, 2]);
+        assert_eq!(a.matmul(&i).to_vec(), vec![1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::new(vec![7., 8., 9., 10., 11., 12.], &[3, 2]);
+        // [[58, 64], [139, 154]]
+        assert_eq!(a.matmul(&b).to_vec(), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let a = Tensor::param(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = Tensor::param(vec![5., 6., 7., 8.], &[2, 2]);
+        let y = a.matmul(&b).sum();
+        y.backward();
+        // dA = G @ B^T with G = ones: rows sum of B columns.
+        assert_eq!(a.grad_vec().unwrap(), vec![11., 15., 11., 15.]);
+        assert_eq!(b.grad_vec().unwrap(), vec![4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn large_matmul_threaded_matches_serial() {
+        // Exercise the threaded path against a naive reference.
+        let m = 64;
+        let k = 200;
+        let n = 170;
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 19) as f32 - 9.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 53) % 23) as f32 - 11.0).collect();
+        let got = super::gemm(&a, &b, m, k, n);
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                want[i * n + j] = acc;
+            }
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "threaded gemm mismatch: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn bmm_forward_and_grad() {
+        let a = Tensor::param(vec![1., 0., 0., 1., 2., 0., 0., 2.], &[2, 2, 2]);
+        let b = Tensor::param(vec![1., 2., 3., 4., 5., 6., 7., 8.], &[2, 2, 2]);
+        let y = a.bmm(&b);
+        assert_eq!(y.to_vec(), vec![1., 2., 3., 4., 10., 12., 14., 16.]);
+        y.sum().backward();
+        assert!(a.grad_vec().is_some());
+        assert_eq!(b.grad_vec().unwrap(), vec![1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::new(vec![0.0; 6], &[2, 3]);
+        let b = Tensor::new(vec![0.0; 8], &[2, 4]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,22 @@
+//! The differentiable operator set.
+//!
+//! Every op is exposed as a method on [`crate::Tensor`]; the submodules group
+//! the implementations:
+//!
+//! * [`arith`] — broadcast add/sub/mul/div, scalar arithmetic, negation.
+//! * [`matmul`] — 2-D GEMM (with a blocked kernel) and batched 3-D matmul.
+//! * [`activation`] — sigmoid, tanh, relu, exp, ln, sqrt, powi, abs, clamp.
+//! * [`reduce`] — sum/mean (global and per-axis), max-pool over an axis.
+//! * [`softmax`] — row softmax / log-softmax over the last dimension.
+//! * [`embed`] — embedding row gather with scatter-add backward.
+//! * [`structural`] — reshape, transpose, concat, narrow, stack, pad.
+//! * [`compare`] — non-differentiable helpers (argmax, one-hot, equality).
+
+pub mod activation;
+pub mod arith;
+pub mod compare;
+pub mod embed;
+pub mod matmul;
+pub mod reduce;
+pub mod softmax;
+pub mod structural;

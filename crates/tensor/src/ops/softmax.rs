@@ -1,0 +1,151 @@
+//! Softmax and log-softmax over the last dimension.
+
+use crate::Tensor;
+
+fn last_dim(shape: &[usize]) -> usize {
+    *shape.last().expect("softmax needs at least one dimension")
+}
+
+impl Tensor {
+    /// Softmax over the last dimension, numerically stabilized by max
+    /// subtraction.
+    pub fn softmax(&self) -> Tensor {
+        let c = last_dim(self.shape());
+        assert!(c > 0, "softmax over empty dimension");
+        let v = self.values();
+        let rows = v.len() / c;
+        let mut out = vec![0.0f32; v.len()];
+        for r in 0..rows {
+            let row = &v[r * c..(r + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &x) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in &mut out[r * c..(r + 1) * c] {
+                *o /= denom;
+            }
+        }
+        drop(v);
+        let y_saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.shape().to_vec(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let p = &parents[0];
+                if !p.requires_grad() {
+                    return;
+                }
+                let mut gin = vec![0.0f32; g.len()];
+                let rows = g.len() / c;
+                for r in 0..rows {
+                    let y = &y_saved[r * c..(r + 1) * c];
+                    let gr = &g[r * c..(r + 1) * c];
+                    let dot: f32 = y.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+                    for i in 0..c {
+                        gin[r * c + i] = y[i] * (gr[i] - dot);
+                    }
+                }
+                p.accumulate_grad(&gin);
+            }),
+        )
+    }
+
+    /// Log-softmax over the last dimension (stable log-sum-exp).
+    pub fn log_softmax(&self) -> Tensor {
+        let c = last_dim(self.shape());
+        assert!(c > 0, "log_softmax over empty dimension");
+        let v = self.values();
+        let rows = v.len() / c;
+        let mut out = vec![0.0f32; v.len()];
+        for r in 0..rows {
+            let row = &v[r * c..(r + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for (o, &x) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
+                *o = x - lse;
+            }
+        }
+        drop(v);
+        let ls_saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.shape().to_vec(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let p = &parents[0];
+                if !p.requires_grad() {
+                    return;
+                }
+                let mut gin = vec![0.0f32; g.len()];
+                let rows = g.len() / c;
+                for r in 0..rows {
+                    let ls = &ls_saved[r * c..(r + 1) * c];
+                    let gr = &g[r * c..(r + 1) * c];
+                    let gsum: f32 = gr.iter().sum();
+                    for i in 0..c {
+                        gin[r * c + i] = gr[i] - ls[i].exp() * gsum;
+                    }
+                }
+                p.accumulate_grad(&gin);
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::new(vec![1., 2., 3., 10., 10., 10.], &[2, 3]);
+        let y = x.softmax().to_vec();
+        let s0: f32 = y[..3].iter().sum();
+        let s1: f32 = y[3..].iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-6 && (s1 - 1.0).abs() < 1e-6);
+        assert!((y[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::new(vec![1., 2., 3.], &[1, 3]).softmax().to_vec();
+        let b = Tensor::new(vec![1001., 1002., 1003.], &[1, 3]).softmax().to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let x = Tensor::new(vec![0.3, -1.2, 2.0], &[1, 3]);
+        let ls = x.log_softmax().to_vec();
+        let s = x.softmax().to_vec();
+        for (l, p) in ls.iter().zip(&s) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero_per_row() {
+        // Softmax Jacobian rows are orthogonal to constants; a general
+        // upstream gradient must produce input grads that sum to ~0 per row.
+        let x = Tensor::param(vec![0.5, -0.7, 1.3], &[1, 3]);
+        let w = Tensor::new(vec![1.0, 2.0, -0.5], &[1, 3]);
+        x.softmax().mul(&w).sum().backward();
+        let g = x.grad_vec().unwrap();
+        let s: f32 = g.iter().sum();
+        assert!(s.abs() < 1e-6, "softmax grad row sum {s} != 0");
+    }
+
+    #[test]
+    fn log_softmax_handles_extreme_logits() {
+        let x = Tensor::new(vec![1000.0, -1000.0], &[1, 2]);
+        let y = x.log_softmax().to_vec();
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(y[0].abs() < 1e-5); // ~log(1)
+    }
+}

@@ -1,0 +1,216 @@
+//! Structural ops: concat, narrow (slice), and row stacking.
+
+use crate::shape::numel;
+use crate::Tensor;
+
+/// Split a shape at `axis` into (outer, axis_len, inner) extents.
+fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+    assert!(axis < shape.len(), "axis {axis} out of range for shape {shape:?}");
+    let outer: usize = shape[..axis].iter().product();
+    let len = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    (outer, len, inner)
+}
+
+/// Concatenate tensors along `axis`. All other dimensions must match.
+pub fn concat(tensors: &[Tensor], axis: usize) -> Tensor {
+    assert!(!tensors.is_empty(), "concat of zero tensors");
+    let rank = tensors[0].shape().len();
+    for t in tensors {
+        assert_eq!(t.shape().len(), rank, "concat rank mismatch");
+        for (d, (a, b)) in t.shape().iter().zip(tensors[0].shape()).enumerate() {
+            if d != axis {
+                assert_eq!(a, b, "concat non-axis dims differ: {:?}", t.shape());
+            }
+        }
+    }
+    let mut out_shape = tensors[0].shape().to_vec();
+    out_shape[axis] = tensors.iter().map(|t| t.shape()[axis]).sum();
+    let (outer, _, inner) = axis_split(&out_shape, axis);
+    let mut out = vec![0.0f32; numel(&out_shape)];
+    let total_axis = out_shape[axis];
+    let mut offset = 0usize;
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(tensors.len());
+    for t in tensors {
+        let alen = t.shape()[axis];
+        let v = t.values();
+        for o in 0..outer {
+            let src = &v[o * alen * inner..(o + 1) * alen * inner];
+            let dst_base = o * total_axis * inner + offset * inner;
+            out[dst_base..dst_base + alen * inner].copy_from_slice(src);
+        }
+        spans.push((offset, alen));
+        offset += alen;
+    }
+    let parents: Vec<Tensor> = tensors.to_vec();
+    Tensor::from_op(
+        out,
+        out_shape,
+        parents,
+        Box::new(move |g, parents| {
+            for (t, &(off, alen)) in parents.iter().zip(&spans) {
+                if !t.requires_grad() {
+                    continue;
+                }
+                let mut gin = vec![0.0f32; outer * alen * inner];
+                for o in 0..outer {
+                    let src_base = o * total_axis * inner + off * inner;
+                    gin[o * alen * inner..(o + 1) * alen * inner]
+                        .copy_from_slice(&g[src_base..src_base + alen * inner]);
+                }
+                t.accumulate_grad(&gin);
+            }
+        }),
+    )
+}
+
+/// Stack `[r, c]`-shaped tensors along a new leading axis into `[n, r, c]`
+/// (general: any equal shapes).
+pub fn stack(tensors: &[Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "stack of zero tensors");
+    let inner_shape = tensors[0].shape().to_vec();
+    let inner_len = numel(&inner_shape);
+    let mut out = Vec::with_capacity(tensors.len() * inner_len);
+    for t in tensors {
+        assert_eq!(t.shape(), inner_shape.as_slice(), "stack shape mismatch");
+        out.extend_from_slice(&t.values());
+    }
+    let mut out_shape = vec![tensors.len()];
+    out_shape.extend_from_slice(&inner_shape);
+    Tensor::from_op(
+        out,
+        out_shape,
+        tensors.to_vec(),
+        Box::new(move |g, parents| {
+            for (i, t) in parents.iter().enumerate() {
+                if t.requires_grad() {
+                    t.accumulate_grad(&g[i * inner_len..(i + 1) * inner_len]);
+                }
+            }
+        }),
+    )
+}
+
+impl Tensor {
+    /// Slice `len` entries starting at `start` along `axis`, keeping rank.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        let shape = self.shape().to_vec();
+        let (outer, alen, inner) = axis_split(&shape, axis);
+        assert!(
+            start + len <= alen,
+            "narrow [{start}..{}] out of range for axis {axis} of {shape:?}",
+            start + len
+        );
+        let v = self.values();
+        let mut out = vec![0.0f32; outer * len * inner];
+        for o in 0..outer {
+            let src_base = (o * alen + start) * inner;
+            out[o * len * inner..(o + 1) * len * inner]
+                .copy_from_slice(&v[src_base..src_base + len * inner]);
+        }
+        drop(v);
+        let mut out_shape = shape.clone();
+        out_shape[axis] = len;
+        Tensor::from_op(
+            out,
+            out_shape,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let p = &parents[0];
+                if !p.requires_grad() {
+                    return;
+                }
+                let mut gin = vec![0.0f32; outer * alen * inner];
+                for o in 0..outer {
+                    let dst_base = (o * alen + start) * inner;
+                    gin[dst_base..dst_base + len * inner]
+                        .copy_from_slice(&g[o * len * inner..(o + 1) * len * inner]);
+                }
+                p.accumulate_grad(&gin);
+            }),
+        )
+    }
+
+    /// Concatenate `self` with `other` along `axis`.
+    pub fn cat(&self, other: &Tensor, axis: usize) -> Tensor {
+        concat(&[self.clone(), other.clone()], axis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{concat, stack};
+    use crate::Tensor;
+
+    #[test]
+    fn cat_columns() {
+        let a = Tensor::param(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = Tensor::param(vec![5., 6.], &[2, 1]);
+        let y = a.cat(&b, 1);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.to_vec(), vec![1., 2., 5., 3., 4., 6.]);
+        y.sum().backward();
+        assert_eq!(a.grad_vec().unwrap(), vec![1.0; 4]);
+        assert_eq!(b.grad_vec().unwrap(), vec![1.0; 2]);
+    }
+
+    #[test]
+    fn cat_rows() {
+        let a = Tensor::new(vec![1., 2.], &[1, 2]);
+        let b = Tensor::new(vec![3., 4.], &[1, 2]);
+        let y = a.cat(&b, 0);
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.to_vec(), vec![1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn concat_three_way_grad_splits() {
+        let parts: Vec<Tensor> =
+            (0..3).map(|i| Tensor::param(vec![i as f32; 2], &[1, 2])).collect();
+        let y = concat(&parts, 1);
+        assert_eq!(y.shape(), &[1, 6]);
+        let w = Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[1, 6]);
+        y.mul(&w).sum().backward();
+        assert_eq!(parts[0].grad_vec().unwrap(), vec![1., 2.]);
+        assert_eq!(parts[1].grad_vec().unwrap(), vec![3., 4.]);
+        assert_eq!(parts[2].grad_vec().unwrap(), vec![5., 6.]);
+    }
+
+    #[test]
+    fn narrow_middle_axis() {
+        let x = Tensor::param((0..24).map(|i| i as f32).collect(), &[2, 3, 4]);
+        let y = x.narrow(1, 1, 1);
+        assert_eq!(y.shape(), &[2, 1, 4]);
+        assert_eq!(y.to_vec(), vec![4., 5., 6., 7., 16., 17., 18., 19.]);
+        y.sum().backward();
+        let g = x.grad_vec().unwrap();
+        assert_eq!(g[4..8], [1.0; 4]);
+        assert_eq!(g[0..4], [0.0; 4]);
+    }
+
+    #[test]
+    fn narrow_then_reshape_is_time_step_extraction() {
+        // The GRU pattern: [B,L,E] -> step t -> [B,E].
+        let x = Tensor::new((0..12).map(|i| i as f32).collect(), &[2, 3, 2]);
+        let t1 = x.narrow(1, 1, 1).reshape(&[2, 2]);
+        assert_eq!(t1.to_vec(), vec![2., 3., 8., 9.]);
+    }
+
+    #[test]
+    fn stack_makes_new_axis() {
+        let a = Tensor::param(vec![1., 2.], &[2]);
+        let b = Tensor::param(vec![3., 4.], &[2]);
+        let y = stack(&[a.clone(), b.clone()]);
+        assert_eq!(y.shape(), &[2, 2]);
+        y.sum().backward();
+        assert_eq!(a.grad_vec().unwrap(), vec![1., 1.]);
+        assert_eq!(b.grad_vec().unwrap(), vec![1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn narrow_out_of_range_panics() {
+        let x = Tensor::new(vec![0.0; 4], &[2, 2]);
+        let _ = x.narrow(1, 1, 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Adam (Kingma & Ba, 2015) — the optimizer used for every player in the
+//! paper.
+
+use std::collections::HashMap;
+
+use super::Optimizer;
+use crate::Tensor;
+
+/// Hyper-parameters for [`Adam`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Decoupled L2 weight decay (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+struct Slot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Adam optimizer with per-parameter first/second-moment state.
+pub struct Adam {
+    cfg: AdamConfig,
+    t: u64,
+    state: HashMap<u64, Slot>,
+}
+
+impl Adam {
+    pub fn new(cfg: AdamConfig) -> Self {
+        Adam { cfg, t: 0, state: HashMap::new() }
+    }
+
+    /// Adam with default moments and the given learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        Adam::new(AdamConfig { lr, ..Default::default() })
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[Tensor]) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.cfg.beta1.powf(t);
+        let bc2 = 1.0 - self.cfg.beta2.powf(t);
+        for p in params {
+            let Some(g) = p.grad_vec() else { continue };
+            let slot = self
+                .state
+                .entry(p.id())
+                .or_insert_with(|| Slot { m: vec![0.0; g.len()], v: vec![0.0; g.len()] });
+            let cfg = self.cfg;
+            p.update_values(|w| {
+                for i in 0..g.len() {
+                    let mut gi = g[i];
+                    if cfg.weight_decay > 0.0 {
+                        // Decoupled decay (AdamW-style).
+                        w[i] -= cfg.lr * cfg.weight_decay * w[i];
+                    }
+                    if !gi.is_finite() {
+                        gi = 0.0;
+                    }
+                    slot.m[i] = cfg.beta1 * slot.m[i] + (1.0 - cfg.beta1) * gi;
+                    slot.v[i] = cfg.beta2 * slot.v[i] + (1.0 - cfg.beta2) * gi * gi;
+                    let mhat = slot.m[i] / bc1;
+                    let vhat = slot.v[i] / bc2;
+                    w[i] -= cfg.lr * mhat / (vhat.sqrt() + cfg.eps);
+                }
+            });
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::zero_grads;
+    use crate::Tensor;
+
+    /// Adam must minimize a simple convex quadratic.
+    #[test]
+    fn minimizes_quadratic() {
+        let p = Tensor::param(vec![5.0, -3.0], &[2]);
+        let mut opt = Adam::with_lr(0.1);
+        for _ in 0..300 {
+            let loss = p.square().sum();
+            zero_grads(&[p.clone()]);
+            loss.backward();
+            opt.step(&[p.clone()]);
+        }
+        let v = p.to_vec();
+        assert!(v.iter().all(|x| x.abs() < 1e-2), "did not converge: {v:?}");
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, |Δw| of step 1 is exactly lr (for g != 0).
+        let p = Tensor::param(vec![1.0], &[1]);
+        let mut opt = Adam::with_lr(0.5);
+        p.accumulate_grad(&[0.123]);
+        opt.step(&[p.clone()]);
+        assert!((p.item() - (1.0 - 0.5)).abs() < 1e-3, "got {}", p.item());
+    }
+
+    #[test]
+    fn skips_params_without_grad() {
+        let p = Tensor::param(vec![1.0], &[1]);
+        let mut opt = Adam::with_lr(0.5);
+        opt.step(&[p.clone()]);
+        assert_eq!(p.item(), 1.0);
+    }
+
+    #[test]
+    fn nonfinite_grads_are_ignored() {
+        let p = Tensor::param(vec![1.0], &[1]);
+        let mut opt = Adam::with_lr(0.5);
+        p.accumulate_grad(&[f32::NAN]);
+        opt.step(&[p.clone()]);
+        assert!(p.item().is_finite());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let p = Tensor::param(vec![10.0], &[1]);
+        let mut opt =
+            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
+        p.accumulate_grad(&[0.0]);
+        opt.step(&[p.clone()]);
+        assert!(p.item() < 10.0);
+    }
+}

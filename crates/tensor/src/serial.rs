@@ -1,0 +1,155 @@
+//! Minimal binary (de)serialization for parameter sets — model
+//! checkpointing without external dependencies.
+//!
+//! Format (little-endian): magic `DART`, version u32, tensor count u32,
+//! then per tensor: rank u32, dims u32×rank, values f32×numel.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::shape::numel;
+use crate::Tensor;
+
+const MAGIC: &[u8; 4] = b"DART";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Serialize tensors (values + shapes) to a writer.
+pub fn save_tensors(w: &mut impl Write, tensors: &[Tensor]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, tensors.len() as u32)?;
+    for t in tensors {
+        write_u32(w, t.shape().len() as u32)?;
+        for &d in t.shape() {
+            write_u32(w, d as u32)?;
+        }
+        for &v in t.values().iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize tensors saved by [`save_tensors`]. Returned tensors are
+/// plain leaves; use [`load_into`] to restore a live parameter set.
+pub fn load_tensors(r: &mut impl Read) -> io::Result<Vec<Tensor>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DART checkpoint"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(r)? as usize);
+        }
+        let n = numel(&shape);
+        let mut values = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            values.push(f32::from_le_bytes(buf));
+        }
+        out.push(Tensor::new(values, &shape));
+    }
+    Ok(out)
+}
+
+/// Save a parameter list to a file path.
+pub fn save_path(path: impl AsRef<Path>, tensors: &[Tensor]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    save_tensors(&mut w, tensors)?;
+    w.flush()
+}
+
+/// Load a checkpoint file into an existing parameter list (shapes must
+/// match pairwise).
+pub fn load_into(path: impl AsRef<Path>, params: &[Tensor]) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let loaded = load_tensors(&mut r)?;
+    if loaded.len() != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {} tensors, model has {}", loaded.len(), params.len()),
+        ));
+    }
+    for (src, dst) in loaded.iter().zip(params) {
+        if src.shape() != dst.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch: {:?} vs {:?}", src.shape(), dst.shape()),
+            ));
+        }
+        dst.set_values(src.to_vec());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dar_serial_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_shapes() {
+        let a = Tensor::param(vec![1.5, -2.25, 3.125, 0.0], &[2, 2]);
+        let b = Tensor::param(vec![7.0; 3], &[3]);
+        let path = tmpfile("roundtrip");
+        save_path(&path, &[a.clone(), b.clone()]).unwrap();
+        let dst_a = Tensor::param(vec![0.0; 4], &[2, 2]);
+        let dst_b = Tensor::param(vec![0.0; 3], &[3]);
+        load_into(&path, &[dst_a.clone(), dst_b.clone()]).unwrap();
+        assert_eq!(dst_a.to_vec(), a.to_vec());
+        assert_eq!(dst_b.to_vec(), b.to_vec());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut data: &[u8] = b"NOPE\x01\x00\x00\x00";
+        assert!(load_tensors(&mut data).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let path = tmpfile("mismatch");
+        save_path(&path, &[Tensor::zeros(&[2, 2])]).unwrap();
+        let dst = Tensor::zeros(&[4]);
+        assert!(load_into(&path, &[dst]).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let path = tmpfile("count");
+        save_path(&path, &[Tensor::zeros(&[1])]).unwrap();
+        assert!(load_into(&path, &[]).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,165 @@
+//! Shape and stride arithmetic, including NumPy-style broadcasting rules.
+
+/// Number of elements implied by a shape.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major (C-order) strides for a shape.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// The broadcast result shape of two shapes, or `None` if incompatible.
+///
+/// Follows the NumPy rule: align shapes on the right; each dimension pair
+/// must be equal or one of them must be 1.
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        if da == db {
+            out[i] = da;
+        } else if da == 1 {
+            out[i] = db;
+        } else if db == 1 {
+            out[i] = da;
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Strides for indexing `shape` as if it had been broadcast to `out_shape`:
+/// broadcast dimensions get stride 0.
+pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let rank = out_shape.len();
+    let base = strides(shape);
+    let mut out = vec![0usize; rank];
+    let offset = rank - shape.len();
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 { 0 } else { base[i] };
+    }
+    out
+}
+
+/// Map a linear index in `out_shape` to a linear index in a tensor with the
+/// given broadcast strides.
+#[inline]
+pub fn broadcast_index(lin: usize, out_strides: &[usize], bcast_strides: &[usize]) -> usize {
+    let mut rem = lin;
+    let mut idx = 0usize;
+    for (os, bs) in out_strides.iter().zip(bcast_strides) {
+        let coord = rem / os;
+        rem %= os;
+        idx += coord * bs;
+    }
+    idx
+}
+
+/// Sum-reduce `grad` (shaped `from`) back down to `to` by summing over the
+/// dimensions that were broadcast. This is the adjoint of broadcasting.
+pub fn reduce_grad_to_shape(grad: &[f32], from: &[usize], to: &[usize]) -> Vec<f32> {
+    if from == to {
+        return grad.to_vec();
+    }
+    let mut out = vec![0.0f32; numel(to)];
+    let out_strides_full = {
+        // `to` aligned to the right of `from`'s rank, with stride 0 where
+        // `to` has size 1 (or the dimension is missing).
+        broadcast_strides(to, from)
+    };
+    let from_strides = strides(from);
+    for (lin, g) in grad.iter().enumerate() {
+        let idx = broadcast_index(lin, &from_strides, &out_strides_full);
+        out[idx] += *g;
+    }
+    out
+}
+
+/// Validate that `values.len()` matches the shape; panics with a clear
+/// message otherwise (programmer error).
+pub fn check_numel(values_len: usize, shape: &[usize]) {
+    assert_eq!(
+        values_len,
+        numel(shape),
+        "value buffer of length {values_len} does not match shape {shape:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_matches_product() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn broadcast_same_shape() {
+        assert_eq!(broadcast_shape(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast_shape(&[2, 3], &[1]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shape(&[1], &[4, 5]), Some(vec![4, 5]));
+    }
+
+    #[test]
+    fn broadcast_trailing_one() {
+        assert_eq!(broadcast_shape(&[4, 6, 1], &[4, 6, 8]), Some(vec![4, 6, 8]));
+        assert_eq!(broadcast_shape(&[6, 8], &[4, 6, 8]), Some(vec![4, 6, 8]));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert_eq!(broadcast_shape(&[2, 3], &[3, 2]), None);
+        assert_eq!(broadcast_shape(&[2], &[3]), None);
+    }
+
+    #[test]
+    fn reduce_grad_row_broadcast() {
+        // grad of shape [2,3] reduced to a row vector [1,3]
+        let g = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = reduce_grad_to_shape(&g, &[2, 3], &[1, 3]);
+        assert_eq!(r, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn reduce_grad_col_broadcast() {
+        let g = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = reduce_grad_to_shape(&g, &[2, 3], &[2, 1]);
+        assert_eq!(r, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn reduce_grad_to_scalar_shape() {
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        let r = reduce_grad_to_shape(&g, &[2, 2], &[1]);
+        assert_eq!(r, vec![10.0]);
+    }
+
+    #[test]
+    fn reduce_grad_missing_leading_dim() {
+        let g = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = reduce_grad_to_shape(&g, &[2, 3], &[3]);
+        assert_eq!(r, vec![5.0, 7.0, 9.0]);
+    }
+}

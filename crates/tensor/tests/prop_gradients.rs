@@ -1,0 +1,185 @@
+//! Property-based finite-difference gradient checks for every
+//! differentiable op, over random shapes and values.
+
+use dar_tensor::grad_check::check_gradients;
+use dar_tensor::ops::structural::concat;
+use dar_tensor::Tensor;
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 5e-2;
+
+/// Random values bounded away from regions where f32 finite differences are
+/// unreliable (huge magnitudes, kinks).
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((-2.0f32..2.0).prop_map(|x| x), n)
+}
+
+/// Smooth positive values for div/ln/sqrt denominators.
+fn pos_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.3f32..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn add_mul_grads(rows in 1usize..4, cols in 1usize..5, seed in 0u64..1000) {
+        let n = rows * cols;
+        let mut rng = dar_tensor::rng(seed);
+        let a = Tensor::param(dar_tensor::init::uniform(&mut rng, n, -1.0, 1.0), &[rows, cols]);
+        let b = Tensor::param(dar_tensor::init::uniform(&mut rng, n, -1.0, 1.0), &[rows, cols]);
+        let rep = check_gradients(&[a, b], |ins| ins[0].mul(&ins[1]).add(&ins[0]).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn broadcast_mul_grads(rows in 1usize..4, cols in 1usize..4, v in values(12)) {
+        let a = Tensor::param(v[..rows * cols].to_vec(), &[rows, cols]);
+        let b = Tensor::param(v[..cols].to_vec(), &[1, cols]);
+        let rep = check_gradients(&[a, b], |ins| ins[0].mul(&ins[1]).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn div_grads(v in pos_values(6), w in pos_values(6)) {
+        let a = Tensor::param(v, &[2, 3]);
+        let b = Tensor::param(w, &[2, 3]);
+        let rep = check_gradients(&[a, b], |ins| ins[0].div(&ins[1]).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn matmul_grads(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..1000) {
+        let mut rng = dar_tensor::rng(seed);
+        let a = Tensor::param(dar_tensor::init::uniform(&mut rng, m * k, -1.0, 1.0), &[m, k]);
+        let b = Tensor::param(dar_tensor::init::uniform(&mut rng, k * n, -1.0, 1.0), &[k, n]);
+        let rep = check_gradients(&[a, b], |ins| ins[0].matmul(&ins[1]).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn bmm_grads(seed in 0u64..1000) {
+        let mut rng = dar_tensor::rng(seed);
+        let a = Tensor::param(dar_tensor::init::uniform(&mut rng, 2 * 2 * 3, -1.0, 1.0), &[2, 2, 3]);
+        let b = Tensor::param(dar_tensor::init::uniform(&mut rng, 2 * 3 * 2, -1.0, 1.0), &[2, 3, 2]);
+        let rep = check_gradients(&[a, b], |ins| ins[0].bmm(&ins[1]).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn activation_grads(v in values(8)) {
+        // Compose several activations so one check covers their chain rule.
+        let x = Tensor::param(v, &[2, 4]);
+        let rep = check_gradients(
+            &[x],
+            |ins| ins[0].sigmoid().add(&ins[0].tanh()).add(&ins[0].gelu()).sum(),
+            EPS,
+        );
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn exp_ln_grads(v in pos_values(6)) {
+        let x = Tensor::param(v, &[6]);
+        let rep = check_gradients(&[x], |ins| ins[0].ln().exp().sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn softmax_grads(v in values(9)) {
+        let x = Tensor::param(v.clone(), &[3, 3]);
+        let w = Tensor::new(v.iter().map(|x| x + 0.5).collect(), &[3, 3]);
+        let rep = check_gradients(&[x], move |ins| ins[0].softmax().mul(&w).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn log_softmax_grads(v in values(8)) {
+        let x = Tensor::param(v.clone(), &[2, 4]);
+        let w = Tensor::new(v.iter().map(|x| x - 0.25).collect(), &[2, 4]);
+        let rep = check_gradients(&[x], move |ins| ins[0].log_softmax().mul(&w).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn reduce_grads(v in values(12)) {
+        let x = Tensor::param(v, &[2, 3, 2]);
+        let rep = check_gradients(
+            &[x],
+            |ins| {
+                ins[0]
+                    .sum_axis(1, false)
+                    .mean_axis(0, false)
+                    .sum()
+                    .add(&ins[0].mean())
+            },
+            EPS,
+        );
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn structural_grads(v in values(12)) {
+        let x = Tensor::param(v[..6].to_vec(), &[2, 3]);
+        let y = Tensor::param(v[6..].to_vec(), &[2, 3]);
+        let rep = check_gradients(
+            &[x, y],
+            |ins| {
+                let c = concat(&[ins[0].clone(), ins[1].clone()], 1); // [2,6]
+                c.narrow(1, 1, 3).transpose().reshape(&[6]).square().sum()
+            },
+            EPS,
+        );
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn gather_grads(v in values(8), ids in prop::collection::vec(0usize..4, 1..6)) {
+        let table = Tensor::param(v, &[4, 2]);
+        let rep = check_gradients(&[table], move |ins| ins[0].gather_rows(&ids).square().sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn max_axis_grads(seed in 0u64..1000) {
+        // Separate the competing elements of each reduced group (axis 1 of
+        // [2,3,2]: linear index/2 % 3 is the axis coordinate) by more than
+        // the jitter range, so the argmax is stable under ±eps probing.
+        let mut rng = dar_tensor::rng(seed);
+        let mut v = dar_tensor::init::uniform(&mut rng, 12, -1.0, 1.0);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x += ((i / 2) % 3) as f32 * 3.0;
+        }
+        let x = Tensor::param(v, &[2, 3, 2]);
+        let rep = check_gradients(&[x], |ins| ins[0].max_axis(1, false).sum(), EPS);
+        prop_assert!(rep.ok(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn softmax_rows_always_sum_to_one(v in values(20)) {
+        let x = Tensor::new(v, &[4, 5]);
+        let y = x.softmax();
+        for row in y.to_vec().chunks(5) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn broadcast_matches_reference(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
+        // Broadcast [rows, cols] + [cols] must equal manual row-wise add.
+        let mut rng = dar_tensor::rng(seed);
+        let av = dar_tensor::init::uniform(&mut rng, rows * cols, -1.0, 1.0);
+        let bv = dar_tensor::init::uniform(&mut rng, cols, -1.0, 1.0);
+        let a = Tensor::new(av.clone(), &[rows, cols]);
+        let b = Tensor::new(bv.clone(), &[cols]);
+        let y = a.add(&b).to_vec();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert!((y[r * cols + c] - (av[r * cols + c] + bv[c])).abs() < 1e-6);
+            }
+        }
+    }
+}

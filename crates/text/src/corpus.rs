@@ -1,0 +1,83 @@
+//! Corpus assembly: id sequences plus frequency statistics.
+
+use crate::vocab::Vocab;
+
+/// A tokenized, id-encoded corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// One id sequence per document.
+    pub docs: Vec<Vec<usize>>,
+}
+
+impl Corpus {
+    /// Encode pre-tokenized documents against a vocabulary.
+    pub fn from_tokens(docs: &[Vec<String>], vocab: &Vocab) -> Self {
+        Corpus {
+            docs: docs
+                .iter()
+                .map(|d| d.iter().map(|t| vocab.id(t)).collect())
+                .collect(),
+        }
+    }
+
+    /// Total token count.
+    pub fn num_tokens(&self) -> usize {
+        self.docs.iter().map(|d| d.len()).sum()
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Per-id frequency table of size `vocab_len`.
+    pub fn frequencies(&self, vocab_len: usize) -> Vec<usize> {
+        let mut f = vec![0usize; vocab_len];
+        for doc in &self.docs {
+            for &id in doc {
+                f[id] += 1;
+            }
+        }
+        f
+    }
+
+    /// Mean document length in tokens.
+    pub fn mean_len(&self) -> f32 {
+        if self.docs.is_empty() {
+            return 0.0;
+        }
+        self.num_tokens() as f32 / self.docs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    fn sample() -> (Corpus, Vocab) {
+        let docs = vec![
+            vec!["a".to_owned(), "b".to_owned(), "a".to_owned()],
+            vec!["b".to_owned(), "c".to_owned()],
+        ];
+        let vocab = Vocab::build(docs.iter().flatten().map(|s| s.as_str()), 1);
+        (Corpus::from_tokens(&docs, &vocab), vocab)
+    }
+
+    #[test]
+    fn counts_and_lengths() {
+        let (c, _) = sample();
+        assert_eq!(c.num_docs(), 2);
+        assert_eq!(c.num_tokens(), 5);
+        assert!((c.mean_len() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frequencies_match() {
+        let (c, v) = sample();
+        let f = c.frequencies(v.len());
+        assert_eq!(f[v.id("a")], 2);
+        assert_eq!(f[v.id("b")], 2);
+        assert_eq!(f[v.id("c")], 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! `dar-text`: text substrate for the DAR reproduction — vocabulary,
+//! tokenization, corpus statistics, and a GloVe-style embedding pretrainer
+//! that substitutes for the paper's downloaded GloVe-100d vectors (see
+//! DESIGN.md §4).
+
+pub mod corpus;
+pub mod glove;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use corpus::Corpus;
+pub use glove::{GloveConfig, GloveTrainer};
+pub use tokenizer::tokenize;
+pub use vocab::Vocab;

@@ -1,0 +1,69 @@
+//! Whitespace + punctuation tokenizer matching the preprocessing style of
+//! the rationalization literature (lowercased, punctuation split off as its
+//! own tokens — the `-` of Fig. 2 must be a token of its own).
+
+/// Tokenize text: lowercase, split on whitespace, and detach leading or
+/// trailing ASCII punctuation as separate tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let lower = raw.to_lowercase();
+        let mut rest = lower.as_str();
+        let mut leading: Vec<String> = Vec::new();
+        while let Some(c) = rest.chars().next() {
+            if c.is_ascii_punctuation() && rest.chars().count() > 1 {
+                leading.push(c.to_string());
+                rest = &rest[c.len_utf8()..];
+            } else {
+                break;
+            }
+        }
+        let mut trailing: Vec<String> = Vec::new();
+        while let Some(c) = rest.chars().last() {
+            if c.is_ascii_punctuation() && rest.chars().count() > 1 {
+                trailing.push(c.to_string());
+                rest = &rest[..rest.len() - c.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        out.extend(leading);
+        if !rest.is_empty() {
+            out.push(rest.to_owned());
+        }
+        out.extend(trailing.into_iter().rev());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tokenize;
+
+    #[test]
+    fn lowercases_and_splits() {
+        assert_eq!(tokenize("The Beer POURS"), vec!["the", "beer", "pours"]);
+    }
+
+    #[test]
+    fn detaches_punctuation() {
+        assert_eq!(tokenize("great!"), vec!["great", "!"]);
+        assert_eq!(tokenize("(nice)"), vec!["(", "nice", ")"]);
+    }
+
+    #[test]
+    fn lone_dash_is_a_token() {
+        // The Fig. 2 degenerate rationale is the "-" token.
+        assert_eq!(tokenize("s - stale"), vec!["s", "-", "stale"]);
+    }
+
+    #[test]
+    fn keeps_inner_hyphens() {
+        assert_eq!(tokenize("off-white head."), vec!["off-white", "head", "."]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("   ").is_empty());
+    }
+}

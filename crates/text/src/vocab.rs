@@ -1,0 +1,150 @@
+//! Token ↔ id vocabulary with the special tokens the pipeline relies on.
+
+use std::collections::HashMap;
+
+/// Id of the padding token in every vocabulary.
+pub const PAD: usize = 0;
+/// Id of the unknown token.
+pub const UNK: usize = 1;
+/// Id of the `[MASK]` token used by transformer pretraining.
+pub const MASK: usize = 2;
+
+/// A fixed vocabulary. Ids 0..3 are reserved for `<pad>`, `<unk>`,
+/// `<mask>`.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Build from an iterator of tokens, keeping those with at least
+    /// `min_count` occurrences. Order of first appearance is preserved so
+    /// vocabularies are deterministic.
+    pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>, min_count: usize) -> Self {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for tok in tokens {
+            match index.get(tok) {
+                Some(&i) => counts[i].1 += 1,
+                None => {
+                    index.insert(tok.to_owned(), counts.len());
+                    counts.push((tok.to_owned(), 1));
+                }
+            }
+        }
+        let mut v = Vocab::empty();
+        for (tok, c) in counts {
+            if c >= min_count {
+                v.insert(&tok);
+            }
+        }
+        v
+    }
+
+    /// A vocabulary containing only the special tokens.
+    pub fn empty() -> Self {
+        let mut v =
+            Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        for special in ["<pad>", "<unk>", "<mask>"] {
+            v.insert(special);
+        }
+        v
+    }
+
+    /// Insert a token (idempotent), returning its id.
+    pub fn insert(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.to_owned(), id);
+        self.id_to_token.push(token.to_owned());
+        id
+    }
+
+    /// Id for a token, falling back to `<unk>`.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Token string for an id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Whether the token is known.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Encode a token sequence to ids (unknowns map to `<unk>`).
+    pub fn encode(&self, tokens: &[&str]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decode ids back to tokens.
+    pub fn decode(&self, ids: &[usize]) -> Vec<&str> {
+        ids.iter().map(|&i| self.token(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_fixed() {
+        let v = Vocab::empty();
+        assert_eq!(v.id("<pad>"), PAD);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.id("<mask>"), MASK);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn build_respects_min_count() {
+        let toks = ["a", "b", "a", "c", "a", "b"];
+        let v = Vocab::build(toks, 2);
+        assert!(v.contains("a") && v.contains("b"));
+        assert!(!v.contains("c"));
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::build(["x"], 1);
+        assert_eq!(v.id("never-seen"), UNK);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let v = Vocab::build(["the", "beer", "pours", "amber"], 1);
+        let ids = v.encode(&["beer", "pours"]);
+        assert_eq!(v.decode(&ids), vec!["beer", "pours"]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut v = Vocab::empty();
+        let a = v.insert("foo");
+        let b = v.insert("foo");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_id_order() {
+        let a = Vocab::build(["z", "y", "x"], 1);
+        let b = Vocab::build(["z", "y", "x"], 1);
+        assert_eq!(a.id("y"), b.id("y"));
+    }
+}

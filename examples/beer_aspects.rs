@@ -1,0 +1,46 @@
+//! Per-aspect comparison of RNP and DAR on SynBeer — a miniature of the
+//! paper's Table II showing who wins on each aspect.
+//!
+//! ```sh
+//! cargo run --release --example beer_aspects
+//! ```
+
+use dar::prelude::*;
+
+fn main() {
+    let cfg = RationaleConfig::default();
+    let tcfg = TrainConfig { epochs: 10, patience: Some(4), ..Default::default() };
+    println!("{:<12} {:<6} {:>5} {:>6} {:>6} {:>6} {:>6}", "aspect", "model", "S", "Acc", "P", "R", "F1");
+
+    for (aspect, alpha) in
+        [(Aspect::Appearance, 0.19), (Aspect::Aroma, 0.16), (Aspect::Palate, 0.13)]
+    {
+        let mut rng = dar::rng(7);
+        let data = SynBeer::generate(&SynthConfig::beer(aspect).scaled(0.4), &mut rng);
+        let cfg = RationaleConfig { sparsity: alpha, ..cfg };
+        let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
+        let ml = pretrain::max_len(&data);
+
+        let mut rnp = Rnp::new(&cfg, &emb, ml, &mut rng);
+        let r = Trainer::new(tcfg).fit(&mut rnp, &data, &mut rng);
+        print_row(aspect, "RNP", &r.test);
+
+        let disc = pretrain::full_text_predictor(&cfg, &emb, &data, 6, &mut rng);
+        let mut dar = Dar::new(&cfg, &emb, disc, ml, &mut rng);
+        let r = Trainer::new(tcfg).fit(&mut dar, &data, &mut rng);
+        print_row(aspect, "DAR", &r.test);
+    }
+}
+
+fn print_row(aspect: Aspect, model: &str, m: &RationaleMetrics) {
+    println!(
+        "{:<12} {:<6} {:>5.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+        aspect.name(),
+        model,
+        m.sparsity * 100.0,
+        m.acc.map(|a| a * 100.0).unwrap_or(f32::NAN),
+        m.precision * 100.0,
+        m.recall * 100.0,
+        m.f1 * 100.0
+    );
+}

@@ -1,0 +1,48 @@
+//! Train every model briefly on the same dataset and dump their selected
+//! rationales side by side for qualitative comparison.
+//!
+//! ```sh
+//! cargo run --release --example inspect_rationales
+//! ```
+
+use dar::prelude::*;
+
+fn main() {
+    let mut rng = dar::rng(21);
+    let data = SynBeer::generate(&SynthConfig::beer(Aspect::Palate).scaled(0.25), &mut rng);
+    let cfg = RationaleConfig { sparsity: 0.13, ..Default::default() };
+    let tcfg = TrainConfig { epochs: 6, patience: None, ..Default::default() };
+    let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
+    let ml = pretrain::max_len(&data);
+
+    let mut models: Vec<Box<dyn RationaleModel>> = vec![
+        Box::new(Rnp::new(&cfg, &emb, ml, &mut rng)),
+        Box::new(A2r::new(&cfg, &emb, ml, &mut rng)),
+        Box::new(InterRat::new(&cfg, &emb, ml, &mut rng)),
+        {
+            let disc = pretrain::full_text_predictor(&cfg, &emb, &data, 5, &mut rng);
+            Box::new(Dar::new(&cfg, &emb, disc, ml, &mut rng))
+        },
+    ];
+
+    for model in &mut models {
+        let r = Trainer::new(tcfg).fit(model.as_mut(), &data, &mut rng);
+        println!("trained {:<10} F1 {:>5.1}", r.model_name, r.test.f1 * 100.0);
+    }
+
+    let batch = BatchIter::sequential(&data.test, 2).next().expect("empty test");
+    for i in 0..batch.len() {
+        let len = batch.lengths[i];
+        let tokens = data.vocab.decode(&batch.ids[i][..len]);
+        println!("\nreview (label {}): {}", batch.labels[i], tokens.join(" "));
+        let human: Vec<&str> =
+            (0..len).filter(|&t| batch.rationales[i][t]).map(|t| tokens[t]).collect();
+        println!("  {:<10} {human:?}", "human");
+        for model in &models {
+            let inf = model.infer(&batch);
+            let picked: Vec<&str> =
+                (0..len).filter(|&t| inf.masks[i][t] > 0.5).map(|t| tokens[t]).collect();
+            println!("  {:<10} {picked:?}", model.name());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerate every table/figure of the paper (see EXPERIMENTS.md).
+# DAR_PROFILE controls scale: quick | standard | full.
+set -u
+PROFILE="${DAR_PROFILE:-quick}"
+export DAR_PROFILE="$PROFILE"
+OUT="results"
+mkdir -p "$OUT"
+for exp in table2 fig3b_table1 fig6 table8 table3 table7 fig3a table5 ablations table6; do
+  echo "=== running $exp (profile $PROFILE) ==="
+  ./target/release/$exp > "$OUT/$exp.txt" 2>&1
+  echo "    done: $OUT/$exp.txt"
+done

@@ -1,0 +1,148 @@
+//! `dar-cli` — train and inspect rationalization models from the command
+//! line.
+//!
+//! ```sh
+//! dar-cli stats                      # dataset statistics (Table IX style)
+//! dar-cli train DAR aroma            # train a model on an aspect
+//! dar-cli train RNP service --epochs 8 --scale 0.3 --seed 7
+//! dar-cli show DAR palate            # train briefly, dump rationales
+//! ```
+
+use dar::data::DatasetStats;
+use dar::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => stats(),
+        Some("train") => train(&args[1..], false),
+        Some("show") => train(&args[1..], true),
+        _ => {
+            eprintln!("usage: dar-cli <stats | train MODEL ASPECT | show MODEL ASPECT>");
+            eprintln!("  MODEL:  RNP DAR A2R DMR Inter_RAT CAR 3PLAYER VIB");
+            eprintln!("  ASPECT: appearance aroma palate location service cleanliness");
+            eprintln!("  flags:  --epochs N  --scale F  --seed N  --sparsity F");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<f32> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn parse_aspect(s: &str) -> Aspect {
+    match s.to_lowercase().as_str() {
+        "appearance" => Aspect::Appearance,
+        "aroma" => Aspect::Aroma,
+        "palate" => Aspect::Palate,
+        "location" => Aspect::Location,
+        "service" => Aspect::Service,
+        "cleanliness" => Aspect::Cleanliness,
+        other => {
+            eprintln!("unknown aspect '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn make_dataset(aspect: Aspect, scale: f32, seed: u64) -> AspectDataset {
+    let mut rng = dar::rng(seed);
+    match aspect.domain() {
+        dar::data::Domain::Beer => {
+            SynBeer::generate(&SynthConfig::beer(aspect).scaled(scale), &mut rng)
+        }
+        dar::data::Domain::Hotel => {
+            SynHotel::generate(&SynthConfig::hotel(aspect).scaled(scale), &mut rng)
+        }
+    }
+}
+
+fn stats() {
+    for aspect in [
+        Aspect::Appearance,
+        Aspect::Aroma,
+        Aspect::Palate,
+        Aspect::Location,
+        Aspect::Service,
+        Aspect::Cleanliness,
+    ] {
+        let data = make_dataset(aspect, 0.25, 17);
+        println!("{}", DatasetStats::compute(&data));
+    }
+}
+
+fn build(
+    name: &str,
+    cfg: &RationaleConfig,
+    emb: &SharedEmbedding,
+    data: &AspectDataset,
+    rng: &mut dar::Rng,
+) -> Box<dyn RationaleModel> {
+    let ml = pretrain::max_len(data);
+    match name {
+        "RNP" => Box::new(Rnp::new(cfg, emb, ml, rng)),
+        "DAR" => {
+            let disc = pretrain::full_text_predictor(cfg, emb, data, 6, rng);
+            Box::new(Dar::new(cfg, emb, disc, ml, rng))
+        }
+        "A2R" => Box::new(A2r::new(cfg, emb, ml, rng)),
+        "DMR" => Box::new(Dmr::new(cfg, emb, ml, rng)),
+        "Inter_RAT" => Box::new(InterRat::new(cfg, emb, ml, rng)),
+        "CAR" => Box::new(Car::new(cfg, emb, ml, rng)),
+        "3PLAYER" => Box::new(ThreePlayer::new(cfg, emb, ml, rng)),
+        "VIB" => Box::new(Vib::new(cfg, emb, ml, rng)),
+        other => {
+            eprintln!("unknown model '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn train(args: &[String], show: bool) {
+    let model_name = args.first().cloned().unwrap_or_else(|| {
+        eprintln!("missing MODEL");
+        std::process::exit(2);
+    });
+    let aspect = parse_aspect(args.get(1).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing ASPECT");
+        std::process::exit(2);
+    }));
+    let epochs = flag(args, "--epochs").map(|v| v as usize).unwrap_or(10);
+    let scale = flag(args, "--scale").unwrap_or(0.4);
+    let seed = flag(args, "--seed").map(|v| v as u64).unwrap_or(17);
+    let sparsity = flag(args, "--sparsity").unwrap_or(0.15);
+
+    let data = make_dataset(aspect, scale, seed);
+    let cfg = RationaleConfig { sparsity, ..Default::default() };
+    let mut rng = dar::rng(seed + 1);
+    println!("dataset {}: train {} dev {} test {}", data.name, data.train.len(), data.dev.len(), data.test.len());
+    let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
+    let mut model = build(&model_name, &cfg, &emb, &data, &mut rng);
+    let tcfg = TrainConfig { epochs, verbose: true, ..Default::default() };
+    let report = Trainer::new(tcfg).fit(model.as_mut(), &data, &mut rng);
+    println!("\n{:<10}   S   Acc    P     R     F1", report.model_name);
+    println!("{:<10} {}", "test", report.test.row());
+    if let Some(full) = report.test.full_text_acc {
+        println!("full-text probe accuracy: {:.1}%", full * 100.0);
+    }
+
+    if show {
+        let batch = BatchIter::sequential(&data.test, 3).next().expect("empty test");
+        let inf = model.infer(&batch);
+        for i in 0..batch.len() {
+            let len = batch.lengths[i];
+            let toks = data.vocab.decode(&batch.ids[i][..len]);
+            let picked: Vec<&str> =
+                (0..len).filter(|&t| inf.masks[i][t] > 0.5).map(|t| toks[t]).collect();
+            let human: Vec<&str> =
+                (0..len).filter(|&t| batch.rationales[i][t]).map(|t| toks[t]).collect();
+            println!("\nreview {} (label {}): {}", i, batch.labels[i], toks.join(" "));
+            println!("  model: {picked:?}");
+            println!("  human: {human:?}");
+        }
+    }
+}

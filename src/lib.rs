@@ -1,0 +1,42 @@
+//! `dar` — a from-scratch Rust reproduction of *Enhancing the
+//! Rationale-Input Alignment for Self-explaining Rationalization*
+//! (Liu et al., ICDE 2024).
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autograd + optimizers;
+//! * [`nn`] — layers (Linear/Embedding/BiGRU/Transformer), Gumbel-softmax,
+//!   losses;
+//! * [`text`] — vocabulary, tokenizer, GloVe-style embedding pretraining;
+//! * [`data`] — synthetic BeerAdvocate/HotelReview stand-ins with planted
+//!   token-level rationales;
+//! * [`core`] — the rationalization models (RNP, **DAR**, A2R, DMR,
+//!   Inter_RAT, CAR, 3PLAYER, VIB), trainer, and evaluation.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dar::prelude::*;
+//!
+//! let mut rng = dar::rng(42);
+//! let data = SynBeer::default_aspect(Aspect::Aroma, &mut rng);
+//! let cfg = RationaleConfig { sparsity: 0.16, ..Default::default() };
+//! let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
+//! let disc = pretrain::full_text_predictor(&cfg, &emb, &data, 6, &mut rng);
+//! let max_len = pretrain::max_len(&data);
+//! let mut model = Dar::new(&cfg, &emb, disc, max_len, &mut rng);
+//! let report = Trainer::default().fit(&mut model, &data, &mut rng);
+//! println!("rationale F1: {:.1}%", report.test.f1 * 100.0);
+//! ```
+
+pub use dar_core as core;
+pub use dar_data as data;
+pub use dar_nn as nn;
+pub use dar_tensor as tensor;
+pub use dar_text as text;
+
+pub use dar_core::prelude;
+pub use dar_tensor::{rng, Rng, Tensor};

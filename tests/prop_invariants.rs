@@ -1,0 +1,122 @@
+//! Property-based invariants spanning crates: data generation, masks, and
+//! metric bounds under random configurations.
+
+use dar::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Generated datasets always carry well-formed annotations: parallel
+    /// lengths, at least one rationale token per test review, balanced
+    /// test labels.
+    #[test]
+    fn datasets_are_well_formed(seed in 0u64..100, beer in any::<bool>()) {
+        let aspect = if beer { Aspect::Palate } else { Aspect::Cleanliness };
+        let base = if beer { SynthConfig::beer(aspect) } else { SynthConfig::hotel(aspect) };
+        let cfg = SynthConfig { n_train: 24, n_dev: 12, n_test: 12, ..base };
+        let mut rng = dar::rng(seed);
+        let data = if beer {
+            SynBeer::generate(&cfg, &mut rng)
+        } else {
+            SynHotel::generate(&cfg, &mut rng)
+        };
+        for r in data.train.iter().chain(&data.dev).chain(&data.test) {
+            prop_assert_eq!(r.ids.len(), r.rationale.len());
+            prop_assert!(r.first_sentence_end > 0 && r.first_sentence_end <= r.len());
+            prop_assert!(r.label < 2);
+            prop_assert!(r.ids.iter().all(|&t| t < data.vocab.len()));
+        }
+        for r in &data.test {
+            prop_assert!(r.rationale.iter().any(|&b| b));
+        }
+        let pos = data.test.iter().filter(|r| r.label == 1).count();
+        prop_assert_eq!(pos, data.test.len() / 2);
+    }
+
+    /// Generator masks are binary, padding-free, and deterministic at eval
+    /// for any seed/config combination.
+    #[test]
+    fn generator_masks_always_valid(seed in 0u64..50, hidden in 8usize..24) {
+        let dcfg = SynthConfig { n_train: 16, n_dev: 8, n_test: 8, ..SynthConfig::beer(Aspect::Aroma) };
+        let mut rng = dar::rng(seed);
+        let data = SynBeer::generate(&dcfg, &mut rng);
+        let cfg = RationaleConfig { emb_dim: 16, hidden, ..Default::default() };
+        let emb = SharedEmbedding::random(data.vocab.len(), 16, &mut rng);
+        let ml = pretrain::max_len(&data);
+        let gen = Generator::new(&cfg, &emb, ml, &mut rng);
+        let batch = BatchIter::sequential(&data.test, 8).next().unwrap();
+        let m1 = gen.sample_mask(&batch, None).to_vec();
+        let m2 = gen.sample_mask(&batch, None).to_vec();
+        prop_assert_eq!(&m1, &m2, "eval mask not deterministic");
+        let pad = batch.mask.to_vec();
+        for (i, &v) in m1.iter().enumerate() {
+            prop_assert!(v == 0.0 || v == 1.0);
+            if pad[i] == 0.0 {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+        // Stochastic masks are also binary.
+        let mut rng2 = dar::rng(seed + 1);
+        let ms = gen.sample_mask(&batch, Some(&mut rng2)).to_vec();
+        prop_assert!(ms.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    /// Evaluation metrics are always within [0, 1] and F1 is the harmonic
+    /// mean of P and R.
+    #[test]
+    fn metrics_bounded_and_consistent(seed in 0u64..50) {
+        let dcfg = SynthConfig { n_train: 16, n_dev: 8, n_test: 16, ..SynthConfig::beer(Aspect::Palate) };
+        let mut rng = dar::rng(seed);
+        let data = SynBeer::generate(&dcfg, &mut rng);
+        let cfg = RationaleConfig { emb_dim: 16, hidden: 12, ..Default::default() };
+        let emb = SharedEmbedding::random(data.vocab.len(), 16, &mut rng);
+        let ml = pretrain::max_len(&data);
+        let model = Rnp::new(&cfg, &emb, ml, &mut rng);
+        let m = evaluate_model(&model, &data.test, 8);
+        for v in [m.precision, m.recall, m.f1, m.sparsity] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {m:?}");
+        }
+        if m.precision + m.recall > 0.0 {
+            let h = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - h).abs() < 1e-5);
+        } else {
+            prop_assert_eq!(m.f1, 0.0);
+        }
+        if let Some(acc) = m.acc {
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    /// The Ω regularizer is zero exactly when the mask hits the target
+    /// sparsity in one coherent block.
+    #[test]
+    fn omega_zero_iff_ideal_mask(len in 4usize..12) {
+        use dar::core::regularizer::omega;
+        use dar::data::Review;
+        use dar::tensor::Tensor;
+        let k = len / 2;
+        let review = Review {
+            ids: vec![5; len],
+            label: 0,
+            rationale: vec![false; len],
+            first_sentence_end: 1,
+        };
+        let batch = Batch::from_reviews(&[&review]);
+        // One coherent block of k tokens at the start.
+        let mut mask = vec![0.0f32; len];
+        for m in mask.iter_mut().take(k) {
+            *m = 1.0;
+        }
+        let z = Tensor::new(mask, &[1, len]);
+        let cfg = RationaleConfig {
+            sparsity: k as f32 / len as f32,
+            lambda2: 0.0, // the block boundary itself costs one transition
+            ..Default::default()
+        };
+        prop_assert!(omega(&z, &batch, &cfg).item().abs() < 1e-6);
+        // Any deviation in sparsity increases the penalty.
+        let z_over = Tensor::ones(&[1, len]);
+        prop_assert!(omega(&z_over, &batch, &cfg).item() > 1e-3);
+    }
+}
