@@ -1,0 +1,19 @@
+#!/bin/bash
+# Repo CI gate: formatting, lints, build, tests. Run before merging and as
+# the run_experiments.sh preflight (skip there with DAR_SKIP_CI=1).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (-D warnings) ==="
+cargo clippy --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test --release ==="
+cargo test --workspace --release -q
+
+echo "ci.sh: all checks passed"

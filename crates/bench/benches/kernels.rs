@@ -10,7 +10,11 @@ use dar_tensor::Tensor;
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
-    for &(m, k, n) in &[(64usize, 114usize, 128usize), (128, 114, 128), (256, 256, 256)] {
+    for &(m, k, n) in &[
+        (64usize, 114usize, 128usize),
+        (128, 114, 128),
+        (256, 256, 256),
+    ] {
         let a = Tensor::new(vec![0.5; m * k], &[m, k]);
         let b = Tensor::new(vec![0.25; k * n], &[k, n]);
         group.bench_with_input(

@@ -13,12 +13,27 @@ fn bench_train_steps(c: &mut Criterion) {
     group.sample_size(10);
     let profile = Profile::quick();
     let data = dar_bench::dataset(Aspect::Aroma, &profile, 3);
-    let cfg = RationaleConfig { emb_dim: 32, hidden: 32, ..Default::default() };
+    let cfg = RationaleConfig {
+        emb_dim: 32,
+        hidden: 32,
+        ..Default::default()
+    };
     let mut rng = dar_core::rng(4);
     let emb = SharedEmbedding::random(data.vocab.len(), cfg.emb_dim, &mut rng);
-    let batch = BatchIter::sequential(&data.train, 32).next().expect("empty train");
+    let batch = BatchIter::sequential(&data.train, 32)
+        .next()
+        .expect("empty train");
 
-    for name in ["RNP", "DAR", "A2R", "DMR", "Inter_RAT", "CAR", "3PLAYER", "VIB"] {
+    for name in [
+        "RNP",
+        "DAR",
+        "A2R",
+        "DMR",
+        "Inter_RAT",
+        "CAR",
+        "3PLAYER",
+        "VIB",
+    ] {
         let mut model = build_model(name, &cfg, &emb, &data, 1, &mut rng);
         let mut step_rng = dar_core::rng(5);
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, ()| {
@@ -33,10 +48,16 @@ fn bench_inference(c: &mut Criterion) {
     group.sample_size(10);
     let profile = Profile::quick();
     let data = dar_bench::dataset(Aspect::Aroma, &profile, 3);
-    let cfg = RationaleConfig { emb_dim: 32, hidden: 32, ..Default::default() };
+    let cfg = RationaleConfig {
+        emb_dim: 32,
+        hidden: 32,
+        ..Default::default()
+    };
     let mut rng = dar_core::rng(6);
     let emb = SharedEmbedding::random(data.vocab.len(), cfg.emb_dim, &mut rng);
-    let batch = BatchIter::sequential(&data.test, 32).next().expect("empty test");
+    let batch = BatchIter::sequential(&data.test, 32)
+        .next()
+        .expect("empty test");
     let model = build_model("DAR", &cfg, &emb, &data, 1, &mut rng);
     group.bench_function("DAR_infer_b32", |bench| {
         bench.iter(|| dar_tensor::no_grad(|| model.infer(&batch)))

@@ -29,9 +29,15 @@ fn main() {
         Some(other) => panic!("unknown hotel aspect '{other}'"),
     };
     let profile = Profile::from_env();
-    println!("== Fig 3a — RNP full-text acc vs rationale F1, SynHotel-{} ==", aspect.name());
+    println!(
+        "== Fig 3a — RNP full-text acc vs rationale F1, SynHotel-{} ==",
+        aspect.name()
+    );
     println!("(profile {}, seed {})", profile.name, profile.seeds[0]);
-    println!("{:<8} {:>8} {:>8} {:>10} {:>12}", "param", "lr", "batch", "hidden", "");
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>12}",
+        "param", "lr", "batch", "hidden", ""
+    );
     println!("{:<8} {:>10} {:>12}", "", "full-acc", "rationale-F1");
 
     let seed = profile.seeds[0];

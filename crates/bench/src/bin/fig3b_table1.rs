@@ -14,7 +14,10 @@ use dar_core::prelude::*;
 fn main() {
     let profile = Profile::from_env();
     println!("== Fig 3b + Table I — RNP rationale-vs-full-text accuracy, SynHotel ==");
-    println!("(profile {}, seed {}; Param1-style config)", profile.name, profile.seeds[0]);
+    println!(
+        "(profile {}, seed {}; Param1-style config)",
+        profile.name, profile.seeds[0]
+    );
     println!(
         "{:<14} {:>5} {:>10} {:>10} | {:>6} {:>6} {:>6}",
         "aspect", "S", "acc(Z)", "acc(X)", "P+", "R+", "F1+"

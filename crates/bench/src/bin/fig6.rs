@@ -14,7 +14,10 @@ fn main() {
     let profile = Profile::from_env();
     println!("== Fig 6 — DAR predictor: rationale-input vs full-text accuracy ==");
     println!("(profile {}, seeds {:?})", profile.name, profile.seeds);
-    println!("{:<14} {:>10} {:>10} {:>8}", "aspect", "acc(Z)", "acc(X)", "gap");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "aspect", "acc(Z)", "acc(X)", "gap"
+    );
 
     for aspect in [
         Aspect::Appearance,
@@ -24,11 +27,17 @@ fn main() {
         Aspect::Service,
         Aspect::Cleanliness,
     ] {
-        let cfg = RationaleConfig { sparsity: aspect_alpha(aspect), ..Default::default() };
+        let cfg = RationaleConfig {
+            sparsity: aspect_alpha(aspect),
+            ..Default::default()
+        };
         let mut accs = Vec::new();
         for &seed in &profile.seeds {
             let rep = dar_bench::run_once("DAR", aspect, &cfg, &profile, seed);
-            accs.push((rep.test.acc.unwrap_or(0.0), rep.test.full_text_acc.unwrap_or(0.0)));
+            accs.push((
+                rep.test.acc.unwrap_or(0.0),
+                rep.test.full_text_acc.unwrap_or(0.0),
+            ));
         }
         let n = accs.len() as f32;
         let az = accs.iter().map(|a| a.0).sum::<f32>() / n;

@@ -11,13 +11,21 @@ use dar_core::prelude::*;
 fn main() {
     let profile = Profile::from_env();
     let methods = ["RNP", "CAR", "DMR", "DAR"];
-    for (aspect, alpha) in
-        [(Aspect::Appearance, 0.115), (Aspect::Aroma, 0.105), (Aspect::Palate, 0.10)]
-    {
+    for (aspect, alpha) in [
+        (Aspect::Appearance, 0.115),
+        (Aspect::Aroma, 0.105),
+        (Aspect::Palate, 0.10),
+    ] {
         // Override the per-aspect alpha with the low-sparsity setting.
-        let cfg = RationaleConfig { sparsity: alpha, ..Default::default() };
+        let cfg = RationaleConfig {
+            sparsity: alpha,
+            ..Default::default()
+        };
         print_header(
-            &format!("Table V — SynBeer {} (low sparsity α={alpha})", aspect.name()),
+            &format!(
+                "Table V — SynBeer {} (low sparsity α={alpha})",
+                aspect.name()
+            ),
             &profile,
         );
         for name in methods {
@@ -47,7 +55,9 @@ fn run_mean_fixed_alpha(
             let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
             let mut model =
                 dar_bench::build_model(name, cfg, &emb, &data, profile.pretrain_epochs, &mut rng);
-            Trainer::new(profile.train_config()).fit(model.as_mut(), &data, &mut rng).test
+            Trainer::new(profile.train_config())
+                .fit(model.as_mut(), &data, &mut rng)
+                .test
         })
         .collect();
     dar_bench::MeanMetrics::of(&metrics)

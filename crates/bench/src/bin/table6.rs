@@ -26,7 +26,10 @@ fn main() {
         ..Default::default()
     };
 
-    print_header("Table VI — pretrained-encoder setting, SynBeer-Appearance", &profile);
+    print_header(
+        "Table VI — pretrained-encoder setting, SynBeer-Appearance",
+        &profile,
+    );
     for name in ["VIB", "RNP", "DAR"] {
         let mut rows = Vec::new();
         for &seed in &profile.seeds {

@@ -43,15 +43,12 @@ fn main() {
     println!("A2R degrades (46.3 / 0.6), DAR holds (74.2 / 59.8).");
 }
 
-fn run_skewed(
-    method: &str,
-    aspect: Aspect,
-    k: usize,
-    profile: &Profile,
-    seed: u64,
-) -> TrainReport {
+fn run_skewed(method: &str, aspect: Aspect, k: usize, profile: &Profile, seed: u64) -> TrainReport {
     let data = dataset(aspect, profile, seed);
-    let cfg = RationaleConfig { sparsity: aspect_alpha(aspect), ..Default::default() };
+    let cfg = RationaleConfig {
+        sparsity: aspect_alpha(aspect),
+        ..Default::default()
+    };
     let mut rng = dar_core::rng(seed + 31);
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
     let ml = pretrain::max_len(&data);

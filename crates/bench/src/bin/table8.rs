@@ -56,7 +56,10 @@ fn run_skewed_gen(
     seed: u64,
 ) -> (TrainReport, f32) {
     let data = dataset(aspect, profile, seed);
-    let cfg = RationaleConfig { sparsity: aspect_alpha(aspect), ..Default::default() };
+    let cfg = RationaleConfig {
+        sparsity: aspect_alpha(aspect),
+        ..Default::default()
+    };
     let mut rng = dar_core::rng(seed + 97);
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
     let ml = pretrain::max_len(&data);
@@ -76,5 +79,8 @@ fn run_skewed_gen(
         }
         other => panic!("unexpected method {other}"),
     };
-    (Trainer::new(profile.train_config()).fit(model.as_mut(), &data, &mut rng), pre_acc)
+    (
+        Trainer::new(profile.train_config()).fit(model.as_mut(), &data, &mut rng),
+        pre_acc,
+    )
 }

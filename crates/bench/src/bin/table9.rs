@@ -11,7 +11,10 @@ use dar_data::DatasetStats;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("== Table IX — dataset statistics (profile {}) ==", profile.name);
+    println!(
+        "== Table IX — dataset statistics (profile {}) ==",
+        profile.name
+    );
     let paper = [
         (Aspect::Appearance, 18.5),
         (Aspect::Aroma, 15.6),

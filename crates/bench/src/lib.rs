@@ -143,10 +143,20 @@ pub fn run_once(
     seed: u64,
 ) -> TrainReport {
     let data = dataset(aspect, profile, seed);
-    let cfg = RationaleConfig { sparsity: aspect_alpha(aspect), ..*cfg_base };
+    let cfg = RationaleConfig {
+        sparsity: aspect_alpha(aspect),
+        ..*cfg_base
+    };
     let mut rng = dar_core::rng(seed.wrapping_mul(2654435761).wrapping_add(7));
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
-    let mut model = build_model(model_name, &cfg, &emb, &data, profile.pretrain_epochs, &mut rng);
+    let mut model = build_model(
+        model_name,
+        &cfg,
+        &emb,
+        &data,
+        profile.pretrain_epochs,
+        &mut rng,
+    );
     Trainer::new(profile.train_config()).fit(model.as_mut(), &data, &mut rng)
 }
 
@@ -187,7 +197,9 @@ impl MeanMetrics {
 
     /// `S Acc P R F1` row in percent, `N/A` for missing accuracy.
     pub fn row(&self) -> String {
-        let acc = self.acc.map_or(" N/A".to_owned(), |a| format!("{:5.1}", a * 100.0));
+        let acc = self
+            .acc
+            .map_or(" N/A".to_owned(), |a| format!("{:5.1}", a * 100.0));
         format!(
             "{:5.1} {acc} {:5.1} {:5.1} {:5.1}",
             self.sparsity * 100.0,
@@ -220,7 +232,10 @@ pub fn print_header(title: &str, profile: &Profile) {
         "(profile: {}, scale {:.2}, {} epochs, seeds {:?})",
         profile.name, profile.scale, profile.epochs, profile.seeds
     );
-    println!("{:<16} {:>5} {:>5} {:>5} {:>5} {:>5}", "method", "S", "Acc", "P", "R", "F1");
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>5} {:>5}",
+        "method", "S", "Acc", "P", "R", "F1"
+    );
 }
 
 #[cfg(test)]
@@ -250,7 +265,11 @@ mod tests {
             acc: Some(0.8),
             full_text_acc: None,
         };
-        let b = RationaleMetrics { precision: 0.6, acc: Some(0.9), ..a };
+        let b = RationaleMetrics {
+            precision: 0.6,
+            acc: Some(0.9),
+            ..a
+        };
         let m = MeanMetrics::of(&[a, b]);
         assert!((m.precision - 0.5).abs() < 1e-6);
         assert_eq!(m.acc, Some(0.85));
@@ -262,10 +281,23 @@ mod tests {
     fn registry_knows_all_paper_models() {
         let profile = Profile::quick();
         let data = dataset(Aspect::Palate, &profile, 1);
-        let cfg = RationaleConfig { emb_dim: 16, hidden: 12, ..Default::default() };
+        let cfg = RationaleConfig {
+            emb_dim: 16,
+            hidden: 12,
+            ..Default::default()
+        };
         let mut rng = dar_core::rng(2);
         let emb = SharedEmbedding::random(data.vocab.len(), cfg.emb_dim, &mut rng);
-        for name in ["RNP", "DAR", "A2R", "DMR", "Inter_RAT", "CAR", "3PLAYER", "VIB"] {
+        for name in [
+            "RNP",
+            "DAR",
+            "A2R",
+            "DMR",
+            "Inter_RAT",
+            "CAR",
+            "3PLAYER",
+            "VIB",
+        ] {
             let m = build_model(name, &cfg, &emb, &data, 1, &mut rng);
             assert_eq!(m.name(), name);
         }

@@ -82,7 +82,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 30, batch_size: 64, patience: Some(8), clip: 5.0, verbose: false }
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            patience: Some(8),
+            clip: 5.0,
+            verbose: false,
+        }
     }
 }
 

@@ -17,27 +17,42 @@ pub struct SharedEmbedding {
 
 impl Clone for SharedEmbedding {
     fn clone(&self) -> Self {
-        SharedEmbedding { table: self.table.clone(), dim: self.dim }
+        SharedEmbedding {
+            table: self.table.clone(),
+            dim: self.dim,
+        }
     }
 }
 
 impl SharedEmbedding {
     /// Pretrain GloVe-style vectors on the dataset's own corpus.
     pub fn pretrained(data: &AspectDataset, dim: usize, rng: &mut Rng) -> Self {
-        let cfg = GloveConfig { dim, epochs: 8, window: 4, ..Default::default() };
+        let cfg = GloveConfig {
+            dim,
+            epochs: 8,
+            window: 4,
+            ..Default::default()
+        };
         let table = GloveTrainer::new(cfg).train(&data.corpus(), data.vocab.len(), rng);
         Self::from_table(table, data.vocab.len(), dim)
     }
 
     /// Random (untrained) embeddings — faster for unit tests.
     pub fn random(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
-        Self::from_table(dar_tensor::init::normal(rng, vocab * dim, 0.0, 0.3), vocab, dim)
+        Self::from_table(
+            dar_tensor::init::normal(rng, vocab * dim, 0.0, 0.3),
+            vocab,
+            dim,
+        )
     }
 
     /// Wrap an existing `[vocab * dim]` table.
     pub fn from_table(table: Vec<f32>, vocab: usize, dim: usize) -> Self {
         let emb = Embedding::from_pretrained(table, vocab, dim, false);
-        SharedEmbedding { table: emb.table.clone(), dim }
+        SharedEmbedding {
+            table: emb.table.clone(),
+            dim,
+        }
     }
 
     /// Look up a padded batch into `[b, l, dim]`.

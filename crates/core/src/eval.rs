@@ -29,7 +29,9 @@ pub struct RationaleMetrics {
 impl RationaleMetrics {
     /// Render like a paper table row: `S  Acc  P  R  F1` in percent.
     pub fn row(&self) -> String {
-        let acc = self.acc.map_or("N/A ".to_owned(), |a| format!("{:5.1}", a * 100.0));
+        let acc = self
+            .acc
+            .map_or("N/A ".to_owned(), |a| format!("{:5.1}", a * 100.0));
         format!(
             "{:5.1} {acc} {:5.1} {:5.1} {:5.1}",
             self.sparsity * 100.0,
@@ -52,17 +54,29 @@ pub struct ClassMetrics {
 /// Compute [`ClassMetrics`] of predictions for one class.
 pub fn class_metrics(preds: &[usize], gold: &[usize], class: usize) -> ClassMetrics {
     assert_eq!(preds.len(), gold.len());
-    let tp = preds.iter().zip(gold).filter(|&(&p, &g)| p == class && g == class).count() as f32;
+    let tp = preds
+        .iter()
+        .zip(gold)
+        .filter(|&(&p, &g)| p == class && g == class)
+        .count() as f32;
     let pred_pos = preds.iter().filter(|&&p| p == class).count() as f32;
     let gold_pos = gold.iter().filter(|&&g| g == class).count() as f32;
     let precision = tp / pred_pos; // NaN when 0/0, as in Table I.
-    let recall = if gold_pos > 0.0 { tp / gold_pos } else { f32::NAN };
+    let recall = if gold_pos > 0.0 {
+        tp / gold_pos
+    } else {
+        f32::NAN
+    };
     let f1 = if precision.is_nan() || (precision + recall) == 0.0 {
         f32::NAN
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    ClassMetrics { precision, recall, f1 }
+    ClassMetrics {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Evaluate a model over annotated reviews.
@@ -85,9 +99,8 @@ pub fn evaluate_model(
         let inf = dar_tensor::no_grad(|| model.infer(&batch));
         for (i, rat) in batch.rationales.iter().enumerate() {
             let len = batch.lengths[i];
-            for t in 0..len {
+            for (t, &ann) in rat.iter().enumerate().take(len) {
                 let sel = inf.masks[i][t] > 0.5;
-                let ann = rat[t];
                 tp += (sel && ann) as usize;
                 selected += sel as usize;
                 annotated += ann as usize;
@@ -109,8 +122,16 @@ pub fn evaluate_model(
         n_pred += batch.len();
     }
 
-    let precision = if selected > 0 { tp as f32 / selected as f32 } else { 0.0 };
-    let recall = if annotated > 0 { tp as f32 / annotated as f32 } else { 0.0 };
+    let precision = if selected > 0 {
+        tp as f32 / selected as f32
+    } else {
+        0.0
+    };
+    let recall = if annotated > 0 {
+        tp as f32 / annotated as f32
+    } else {
+        0.0
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
@@ -120,7 +141,11 @@ pub fn evaluate_model(
         precision,
         recall,
         f1,
-        sparsity: if tokens > 0 { selected as f32 / tokens as f32 } else { 0.0 },
+        sparsity: if tokens > 0 {
+            selected as f32 / tokens as f32
+        } else {
+            0.0
+        },
         acc: has_logits.then(|| correct as f32 / n_pred as f32),
         full_text_acc: has_full.then(|| full_correct as f32 / n_pred as f32),
     }
@@ -175,7 +200,11 @@ mod tests {
                 logits[i * 2 + l] = 10.0;
             }
             let logits = Tensor::new(logits, &[batch.len(), 2]);
-            Inference { masks, logits: Some(logits.clone()), full_logits: Some(logits) }
+            Inference {
+                masks,
+                logits: Some(logits.clone()),
+                full_logits: Some(logits),
+            }
         }
     }
 

@@ -1,0 +1,269 @@
+//! Deterministic fault injection for exercising the fault-tolerant
+//! training runtime.
+//!
+//! A [`FaultPlan`] schedules one-shot faults — a non-finite loss at a given
+//! train step, NaN weights at a given step — and a [`FaultyModel`] wrapper
+//! fires them around an inner [`RationaleModel`] without the model knowing.
+//! File-corruption helpers ([`corrupt_truncate`], [`corrupt_bitflip`])
+//! damage checkpoint files the way crashed writers and bad disks do, seeded
+//! so every failure a test provokes is reproducible. [`malformed_review`]
+//! fabricates the out-of-vocabulary input that
+//! [`dar_data::Batch::from_reviews_checked`] must reject.
+
+use std::path::Path;
+
+use dar_data::Review;
+use dar_tensor::optim::AdamState;
+use dar_tensor::{DarError, DarResult, Rng, Tensor};
+use rand::Rng as _;
+
+use crate::models::{Inference, RationaleModel};
+
+/// One-shot fault schedule, counted in train steps of the wrapped model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Return a NaN loss from this (0-based) train step.
+    pub nan_loss_at_step: Option<usize>,
+    /// Poison the first parameter tensor with NaNs after this step —
+    /// simulates a numerically diverged update reaching the weights.
+    pub nan_weights_at_step: Option<usize>,
+    /// Add this to every loss (drives the spike guard without breaking
+    /// finiteness) at the scheduled step.
+    pub loss_spike_at_step: Option<(usize, f32)>,
+    /// Return NaN losses from this step *onward* — a persistent fault no
+    /// amount of rollback can outrun (exhausts the retry budget).
+    pub nan_loss_from_step: Option<usize>,
+}
+
+impl FaultPlan {
+    /// No faults; the wrapper is transparent.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn nan_loss_at(step: usize) -> Self {
+        FaultPlan {
+            nan_loss_at_step: Some(step),
+            ..Default::default()
+        }
+    }
+
+    pub fn nan_weights_at(step: usize) -> Self {
+        FaultPlan {
+            nan_weights_at_step: Some(step),
+            ..Default::default()
+        }
+    }
+
+    pub fn loss_spike_at(step: usize, magnitude: f32) -> Self {
+        FaultPlan {
+            loss_spike_at_step: Some((step, magnitude)),
+            ..Default::default()
+        }
+    }
+
+    pub fn nan_loss_from(step: usize) -> Self {
+        FaultPlan {
+            nan_loss_from_step: Some(step),
+            ..Default::default()
+        }
+    }
+}
+
+/// Wraps a model and fires the [`FaultPlan`] during training. Inference,
+/// parameters, snapshots, and optimizer state pass straight through, so
+/// the wrapper composes with checkpointing and the guards.
+pub struct FaultyModel<M: RationaleModel> {
+    inner: M,
+    plan: FaultPlan,
+    step: usize,
+    /// Train steps observed (for assertions in tests).
+    pub steps_taken: usize,
+}
+
+impl<M: RationaleModel> FaultyModel<M> {
+    pub fn new(inner: M, plan: FaultPlan) -> Self {
+        FaultyModel {
+            inner,
+            plan,
+            step: 0,
+            steps_taken: 0,
+        }
+    }
+
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: RationaleModel> RationaleModel for FaultyModel<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        self.inner.params()
+    }
+
+    fn train_step(&mut self, batch: &dar_data::Batch, rng: &mut Rng) -> f32 {
+        let step = self.step;
+        self.step += 1;
+        self.steps_taken += 1;
+        let mut loss = self.inner.train_step(batch, rng);
+        if self.plan.nan_loss_at_step == Some(step) {
+            loss = f32::NAN;
+        }
+        if self.plan.nan_weights_at_step == Some(step) {
+            if let Some(p) = self.inner.params().first() {
+                p.set_values(vec![f32::NAN; p.len()]);
+            }
+        }
+        if let Some((s, magnitude)) = self.plan.loss_spike_at_step {
+            if s == step {
+                loss += magnitude;
+            }
+        }
+        if self.plan.nan_loss_from_step.is_some_and(|s| step >= s) {
+            loss = f32::NAN;
+        }
+        loss
+    }
+
+    fn infer(&self, batch: &dar_data::Batch) -> Inference {
+        self.inner.infer(batch)
+    }
+
+    fn player_modules(&self) -> (usize, usize) {
+        self.inner.player_modules()
+    }
+
+    fn optim_states(&self) -> Vec<AdamState> {
+        self.inner.optim_states()
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        self.inner.restore_optim(states)
+    }
+}
+
+/// Truncate a checkpoint file to a seeded random strict prefix — what a
+/// crash mid-write (without the atomic rename) leaves behind.
+pub fn corrupt_truncate(path: impl AsRef<Path>, seed: u64) -> DarResult<u64> {
+    let path = path.as_ref();
+    let len = std::fs::metadata(path)?.len();
+    if len == 0 {
+        return Err(DarError::InvalidData(
+            "cannot truncate an empty file".to_owned(),
+        ));
+    }
+    let mut rng = dar_tensor::rng(seed);
+    let keep = rng.gen_range(0..len);
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    Ok(keep)
+}
+
+/// Flip one seeded random bit in the file — a disk/transfer error. Returns
+/// the (byte, bit) flipped.
+pub fn corrupt_bitflip(path: impl AsRef<Path>, seed: u64) -> DarResult<(usize, u8)> {
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(DarError::InvalidData(
+            "cannot bit-flip an empty file".to_owned(),
+        ));
+    }
+    let mut rng = dar_tensor::rng(seed);
+    let byte = rng.gen_range(0..bytes.len());
+    let bit = rng.gen_range(0u8..8);
+    bytes[byte] ^= 1 << bit;
+    std::fs::write(path, &bytes)?;
+    Ok((byte, bit))
+}
+
+/// A review whose ids stray outside the vocabulary — the malformed batch
+/// the checked loader must reject.
+pub fn malformed_review(vocab_size: usize, seed: u64) -> Review {
+    let mut rng = dar_tensor::rng(seed);
+    let len = rng.gen_range(3usize..12);
+    let mut ids: Vec<usize> = (0..len)
+        .map(|_| rng.gen_range(0..vocab_size.max(1)))
+        .collect();
+    let bad = rng.gen_range(0..len);
+    ids[bad] = vocab_size + rng.gen_range(1usize..1000);
+    Review {
+        rationale: vec![false; ids.len()],
+        label: rng.gen_range(0usize..2),
+        first_sentence_end: 1,
+        ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_data::Batch;
+    use dar_tensor::serial;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dar_fault_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn truncated_checkpoint_never_loads() {
+        let path = tmpfile("trunc");
+        serial::save_path(&path, &[Tensor::param(vec![1.0; 32], &[32])]).unwrap();
+        for seed in 0..20 {
+            serial::save_path(&path, &[Tensor::param(vec![1.0; 32], &[32])]).unwrap();
+            corrupt_truncate(&path, seed).unwrap();
+            assert!(
+                serial::load_checkpoint_path(&path).is_err(),
+                "truncation with seed {seed} loaded"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bitflipped_checkpoint_never_loads() {
+        let path = tmpfile("flip");
+        for seed in 0..20 {
+            serial::save_path(&path, &[Tensor::param(vec![0.25; 16], &[4, 4])]).unwrap();
+            let (byte, bit) = corrupt_bitflip(&path, seed).unwrap();
+            assert!(
+                serial::load_checkpoint_path(&path).is_err(),
+                "flip of byte {byte} bit {bit} (seed {seed}) loaded"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corruption_is_seeded_and_reproducible() {
+        let a = tmpfile("repro_a");
+        let b = tmpfile("repro_b");
+        for p in [&a, &b] {
+            serial::save_path(p, &[Tensor::param(vec![1.5; 64], &[64])]).unwrap();
+        }
+        assert_eq!(
+            corrupt_bitflip(&a, 7).unwrap(),
+            corrupt_bitflip(&b, 7).unwrap()
+        );
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn malformed_review_is_rejected_by_checked_loader() {
+        for seed in 0..10 {
+            let bad = malformed_review(50, seed);
+            match Batch::from_reviews_checked(&[&bad], 50) {
+                Err(DarError::TokenOutOfRange { .. }) => {}
+                Err(other) => panic!("seed {seed}: wrong error {other:?}"),
+                Ok(_) => panic!("seed {seed}: malformed review accepted"),
+            }
+        }
+    }
+}

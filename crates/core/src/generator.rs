@@ -70,7 +70,12 @@ impl Generator {
     ) -> Self {
         let encoder = Encoder::new(cfg, embedding.vocab(), max_len, rng);
         let head = Linear::new(rng, cfg.enc_out_dim(), 2);
-        Generator { embedding: embedding.clone(), encoder, head, tau: cfg.tau }
+        Generator {
+            embedding: embedding.clone(),
+            encoder,
+            head,
+            tau: cfg.tau,
+        }
     }
 
     /// Per-token selection logits `[b*l, 2]` for a batch.
@@ -103,7 +108,11 @@ impl Generator {
         let logits = self.selection_logits(batch);
         let b = batch.len();
         let l = batch.seq_len();
-        logits.softmax().narrow(1, 1, 1).reshape(&[b, l]).mul(&batch.mask)
+        logits
+            .softmax()
+            .narrow(1, 1, 1)
+            .reshape(&[b, l])
+            .mul(&batch.mask)
     }
 }
 
@@ -130,13 +139,17 @@ mod tests {
             })
             .collect();
         let refs: Vec<&Review> = reviews.iter().collect();
-        Batch::from_reviews(&refs)
+        Batch::from_reviews(&refs).expect("non-empty fixture")
     }
 
     fn generator() -> (Generator, Batch) {
         let mut rng = dar_tensor::rng(0);
         let emb = SharedEmbedding::random(16, 8, &mut rng);
-        let cfg = RationaleConfig { emb_dim: 8, hidden: 6, ..Default::default() };
+        let cfg = RationaleConfig {
+            emb_dim: 8,
+            hidden: 6,
+            ..Default::default()
+        };
         (Generator::new(&cfg, &emb, 16, &mut rng), batch())
     }
 
@@ -159,7 +172,10 @@ mod tests {
     #[test]
     fn eval_mask_is_deterministic() {
         let (g, b) = generator();
-        assert_eq!(g.sample_mask(&b, None).to_vec(), g.sample_mask(&b, None).to_vec());
+        assert_eq!(
+            g.sample_mask(&b, None).to_vec(),
+            g.sample_mask(&b, None).to_vec()
+        );
     }
 
     #[test]

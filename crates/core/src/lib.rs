@@ -39,7 +39,9 @@
 pub mod config;
 pub mod embedder;
 pub mod eval;
+pub mod fault;
 pub mod generator;
+pub mod guard;
 pub mod models;
 pub mod predictor;
 pub mod pretrain;
@@ -51,6 +53,7 @@ pub use config::{EncoderKind, RationaleConfig, TrainConfig};
 pub use embedder::SharedEmbedding;
 pub use eval::{class_metrics, evaluate_model, ClassMetrics, RationaleMetrics};
 pub use generator::Generator;
+pub use guard::{GuardPolicy, GuardedReport, GuardedTrainer, TrainEvent};
 pub use models::{Inference, RationaleModel};
 pub use predictor::Predictor;
 pub use trainer::{TrainReport, Trainer};
@@ -62,7 +65,9 @@ pub mod prelude {
     pub use crate::config::{EncoderKind, RationaleConfig, TrainConfig};
     pub use crate::embedder::SharedEmbedding;
     pub use crate::eval::{class_metrics, evaluate_model, RationaleMetrics};
+    pub use crate::fault::{FaultPlan, FaultyModel};
     pub use crate::generator::Generator;
+    pub use crate::guard::{GuardPolicy, GuardReason, GuardedReport, GuardedTrainer, TrainEvent};
     pub use crate::models::{
         A2r, Car, Dar, Dmr, Inference, InterRat, RationaleModel, Rnp, ThreePlayer, Vib,
     };

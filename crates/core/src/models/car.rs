@@ -11,8 +11,8 @@ use dar_data::Batch;
 use dar_nn::gumbel::{gumbel_softmax_st, hard_softmax_st};
 use dar_nn::loss::cross_entropy;
 use dar_nn::{Linear, Module};
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -58,8 +58,8 @@ impl ClassConditionalGenerator {
         let s = h.shape().to_vec();
         let (b, l) = (s[0], s[1]);
         let all = self.head.forward(&h.reshape(&[b * l, s[2]])); // [b*l, 2c]
-        // Select the class-pair columns per row with a one-hot bmm:
-        // [b, l, 2c] @ [b, 2c, 2] -> [b, l, 2].
+                                                                 // Select the class-pair columns per row with a one-hot bmm:
+                                                                 // [b, l, 2c] @ [b, 2c, 2] -> [b, l, 2].
         let mut sel = vec![0.0f32; b * 2 * self.classes * 2];
         for (i, &c) in classes.iter().enumerate() {
             assert!(c < self.classes, "conditioning class out of range");
@@ -68,7 +68,9 @@ impl ClassConditionalGenerator {
             sel[base + (2 * c + 1) * 2 + 1] = 1.0;
         }
         let sel = Tensor::new(sel, &[b, 2 * self.classes, 2]);
-        all.reshape(&[b, l, 2 * self.classes]).bmm(&sel).reshape(&[b * l, 2])
+        all.reshape(&[b, l, 2 * self.classes])
+            .bmm(&sel)
+            .reshape(&[b * l, 2])
     }
 
     /// Binary mask conditioned on `classes` (one per row).
@@ -137,12 +139,16 @@ impl RationaleModel for Car {
 
         // Phase 1: discriminator learns to classify factual rationales as
         // their class and to resist counterfactual ones (detached masks).
-        let z_fact = self.gen.sample_mask(batch, &batch.labels, Some(rng)).detach();
+        let z_fact = self
+            .gen
+            .sample_mask(batch, &batch.labels, Some(rng))
+            .detach();
         let z_cf = self.gen.sample_mask(batch, &flipped, Some(rng)).detach();
         let d_params = self.disc.params();
         zero_grads(&d_params);
-        let d_loss = cross_entropy(&self.disc.forward_masked(batch, &z_fact), &batch.labels)
-            .add(&cross_entropy(&self.disc.forward_masked(batch, &z_cf), &batch.labels));
+        let d_loss = cross_entropy(&self.disc.forward_masked(batch, &z_fact), &batch.labels).add(
+            &cross_entropy(&self.disc.forward_masked(batch, &z_cf), &batch.labels),
+        );
         d_loss.backward();
         clip_grad_norm(&d_params, self.clip);
         self.opt_disc.step(&d_params);
@@ -169,11 +175,30 @@ impl RationaleModel for Car {
         d_loss.item() + g_loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![
+            self.opt_gen.export_state(&self.gen.params()),
+            self.opt_disc.export_state(&self.disc.params()),
+        ]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [g, d] = super::expect_states::<2>(self.name(), states)?;
+        let g_params = self.gen.params();
+        self.opt_gen.import_state(&g_params, g)?;
+        let d_params = self.disc.params();
+        self.opt_disc.import_state(&d_params, d)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         // Factual rationale for the gold label; no rationale-input
         // accuracy, as in the paper's tables.
         let z = self.gen.sample_mask(batch, &batch.labels, None);
-        Inference { masks: mask_rows(&z, batch), logits: None, full_logits: None }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: None,
+            full_logits: None,
+        }
     }
 
     /// 1 generator + 2 predictors' worth of modules (Table IV counts the

@@ -10,8 +10,8 @@
 use dar_data::Batch;
 use dar_nn::loss::cross_entropy;
 use dar_nn::Module;
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -95,11 +95,25 @@ impl RationaleModel for Dar {
         loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![self.opt.export_state(&self.params())]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [s] = super::expect_states::<1>(self.name(), states)?;
+        let params = self.params();
+        self.opt.import_state(&params, s)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, None);
         let logits = self.pred.forward_masked(batch, &z);
         let full = self.pred.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: Some(logits), full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: Some(logits),
+            full_logits: Some(full),
+        }
     }
 
     /// 1 generator + 2 predictors (Table IV).
@@ -128,8 +142,7 @@ mod tests {
     #[test]
     fn discriminator_is_frozen_by_training() {
         let (mut model, data) = build(20);
-        let before: Vec<Vec<f32>> =
-            model.disc.params().iter().map(|p| p.to_vec()).collect();
+        let before: Vec<Vec<f32>> = model.disc.params().iter().map(|p| p.to_vec()).collect();
         let mut rng = dar_tensor::rng(1);
         for batch in BatchIter::shuffled(&data.train, 32, &mut rng).take(3) {
             model.train_step(&batch, &mut rng);
@@ -150,9 +163,16 @@ mod tests {
         let disc_logits = model.disc.forward_masked(&batch, &z);
         zero_grads(&model.gen.params());
         dar_nn::loss::cross_entropy(&disc_logits, &batch.labels).backward();
-        let touched =
-            model.gen.params().iter().filter(|p| p.grad_vec().is_some()).count();
-        assert!(touched > 0, "no gradient reached the generator through predictor^t");
+        let touched = model
+            .gen
+            .params()
+            .iter()
+            .filter(|p| p.grad_vec().is_some())
+            .count();
+        assert!(
+            touched > 0,
+            "no gradient reached the generator through predictor^t"
+        );
     }
 
     #[test]

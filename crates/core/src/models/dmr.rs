@@ -10,8 +10,8 @@
 use dar_data::Batch;
 use dar_nn::loss::{cross_entropy, kl_div_logits};
 use dar_nn::Module;
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -81,12 +81,26 @@ impl RationaleModel for Dmr {
         loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![self.opt.export_state(&self.params())]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [s] = super::expect_states::<1>(self.name(), states)?;
+        let params = self.params();
+        self.opt.import_state(&params, s)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, &batch.labels, None);
         // Label-conditioned selection → no honest rationale-input Acc;
         // the teacher's full-text probe is still reportable.
         let full = self.teacher.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: None, full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: None,
+            full_logits: Some(full),
+        }
     }
 
     /// Paper Table IV counts DMR as 1 generator + 3 predictors (4×
@@ -134,8 +148,7 @@ mod tests {
         let emb = tiny_embedding(&data, 94);
         let mut rng = dar_tensor::rng(95);
         let mut model = Dmr::new(&cfg, &emb, max_len(&data), &mut rng);
-        let before: Vec<Vec<f32>> =
-            model.teacher.params().iter().map(|p| p.to_vec()).collect();
+        let before: Vec<Vec<f32>> = model.teacher.params().iter().map(|p| p.to_vec()).collect();
         let batch = BatchIter::sequential(&data.train, 16).next().unwrap();
         model.train_step(&batch, &mut rng);
         let changed = model

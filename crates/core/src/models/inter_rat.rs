@@ -11,8 +11,8 @@ use rand::Rng as _;
 use dar_data::Batch;
 use dar_nn::loss::cross_entropy;
 use dar_nn::Module;
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -50,7 +50,13 @@ impl InterRat {
     /// are replaced by tokens drawn from other reviews in the batch.
     fn intervene(&self, batch: &Batch, z: &[f32], rng: &mut Rng) -> Batch {
         let l = batch.seq_len();
-        let pool: Vec<usize> = batch.ids.iter().flatten().copied().filter(|&t| t != 0).collect();
+        let pool: Vec<usize> = batch
+            .ids
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&t| t != 0)
+            .collect();
         let mut ids = batch.ids.clone();
         let mask = batch.mask.to_vec();
         for (i, row) in ids.iter_mut().enumerate() {
@@ -107,11 +113,25 @@ impl RationaleModel for InterRat {
         loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![self.opt.export_state(&self.params())]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [s] = super::expect_states::<1>(self.name(), states)?;
+        let params = self.params();
+        self.opt.import_state(&params, s)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, None);
         let logits = self.pred.forward_masked(batch, &z);
         let full = self.pred.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: Some(logits), full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: Some(logits),
+            full_logits: Some(full),
+        }
     }
 
     fn player_modules(&self) -> (usize, usize) {

@@ -20,7 +20,8 @@ pub use three_player::ThreePlayer;
 pub use vib::Vib;
 
 use dar_data::Batch;
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::AdamState;
+use dar_tensor::{DarError, DarResult, Rng, Tensor};
 
 /// Deterministic inference output of a model on one batch.
 pub struct Inference {
@@ -71,6 +72,42 @@ pub trait RationaleModel {
     fn num_params(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
     }
+
+    /// Export every optimizer's durable state for checkpointing, in a
+    /// model-defined canonical order. The default (no optimizers) suits
+    /// inference-only wrappers; trainable models override this together
+    /// with [`Self::restore_optim`] so a resumed run replays the exact
+    /// Adam moments of the interrupted one.
+    fn optim_states(&self) -> Vec<AdamState> {
+        Vec::new()
+    }
+
+    /// Restore optimizer state exported by [`Self::optim_states`] on an
+    /// identically-constructed model.
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        if states.is_empty() {
+            Ok(())
+        } else {
+            Err(DarError::InvalidData(format!(
+                "{} optimizer states for a model without optimizers",
+                states.len()
+            )))
+        }
+    }
+}
+
+/// Guard for the fixed-arity optimizer-state handshake in
+/// [`RationaleModel::restore_optim`] implementations.
+pub(crate) fn expect_states<'a, const N: usize>(
+    model: &str,
+    states: &'a [AdamState],
+) -> DarResult<&'a [AdamState; N]> {
+    states.try_into().map_err(|_| {
+        DarError::InvalidData(format!(
+            "{model} expects {N} optimizer states, checkpoint has {}",
+            states.len()
+        ))
+    })
 }
 
 /// Convert a mask tensor `[b, l]` into per-review rows.
@@ -113,7 +150,11 @@ pub(crate) mod test_support {
     }
 
     pub fn tiny_embedding(data: &AspectDataset, seed: u64) -> SharedEmbedding {
-        SharedEmbedding::random(data.vocab.len(), tiny_config().emb_dim, &mut dar_tensor::rng(seed))
+        SharedEmbedding::random(
+            data.vocab.len(),
+            tiny_config().emb_dim,
+            &mut dar_tensor::rng(seed),
+        )
     }
 
     /// Max sequence length across splits (encoder sizing).

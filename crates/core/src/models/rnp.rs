@@ -4,8 +4,8 @@
 use dar_data::Batch;
 use dar_nn::loss::cross_entropy;
 use dar_nn::Module;
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -91,11 +91,25 @@ impl RationaleModel for Rnp {
         loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![self.opt.export_state(&self.params())]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [s] = super::expect_states::<1>(self.name(), states)?;
+        let params = self.params();
+        self.opt.import_state(&params, s)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, None);
         let logits = self.pred.forward_masked(batch, &z);
         let full = self.pred.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: Some(logits), full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: Some(logits),
+            full_logits: Some(full),
+        }
     }
 
     fn player_modules(&self) -> (usize, usize) {
@@ -106,7 +120,7 @@ impl RationaleModel for Rnp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::test_support::{tiny_config, tiny_dataset, tiny_embedding, max_len};
+    use crate::models::test_support::{max_len, tiny_config, tiny_dataset, tiny_embedding};
     use dar_data::BatchIter;
 
     #[test]

@@ -7,8 +7,8 @@
 use dar_data::Batch;
 use dar_nn::loss::cross_entropy;
 use dar_nn::Module;
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -97,11 +97,33 @@ impl RationaleModel for ThreePlayer {
         c_loss.item() + loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        let mut main_params = self.gen.params();
+        main_params.extend(self.pred.params());
+        vec![
+            self.opt_main.export_state(&main_params),
+            self.opt_comp.export_state(&self.comp.params()),
+        ]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [m, c] = super::expect_states::<2>(self.name(), states)?;
+        let mut main_params = self.gen.params();
+        main_params.extend(self.pred.params());
+        self.opt_main.import_state(&main_params, m)?;
+        let c_params = self.comp.params();
+        self.opt_comp.import_state(&c_params, c)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, None);
         let logits = self.pred.forward_masked(batch, &z);
         let full = self.pred.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: Some(logits), full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: Some(logits),
+            full_logits: Some(full),
+        }
     }
 
     fn player_modules(&self) -> (usize, usize) {

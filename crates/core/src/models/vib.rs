@@ -7,8 +7,8 @@
 use dar_data::Batch;
 use dar_nn::loss::cross_entropy;
 use dar_nn::Module;
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 
 use crate::config::RationaleConfig;
 use crate::embedder::SharedEmbedding;
@@ -80,11 +80,25 @@ impl RationaleModel for Vib {
         loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![self.opt.export_state(&self.params())]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [s] = super::expect_states::<1>(self.name(), states)?;
+        let params = self.params();
+        self.opt.import_state(&params, s)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, None);
         let logits = self.pred.forward_masked(batch, &z);
         let full = self.pred.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: Some(logits), full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: Some(logits),
+            full_logits: Some(full),
+        }
     }
 
     fn player_modules(&self) -> (usize, usize) {
@@ -101,7 +115,10 @@ mod tests {
     #[test]
     fn kl_zero_when_probs_match_prior() {
         let data = tiny_dataset(120);
-        let cfg = RationaleConfig { sparsity: 0.5, ..tiny_config() };
+        let cfg = RationaleConfig {
+            sparsity: 0.5,
+            ..tiny_config()
+        };
         let emb = tiny_embedding(&data, 121);
         let mut rng = dar_tensor::rng(122);
         let model = Vib::new(&cfg, &emb, max_len(&data), &mut rng);

@@ -27,7 +27,11 @@ impl Predictor {
     ) -> Self {
         let encoder = Encoder::new(cfg, embedding.vocab(), max_len, rng);
         let head = Linear::new(rng, cfg.enc_out_dim(), cfg.classes);
-        Predictor { embedding: embedding.clone(), encoder, head }
+        Predictor {
+            embedding: embedding.clone(),
+            encoder,
+            head,
+        }
     }
 
     /// Classify from a rationale: embeddings are multiplied by the binary
@@ -74,13 +78,17 @@ mod tests {
             })
             .collect();
         let refs: Vec<&Review> = reviews.iter().collect();
-        Batch::from_reviews(&refs)
+        Batch::from_reviews(&refs).expect("non-empty fixture")
     }
 
     fn predictor() -> Predictor {
         let mut rng = dar_tensor::rng(0);
         let emb = SharedEmbedding::random(32, 8, &mut rng);
-        let cfg = RationaleConfig { emb_dim: 8, hidden: 6, ..Default::default() };
+        let cfg = RationaleConfig {
+            emb_dim: 8,
+            hidden: 6,
+            ..Default::default()
+        };
         Predictor::new(&cfg, &emb, 16, &mut rng)
     }
 
@@ -98,8 +106,12 @@ mod tests {
     fn exclusion_certified() {
         let p = predictor();
         let z = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
-        let a = p.forward_masked(&batch_from(vec![vec![3, 4, 5]]), &z).to_vec();
-        let b = p.forward_masked(&batch_from(vec![vec![3, 29, 5]]), &z).to_vec();
+        let a = p
+            .forward_masked(&batch_from(vec![vec![3, 4, 5]]), &z)
+            .to_vec();
+        let b = p
+            .forward_masked(&batch_from(vec![vec![3, 29, 5]]), &z)
+            .to_vec();
         assert_eq!(a, b, "unselected token influenced the prediction");
     }
 
@@ -108,8 +120,12 @@ mod tests {
     fn selected_tokens_matter() {
         let p = predictor();
         let z = Tensor::new(vec![1.0, 0.0, 1.0], &[1, 3]);
-        let a = p.forward_masked(&batch_from(vec![vec![3, 4, 5]]), &z).to_vec();
-        let b = p.forward_masked(&batch_from(vec![vec![17, 4, 5]]), &z).to_vec();
+        let a = p
+            .forward_masked(&batch_from(vec![vec![3, 4, 5]]), &z)
+            .to_vec();
+        let b = p
+            .forward_masked(&batch_from(vec![vec![17, 4, 5]]), &z)
+            .to_vec();
         assert_ne!(a, b, "selected token had no influence");
     }
 

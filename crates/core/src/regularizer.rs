@@ -65,14 +65,17 @@ mod tests {
             })
             .collect();
         let refs: Vec<&Review> = reviews.iter().collect();
-        Batch::from_reviews(&refs)
+        Batch::from_reviews(&refs).expect("non-empty fixture")
     }
 
     #[test]
     fn sparsity_zero_at_target() {
         let b = batch(&[4]);
         let z = Tensor::new(vec![1.0, 1.0, 0.0, 0.0], &[1, 4]);
-        let cfg = RationaleConfig { sparsity: 0.5, ..Default::default() };
+        let cfg = RationaleConfig {
+            sparsity: 0.5,
+            ..Default::default()
+        };
         assert!(sparsity_loss(&z, &b, cfg.sparsity).item().abs() < 1e-6);
     }
 

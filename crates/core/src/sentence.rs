@@ -10,8 +10,8 @@ use dar_data::Batch;
 use dar_nn::gumbel::{gumbel_softmax_st, hard_softmax_st};
 use dar_nn::loss::cross_entropy;
 use dar_nn::{Linear, Module};
-use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, Optimizer};
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::optim::{clip_grad_norm, zero_grads, Adam, AdamState, Optimizer};
+use dar_tensor::{DarResult, Rng, Tensor};
 use dar_text::Vocab;
 
 use crate::config::RationaleConfig;
@@ -147,7 +147,10 @@ impl SentenceGenerator {
             }
         }
         let member_t = Tensor::new(member, &[b, s_max, l]);
-        sel.reshape(&[b, 1, s_max]).bmm(&member_t).reshape(&[b, l]).mul(&batch.mask)
+        sel.reshape(&[b, 1, s_max])
+            .bmm(&member_t)
+            .reshape(&[b, l])
+            .mul(&batch.mask)
     }
 }
 
@@ -210,11 +213,25 @@ impl RationaleModel for SentenceRnp {
         loss.item()
     }
 
+    fn optim_states(&self) -> Vec<AdamState> {
+        vec![self.opt.export_state(&self.params())]
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        let [s] = crate::models::expect_states::<1>(self.name(), states)?;
+        let params = self.params();
+        self.opt.import_state(&params, s)
+    }
+
     fn infer(&self, batch: &Batch) -> Inference {
         let z = self.gen.sample_mask(batch, None);
         let logits = self.pred.forward_masked(batch, &z);
         let full = self.pred.forward_full(batch);
-        Inference { masks: mask_rows(&z, batch), logits: Some(logits), full_logits: Some(full) }
+        Inference {
+            masks: mask_rows(&z, batch),
+            logits: Some(logits),
+            full_logits: Some(full),
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use rand::seq::SliceRandom;
 
-use dar_tensor::{Rng, Tensor};
+use dar_tensor::{DarError, DarResult, Rng, Tensor};
 use dar_text::vocab::PAD;
 
 use crate::review::Review;
@@ -23,8 +23,42 @@ pub struct Batch {
 
 impl Batch {
     /// Assemble a batch from reviews, padding to the longest.
-    pub fn from_reviews(reviews: &[&Review]) -> Batch {
-        assert!(!reviews.is_empty(), "empty batch");
+    ///
+    /// Errors with [`DarError::EmptyBatch`] on an empty slice. Token ids
+    /// are *not* validated here — use [`Self::from_reviews_checked`] when
+    /// the data comes from outside the trusted synthetic generators.
+    pub fn from_reviews(reviews: &[&Review]) -> DarResult<Batch> {
+        if reviews.is_empty() {
+            return Err(DarError::EmptyBatch);
+        }
+        Ok(Self::build(reviews))
+    }
+
+    /// Assemble a batch and validate every token id against the vocabulary
+    /// size, so a malformed review can never cause an out-of-bounds
+    /// embedding lookup downstream.
+    pub fn from_reviews_checked(reviews: &[&Review], vocab_size: usize) -> DarResult<Batch> {
+        if reviews.is_empty() {
+            return Err(DarError::EmptyBatch);
+        }
+        let mut position = 0usize;
+        for r in reviews {
+            for &token in &r.ids {
+                if token >= vocab_size {
+                    return Err(DarError::TokenOutOfRange {
+                        position,
+                        token,
+                        vocab: vocab_size,
+                    });
+                }
+                position += 1;
+            }
+        }
+        Ok(Self::build(reviews))
+    }
+
+    /// Infallible assembly; callers guarantee `reviews` is non-empty.
+    fn build(reviews: &[&Review]) -> Batch {
         let max_len = reviews.iter().map(|r| r.len()).max().unwrap_or(1).max(1);
         let b = reviews.len();
         let mut ids = Vec::with_capacity(b);
@@ -45,7 +79,13 @@ impl Batch {
             labels.push(r.label);
             lengths.push(r.len());
         }
-        Batch { ids, mask: Tensor::new(mask, &[b, max_len]), labels, rationales, lengths }
+        Batch {
+            ids,
+            mask: Tensor::new(mask, &[b, max_len]),
+            labels,
+            rationales,
+            lengths,
+        }
     }
 
     /// Batch size.
@@ -77,13 +117,23 @@ impl<'a> BatchIter<'a> {
         assert!(batch_size > 0, "batch size must be positive");
         let mut order: Vec<usize> = (0..reviews.len()).collect();
         order.shuffle(rng);
-        BatchIter { reviews, order, batch_size, cursor: 0 }
+        BatchIter {
+            reviews,
+            order,
+            batch_size,
+            cursor: 0,
+        }
     }
 
     /// In-order batches (evaluation).
     pub fn sequential(reviews: &'a [Review], batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchIter { reviews, order: (0..reviews.len()).collect(), batch_size, cursor: 0 }
+        BatchIter {
+            reviews,
+            order: (0..reviews.len()).collect(),
+            batch_size,
+            cursor: 0,
+        }
     }
 }
 
@@ -95,10 +145,13 @@ impl Iterator for BatchIter<'_> {
             return None;
         }
         let end = (self.cursor + self.batch_size).min(self.order.len());
-        let rows: Vec<&Review> =
-            self.order[self.cursor..end].iter().map(|&i| &self.reviews[i]).collect();
+        let rows: Vec<&Review> = self.order[self.cursor..end]
+            .iter()
+            .map(|&i| &self.reviews[i])
+            .collect();
         self.cursor = end;
-        Some(Batch::from_reviews(&rows))
+        // `cursor < order.len()` guarantees a non-empty chunk.
+        Some(Batch::build(&rows))
     }
 }
 
@@ -118,10 +171,50 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_an_error_not_a_panic() {
+        assert!(matches!(
+            Batch::from_reviews(&[]),
+            Err(DarError::EmptyBatch)
+        ));
+        assert!(matches!(
+            Batch::from_reviews_checked(&[], 100),
+            Err(DarError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn checked_assembly_rejects_out_of_vocab_tokens() {
+        let good = Review {
+            ids: vec![3, 4],
+            label: 0,
+            rationale: vec![true, false],
+            first_sentence_end: 1,
+        };
+        let bad = Review {
+            ids: vec![3, 250],
+            label: 1,
+            rationale: vec![false, true],
+            first_sentence_end: 1,
+        };
+        assert!(Batch::from_reviews_checked(&[&good], 10).is_ok());
+        match Batch::from_reviews_checked(&[&good, &bad], 10) {
+            Err(DarError::TokenOutOfRange {
+                position,
+                token,
+                vocab,
+            }) => {
+                assert_eq!((position, token, vocab), (3, 250, 10));
+            }
+            Err(other) => panic!("wrong error: {other:?}"),
+            Ok(_) => panic!("out-of-vocab token accepted"),
+        }
+    }
+
+    #[test]
     fn padding_and_mask() {
         let rs = reviews();
         let refs: Vec<&Review> = rs.iter().collect();
-        let b = Batch::from_reviews(&refs);
+        let b = Batch::from_reviews(&refs).unwrap();
         assert_eq!(b.seq_len(), 5);
         assert_eq!(b.ids[0], vec![10, 0, 0, 0, 0]);
         let m = b.mask.to_vec();

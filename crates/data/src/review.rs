@@ -1,5 +1,6 @@
 //! Review and dataset containers.
 
+use dar_tensor::{DarError, DarResult};
 use dar_text::Vocab;
 
 use crate::synth::Aspect;
@@ -75,7 +76,54 @@ impl AspectDataset {
         if self.test.is_empty() {
             return 0.0;
         }
-        self.test.iter().map(Review::rationale_sparsity).sum::<f32>() / self.test.len() as f32
+        self.test
+            .iter()
+            .map(Review::rationale_sparsity)
+            .sum::<f32>()
+            / self.test.len() as f32
+    }
+
+    /// Validate the whole dataset before training: every token id must be
+    /// in vocabulary, annotations must be parallel to the ids, and labels
+    /// binary. Run this on any data that did not come from the trusted
+    /// synthetic generators (e.g. a corrupted or malformed on-disk dump)
+    /// so a bad review surfaces as an error instead of an out-of-bounds
+    /// embedding lookup deep inside a training step.
+    pub fn validate(&self) -> DarResult<()> {
+        let vocab = self.vocab.len();
+        let mut position = 0usize;
+        for r in self.train.iter().chain(&self.dev).chain(&self.test) {
+            if r.ids.is_empty() {
+                return Err(DarError::InvalidData(format!(
+                    "empty review at token position {position} in '{}'",
+                    self.name
+                )));
+            }
+            if r.rationale.len() != r.ids.len() {
+                return Err(DarError::InvalidData(format!(
+                    "rationale length {} does not match {} ids (position {position})",
+                    r.rationale.len(),
+                    r.ids.len()
+                )));
+            }
+            if r.label > 1 {
+                return Err(DarError::InvalidData(format!(
+                    "non-binary label {} (position {position})",
+                    r.label
+                )));
+            }
+            for &token in &r.ids {
+                if token >= vocab {
+                    return Err(DarError::TokenOutOfRange {
+                        position,
+                        token,
+                        vocab,
+                    });
+                }
+                position += 1;
+            }
+        }
+        Ok(())
     }
 
     /// All id sequences (for embedding pretraining).
@@ -123,5 +171,59 @@ mod tests {
         let mut r = review();
         r.first_sentence_end = 100;
         assert_eq!(r.first_sentence().len(), 6);
+    }
+
+    fn dataset() -> AspectDataset {
+        let vocab = Vocab::build(
+            ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]
+                .iter()
+                .copied(),
+            1,
+        );
+        AspectDataset {
+            name: "unit".to_owned(),
+            aspect: Aspect::Aroma,
+            train: vec![review()],
+            dev: vec![review()],
+            test: vec![review()],
+            vocab,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_data() {
+        let data = dataset();
+        assert!(data.vocab.len() > 10, "fixture vocab too small");
+        data.validate().expect("well-formed dataset");
+    }
+
+    #[test]
+    fn validate_flags_out_of_vocab_token() {
+        let mut data = dataset();
+        data.dev[0].ids[2] = 10_000;
+        let err = data.validate().unwrap_err();
+        match err {
+            dar_tensor::DarError::TokenOutOfRange {
+                position, token, ..
+            } => {
+                // Six train tokens precede the bad dev token.
+                assert_eq!((position, token), (8, 10_000));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_flags_ragged_rationale_and_bad_label() {
+        let mut data = dataset();
+        data.test[0].rationale.pop();
+        assert!(data.validate().is_err());
+        let mut data = dataset();
+        data.train[0].label = 7;
+        assert!(data.validate().is_err());
+        let mut data = dataset();
+        data.train[0].ids.clear();
+        data.train[0].rationale.clear();
+        assert!(data.validate().is_err());
     }
 }

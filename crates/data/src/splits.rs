@@ -12,7 +12,10 @@ pub struct LabelBalance {
 impl LabelBalance {
     pub fn of(reviews: &[Review]) -> Self {
         let pos = reviews.iter().filter(|r| r.label == 1).count();
-        LabelBalance { pos, neg: reviews.len() - pos }
+        LabelBalance {
+            pos,
+            neg: reviews.len() - pos,
+        }
     }
 
     /// Largest class share (0.5 = perfectly balanced).
@@ -36,7 +39,12 @@ mod tests {
     use super::*;
 
     fn mk(label: usize) -> Review {
-        Review { ids: vec![5], label, rationale: vec![false], first_sentence_end: 1 }
+        Review {
+            ids: vec![5],
+            label,
+            rationale: vec![false],
+            first_sentence_end: 1,
+        }
     }
 
     #[test]

@@ -15,7 +15,11 @@ impl SynBeer {
     /// # Panics
     /// Panics if `cfg.aspect` is not a beer aspect.
     pub fn generate(cfg: &SynthConfig, rng: &mut Rng) -> AspectDataset {
-        assert_eq!(cfg.aspect.domain(), Domain::Beer, "SynBeer needs a beer aspect");
+        assert_eq!(
+            cfg.aspect.domain(),
+            Domain::Beer,
+            "SynBeer needs a beer aspect"
+        );
         writer::generate(cfg, rng)
     }
 
@@ -64,9 +68,11 @@ mod tests {
     #[test]
     fn annotation_sparsity_near_table_ix() {
         // Paper Table IX: Appearance 18.5, Aroma 15.6, Palate 12.4 (%).
-        for (aspect, target) in
-            [(Aspect::Appearance, 0.185), (Aspect::Aroma, 0.156), (Aspect::Palate, 0.124)]
-        {
+        for (aspect, target) in [
+            (Aspect::Appearance, 0.185),
+            (Aspect::Aroma, 0.156),
+            (Aspect::Palate, 0.124),
+        ] {
             let d = quick(aspect);
             let s = d.annotation_sparsity();
             assert!(

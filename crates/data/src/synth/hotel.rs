@@ -15,7 +15,11 @@ impl SynHotel {
     /// # Panics
     /// Panics if `cfg.aspect` is not a hotel aspect.
     pub fn generate(cfg: &SynthConfig, rng: &mut Rng) -> AspectDataset {
-        assert_eq!(cfg.aspect.domain(), Domain::Hotel, "SynHotel needs a hotel aspect");
+        assert_eq!(
+            cfg.aspect.domain(),
+            Domain::Hotel,
+            "SynHotel needs a hotel aspect"
+        );
         writer::generate(cfg, rng)
     }
 
@@ -38,9 +42,11 @@ mod tests {
     #[test]
     fn annotation_sparsity_near_table_ix() {
         // Paper Table IX: Location 8.5, Service 11.5, Cleanliness 8.9 (%).
-        for (aspect, target) in
-            [(Aspect::Location, 0.085), (Aspect::Service, 0.115), (Aspect::Cleanliness, 0.089)]
-        {
+        for (aspect, target) in [
+            (Aspect::Location, 0.085),
+            (Aspect::Service, 0.115),
+            (Aspect::Cleanliness, 0.089),
+        ] {
             let d = quick(aspect);
             let s = d.annotation_sparsity();
             assert!(
@@ -58,10 +64,8 @@ mod tests {
             &SynthConfig::beer(Aspect::Aroma).scaled(0.1),
             &mut rng,
         );
-        let hl: f32 =
-            h.test.iter().map(|r| r.len() as f32).sum::<f32>() / h.test.len() as f32;
-        let bl: f32 =
-            b.test.iter().map(|r| r.len() as f32).sum::<f32>() / b.test.len() as f32;
+        let hl: f32 = h.test.iter().map(|r| r.len() as f32).sum::<f32>() / h.test.len() as f32;
+        let bl: f32 = b.test.iter().map(|r| r.len() as f32).sum::<f32>() / b.test.len() as f32;
         assert!(hl > bl, "hotel mean len {hl} not above beer {bl}");
     }
 
@@ -93,7 +97,10 @@ mod tests {
         }
         let p0 = per_label[0] / counts[0] as f32;
         let p1 = per_label[1] / counts[1] as f32;
-        assert!((p0 - p1).abs() < 0.01, "dash rate differs by label: {p0} vs {p1}");
+        assert!(
+            (p0 - p1).abs() < 0.01,
+            "dash rate differs by label: {p0} vs {p1}"
+        );
     }
 
     #[test]
@@ -107,6 +114,9 @@ mod tests {
             .filter(|r| r.rationale[..r.first_sentence_end].iter().any(|&b| b))
             .count();
         let frac = leading as f32 / d.test.len() as f32;
-        assert!(frac < 0.65, "location led {frac:.2} of reviews despite no bias");
+        assert!(
+            frac < 0.65,
+            "location led {frac:.2} of reviews despite no bias"
+        );
     }
 }

@@ -34,8 +34,9 @@ pub struct DomainLexicon {
     pub punctuation: &'static [&'static str],
 }
 
-const INTENSIFIERS: &[&str] =
-    &["very", "quite", "rather", "really", "somewhat", "fairly", "truly", "notably"];
+const INTENSIFIERS: &[&str] = &[
+    "very", "quite", "rather", "really", "somewhat", "fairly", "truly", "notably",
+];
 
 const BE_VERBS: &[&str] = &["is", "was", "seems", "looks", "feels", "appears", "stays"];
 
@@ -44,98 +45,387 @@ const STARTERS: &[&str] = &["the", "this", "that", "its", "a", "my", "our"];
 const PUNCT: &[&str] = &[".", ",", "!", "-", ";", "(", ")"];
 
 const BEER_FILLERS: &[&str] = &[
-    "i", "poured", "bottle", "into", "pint", "glass", "tonight", "with", "friends", "after",
-    "dinner", "bought", "from", "local", "store", "last", "week", "it", "came", "in", "twelve",
-    "ounce", "serving", "at", "cellar", "temperature", "we", "tried", "another", "round",
-    "before", "game", "started", "label", "says", "brewed", "since", "review", "notes", "follow",
-    "overall", "session", "style", "ale", "lager", "batch", "number", "listed", "on", "side",
-    "and", "then", "some", "more", "of", "to", "for", "as", "had", "have", "not", "but", "so",
-    "one", "two", "first", "second", "again", "also", "while", "during", "about", "around",
+    "i",
+    "poured",
+    "bottle",
+    "into",
+    "pint",
+    "glass",
+    "tonight",
+    "with",
+    "friends",
+    "after",
+    "dinner",
+    "bought",
+    "from",
+    "local",
+    "store",
+    "last",
+    "week",
+    "it",
+    "came",
+    "in",
+    "twelve",
+    "ounce",
+    "serving",
+    "at",
+    "cellar",
+    "temperature",
+    "we",
+    "tried",
+    "another",
+    "round",
+    "before",
+    "game",
+    "started",
+    "label",
+    "says",
+    "brewed",
+    "since",
+    "review",
+    "notes",
+    "follow",
+    "overall",
+    "session",
+    "style",
+    "ale",
+    "lager",
+    "batch",
+    "number",
+    "listed",
+    "on",
+    "side",
+    "and",
+    "then",
+    "some",
+    "more",
+    "of",
+    "to",
+    "for",
+    "as",
+    "had",
+    "have",
+    "not",
+    "but",
+    "so",
+    "one",
+    "two",
+    "first",
+    "second",
+    "again",
+    "also",
+    "while",
+    "during",
+    "about",
+    "around",
 ];
 
 const HOTEL_FILLERS: &[&str] = &[
-    "we", "stayed", "three", "nights", "in", "june", "for", "a", "conference", "downtown",
-    "booked", "through", "website", "months", "ahead", "checked", "in", "around", "noon",
-    "our", "luggage", "arrived", "later", "the", "lobby", "had", "coffee", "available",
-    "breakfast", "buffet", "ran", "until", "ten", "parking", "garage", "next", "door",
-    "elevator", "took", "us", "to", "eighth", "floor", "front", "desk", "gave", "map",
-    "of", "and", "then", "some", "more", "as", "it", "was", "not", "but", "so", "also",
-    "while", "during", "about", "trip", "visit", "family", "kids", "business", "weekend",
-    "city", "airport", "shuttle", "taxi", "station", "restaurant", "nearby", "street",
+    "we",
+    "stayed",
+    "three",
+    "nights",
+    "in",
+    "june",
+    "for",
+    "a",
+    "conference",
+    "downtown",
+    "booked",
+    "through",
+    "website",
+    "months",
+    "ahead",
+    "checked",
+    "in",
+    "around",
+    "noon",
+    "our",
+    "luggage",
+    "arrived",
+    "later",
+    "the",
+    "lobby",
+    "had",
+    "coffee",
+    "available",
+    "breakfast",
+    "buffet",
+    "ran",
+    "until",
+    "ten",
+    "parking",
+    "garage",
+    "next",
+    "door",
+    "elevator",
+    "took",
+    "us",
+    "to",
+    "eighth",
+    "floor",
+    "front",
+    "desk",
+    "gave",
+    "map",
+    "of",
+    "and",
+    "then",
+    "some",
+    "more",
+    "as",
+    "it",
+    "was",
+    "not",
+    "but",
+    "so",
+    "also",
+    "while",
+    "during",
+    "about",
+    "trip",
+    "visit",
+    "family",
+    "kids",
+    "business",
+    "weekend",
+    "city",
+    "airport",
+    "shuttle",
+    "taxi",
+    "station",
+    "restaurant",
+    "nearby",
+    "street",
 ];
 
 // ---------------------------------------------------------------------
 // Beer aspects
 // ---------------------------------------------------------------------
 
-const BEER_APPEARANCE_TOPIC: &[&str] =
-    &["head", "color", "lacing", "pour", "foam", "body", "hue", "clarity", "carbonation"];
+const BEER_APPEARANCE_TOPIC: &[&str] = &[
+    "head",
+    "color",
+    "lacing",
+    "pour",
+    "foam",
+    "body",
+    "hue",
+    "clarity",
+    "carbonation",
+];
 const BEER_APPEARANCE_POS: &[&str] = &[
-    "golden", "glistening", "radiant", "creamy", "lustrous", "sparkling", "amber-bright",
-    "inviting", "crystal-clear", "frothy", "luminous", "rich-hued",
+    "golden",
+    "glistening",
+    "radiant",
+    "creamy",
+    "lustrous",
+    "sparkling",
+    "amber-bright",
+    "inviting",
+    "crystal-clear",
+    "frothy",
+    "luminous",
+    "rich-hued",
 ];
 const BEER_APPEARANCE_NEG: &[&str] = &[
-    "murky", "lifeless", "watery-looking", "drab", "cloudy-dull", "patchy", "greyish",
-    "unappealing", "flat-looking", "soupy", "swampy", "dingy",
+    "murky",
+    "lifeless",
+    "watery-looking",
+    "drab",
+    "cloudy-dull",
+    "patchy",
+    "greyish",
+    "unappealing",
+    "flat-looking",
+    "soupy",
+    "swampy",
+    "dingy",
 ];
 
-const BEER_AROMA_TOPIC: &[&str] =
-    &["aroma", "nose", "smell", "scent", "bouquet", "fragrance", "whiff"];
+const BEER_AROMA_TOPIC: &[&str] = &[
+    "aroma",
+    "nose",
+    "smell",
+    "scent",
+    "bouquet",
+    "fragrance",
+    "whiff",
+];
 const BEER_AROMA_POS: &[&str] = &[
-    "citrusy", "floral", "piney", "fruity", "honeyed", "spicy-sweet", "aromatic", "zesty",
-    "perfumed", "caramel-laced", "resinous", "fragrant",
+    "citrusy",
+    "floral",
+    "piney",
+    "fruity",
+    "honeyed",
+    "spicy-sweet",
+    "aromatic",
+    "zesty",
+    "perfumed",
+    "caramel-laced",
+    "resinous",
+    "fragrant",
 ];
 const BEER_AROMA_NEG: &[&str] = &[
-    "skunky", "musty", "sulfuric", "stale-smelling", "metallic", "cardboardy", "rancid",
-    "vinegary", "funky-off", "chemical", "sour-off", "dank-stale",
+    "skunky",
+    "musty",
+    "sulfuric",
+    "stale-smelling",
+    "metallic",
+    "cardboardy",
+    "rancid",
+    "vinegary",
+    "funky-off",
+    "chemical",
+    "sour-off",
+    "dank-stale",
 ];
 
-const BEER_PALATE_TOPIC: &[&str] =
-    &["palate", "mouthfeel", "finish", "texture", "aftertaste", "feel"];
+const BEER_PALATE_TOPIC: &[&str] = &[
+    "palate",
+    "mouthfeel",
+    "finish",
+    "texture",
+    "aftertaste",
+    "feel",
+];
 const BEER_PALATE_POS: &[&str] = &[
-    "velvety", "smooth", "crisp", "silky", "full-bodied", "balanced", "rounded", "luscious",
-    "refreshing", "satisfying", "plush", "lively",
+    "velvety",
+    "smooth",
+    "crisp",
+    "silky",
+    "full-bodied",
+    "balanced",
+    "rounded",
+    "luscious",
+    "refreshing",
+    "satisfying",
+    "plush",
+    "lively",
 ];
 const BEER_PALATE_NEG: &[&str] = &[
-    "astringent", "thin", "harsh", "cloying", "chalky", "grainy-rough", "bitter-harsh",
-    "syrupy-flat", "abrasive", "hollow", "puckering", "gritty",
+    "astringent",
+    "thin",
+    "harsh",
+    "cloying",
+    "chalky",
+    "grainy-rough",
+    "bitter-harsh",
+    "syrupy-flat",
+    "abrasive",
+    "hollow",
+    "puckering",
+    "gritty",
 ];
 
 // ---------------------------------------------------------------------
 // Hotel aspects
 // ---------------------------------------------------------------------
 
-const HOTEL_LOCATION_TOPIC: &[&str] =
-    &["location", "neighborhood", "area", "surroundings", "position", "spot"];
+const HOTEL_LOCATION_TOPIC: &[&str] = &[
+    "location",
+    "neighborhood",
+    "area",
+    "surroundings",
+    "position",
+    "spot",
+];
 const HOTEL_LOCATION_POS: &[&str] = &[
-    "central", "convenient", "walkable", "scenic", "well-connected", "prime", "picturesque",
-    "accessible", "ideal", "charming-area", "handy", "well-placed",
+    "central",
+    "convenient",
+    "walkable",
+    "scenic",
+    "well-connected",
+    "prime",
+    "picturesque",
+    "accessible",
+    "ideal",
+    "charming-area",
+    "handy",
+    "well-placed",
 ];
 const HOTEL_LOCATION_NEG: &[&str] = &[
-    "remote", "isolated", "sketchy", "noisy-street", "inconvenient", "rundown-block",
-    "far-flung", "industrial", "desolate", "awkward-to-reach", "gridlocked", "seedy",
+    "remote",
+    "isolated",
+    "sketchy",
+    "noisy-street",
+    "inconvenient",
+    "rundown-block",
+    "far-flung",
+    "industrial",
+    "desolate",
+    "awkward-to-reach",
+    "gridlocked",
+    "seedy",
 ];
 
-const HOTEL_SERVICE_TOPIC: &[&str] =
-    &["service", "staff", "reception", "concierge", "housekeeping", "crew"];
+const HOTEL_SERVICE_TOPIC: &[&str] = &[
+    "service",
+    "staff",
+    "reception",
+    "concierge",
+    "housekeeping",
+    "crew",
+];
 const HOTEL_SERVICE_POS: &[&str] = &[
-    "attentive", "courteous", "friendly", "prompt", "helpful", "gracious", "welcoming",
-    "professional", "accommodating", "responsive", "thoughtful", "obliging",
+    "attentive",
+    "courteous",
+    "friendly",
+    "prompt",
+    "helpful",
+    "gracious",
+    "welcoming",
+    "professional",
+    "accommodating",
+    "responsive",
+    "thoughtful",
+    "obliging",
 ];
 const HOTEL_SERVICE_NEG: &[&str] = &[
-    "rude", "dismissive", "sluggish", "unhelpful", "surly", "indifferent", "disorganized",
-    "hostile", "neglectful", "curt", "apathetic", "incompetent",
+    "rude",
+    "dismissive",
+    "sluggish",
+    "unhelpful",
+    "surly",
+    "indifferent",
+    "disorganized",
+    "hostile",
+    "neglectful",
+    "curt",
+    "apathetic",
+    "incompetent",
 ];
 
-const HOTEL_CLEAN_TOPIC: &[&str] =
-    &["room", "bathroom", "linens", "carpet", "bedding", "towels", "suite"];
+const HOTEL_CLEAN_TOPIC: &[&str] = &[
+    "room", "bathroom", "linens", "carpet", "bedding", "towels", "suite",
+];
 const HOTEL_CLEAN_POS: &[&str] = &[
-    "spotless", "immaculate", "pristine", "fresh-smelling", "sanitized", "tidy", "gleaming",
-    "well-kept", "dust-free", "laundered", "polished", "hygienic",
+    "spotless",
+    "immaculate",
+    "pristine",
+    "fresh-smelling",
+    "sanitized",
+    "tidy",
+    "gleaming",
+    "well-kept",
+    "dust-free",
+    "laundered",
+    "polished",
+    "hygienic",
 ];
 const HOTEL_CLEAN_NEG: &[&str] = &[
-    "filthy", "grimy", "stained", "moldy", "dusty", "sticky", "smelly", "unwashed",
-    "cockroach-ridden", "mildewed", "grubby", "soiled",
+    "filthy",
+    "grimy",
+    "stained",
+    "moldy",
+    "dusty",
+    "sticky",
+    "smelly",
+    "unwashed",
+    "cockroach-ridden",
+    "mildewed",
+    "grubby",
+    "soiled",
 ];
 
 impl DomainLexicon {
@@ -248,7 +538,10 @@ mod tests {
             let mut seen: HashSet<&str> = HashSet::new();
             for a in &lex.aspects {
                 for &w in a.positive.iter().chain(a.negative) {
-                    assert!(seen.insert(w), "duplicate sentiment word {w:?} in {domain:?}");
+                    assert!(
+                        seen.insert(w),
+                        "duplicate sentiment word {w:?} in {domain:?}"
+                    );
                 }
             }
         }

@@ -37,7 +37,10 @@ fn aspect_sentence(
     cfg: &SynthConfig,
     rng: &mut Rng,
 ) -> Sentence {
-    let mut s = Sentence { tokens: Vec::new(), rationale: Vec::new() };
+    let mut s = Sentence {
+        tokens: Vec::new(),
+        rationale: Vec::new(),
+    };
     push(&mut s, pick(rng, lex.starters), false);
     // Core (annotated) span.
     let mut topics: Vec<&str> = alex.topic.to_vec();
@@ -49,10 +52,18 @@ fn aspect_sentence(
     if rng.gen::<f32>() < 0.6 {
         push(&mut s, pick(rng, lex.intensifiers), is_target);
     }
-    let bank = if label == 1 { alex.positive } else { alex.negative };
+    let bank = if label == 1 {
+        alex.positive
+    } else {
+        alex.negative
+    };
     let mut sentiments: Vec<&str> = bank.to_vec();
     sentiments.shuffle(rng);
-    for (k, w) in sentiments.iter().take(cfg.sentiment_tokens.max(1)).enumerate() {
+    for (k, w) in sentiments
+        .iter()
+        .take(cfg.sentiment_tokens.max(1))
+        .enumerate()
+    {
         if k > 0 {
             push(&mut s, "and", is_target);
         }
@@ -64,17 +75,28 @@ fn aspect_sentence(
     let n_fill = rng.gen_range(lo..=hi.max(lo + 1));
     for _ in 0..n_fill {
         if rng.gen::<f32>() < 0.12 {
-            push(&mut s, if rng.gen::<f32>() < 0.5 { "-" } else { "," }, false);
+            push(
+                &mut s,
+                if rng.gen::<f32>() < 0.5 { "-" } else { "," },
+                false,
+            );
         }
         push(&mut s, pick(rng, lex.fillers), false);
     }
-    push(&mut s, if rng.gen::<f32>() < 0.15 { "!" } else { "." }, false);
+    push(
+        &mut s,
+        if rng.gen::<f32>() < 0.15 { "!" } else { "." },
+        false,
+    );
     s
 }
 
 /// A pure-filler sentence (no aspect content, no annotation).
 fn filler_sentence(lex: &DomainLexicon, rng: &mut Rng) -> Sentence {
-    let mut s = Sentence { tokens: Vec::new(), rationale: Vec::new() };
+    let mut s = Sentence {
+        tokens: Vec::new(),
+        rationale: Vec::new(),
+    };
     push(&mut s, pick(rng, lex.starters), false);
     let n = rng.gen_range(4..9);
     for _ in 0..n {
@@ -151,7 +173,12 @@ fn gen_review(
             rationale.push(core);
         }
     }
-    Review { ids, label: target_label, rationale, first_sentence_end }
+    Review {
+        ids,
+        label: target_label,
+        rationale,
+        first_sentence_end,
+    }
 }
 
 fn gen_split(

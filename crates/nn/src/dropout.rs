@@ -22,7 +22,13 @@ impl Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..x.len())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         x.mul(&Tensor::new(mask, x.shape()))
     }

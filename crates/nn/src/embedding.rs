@@ -25,7 +25,11 @@ impl Embedding {
     /// The paper follows DMR/A2R in using frozen GloVe vectors; pass
     /// `trainable = false` to reproduce that.
     pub fn from_pretrained(vectors: Vec<f32>, vocab: usize, dim: usize, trainable: bool) -> Self {
-        assert_eq!(vectors.len(), vocab * dim, "pretrained vector size mismatch");
+        assert_eq!(
+            vectors.len(),
+            vocab * dim,
+            "pretrained vector size mismatch"
+        );
         let table = if trainable {
             Tensor::param(vectors, &[vocab, dim])
         } else {

@@ -68,7 +68,12 @@ impl GruCell {
 
 impl Module for GruCell {
     fn params(&self) -> Vec<Tensor> {
-        vec![self.w_zr.clone(), self.b_zr.clone(), self.w_h.clone(), self.b_h.clone()]
+        vec![
+            self.w_zr.clone(),
+            self.b_zr.clone(),
+            self.w_h.clone(),
+            self.b_h.clone(),
+        ]
     }
 }
 
@@ -81,12 +86,18 @@ pub struct Gru {
 
 impl Gru {
     pub fn new(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
-        Gru { cell: GruCell::new(rng, in_dim, hidden), reverse: false }
+        Gru {
+            cell: GruCell::new(rng, in_dim, hidden),
+            reverse: false,
+        }
     }
 
     /// A GRU that reads the sequence right-to-left.
     pub fn new_reverse(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
-        Gru { cell: GruCell::new(rng, in_dim, hidden), reverse: true }
+        Gru {
+            cell: GruCell::new(rng, in_dim, hidden),
+            reverse: true,
+        }
     }
 
     /// Encode a batch. `mask` is `[b, l]` with 1 for real tokens.
@@ -98,8 +109,11 @@ impl Gru {
         let (b, l, e) = (s[0], s[1], s[2]);
         let mut h = Tensor::zeros(&[b, self.cell.hidden]);
         let mut outs: Vec<Tensor> = Vec::with_capacity(l);
-        let steps: Vec<usize> =
-            if self.reverse { (0..l).rev().collect() } else { (0..l).collect() };
+        let steps: Vec<usize> = if self.reverse {
+            (0..l).rev().collect()
+        } else {
+            (0..l).collect()
+        };
         for &t in &steps {
             let x_t = x.narrow(1, t, 1).reshape(&[b, e]);
             let m_t = mask.map(|m| m.narrow(1, t, 1));
@@ -129,7 +143,10 @@ pub struct BiGru {
 
 impl BiGru {
     pub fn new(rng: &mut Rng, in_dim: usize, hidden: usize) -> Self {
-        BiGru { fwd: Gru::new(rng, in_dim, hidden), bwd: Gru::new_reverse(rng, in_dim, hidden) }
+        BiGru {
+            fwd: Gru::new(rng, in_dim, hidden),
+            bwd: Gru::new_reverse(rng, in_dim, hidden),
+        }
     }
 
     /// Encode `[b, l, in]` into `[b, l, 2*hidden]`.

@@ -30,7 +30,8 @@ impl Linear {
         assert_eq!(s.len(), 3, "forward_seq expects [b, l, in], got {s:?}");
         let (b, l, e) = (s[0], s[1], s[2]);
         let out_dim = self.weight.shape()[1];
-        self.forward(&x.reshape(&[b * l, e])).reshape(&[b, l, out_dim])
+        self.forward(&x.reshape(&[b * l, e]))
+            .reshape(&[b, l, out_dim])
     }
 
     pub fn in_dim(&self) -> usize {

@@ -12,7 +12,11 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
     assert_eq!(s.len(), 2, "cross_entropy expects [n, c] logits, got {s:?}");
     assert_eq!(s[0], targets.len(), "targets length mismatch");
     let one_hot = Tensor::one_hot(targets, s[1]);
-    logits.log_softmax().mul(&one_hot).sum().scale(-1.0 / s[0] as f32)
+    logits
+        .log_softmax()
+        .mul(&one_hot)
+        .sum()
+        .scale(-1.0 / s[0] as f32)
 }
 
 /// Per-example (unreduced) cross-entropy, `[n]`.
@@ -20,7 +24,11 @@ pub fn cross_entropy_per_example(logits: &Tensor, targets: &[usize]) -> Tensor {
     let s = logits.shape();
     assert_eq!(s.len(), 2, "expects [n, c] logits");
     let one_hot = Tensor::one_hot(targets, s[1]);
-    logits.log_softmax().mul(&one_hot).sum_axis(1, false).scale(-1.0)
+    logits
+        .log_softmax()
+        .mul(&one_hot)
+        .sum_axis(1, false)
+        .scale(-1.0)
 }
 
 /// Weighted mean cross-entropy: per-example CE multiplied by `weights [n]`
@@ -115,8 +123,7 @@ mod tests {
         // (one shared output distribution across all examples).
         let targets = [0usize, 1, 0, 1, 1, 0];
         let row = [0.7f32, -0.4];
-        let logits =
-            Tensor::new(row.iter().cycle().take(12).copied().collect(), &[6, 2]);
+        let logits = Tensor::new(row.iter().cycle().take(12).copied().collect(), &[6, 2]);
         let ce = cross_entropy(&logits, &targets).item();
         let h = empirical_entropy(&targets, 2);
         assert!(ce >= h - 1e-4, "CE {ce} < H(Y) {h}");

@@ -48,14 +48,23 @@ mod tests {
 
     #[test]
     fn num_params_counts_scalars() {
-        let m = Pair(Tensor::param(vec![0.0; 6], &[2, 3]), Tensor::param(vec![0.0; 3], &[3]));
+        let m = Pair(
+            Tensor::param(vec![0.0; 6], &[2, 3]),
+            Tensor::param(vec![0.0; 3], &[3]),
+        );
         assert_eq!(m.num_params(), 9);
     }
 
     #[test]
     fn copy_params_transfers_values() {
-        let a = Pair(Tensor::param(vec![1.0; 4], &[2, 2]), Tensor::param(vec![2.0; 2], &[2]));
-        let b = Pair(Tensor::param(vec![0.0; 4], &[2, 2]), Tensor::param(vec![0.0; 2], &[2]));
+        let a = Pair(
+            Tensor::param(vec![1.0; 4], &[2, 2]),
+            Tensor::param(vec![2.0; 2], &[2]),
+        );
+        let b = Pair(
+            Tensor::param(vec![0.0; 4], &[2, 2]),
+            Tensor::param(vec![0.0; 2], &[2]),
+        );
         copy_params(&a, &b);
         assert_eq!(b.0.to_vec(), vec![1.0; 4]);
         assert_eq!(b.1.to_vec(), vec![2.0; 2]);
@@ -63,7 +72,10 @@ mod tests {
 
     #[test]
     fn zero_grads_clears_all() {
-        let m = Pair(Tensor::param(vec![0.0], &[1]), Tensor::param(vec![0.0], &[1]));
+        let m = Pair(
+            Tensor::param(vec![0.0], &[1]),
+            Tensor::param(vec![0.0], &[1]),
+        );
         for p in m.params() {
             p.accumulate_grad(&[1.0]);
         }

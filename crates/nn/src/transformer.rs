@@ -121,7 +121,9 @@ impl Block {
         // Pre-norm residual blocks.
         let a = self.attn.forward(&self.ln1.forward(x), additive_mask);
         let x = x.add(&a);
-        let f = self.ff2.forward_seq(&self.ff1.forward_seq(&self.ln2.forward(&x)).gelu());
+        let f = self
+            .ff2
+            .forward_seq(&self.ff1.forward_seq(&self.ln2.forward(&x)).gelu());
         x.add(&f)
     }
 }
@@ -158,7 +160,14 @@ impl TransformerEncoder {
         let blocks = (0..cfg.layers).map(|_| Block::new(rng, &cfg)).collect();
         let ln_out = LayerNorm::new(cfg.dim);
         let mlm_head = Linear::new(rng, cfg.dim, cfg.vocab);
-        TransformerEncoder { cfg, tok, pos, blocks, ln_out, mlm_head }
+        TransformerEncoder {
+            cfg,
+            tok,
+            pos,
+            blocks,
+            ln_out,
+            mlm_head,
+        }
     }
 
     /// Encode embedded inputs `[b, l, d]` with padding `mask: [b, l]` into
@@ -309,8 +318,11 @@ mod tests {
         let loss = enc.mlm_loss(&ids, &mask, 0.5, &mut rng);
         assert!(loss.item().is_finite());
         loss.backward();
-        let touched =
-            enc.params().iter().filter(|p| p.grad_vec().is_some()).count();
+        let touched = enc
+            .params()
+            .iter()
+            .filter(|p| p.grad_vec().is_some())
+            .count();
         assert!(touched > 0);
     }
 
@@ -321,8 +333,9 @@ mod tests {
         let mut rng = dar_tensor::rng(4);
         let enc = TransformerEncoder::new(&mut rng, tiny_cfg());
         let mut opt = Adam::with_lr(3e-3);
-        let ids: Vec<Vec<usize>> =
-            (0..8).map(|i| vec![2 + 2 * (i % 4), 3 + 2 * (i % 4), 2, 3]).collect();
+        let ids: Vec<Vec<usize>> = (0..8)
+            .map(|i| vec![2 + 2 * (i % 4), 3 + 2 * (i % 4), 2, 3])
+            .collect();
         let mask = Tensor::ones(&[8, 4]);
         let first = enc.mlm_loss(&ids, &mask, 0.3, &mut rng).item();
         let mut last = first;

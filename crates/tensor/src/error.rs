@@ -1,0 +1,114 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Fallible crate boundaries (checkpoint I/O, batch assembly, the training
+//! runtime) return [`DarError`] instead of panicking, so a long multi-aspect
+//! sweep can catch, log, and recover from a fault instead of dying.
+
+use std::fmt;
+use std::io;
+
+/// Workspace-standard `Result`.
+pub type DarResult<T> = Result<T, DarError>;
+
+/// Every recoverable failure the training runtime distinguishes.
+#[derive(Debug)]
+pub enum DarError {
+    /// Underlying filesystem failure (open/read/write/rename).
+    Io(io::Error),
+    /// A checkpoint failed its integrity check: truncated payload, CRC
+    /// mismatch, or bytes that cannot be a DART file at all.
+    Corrupt(String),
+    /// Structurally valid bytes with inadmissible content: unknown format
+    /// version, absurd dims, inconsistent section lengths.
+    InvalidData(String),
+    /// A tensor arrived with the wrong shape for its destination.
+    ShapeMismatch {
+        expected: Vec<usize>,
+        got: Vec<usize>,
+    },
+    /// A batch was assembled from zero reviews.
+    EmptyBatch,
+    /// A token id at `position` is outside the embedding table.
+    TokenOutOfRange {
+        position: usize,
+        token: usize,
+        vocab: usize,
+    },
+    /// A loss, gradient, or parameter became NaN/Inf.
+    NonFinite { context: String },
+    /// The divergence guard rolled back and retried until its budget ran
+    /// out; `last` describes the final trip.
+    RetriesExhausted { retries: usize, last: String },
+}
+
+impl fmt::Display for DarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DarError::Io(e) => write!(f, "i/o error: {e}"),
+            DarError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            DarError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            DarError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            DarError::EmptyBatch => write!(f, "cannot build a batch from zero reviews"),
+            DarError::TokenOutOfRange {
+                position,
+                token,
+                vocab,
+            } => write!(
+                f,
+                "token id {token} at position {position} is outside the vocabulary (size {vocab})"
+            ),
+            DarError::NonFinite { context } => write!(f, "non-finite value in {context}"),
+            DarError::RetriesExhausted { retries, last } => {
+                write!(
+                    f,
+                    "divergence guard gave up after {retries} retries (last trip: {last})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DarError {
+    fn from(e: io::Error) -> Self {
+        DarError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DarError::TokenOutOfRange {
+            position: 3,
+            token: 99,
+            vocab: 50,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("99") && msg.contains("50") && msg.contains('3'),
+            "{msg}"
+        );
+        assert!(DarError::EmptyBatch.to_string().contains("zero reviews"));
+        assert!(DarError::Corrupt("crc".into()).to_string().contains("crc"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: DarError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, DarError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

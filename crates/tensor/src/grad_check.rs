@@ -36,8 +36,10 @@ pub fn check_gradients(
     let loss = f(inputs);
     assert_eq!(loss.len(), 1, "grad check requires a scalar loss");
     loss.backward();
-    let analytic: Vec<Vec<f32>> =
-        inputs.iter().map(|t| t.grad_vec().unwrap_or_else(|| vec![0.0; t.len()])).collect();
+    let analytic: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|t| t.grad_vec().unwrap_or_else(|| vec![0.0; t.len()]))
+        .collect();
 
     let mut max_abs = 0.0f32;
     let mut max_rel = 0.0f32;
@@ -57,7 +59,10 @@ pub fn check_gradients(
             max_rel = max_rel.max(rel);
         }
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +82,11 @@ mod tests {
         // A function whose autograd gradient is deliberately broken via
         // detach: check must report a large error.
         let x = Tensor::param(vec![2.0], &[1]);
-        let rep = check_gradients(&[x], |ins| ins[0].detach().square().sum().add(&ins[0].sum()), 1e-3);
+        let rep = check_gradients(
+            &[x],
+            |ins| ins[0].detach().square().sum().add(&ins[0].sum()),
+            1e-3,
+        );
         // Analytic grad = 1 (only the linear term), numeric ≈ 2x + 1 = 5.
         assert!(rep.max_abs_err > 1.0, "{rep:?}");
     }

@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn xavier_bound_shrinks_with_fan() {
         let mut rng = crate::rng(3);
-        let big = xavier_uniform(&mut rng, 1000, 1000, );
+        let big = xavier_uniform(&mut rng, 1000, 1000);
         let bound = (6.0f32 / 2000.0).sqrt();
         assert!(big.iter().all(|&x| x.abs() <= bound));
     }

@@ -30,6 +30,7 @@
 //! * [`grad_check`] — finite-difference gradient checking used throughout
 //!   the test suites of downstream crates.
 
+pub mod error;
 pub mod grad_check;
 pub mod init;
 pub mod ops;
@@ -38,6 +39,7 @@ pub mod serial;
 pub mod shape;
 mod tensor;
 
+pub use error::{DarError, DarResult};
 pub use tensor::{no_grad, with_no_grad_disabled, Tensor};
 
 /// Convenience alias for the RNG used across the workspace.

@@ -23,7 +23,9 @@ fn unary(
                 return;
             }
             let xv = p.values();
-            let grads: Vec<f32> = (0..g.len()).map(|i| bwd(xv[i], saved_out[i], g[i])).collect();
+            let grads: Vec<f32> = (0..g.len())
+                .map(|i| bwd(xv[i], saved_out[i], g[i]))
+                .collect();
             drop(xv);
             p.accumulate_grad(&grads);
         }),
@@ -54,7 +56,11 @@ impl Tensor {
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        unary(self, |x| x.max(0.0), |x, _, g| if x > 0.0 { g } else { 0.0 })
+        unary(
+            self,
+            |x| x.max(0.0),
+            |x, _, g| if x > 0.0 { g } else { 0.0 },
+        )
     }
 
     /// Gaussian error linear unit (tanh approximation, as in BERT).
@@ -85,7 +91,11 @@ impl Tensor {
 
     /// Elementwise square root (clamped at zero).
     pub fn sqrt(&self) -> Tensor {
-        unary(self, |x| x.max(0.0).sqrt(), |_, y, g| if y > 0.0 { g / (2.0 * y) } else { 0.0 })
+        unary(
+            self,
+            |x| x.max(0.0).sqrt(),
+            |_, y, g| if y > 0.0 { g / (2.0 * y) } else { 0.0 },
+        )
     }
 
     /// Elementwise square.

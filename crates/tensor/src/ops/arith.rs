@@ -86,10 +86,7 @@ fn classify(a: &[usize], b: &[usize]) -> Layout {
             return Layout::RowB { rows: an / c, c };
         }
         // Trailing one: b == a except last dim 1.
-        if b.len() == a.len()
-            && b[b.len() - 1] == 1
-            && a[..a.len() - 1] == b[..b.len() - 1]
-        {
+        if b.len() == a.len() && b[b.len() - 1] == 1 && a[..a.len() - 1] == b[..b.len() - 1] {
             let c = a[a.len() - 1];
             return Layout::LastOneB { rows: an / c, c };
         }
@@ -100,7 +97,11 @@ fn classify(a: &[usize], b: &[usize]) -> Layout {
 /// Compute the broadcast elementwise result of `a op b`.
 fn forward(op: BinOp, a: &Tensor, b: &Tensor) -> (Vec<f32>, Vec<usize>) {
     let out_shape = broadcast_shape(a.shape(), b.shape()).unwrap_or_else(|| {
-        panic!("cannot broadcast shapes {:?} and {:?}", a.shape(), b.shape())
+        panic!(
+            "cannot broadcast shapes {:?} and {:?}",
+            a.shape(),
+            b.shape()
+        )
     });
     let av = a.values();
     let bv = b.values();
@@ -160,14 +161,12 @@ fn binary_backward(op: BinOp, g: &[f32], out_shape: &[usize], a: &Tensor, b: &Te
     match (a.shape() == out_shape).then(|| classify(a.shape(), b.shape())) {
         Some(Layout::Same) => {
             if need_a {
-                let ga: Vec<f32> =
-                    (0..g.len()).map(|i| da(op, g[i], av[i], bv[i])).collect();
+                let ga: Vec<f32> = (0..g.len()).map(|i| da(op, g[i], av[i], bv[i])).collect();
                 drop_and_acc(a, av, ga);
             }
             if need_b {
                 let av = a.values();
-                let gb: Vec<f32> =
-                    (0..g.len()).map(|i| db(op, g[i], av[i], bv[i])).collect();
+                let gb: Vec<f32> = (0..g.len()).map(|i| db(op, g[i], av[i], bv[i])).collect();
                 drop(av);
                 drop(bv);
                 b.accumulate_grad(&gb);

@@ -5,15 +5,22 @@ use crate::Tensor;
 
 impl Tensor {
     /// Row-wise argmax over the last dimension. Returns plain indices.
+    ///
+    /// NaN entries rank below every finite value (an all-NaN row resolves
+    /// like a tie, to its last index), so a numerically diverged model
+    /// still produces a deterministic — if meaningless — selection for
+    /// the divergence guards to catch, instead of aborting the process
+    /// mid-epoch.
     pub fn argmax_rows(&self) -> Vec<usize> {
         let c = *self.shape().last().expect("argmax needs at least one dim");
         assert!(c > 0, "argmax over empty dimension");
+        let key = |x: f32| if x.is_nan() { f32::NEG_INFINITY } else { x };
         let v = self.values();
         v.chunks_exact(c)
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .max_by(|a, b| key(*a.1).total_cmp(&key(*b.1)))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -32,8 +39,11 @@ impl Tensor {
 
     /// Elementwise `self > threshold` as a 0/1 leaf tensor (no grad).
     pub fn gt_scalar(&self, threshold: f32) -> Tensor {
-        let out: Vec<f32> =
-            self.values().iter().map(|&x| if x > threshold { 1.0 } else { 0.0 }).collect();
+        let out: Vec<f32> = self
+            .values()
+            .iter()
+            .map(|&x| if x > threshold { 1.0 } else { 0.0 })
+            .collect();
         Tensor::new(out, self.shape())
     }
 }
@@ -46,6 +56,18 @@ mod tests {
     fn argmax_rows_basic() {
         let x = Tensor::new(vec![0.1, 0.9, 0.7, 0.3], &[2, 2]);
         assert_eq!(x.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_tolerates_nan() {
+        let x = Tensor::new(vec![f32::NAN, 0.9, 0.7, f32::NAN], &[2, 2]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+        let all_nan = Tensor::new(vec![f32::NAN; 3], &[1, 3]);
+        assert_eq!(
+            all_nan.argmax_rows(),
+            vec![2],
+            "ties resolve to the last index"
+        );
     }
 
     #[test]

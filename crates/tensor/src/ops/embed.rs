@@ -17,7 +17,10 @@ impl Tensor {
         let v = self.values();
         let mut out = Vec::with_capacity(ids.len() * e);
         for &id in ids {
-            assert!(id < v_rows, "row id {id} out of range for table with {v_rows} rows");
+            assert!(
+                id < v_rows,
+                "row id {id} out of range for table with {v_rows} rows"
+            );
             out.extend_from_slice(&v[id * e..(id + 1) * e]);
         }
         drop(v);

@@ -32,7 +32,9 @@ fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
 pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
     let flops = 2 * m * k * n;
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     if flops < PARALLEL_FLOP_THRESHOLD || threads < 2 || m < 2 * threads {
         gemm_serial(a, b, &mut out, m, k, n);
         return out;

@@ -6,7 +6,10 @@ use crate::Tensor;
 /// Split a shape at `axis` into (outer, axis_len, inner) extents so a
 /// reduction can be written as three nested loops over contiguous memory.
 fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
-    assert!(axis < shape.len(), "axis {axis} out of range for shape {shape:?}");
+    assert!(
+        axis < shape.len(),
+        "axis {axis} out of range for shape {shape:?}"
+    );
     let outer: usize = shape[..axis].iter().product();
     let len = shape[axis];
     let inner: usize = shape[axis + 1..].iter().product();

@@ -113,7 +113,9 @@ mod tests {
     #[test]
     fn softmax_is_shift_invariant() {
         let a = Tensor::new(vec![1., 2., 3.], &[1, 3]).softmax().to_vec();
-        let b = Tensor::new(vec![1001., 1002., 1003.], &[1, 3]).softmax().to_vec();
+        let b = Tensor::new(vec![1001., 1002., 1003.], &[1, 3])
+            .softmax()
+            .to_vec();
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-6);
         }

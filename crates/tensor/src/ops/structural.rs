@@ -5,7 +5,10 @@ use crate::Tensor;
 
 /// Split a shape at `axis` into (outer, axis_len, inner) extents.
 fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
-    assert!(axis < shape.len(), "axis {axis} out of range for shape {shape:?}");
+    assert!(
+        axis < shape.len(),
+        "axis {axis} out of range for shape {shape:?}"
+    );
     let outer: usize = shape[..axis].iter().product();
     let len = shape[axis];
     let inner: usize = shape[axis + 1..].iter().product();
@@ -165,8 +168,9 @@ mod tests {
 
     #[test]
     fn concat_three_way_grad_splits() {
-        let parts: Vec<Tensor> =
-            (0..3).map(|i| Tensor::param(vec![i as f32; 2], &[1, 2])).collect();
+        let parts: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::param(vec![i as f32; 2], &[1, 2]))
+            .collect();
         let y = concat(&parts, 1);
         assert_eq!(y.shape(), &[1, 6]);
         let w = Tensor::new(vec![1., 2., 3., 4., 5., 6.], &[1, 6]);

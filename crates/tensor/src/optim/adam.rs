@@ -4,6 +4,8 @@
 use std::collections::HashMap;
 
 use super::Optimizer;
+use crate::error::{DarError, DarResult};
+use crate::serial::codec;
 use crate::Tensor;
 
 /// Hyper-parameters for [`Adam`].
@@ -19,7 +21,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -37,17 +45,129 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(cfg: AdamConfig) -> Self {
-        Adam { cfg, t: 0, state: HashMap::new() }
+        Adam {
+            cfg,
+            t: 0,
+            state: HashMap::new(),
+        }
     }
 
     /// Adam with default moments and the given learning rate.
     pub fn with_lr(lr: f32) -> Self {
-        Adam::new(AdamConfig { lr, ..Default::default() })
+        Adam::new(AdamConfig {
+            lr,
+            ..Default::default()
+        })
     }
 
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Capture optimizer state for checkpointing, ordered by `params`.
+    ///
+    /// Tensor ids are process-local, so durable state is keyed by the
+    /// *position* of each parameter in the caller's canonical list; a
+    /// parameter that has never been stepped exports an empty slot.
+    pub fn export_state(&self, params: &[Tensor]) -> AdamState {
+        AdamState {
+            t: self.t,
+            lr: self.cfg.lr,
+            slots: params
+                .iter()
+                .map(|p| {
+                    self.state
+                        .get(&p.id())
+                        .map(|s| (s.m.clone(), s.v.clone()))
+                        .unwrap_or_default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Restore state captured by [`Self::export_state`] against the same
+    /// canonical parameter list (same order, same shapes).
+    pub fn import_state(&mut self, params: &[Tensor], state: &AdamState) -> DarResult<()> {
+        if state.slots.len() != params.len() {
+            return Err(DarError::InvalidData(format!(
+                "optimizer state has {} slots, model has {} parameters",
+                state.slots.len(),
+                params.len()
+            )));
+        }
+        for (p, (m, v)) in params.iter().zip(&state.slots) {
+            if !m.is_empty() && (m.len() != p.len() || v.len() != p.len()) {
+                return Err(DarError::InvalidData(format!(
+                    "optimizer slot of {} elements for a parameter of {}",
+                    m.len(),
+                    p.len()
+                )));
+            }
+        }
+        self.t = state.t;
+        self.cfg.lr = state.lr;
+        self.state.clear();
+        for (p, (m, v)) in params.iter().zip(&state.slots) {
+            if !m.is_empty() {
+                self.state.insert(
+                    p.id(),
+                    Slot {
+                        m: m.clone(),
+                        v: v.clone(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Durable snapshot of an [`Adam`] instance (see [`Adam::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+    /// Learning rate in effect (guards may have decayed it mid-run).
+    pub lr: f32,
+    /// Per-parameter first/second moments; empty = never stepped.
+    pub slots: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl AdamState {
+    /// Append the little-endian encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.t);
+        codec::put_f32(out, self.lr);
+        codec::put_u32(out, self.slots.len() as u32);
+        for (m, v) in &self.slots {
+            codec::put_f32s(out, m);
+            codec::put_f32s(out, v);
+        }
+    }
+
+    /// Decode an encoding produced by [`Self::encode`].
+    pub fn decode(c: &mut codec::Cursor<'_>) -> DarResult<Self> {
+        let t = c.u64()?;
+        let lr = c.f32()?;
+        let n = c.u32()? as usize;
+        if n > crate::serial::MAX_TENSORS {
+            return Err(DarError::InvalidData(format!(
+                "optimizer state claims {n} slots"
+            )));
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let m = c.f32s()?;
+            let v = c.f32s()?;
+            if m.len() != v.len() {
+                return Err(DarError::InvalidData(
+                    "optimizer moment vectors disagree in length".to_owned(),
+                ));
+            }
+            slots.push((m, v));
+        }
+        Ok(AdamState { t, lr, slots })
     }
 }
 
@@ -59,10 +179,10 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.cfg.beta2.powf(t);
         for p in params {
             let Some(g) = p.grad_vec() else { continue };
-            let slot = self
-                .state
-                .entry(p.id())
-                .or_insert_with(|| Slot { m: vec![0.0; g.len()], v: vec![0.0; g.len()] });
+            let slot = self.state.entry(p.id()).or_insert_with(|| Slot {
+                m: vec![0.0; g.len()],
+                v: vec![0.0; g.len()],
+            });
             let cfg = self.cfg;
             p.update_values(|w| {
                 for i in 0..g.len() {
@@ -142,10 +262,60 @@ mod tests {
     }
 
     #[test]
+    fn state_roundtrip_resumes_identically() {
+        // Two optimizers, same trajectory; export/import mid-run must make
+        // their subsequent updates bit-identical.
+        let run = |resume_at: Option<usize>| {
+            let p = Tensor::param(vec![5.0, -3.0], &[2]);
+            let mut opt = Adam::with_lr(0.1);
+            for step in 0..20 {
+                if resume_at == Some(step) {
+                    let state = opt.export_state(&[p.clone()]);
+                    let mut buf = Vec::new();
+                    state.encode(&mut buf);
+                    let decoded =
+                        AdamState::decode(&mut crate::serial::codec::Cursor::new(&buf)).unwrap();
+                    assert_eq!(decoded, state);
+                    let mut fresh = Adam::with_lr(999.0); // lr comes from the state
+                    fresh.import_state(&[p.clone()], &decoded).unwrap();
+                    opt = fresh;
+                }
+                let loss = p.square().sum();
+                zero_grads(&[p.clone()]);
+                loss.backward();
+                opt.step(&[p.clone()]);
+            }
+            p.to_vec()
+        };
+        assert_eq!(run(None), run(Some(10)));
+    }
+
+    #[test]
+    fn import_rejects_mismatched_state() {
+        let p = Tensor::param(vec![1.0, 2.0], &[2]);
+        let mut opt = Adam::with_lr(0.1);
+        let bad = AdamState {
+            t: 1,
+            lr: 0.1,
+            slots: vec![],
+        };
+        assert!(opt.import_state(&[p.clone()], &bad).is_err());
+        let bad = AdamState {
+            t: 1,
+            lr: 0.1,
+            slots: vec![(vec![0.0; 3], vec![0.0; 3])],
+        };
+        assert!(opt.import_state(&[p], &bad).is_err());
+    }
+
+    #[test]
     fn weight_decay_shrinks_weights() {
         let p = Tensor::param(vec![10.0], &[1]);
-        let mut opt =
-            Adam::new(AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() });
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..Default::default()
+        });
         p.accumulate_grad(&[0.0]);
         opt.step(&[p.clone()]);
         assert!(p.item() < 10.0);

@@ -7,7 +7,7 @@
 mod adam;
 mod sgd;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{Adam, AdamConfig, AdamState};
 pub use sgd::Sgd;
 
 use crate::Tensor;

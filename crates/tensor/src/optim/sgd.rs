@@ -15,7 +15,11 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -25,7 +29,10 @@ impl Optimizer for Sgd {
             let Some(g) = p.grad_vec() else { continue };
             let lr = self.lr;
             if self.momentum > 0.0 {
-                let vel = self.velocity.entry(p.id()).or_insert_with(|| vec![0.0; g.len()]);
+                let vel = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| vec![0.0; g.len()]);
                 let mu = self.momentum;
                 p.update_values(|w| {
                     for i in 0..g.len() {

@@ -1,33 +1,264 @@
-//! Minimal binary (de)serialization for parameter sets — model
+//! Durable binary (de)serialization for parameter sets — model
 //! checkpointing without external dependencies.
 //!
-//! Format (little-endian): magic `DART`, version u32, tensor count u32,
-//! then per tensor: rank u32, dims u32×rank, values f32×numel.
+//! # Format v2 (little-endian)
+//!
+//! ```text
+//! magic `DART` · version u32=2 · meta_len u32 · meta bytes
+//! tensor count u32 · per tensor: rank u32, dims u32×rank, values f32×numel
+//! crc32 u32   — IEEE CRC-32 of every preceding byte
+//! ```
+//!
+//! The `meta` section is an opaque blob for the caller (the trainer stores
+//! optimizer/RNG/epoch state there); the CRC footer makes any truncation or
+//! bit flip a loud [`DarError::Corrupt`] instead of silently garbage
+//! weights. [`save_checkpoint_path`] writes to a temp file in the target
+//! directory and atomically renames it over the destination, so a crash
+//! mid-save can never leave a half-written checkpoint under the real name.
+//!
+//! Version-1 files (no meta, no CRC) are still readable; any other version
+//! is rejected. Header fields are capped ([`MAX_RANK`], [`MAX_NUMEL`],
+//! [`MAX_TENSORS`], [`MAX_META_LEN`]) so a hostile or corrupted header
+//! cannot OOM the loader.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::shape::numel;
+use crate::error::{DarError, DarResult};
 use crate::Tensor;
 
 const MAGIC: &[u8; 4] = b"DART";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+/// Largest admissible tensor rank.
+pub const MAX_RANK: usize = 8;
+/// Largest admissible element count per tensor (256M floats = 1 GiB).
+pub const MAX_NUMEL: usize = 1 << 28;
+/// Largest admissible tensor count per checkpoint.
+pub const MAX_TENSORS: usize = 1 << 16;
+/// Largest admissible metadata blob (64 MiB).
+pub const MAX_META_LEN: usize = 1 << 26;
+
+/// Little-endian scalar encode/decode helpers, shared by the checkpoint
+/// format and by downstream metadata encoders (the trainer's resume state).
+pub mod codec {
+    use super::*;
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+        put_u32(out, vs.len() as u32);
+        for &v in vs {
+            put_f32(out, v);
+        }
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+        put_u32(out, bytes.len() as u32);
+        out.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(out: &mut Vec<u8>, s: &str) {
+        put_bytes(out, s.as_bytes());
+    }
+
+    /// A bounds-checked cursor over an encoded byte slice.
+    pub struct Cursor<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        pub fn new(buf: &'a [u8]) -> Self {
+            Cursor { buf, pos: 0 }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.pos >= self.buf.len()
+        }
+
+        fn take(&mut self, n: usize) -> DarResult<&'a [u8]> {
+            let end = self
+                .pos
+                .checked_add(n)
+                .filter(|&e| e <= self.buf.len())
+                .ok_or_else(|| {
+                    DarError::InvalidData(format!("metadata truncated at byte {}", self.pos))
+                })?;
+            let s = &self.buf[self.pos..end];
+            self.pos = end;
+            Ok(s)
+        }
+
+        pub fn u32(&mut self) -> DarResult<u32> {
+            Ok(u32::from_le_bytes(
+                self.take(4)?.try_into().expect("4-byte slice"),
+            ))
+        }
+
+        pub fn u64(&mut self) -> DarResult<u64> {
+            Ok(u64::from_le_bytes(
+                self.take(8)?.try_into().expect("8-byte slice"),
+            ))
+        }
+
+        pub fn f32(&mut self) -> DarResult<f32> {
+            Ok(f32::from_le_bytes(
+                self.take(4)?.try_into().expect("4-byte slice"),
+            ))
+        }
+
+        pub fn f32s(&mut self) -> DarResult<Vec<f32>> {
+            let n = self.u32()? as usize;
+            if n > MAX_NUMEL {
+                return Err(DarError::InvalidData(format!(
+                    "metadata vector of {n} floats"
+                )));
+            }
+            let bytes = self.take(n * 4)?;
+            Ok(bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        }
+
+        /// Length-prefixed byte string ([`put_bytes`]).
+        pub fn bytes(&mut self) -> DarResult<Vec<u8>> {
+            let n = self.u32()? as usize;
+            if n > MAX_META_LEN {
+                return Err(DarError::InvalidData(format!(
+                    "metadata byte string of {n} bytes"
+                )));
+            }
+            Ok(self.take(n)?.to_vec())
+        }
+
+        /// Length-prefixed UTF-8 string ([`put_str`]).
+        pub fn str_(&mut self) -> DarResult<String> {
+            String::from_utf8(self.bytes()?)
+                .map_err(|_| DarError::InvalidData("metadata string is not UTF-8".to_owned()))
+        }
+    }
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+/// IEEE CRC-32 (reflected, poly 0xEDB88320), bytewise.
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    crc
+}
+
+/// Running CRC over everything written.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: u32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        CrcWriter {
+            inner,
+            crc: 0xFFFF_FFFF,
+        }
+    }
+
+    fn digest(&self) -> u32 {
+        self.crc ^ 0xFFFF_FFFF
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Running CRC over everything read.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: u32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        CrcReader {
+            inner,
+            crc: 0xFFFF_FFFF,
+        }
+    }
+
+    fn digest(&self) -> u32 {
+        self.crc ^ 0xFFFF_FFFF
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> DarResult<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> DarResult<u32> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
+    r.read_exact(&mut buf).map_err(truncation)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-/// Serialize tensors (values + shapes) to a writer.
-pub fn save_tensors(w: &mut impl Write, tensors: &[Tensor]) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    write_u32(w, VERSION)?;
+/// An unexpected EOF while parsing is corruption, not a plain I/O error.
+fn truncation(e: std::io::Error) -> DarError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        DarError::Corrupt("file ends mid-record (truncated)".to_owned())
+    } else {
+        DarError::Io(e)
+    }
+}
+
+/// Tensors plus an opaque caller-owned metadata blob.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    pub tensors: Vec<Tensor>,
+    pub meta: Vec<u8>,
+}
+
+impl Checkpoint {
+    pub fn new(tensors: Vec<Tensor>, meta: Vec<u8>) -> Self {
+        Checkpoint { tensors, meta }
+    }
+}
+
+fn write_tensor_block(w: &mut impl Write, tensors: &[Tensor]) -> DarResult<()> {
     write_u32(w, tensors.len() as u32)?;
     for t in tensors {
         write_u32(w, t.shape().len() as u32)?;
@@ -41,69 +272,197 @@ pub fn save_tensors(w: &mut impl Write, tensors: &[Tensor]) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserialize tensors saved by [`save_tensors`]. Returned tensors are
-/// plain leaves; use [`load_into`] to restore a live parameter set.
-pub fn load_tensors(r: &mut impl Read) -> io::Result<Vec<Tensor>> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DART checkpoint"));
-    }
-    let version = read_u32(r)?;
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
-    }
+fn read_tensor_block(r: &mut impl Read) -> DarResult<Vec<Tensor>> {
     let count = read_u32(r)? as usize;
+    if count > MAX_TENSORS {
+        return Err(DarError::InvalidData(format!(
+            "checkpoint claims {count} tensors (cap {MAX_TENSORS})"
+        )));
+    }
     let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
+    for i in 0..count {
         let rank = read_u32(r)? as usize;
+        if rank > MAX_RANK {
+            return Err(DarError::InvalidData(format!(
+                "tensor {i} claims rank {rank} (cap {MAX_RANK})"
+            )));
+        }
         let mut shape = Vec::with_capacity(rank);
+        let mut n: usize = 1;
         for _ in 0..rank {
-            shape.push(read_u32(r)? as usize);
+            let d = read_u32(r)? as usize;
+            n = n
+                .checked_mul(d)
+                .filter(|&n| n <= MAX_NUMEL)
+                .ok_or_else(|| {
+                    DarError::InvalidData(format!(
+                        "tensor {i} dims {shape:?}×{d} exceed the {MAX_NUMEL}-element cap"
+                    ))
+                })?;
+            shape.push(d);
         }
-        let n = numel(&shape);
-        let mut values = Vec::with_capacity(n);
-        let mut buf = [0u8; 4];
-        for _ in 0..n {
-            r.read_exact(&mut buf)?;
-            values.push(f32::from_le_bytes(buf));
-        }
+        let mut bytes = vec![0u8; n * 4];
+        r.read_exact(&mut bytes).map_err(truncation)?;
+        let values = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         out.push(Tensor::new(values, &shape));
     }
     Ok(out)
 }
 
-/// Save a parameter list to a file path.
-pub fn save_path(path: impl AsRef<Path>, tensors: &[Tensor]) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    save_tensors(&mut w, tensors)?;
-    w.flush()
+/// Serialize a checkpoint (format v2, CRC-32 footer) to a writer.
+pub fn save_checkpoint(w: &mut impl Write, ckpt: &Checkpoint) -> DarResult<()> {
+    if ckpt.meta.len() > MAX_META_LEN {
+        return Err(DarError::InvalidData(format!(
+            "metadata blob of {} bytes (cap {MAX_META_LEN})",
+            ckpt.meta.len()
+        )));
+    }
+    let mut cw = CrcWriter::new(w);
+    cw.write_all(MAGIC)?;
+    write_u32(&mut cw, VERSION_V2)?;
+    write_u32(&mut cw, ckpt.meta.len() as u32)?;
+    cw.write_all(&ckpt.meta)?;
+    write_tensor_block(&mut cw, &ckpt.tensors)?;
+    let crc = cw.digest();
+    write_u32(&mut cw.inner, crc)?;
+    Ok(())
+}
+
+/// Deserialize a checkpoint saved by [`save_checkpoint`] (v2) or the legacy
+/// v1 tensor format. Unknown versions and integrity failures are errors —
+/// this function never returns garbage weights.
+pub fn load_checkpoint(r: &mut impl Read) -> DarResult<Checkpoint> {
+    let mut cr = CrcReader::new(r);
+    let mut magic = [0u8; 4];
+    cr.read_exact(&mut magic).map_err(truncation)?;
+    if &magic != MAGIC {
+        return Err(DarError::Corrupt(
+            "not a DART checkpoint (bad magic)".to_owned(),
+        ));
+    }
+    let version = read_u32(&mut cr)?;
+    match version {
+        VERSION_V1 => {
+            // Legacy: bare tensor block, no meta, no CRC footer.
+            let tensors = read_tensor_block(&mut cr)?;
+            Ok(Checkpoint {
+                tensors,
+                meta: Vec::new(),
+            })
+        }
+        VERSION_V2 => {
+            let meta_len = read_u32(&mut cr)? as usize;
+            if meta_len > MAX_META_LEN {
+                return Err(DarError::InvalidData(format!(
+                    "metadata blob of {meta_len} bytes (cap {MAX_META_LEN})"
+                )));
+            }
+            let mut meta = vec![0u8; meta_len];
+            cr.read_exact(&mut meta).map_err(truncation)?;
+            let tensors = read_tensor_block(&mut cr)?;
+            let computed = cr.digest();
+            let stored = read_u32(&mut cr.inner)?;
+            if computed != stored {
+                return Err(DarError::Corrupt(format!(
+                    "CRC-32 mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )));
+            }
+            Ok(Checkpoint { tensors, meta })
+        }
+        other => Err(DarError::InvalidData(format!(
+            "unsupported checkpoint version {other}"
+        ))),
+    }
+}
+
+/// Serialize tensors (values + shapes, empty metadata) to a writer.
+pub fn save_tensors(w: &mut impl Write, tensors: &[Tensor]) -> DarResult<()> {
+    save_checkpoint(
+        w,
+        &Checkpoint {
+            tensors: tensors.to_vec(),
+            meta: Vec::new(),
+        },
+    )
+}
+
+/// Deserialize the tensors of a checkpoint. Returned tensors are plain
+/// leaves; use [`load_into`] to restore a live parameter set.
+pub fn load_tensors(r: &mut impl Read) -> DarResult<Vec<Tensor>> {
+    Ok(load_checkpoint(r)?.tensors)
+}
+
+/// Atomically save a checkpoint to a file path: the bytes are written to a
+/// sibling temp file, fsynced, and renamed over the destination, so readers
+/// never observe a partially written checkpoint at `path`.
+pub fn save_checkpoint_path(path: impl AsRef<Path>, ckpt: &Checkpoint) -> DarResult<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        save_checkpoint(&mut w, ckpt)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Load a checkpoint from a file path.
+pub fn load_checkpoint_path(path: impl AsRef<Path>) -> DarResult<Checkpoint> {
+    let mut r = BufReader::new(File::open(path)?);
+    load_checkpoint(&mut r)
+}
+
+/// Save a parameter list to a file path (atomic, empty metadata).
+pub fn save_path(path: impl AsRef<Path>, tensors: &[Tensor]) -> DarResult<()> {
+    save_checkpoint_path(
+        path,
+        &Checkpoint {
+            tensors: tensors.to_vec(),
+            meta: Vec::new(),
+        },
+    )
+}
+
+/// Copy loaded tensor values into an existing parameter list (shapes must
+/// match pairwise).
+pub fn restore_into(loaded: &[Tensor], params: &[Tensor]) -> DarResult<()> {
+    if loaded.len() != params.len() {
+        return Err(DarError::InvalidData(format!(
+            "checkpoint has {} tensors, model has {}",
+            loaded.len(),
+            params.len()
+        )));
+    }
+    for (src, dst) in loaded.iter().zip(params) {
+        if src.shape() != dst.shape() {
+            return Err(DarError::ShapeMismatch {
+                expected: dst.shape().to_vec(),
+                got: src.shape().to_vec(),
+            });
+        }
+    }
+    // Validate everything before mutating anything, so a bad checkpoint
+    // cannot leave the model half-restored.
+    for (src, dst) in loaded.iter().zip(params) {
+        dst.set_values(src.to_vec());
+    }
+    Ok(())
 }
 
 /// Load a checkpoint file into an existing parameter list (shapes must
 /// match pairwise).
-pub fn load_into(path: impl AsRef<Path>, params: &[Tensor]) -> io::Result<()> {
-    let mut r = BufReader::new(File::open(path)?);
-    let loaded = load_tensors(&mut r)?;
-    if loaded.len() != params.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("checkpoint has {} tensors, model has {}", loaded.len(), params.len()),
-        ));
-    }
-    for (src, dst) in loaded.iter().zip(params) {
-        if src.shape() != dst.shape() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("shape mismatch: {:?} vs {:?}", src.shape(), dst.shape()),
-            ));
-        }
-        dst.set_values(src.to_vec());
-    }
-    Ok(())
+pub fn load_into(path: impl AsRef<Path>, params: &[Tensor]) -> DarResult<()> {
+    restore_into(&load_checkpoint_path(path)?.tensors, params)
 }
 
 #[cfg(test)]
@@ -114,6 +473,12 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("dar_serial_{name}_{}", std::process::id()));
         p
+    }
+
+    fn save_to_vec(ckpt: &Checkpoint) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, ckpt).unwrap();
+        buf
     }
 
     #[test]
@@ -131,9 +496,112 @@ mod tests {
     }
 
     #[test]
+    fn meta_roundtrips() {
+        let ckpt = Checkpoint::new(vec![Tensor::zeros(&[2])], b"trainer state".to_vec());
+        let buf = save_to_vec(&ckpt);
+        let back = load_checkpoint(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.meta, b"trainer state");
+        assert_eq!(back.tensors.len(), 1);
+    }
+
+    #[test]
     fn rejects_wrong_magic() {
         let mut data: &[u8] = b"NOPE\x01\x00\x00\x00";
-        assert!(load_tensors(&mut data).is_err());
+        assert!(matches!(load_tensors(&mut data), Err(DarError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&7u32.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            load_tensors(&mut data.as_slice()),
+            Err(DarError::InvalidData(msg)) if msg.contains("version 7")
+        ));
+    }
+
+    #[test]
+    fn rejects_hostile_rank_and_dims() {
+        // rank beyond the cap
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION_V1.to_le_bytes());
+        data.extend_from_slice(&1u32.to_le_bytes()); // count
+        data.extend_from_slice(&u32::MAX.to_le_bytes()); // rank
+        assert!(matches!(
+            load_tensors(&mut data.as_slice()),
+            Err(DarError::InvalidData(_))
+        ));
+
+        // dims whose product would OOM
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION_V1.to_le_bytes());
+        data.extend_from_slice(&1u32.to_le_bytes()); // count
+        data.extend_from_slice(&3u32.to_le_bytes()); // rank
+        for _ in 0..3 {
+            data.extend_from_slice(&100_000u32.to_le_bytes());
+        }
+        assert!(matches!(
+            load_tensors(&mut data.as_slice()),
+            Err(DarError::InvalidData(_))
+        ));
+
+        // hostile tensor count
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION_V1.to_le_bytes());
+        data.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            load_tensors(&mut data.as_slice()),
+            Err(DarError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_garbage() {
+        let ckpt = Checkpoint::new(vec![Tensor::param(vec![1.0; 10], &[10])], vec![1, 2, 3]);
+        let buf = save_to_vec(&ckpt);
+        for keep in [1, 4, 9, buf.len() / 2, buf.len() - 1] {
+            let err = load_checkpoint(&mut &buf[..keep]).unwrap_err();
+            assert!(
+                matches!(err, DarError::Corrupt(_) | DarError::InvalidData(_)),
+                "prefix of {keep} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_fails_crc() {
+        let ckpt = Checkpoint::new(vec![Tensor::param(vec![0.5; 8], &[2, 4])], vec![9; 16]);
+        let buf = save_to_vec(&ckpt);
+        // Flip one bit in every byte position; all must fail to load.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                load_checkpoint(&mut bad.as_slice()).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_v1_still_loads() {
+        let t = Tensor::param(vec![1.0, 2.0], &[2]);
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION_V1.to_le_bytes());
+        data.extend_from_slice(&1u32.to_le_bytes()); // count
+        data.extend_from_slice(&1u32.to_le_bytes()); // rank
+        data.extend_from_slice(&2u32.to_le_bytes()); // dim
+        for v in t.to_vec() {
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        let loaded = load_tensors(&mut data.as_slice()).unwrap();
+        assert_eq!(loaded[0].to_vec(), vec![1.0, 2.0]);
     }
 
     #[test]
@@ -141,7 +609,10 @@ mod tests {
         let path = tmpfile("mismatch");
         save_path(&path, &[Tensor::zeros(&[2, 2])]).unwrap();
         let dst = Tensor::zeros(&[4]);
-        assert!(load_into(&path, &[dst]).is_err());
+        assert!(matches!(
+            load_into(&path, &[dst]),
+            Err(DarError::ShapeMismatch { .. })
+        ));
         std::fs::remove_file(path).ok();
     }
 
@@ -151,5 +622,49 @@ mod tests {
         save_path(&path, &[Tensor::zeros(&[1])]).unwrap();
         assert!(load_into(&path, &[]).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_droppings() {
+        let path = tmpfile("atomic");
+        save_path(&path, &[Tensor::zeros(&[3])]).unwrap();
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.starts_with(&stem) && n.contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn codec_cursor_roundtrips_and_bounds_checks() {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, 7);
+        codec::put_u64(&mut buf, u64::MAX - 3);
+        codec::put_f32(&mut buf, -1.25);
+        codec::put_f32s(&mut buf, &[1.0, 2.0, 3.0]);
+        codec::put_str(&mut buf, "Dar");
+        let mut c = codec::Cursor::new(&buf);
+        assert_eq!(c.u32().unwrap(), 7);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(c.f32().unwrap(), -1.25);
+        assert_eq!(c.f32s().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.str_().unwrap(), "Dar");
+        assert!(c.is_empty());
+        assert!(c.u32().is_err(), "read past end must error");
+    }
+
+    #[test]
+    fn codec_rejects_non_utf8_strings() {
+        let mut buf = Vec::new();
+        codec::put_bytes(&mut buf, &[0xFF, 0xFE]);
+        assert!(codec::Cursor::new(&buf).str_().is_err());
     }
 }

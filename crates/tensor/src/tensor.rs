@@ -69,7 +69,9 @@ pub struct Tensor {
 
 impl Clone for Tensor {
     fn clone(&self) -> Self {
-        Tensor { inner: Rc::clone(&self.inner) }
+        Tensor {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -80,7 +82,9 @@ impl fmt::Debug for Tensor {
         write!(
             f,
             "Tensor(shape={:?}, requires_grad={}, values[..8]={:?})",
-            self.inner.shape, self.inner.requires_grad.get(), preview
+            self.inner.shape,
+            self.inner.requires_grad.get(),
+            preview
         )
     }
 }
@@ -210,7 +214,12 @@ impl Tensor {
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
         let v = self.inner.values.borrow();
-        assert_eq!(v.len(), 1, "item() called on non-scalar tensor {:?}", self.inner.shape);
+        assert_eq!(
+            v.len(),
+            1,
+            "item() called on non-scalar tensor {:?}",
+            self.inner.shape
+        );
         v[0]
     }
 
@@ -293,7 +302,9 @@ impl Tensor {
         let order = self.topo_order();
         self.accumulate_grad(&vec![1.0; self.len()]);
         for node in order.iter().rev() {
-            let Some(bw) = &node.inner.backward else { continue };
+            let Some(bw) = &node.inner.backward else {
+                continue;
+            };
             let grad = {
                 let slot = node.inner.grad.borrow();
                 match slot.as_ref() {

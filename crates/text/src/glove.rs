@@ -29,7 +29,14 @@ pub struct GloveConfig {
 
 impl Default for GloveConfig {
     fn default() -> Self {
-        GloveConfig { dim: 100, window: 5, epochs: 15, lr: 0.05, x_max: 50.0, alpha: 0.75 }
+        GloveConfig {
+            dim: 100,
+            window: 5,
+            epochs: 15,
+            lr: 0.05,
+            x_max: 50.0,
+            alpha: 0.75,
+        }
     }
 }
 
@@ -152,7 +159,10 @@ mod tests {
 
     #[test]
     fn cooccurrence_symmetry() {
-        let t = GloveTrainer::new(GloveConfig { window: 2, ..Default::default() });
+        let t = GloveTrainer::new(GloveConfig {
+            window: 2,
+            ..Default::default()
+        });
         let counts = t.cooccurrences(&clustered_corpus());
         for (&(i, j), &c) in &counts {
             assert_eq!(counts.get(&(j, i)).copied().unwrap_or(0.0), c);
@@ -162,7 +172,12 @@ mod tests {
 
     #[test]
     fn embeddings_cluster_cooccurring_tokens() {
-        let cfg = GloveConfig { dim: 16, window: 2, epochs: 20, ..Default::default() };
+        let cfg = GloveConfig {
+            dim: 16,
+            window: 2,
+            epochs: 20,
+            ..Default::default()
+        };
         let t = GloveTrainer::new(cfg);
         let mut rng = dar_tensor::rng(0);
         let table = t.train(&clustered_corpus(), 8, &mut rng);
@@ -176,7 +191,11 @@ mod tests {
 
     #[test]
     fn training_is_deterministic_per_seed() {
-        let cfg = GloveConfig { dim: 8, epochs: 3, ..Default::default() };
+        let cfg = GloveConfig {
+            dim: 8,
+            epochs: 3,
+            ..Default::default()
+        };
         let c = clustered_corpus();
         let a = GloveTrainer::new(cfg).train(&c, 8, &mut dar_tensor::rng(9));
         let b = GloveTrainer::new(cfg).train(&c, 8, &mut dar_tensor::rng(9));
@@ -185,7 +204,11 @@ mod tests {
 
     #[test]
     fn output_is_finite() {
-        let cfg = GloveConfig { dim: 8, epochs: 5, ..Default::default() };
+        let cfg = GloveConfig {
+            dim: 8,
+            epochs: 5,
+            ..Default::default()
+        };
         let table = GloveTrainer::new(cfg).train(&clustered_corpus(), 8, &mut dar_tensor::rng(1));
         assert!(table.iter().all(|x| x.is_finite()));
     }

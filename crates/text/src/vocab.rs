@@ -44,8 +44,10 @@ impl Vocab {
 
     /// A vocabulary containing only the special tokens.
     pub fn empty() -> Self {
-        let mut v =
-            Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
         for special in ["<pad>", "<unk>", "<mask>"] {
             v.insert(special);
         }

@@ -9,15 +9,27 @@ use dar::prelude::*;
 
 fn main() {
     let cfg = RationaleConfig::default();
-    let tcfg = TrainConfig { epochs: 10, patience: Some(4), ..Default::default() };
-    println!("{:<12} {:<6} {:>5} {:>6} {:>6} {:>6} {:>6}", "aspect", "model", "S", "Acc", "P", "R", "F1");
+    let tcfg = TrainConfig {
+        epochs: 10,
+        patience: Some(4),
+        ..Default::default()
+    };
+    println!(
+        "{:<12} {:<6} {:>5} {:>6} {:>6} {:>6} {:>6}",
+        "aspect", "model", "S", "Acc", "P", "R", "F1"
+    );
 
-    for (aspect, alpha) in
-        [(Aspect::Appearance, 0.19), (Aspect::Aroma, 0.16), (Aspect::Palate, 0.13)]
-    {
+    for (aspect, alpha) in [
+        (Aspect::Appearance, 0.19),
+        (Aspect::Aroma, 0.16),
+        (Aspect::Palate, 0.13),
+    ] {
         let mut rng = dar::rng(7);
         let data = SynBeer::generate(&SynthConfig::beer(aspect).scaled(0.4), &mut rng);
-        let cfg = RationaleConfig { sparsity: alpha, ..cfg };
+        let cfg = RationaleConfig {
+            sparsity: alpha,
+            ..cfg
+        };
         let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
         let ml = pretrain::max_len(&data);
 

@@ -13,8 +13,15 @@ use dar::prelude::*;
 fn main() {
     let mut rng = dar::rng(11);
     let data = SynHotel::generate(&SynthConfig::hotel(Aspect::Service).scaled(0.3), &mut rng);
-    let cfg = RationaleConfig { sparsity: 0.12, ..Default::default() };
-    let tcfg = TrainConfig { epochs: 10, patience: Some(4), ..Default::default() };
+    let cfg = RationaleConfig {
+        sparsity: 0.12,
+        ..Default::default()
+    };
+    let tcfg = TrainConfig {
+        epochs: 10,
+        patience: Some(4),
+        ..Default::default()
+    };
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
     let ml = pretrain::max_len(&data);
 
@@ -31,7 +38,9 @@ fn main() {
 
     // Dump one RNP rationale so shift is visible to the naked eye.
     println!("\nRNP-selected tokens on one test review (cf. Fig. 2):");
-    let batch = BatchIter::sequential(&data.test, 1).next().expect("empty test");
+    let batch = BatchIter::sequential(&data.test, 1)
+        .next()
+        .expect("empty test");
     let inf = rnp.infer(&batch);
     let picked: Vec<&str> = (0..batch.lengths[0])
         .filter(|&t| inf.masks[0][t] > 0.5)

@@ -10,8 +10,15 @@ use dar::prelude::*;
 fn main() {
     let mut rng = dar::rng(21);
     let data = SynBeer::generate(&SynthConfig::beer(Aspect::Palate).scaled(0.25), &mut rng);
-    let cfg = RationaleConfig { sparsity: 0.13, ..Default::default() };
-    let tcfg = TrainConfig { epochs: 6, patience: None, ..Default::default() };
+    let cfg = RationaleConfig {
+        sparsity: 0.13,
+        ..Default::default()
+    };
+    let tcfg = TrainConfig {
+        epochs: 6,
+        patience: None,
+        ..Default::default()
+    };
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
     let ml = pretrain::max_len(&data);
 
@@ -30,18 +37,24 @@ fn main() {
         println!("trained {:<10} F1 {:>5.1}", r.model_name, r.test.f1 * 100.0);
     }
 
-    let batch = BatchIter::sequential(&data.test, 2).next().expect("empty test");
+    let batch = BatchIter::sequential(&data.test, 2)
+        .next()
+        .expect("empty test");
     for i in 0..batch.len() {
         let len = batch.lengths[i];
         let tokens = data.vocab.decode(&batch.ids[i][..len]);
         println!("\nreview (label {}): {}", batch.labels[i], tokens.join(" "));
-        let human: Vec<&str> =
-            (0..len).filter(|&t| batch.rationales[i][t]).map(|t| tokens[t]).collect();
+        let human: Vec<&str> = (0..len)
+            .filter(|&t| batch.rationales[i][t])
+            .map(|t| tokens[t])
+            .collect();
         println!("  {:<10} {human:?}", "human");
         for model in &models {
             let inf = model.infer(&batch);
-            let picked: Vec<&str> =
-                (0..len).filter(|&t| inf.masks[i][t] > 0.5).map(|t| tokens[t]).collect();
+            let picked: Vec<&str> = (0..len)
+                .filter(|&t| inf.masks[i][t] > 0.5)
+                .map(|t| tokens[t])
+                .collect();
             println!("  {:<10} {picked:?}", model.name());
         }
     }

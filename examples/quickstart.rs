@@ -12,27 +12,52 @@ fn main() {
 
     // 1. A scaled-down synthetic BeerAdvocate aroma dataset.
     let data = SynBeer::generate(&SynthConfig::beer(Aspect::Aroma).scaled(0.4), &mut rng);
-    println!("dataset: {} (train {} / dev {} / test {})", data.name, data.train.len(), data.dev.len(), data.test.len());
+    println!(
+        "dataset: {} (train {} / dev {} / test {})",
+        data.name,
+        data.train.len(),
+        data.dev.len(),
+        data.test.len()
+    );
 
     // 2. GloVe-style embeddings pretrained on the corpus itself.
-    let cfg = RationaleConfig { sparsity: 0.16, ..Default::default() };
+    let cfg = RationaleConfig {
+        sparsity: 0.16,
+        ..Default::default()
+    };
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
 
     // 3. Pretrain the full-text discriminator (Eq. (4)) and build DAR.
     let disc = pretrain::full_text_predictor(&cfg, &emb, &data, 6, &mut rng);
-    println!("predictor^t dev accuracy: {:.1}%", pretrain::full_text_accuracy(&disc, &data.dev, 64) * 100.0);
+    println!(
+        "predictor^t dev accuracy: {:.1}%",
+        pretrain::full_text_accuracy(&disc, &data.dev, 64) * 100.0
+    );
     let max_len = pretrain::max_len(&data);
     let mut model = Dar::new(&cfg, &emb, disc, max_len, &mut rng);
 
     // 4. Train the cooperative game.
-    let trainer = Trainer::new(TrainConfig { epochs: 10, patience: Some(4), verbose: true, ..Default::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 10,
+        patience: Some(4),
+        verbose: true,
+        ..Default::default()
+    });
     let report = trainer.fit(&mut model, &data, &mut rng);
     println!("\ntest metrics:   S   Acc    P     R     F1");
     println!("             {}", report.test.row());
-    println!("full-text probe accuracy: {:?}\n", report.test.full_text_acc.map(|a| format!("{:.1}%", a * 100.0)));
+    println!(
+        "full-text probe accuracy: {:?}\n",
+        report
+            .test
+            .full_text_acc
+            .map(|a| format!("{:.1}%", a * 100.0))
+    );
 
     // 5. Show model-selected vs human rationales on a few test reviews.
-    let batch = BatchIter::sequential(&data.test, 4).next().expect("empty test split");
+    let batch = BatchIter::sequential(&data.test, 4)
+        .next()
+        .expect("empty test split");
     let inf = model.infer(&batch);
     for i in 0..batch.len() {
         let tokens = data.vocab.decode(&batch.ids[i][..batch.lengths[i]]);
@@ -44,9 +69,9 @@ fn main() {
                 let selected = inf.masks[i][t] > 0.5;
                 let annotated = batch.rationales[i][t];
                 match (selected, annotated) {
-                    (true, true) => format!("[*{tok}*]"),   // both
-                    (true, false) => format!("[{tok}]"),     // model only
-                    (false, true) => format!("*{tok}*"),     // human only
+                    (true, true) => format!("[*{tok}*]"), // both
+                    (true, false) => format!("[{tok}]"),  // model only
+                    (false, true) => format!("*{tok}*"),  // human only
                     (false, false) => tok.to_string(),
                 }
             })

@@ -13,8 +13,15 @@ use dar::prelude::*;
 fn main() {
     let mut rng = dar::rng(5);
     let data = SynBeer::generate(&SynthConfig::beer(Aspect::Aroma).scaled(0.4), &mut rng);
-    let cfg = RationaleConfig { sparsity: 0.16, ..Default::default() };
-    let tcfg = TrainConfig { epochs: 10, patience: None, ..Default::default() };
+    let cfg = RationaleConfig {
+        sparsity: 0.16,
+        ..Default::default()
+    };
+    let tcfg = TrainConfig {
+        epochs: 10,
+        patience: None,
+        ..Default::default()
+    };
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
     let ml = pretrain::max_len(&data);
     let skew_epochs = 15;
@@ -25,7 +32,11 @@ fn main() {
     let skewed = pretrain::skewed_predictor(&cfg, &emb, &data, skew_epochs, &mut rng);
     let mut rnp = Rnp::with_predictor(&cfg, &emb, skewed, ml, &mut rng);
     let r = Trainer::new(tcfg).fit(&mut rnp, &data, &mut rng);
-    println!("RNP  skew{skew_epochs}: Acc {:>5.1}  F1 {:>5.1}", r.test.acc.unwrap_or(f32::NAN) * 100.0, r.test.f1 * 100.0);
+    println!(
+        "RNP  skew{skew_epochs}: Acc {:>5.1}  F1 {:>5.1}",
+        r.test.acc.unwrap_or(f32::NAN) * 100.0,
+        r.test.f1 * 100.0
+    );
 
     // DAR with the same skewed predictor as its trainable player, but a
     // clean frozen full-text discriminator.
@@ -34,7 +45,11 @@ fn main() {
     let mut dar = Dar::new(&cfg, &emb, disc, ml, &mut rng);
     dar.pred = skewed;
     let r = Trainer::new(tcfg).fit(&mut dar, &data, &mut rng);
-    println!("DAR  skew{skew_epochs}: Acc {:>5.1}  F1 {:>5.1}", r.test.acc.unwrap_or(f32::NAN) * 100.0, r.test.f1 * 100.0);
+    println!(
+        "DAR  skew{skew_epochs}: Acc {:>5.1}  F1 {:>5.1}",
+        r.test.acc.unwrap_or(f32::NAN) * 100.0,
+        r.test.f1 * 100.0
+    );
 
     println!("\nExpected shape (paper Table VII): RNP's F1 collapses as the skew");
     println!("grows; DAR stays close to its unskewed performance.");

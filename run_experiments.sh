@@ -2,6 +2,10 @@
 # Regenerate every table/figure of the paper (see EXPERIMENTS.md).
 # DAR_PROFILE controls scale: quick | standard | full.
 set -u
+if [ "${DAR_SKIP_CI:-0}" != "1" ]; then
+  echo "=== preflight: ci.sh (set DAR_SKIP_CI=1 to skip) ==="
+  ./ci.sh || { echo "preflight failed; not running experiments" >&2; exit 1; }
+fi
 PROFILE="${DAR_PROFILE:-quick}"
 export DAR_PROFILE="$PROFILE"
 OUT="results"

@@ -5,9 +5,15 @@
 //! dar-cli stats                      # dataset statistics (Table IX style)
 //! dar-cli train DAR aroma            # train a model on an aspect
 //! dar-cli train RNP service --epochs 8 --scale 0.3 --seed 7
+//! dar-cli train DAR aroma --checkpoint-dir ckpts        # durable epochs
+//! dar-cli train DAR aroma --checkpoint-dir ckpts --resume   # continue
+//! dar-cli train DAR aroma --checkpoint-dir ckpts --guard    # divergence guards
 //! dar-cli show DAR palate            # train briefly, dump rationales
 //! ```
 
+use std::path::PathBuf;
+
+use dar::core::guard::{GuardPolicy, GuardedTrainer, TrainEvent};
 use dar::data::DatasetStats;
 use dar::prelude::*;
 
@@ -22,6 +28,9 @@ fn main() {
             eprintln!("  MODEL:  RNP DAR A2R DMR Inter_RAT CAR 3PLAYER VIB");
             eprintln!("  ASPECT: appearance aroma palate location service cleanliness");
             eprintln!("  flags:  --epochs N  --scale F  --seed N  --sparsity F");
+            eprintln!("          --checkpoint-dir DIR   save a durable checkpoint every epoch");
+            eprintln!("          --resume               continue from the checkpoint in DIR");
+            eprintln!("          --guard                train with divergence guards + rollback");
             std::process::exit(2);
         }
     }
@@ -32,6 +41,17 @@ fn flag(args: &[String], name: &str) -> Option<f32> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 fn parse_aspect(s: &str) -> Aspect {
@@ -115,15 +135,87 @@ fn train(args: &[String], show: bool) {
     let scale = flag(args, "--scale").unwrap_or(0.4);
     let seed = flag(args, "--seed").map(|v| v as u64).unwrap_or(17);
     let sparsity = flag(args, "--sparsity").unwrap_or(0.15);
+    let ckpt_dir = str_flag(args, "--checkpoint-dir").map(PathBuf::from);
+    let resume = bool_flag(args, "--resume");
+    let guard = bool_flag(args, "--guard");
+    if (resume || guard) && ckpt_dir.is_none() {
+        eprintln!("--resume/--guard need --checkpoint-dir DIR");
+        std::process::exit(2);
+    }
+    if resume && guard {
+        eprintln!("--resume continues with the plain trainer; drop --guard to resume");
+        std::process::exit(2);
+    }
 
     let data = make_dataset(aspect, scale, seed);
-    let cfg = RationaleConfig { sparsity, ..Default::default() };
+    if let Err(e) = data.validate() {
+        eprintln!("dataset failed validation: {e}");
+        std::process::exit(1);
+    }
+    let cfg = RationaleConfig {
+        sparsity,
+        ..Default::default()
+    };
     let mut rng = dar::rng(seed + 1);
-    println!("dataset {}: train {} dev {} test {}", data.name, data.train.len(), data.dev.len(), data.test.len());
+    println!(
+        "dataset {}: train {} dev {} test {}",
+        data.name,
+        data.train.len(),
+        data.dev.len(),
+        data.test.len()
+    );
     let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
     let mut model = build(&model_name, &cfg, &emb, &data, &mut rng);
-    let tcfg = TrainConfig { epochs, verbose: true, ..Default::default() };
-    let report = Trainer::new(tcfg).fit(model.as_mut(), &data, &mut rng);
+    let tcfg = TrainConfig {
+        epochs,
+        verbose: true,
+        ..Default::default()
+    };
+    let ckpt = ckpt_dir.map(|dir| {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        dir.join(format!("{model_name}-{}.dart", data.name))
+    });
+    let report = match (&ckpt, guard, resume) {
+        (Some(path), true, false) => {
+            // Guarded training implies per-epoch checkpoints (the rollback
+            // target); a crashed guarded run is resumable with --resume.
+            let guarded = GuardedTrainer::new(tcfg, GuardPolicy::default())
+                .fit(model.as_mut(), &data, &mut rng, path)
+                .unwrap_or_else(|e| {
+                    eprintln!("guarded training failed: {e}");
+                    std::process::exit(1);
+                });
+            for event in &guarded.events {
+                if !matches!(event, TrainEvent::EpochDone { .. }) {
+                    println!("guard: {event:?}");
+                }
+            }
+            if guarded.rollbacks > 0 {
+                println!("guard: {} rollback(s) performed", guarded.rollbacks);
+            }
+            guarded.report
+        }
+        (Some(path), false, true) => Trainer::new(tcfg)
+            .fit_resume(model.as_mut(), &data, &mut rng, path)
+            .unwrap_or_else(|e| {
+                eprintln!("resume from {} failed: {e}", path.display());
+                std::process::exit(1);
+            }),
+        (Some(path), false, false) => Trainer::new(tcfg)
+            .fit_checkpointed(model.as_mut(), &data, &mut rng, path)
+            .unwrap_or_else(|e| {
+                eprintln!("checkpointed training failed: {e}");
+                std::process::exit(1);
+            }),
+        (Some(_), true, true) => unreachable!("rejected at argument parsing"),
+        (None, _, _) => Trainer::new(tcfg).fit(model.as_mut(), &data, &mut rng),
+    };
+    if let Some(path) = &ckpt {
+        println!("checkpoint: {}", path.display());
+    }
     println!("\n{:<10}   S   Acc    P     R     F1", report.model_name);
     println!("{:<10} {}", "test", report.test.row());
     if let Some(full) = report.test.full_text_acc {
@@ -131,16 +223,27 @@ fn train(args: &[String], show: bool) {
     }
 
     if show {
-        let batch = BatchIter::sequential(&data.test, 3).next().expect("empty test");
+        let batch = BatchIter::sequential(&data.test, 3)
+            .next()
+            .expect("empty test");
         let inf = model.infer(&batch);
         for i in 0..batch.len() {
             let len = batch.lengths[i];
             let toks = data.vocab.decode(&batch.ids[i][..len]);
-            let picked: Vec<&str> =
-                (0..len).filter(|&t| inf.masks[i][t] > 0.5).map(|t| toks[t]).collect();
-            let human: Vec<&str> =
-                (0..len).filter(|&t| batch.rationales[i][t]).map(|t| toks[t]).collect();
-            println!("\nreview {} (label {}): {}", i, batch.labels[i], toks.join(" "));
+            let picked: Vec<&str> = (0..len)
+                .filter(|&t| inf.masks[i][t] > 0.5)
+                .map(|t| toks[t])
+                .collect();
+            let human: Vec<&str> = (0..len)
+                .filter(|&t| batch.rationales[i][t])
+                .map(|t| toks[t])
+                .collect();
+            println!(
+                "\nreview {} (label {}): {}",
+                i,
+                batch.labels[i],
+                toks.join(" ")
+            );
             println!("  model: {picked:?}");
             println!("  human: {human:?}");
         }

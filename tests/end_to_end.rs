@@ -9,7 +9,12 @@ fn tiny_data(aspect: Aspect, seed: u64) -> AspectDataset {
         dar::data::Domain::Beer => SynthConfig::beer(aspect),
         dar::data::Domain::Hotel => SynthConfig::hotel(aspect),
     };
-    let cfg = SynthConfig { n_train: 320, n_dev: 64, n_test: 64, ..base };
+    let cfg = SynthConfig {
+        n_train: 320,
+        n_dev: 64,
+        n_test: 64,
+        ..base
+    };
     let mut rng = dar::rng(seed);
     match aspect.domain() {
         dar::data::Domain::Beer => SynBeer::generate(&cfg, &mut rng),
@@ -18,11 +23,22 @@ fn tiny_data(aspect: Aspect, seed: u64) -> AspectDataset {
 }
 
 fn small_cfg(alpha: f32) -> RationaleConfig {
-    RationaleConfig { emb_dim: 32, hidden: 32, sparsity: alpha, lr: 2e-3, ..Default::default() }
+    RationaleConfig {
+        emb_dim: 32,
+        hidden: 32,
+        sparsity: alpha,
+        lr: 2e-3,
+        ..Default::default()
+    }
 }
 
 fn short_train() -> TrainConfig {
-    TrainConfig { epochs: 10, batch_size: 16, patience: None, ..Default::default() }
+    TrainConfig {
+        epochs: 10,
+        batch_size: 16,
+        patience: None,
+        ..Default::default()
+    }
 }
 
 /// The full-text predictor (Eq. (4)) must master separable synthetic data —
@@ -53,8 +69,15 @@ fn dar_end_to_end_aligns_rationales() {
     let disc = pretrain::full_text_predictor(&cfg, &emb, &data, 8, &mut rng);
     let mut dar = Dar::new(&cfg, &emb, disc, ml, &mut rng);
     let report = Trainer::new(short_train()).fit(&mut dar, &data, &mut rng);
-    assert!(report.test.f1 > 0.3, "DAR rationale F1 too low: {:?}", report.test);
-    let dar_full = report.test.full_text_acc.expect("DAR reports a full-text probe");
+    assert!(
+        report.test.f1 > 0.3,
+        "DAR rationale F1 too low: {:?}",
+        report.test
+    );
+    let dar_full = report
+        .test
+        .full_text_acc
+        .expect("DAR reports a full-text probe");
     assert!(dar_full > 0.55, "DAR full-text probe at chance: {dar_full}");
 }
 
@@ -93,7 +116,8 @@ fn certification_of_exclusion_end_to_end() {
         });
     }
     let refs: Vec<&dar::data::Review> = reviews.iter().collect();
-    let perturbed = Batch::from_reviews(&refs);
+    let perturbed =
+        Batch::from_reviews_checked(&refs, data.vocab.len()).expect("perturbed batch is valid");
     let inf2 = rnp.infer(&perturbed);
     // Identical masks assumed only for prediction comparison — recompute
     // prediction with the ORIGINAL mask to isolate the predictor:
@@ -103,7 +127,10 @@ fn certification_of_exclusion_end_to_end() {
     );
     let logits_after = dar::tensor::no_grad(|| rnp.pred.forward_masked(&perturbed, &z)).to_vec();
     for (a, b) in logits_before.iter().zip(&logits_after) {
-        assert!((a - b).abs() < 1e-4, "unselected token changed prediction: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-4,
+            "unselected token changed prediction: {a} vs {b}"
+        );
     }
     drop(inf2);
 }
@@ -165,13 +192,21 @@ fn all_models_run_on_both_domains() {
         for model in &mut models {
             for batch in BatchIter::shuffled(&data.train, 32, &mut rng).take(2) {
                 let loss = model.train_step(&batch, &mut rng);
-                assert!(loss.is_finite(), "{} produced non-finite loss", model.name());
+                assert!(
+                    loss.is_finite(),
+                    "{} produced non-finite loss",
+                    model.name()
+                );
             }
             let batch = BatchIter::sequential(&data.test, 8).next().unwrap();
             let inf = model.infer(&batch);
             assert_eq!(inf.masks.len(), 8, "{} bad inference", model.name());
             for row in &inf.masks {
-                assert!(row.iter().all(|&v| v == 0.0 || v == 1.0), "{} non-binary mask", model.name());
+                assert!(
+                    row.iter().all(|&v| v == 0.0 || v == 1.0),
+                    "{} non-binary mask",
+                    model.name()
+                );
             }
         }
     }
@@ -187,7 +222,12 @@ fn training_is_deterministic() {
         let emb = SharedEmbedding::pretrained(&data, cfg.emb_dim, &mut rng);
         let ml = pretrain::max_len(&data);
         let mut model = Rnp::new(&cfg, &emb, ml, &mut rng);
-        let tcfg = TrainConfig { epochs: 2, batch_size: 32, patience: None, ..Default::default() };
+        let tcfg = TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            patience: None,
+            ..Default::default()
+        };
         Trainer::new(tcfg).fit(&mut model, &data, &mut rng).test
     };
     let a = run();

@@ -1,0 +1,235 @@
+//! Integration tests for the fault-tolerant training runtime: checkpoint
+//! corruption can never yield garbage weights, and the divergence guards
+//! carry a run across injected faults.
+
+use dar::core::fault::{self, FaultPlan, FaultyModel};
+use dar::core::guard::{GuardPolicy, GuardReason, GuardedTrainer, TrainEvent};
+use dar::prelude::*;
+use dar::tensor::serial;
+use dar::tensor::{DarError, Tensor};
+use proptest::prelude::*;
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dar_ft_{name}_{}", std::process::id()));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Save → corrupt → load must always fail with a structured error —
+    /// never panic, never return wrong weights — for any seeded
+    /// truncation point or bit flip and any tensor geometry.
+    #[test]
+    fn corrupted_checkpoint_always_fails_to_load(
+        seed in 0u64..10_000,
+        n in 1usize..40,
+        flip in any::<bool>(),
+    ) {
+        let path = tmpfile(&format!("prop_{seed}_{n}_{flip}"));
+        let tensors = vec![
+            Tensor::param((0..n).map(|i| i as f32 * 0.5 - 1.0).collect(), &[n]),
+            Tensor::param(vec![-2.5; 6], &[2, 3]),
+        ];
+        serial::save_path(&path, &tensors).expect("save");
+        if flip {
+            fault::corrupt_bitflip(&path, seed).expect("flip");
+        } else {
+            fault::corrupt_truncate(&path, seed).expect("truncate");
+        }
+        let result = serial::load_checkpoint_path(&path);
+        std::fs::remove_file(&path).ok();
+        match result {
+            Err(DarError::Corrupt(_) | DarError::InvalidData(_) | DarError::Io(_)) => {}
+            Err(other) => {
+                return Err(TestCaseError::Fail(format!("unstructured error: {other:?}")))
+            }
+            Ok(_) => {
+                return Err(TestCaseError::Fail("corrupted checkpoint loaded".to_owned()))
+            }
+        }
+    }
+}
+
+fn tiny() -> (AspectDataset, RationaleConfig, SharedEmbedding) {
+    let dcfg = SynthConfig {
+        n_train: 96,
+        n_dev: 32,
+        n_test: 32,
+        ..SynthConfig::beer(Aspect::Aroma)
+    };
+    let data = SynBeer::generate(&dcfg, &mut dar::rng(700));
+    let cfg = RationaleConfig {
+        emb_dim: 16,
+        hidden: 16,
+        sparsity: 0.16,
+        ..Default::default()
+    };
+    let emb = SharedEmbedding::random(data.vocab.len(), cfg.emb_dim, &mut dar::rng(701));
+    (data, cfg, emb)
+}
+
+/// A one-shot NaN loss trips the guard; rollback + retry completes the run
+/// with finite metrics and a structured event trail.
+#[test]
+fn guarded_run_survives_injected_nan_loss() {
+    let (data, cfg, emb) = tiny();
+    let ml = pretrain::max_len(&data);
+    let tcfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    let path = tmpfile("nan_loss");
+    let mut rng = dar::rng(702);
+    let inner = Rnp::new(&cfg, &emb, ml, &mut rng);
+    // 96 rows / batch 32 = 3 steps per epoch; fault in epoch 1.
+    let mut model = FaultyModel::new(inner, FaultPlan::nan_loss_at(4));
+    let policy = GuardPolicy {
+        collapse_low: -1.0,
+        collapse_high: 2.0,
+        ..Default::default()
+    };
+    let guarded = GuardedTrainer::new(tcfg, policy)
+        .fit(&mut model, &data, &mut rng, &path)
+        .unwrap();
+    assert!(
+        guarded.events.iter().any(|e| matches!(
+            e,
+            TrainEvent::GuardTripped {
+                reason: GuardReason::NonFiniteLoss { .. },
+                ..
+            }
+        )),
+        "no NaN trip recorded: {:?}",
+        guarded.events
+    );
+    assert_eq!(
+        guarded.report.epochs_run, 3,
+        "run must complete after recovery"
+    );
+    assert!(guarded.report.test.f1.is_finite());
+    assert!(guarded.rollbacks >= 1);
+    std::fs::remove_file(path).ok();
+}
+
+/// NaN weights are caught by the epoch-boundary parameter scan and rolled
+/// back; the final model is finite.
+#[test]
+fn guarded_run_survives_injected_nan_weights() {
+    let (data, cfg, emb) = tiny();
+    let ml = pretrain::max_len(&data);
+    let tcfg = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    let path = tmpfile("nan_weights");
+    let mut rng = dar::rng(703);
+    let inner = Rnp::new(&cfg, &emb, ml, &mut rng);
+    let mut model = FaultyModel::new(inner, FaultPlan::nan_weights_at(1));
+    let policy = GuardPolicy {
+        collapse_low: -1.0,
+        collapse_high: 2.0,
+        ..Default::default()
+    };
+    let guarded = GuardedTrainer::new(tcfg, policy)
+        .fit(&mut model, &data, &mut rng, &path)
+        .unwrap();
+    assert!(
+        guarded.events.iter().any(|e| matches!(
+            e,
+            TrainEvent::GuardTripped {
+                reason: GuardReason::NonFiniteLoss { .. } | GuardReason::NonFiniteParams { .. },
+                ..
+            }
+        )),
+        "no trip recorded: {:?}",
+        guarded.events
+    );
+    for p in model.params() {
+        assert!(
+            p.to_vec().iter().all(|v| v.is_finite()),
+            "non-finite weights survived"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+/// A persistent fault exhausts the bounded retry budget and surfaces as a
+/// structured error, not a panic or an infinite loop.
+#[test]
+fn persistent_fault_exhausts_retries() {
+    let (data, cfg, emb) = tiny();
+    let ml = pretrain::max_len(&data);
+    let tcfg = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    let path = tmpfile("exhaust");
+    let mut rng = dar::rng(704);
+    let inner = Rnp::new(&cfg, &emb, ml, &mut rng);
+    let mut model = FaultyModel::new(inner, FaultPlan::nan_loss_from(0));
+    let err = GuardedTrainer::new(
+        tcfg,
+        GuardPolicy {
+            max_retries: 2,
+            ..Default::default()
+        },
+    )
+    .fit(&mut model, &data, &mut rng, &path)
+    .unwrap_err();
+    assert!(
+        matches!(err, DarError::RetriesExhausted { retries: 2, .. }),
+        "wrong error: {err:?}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+/// A guarded run's checkpoint is a plain trainer checkpoint: an
+/// interrupted guarded run resumes with `Trainer::fit_resume`.
+#[test]
+fn guarded_checkpoint_is_resumable_by_plain_trainer() {
+    let (data, cfg, emb) = tiny();
+    let ml = pretrain::max_len(&data);
+    let path = tmpfile("guarded_resume");
+    let policy = GuardPolicy {
+        collapse_low: -1.0,
+        collapse_high: 2.0,
+        ..Default::default()
+    };
+
+    // Guarded run over the partial budget leaves a checkpoint…
+    let partial = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    let mut rng = dar::rng(705);
+    let mut model = Rnp::new(&cfg, &emb, ml, &mut rng);
+    GuardedTrainer::new(partial, policy)
+        .fit(&mut model, &data, &mut rng, &path)
+        .unwrap();
+
+    // …that a fresh process finishes with the plain trainer.
+    let full = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    let mut model = Rnp::new(&cfg, &emb, ml, &mut dar::rng(705));
+    let mut rng = dar::rng(9999);
+    let resumed = Trainer::new(full)
+        .fit_resume(&mut model, &data, &mut rng, &path)
+        .unwrap();
+    assert_eq!(resumed.epochs_run, 4);
+    assert!(resumed.test.f1.is_finite());
+    std::fs::remove_file(path).ok();
+}

@@ -102,7 +102,7 @@ proptest! {
             rationale: vec![false; len],
             first_sentence_end: 1,
         };
-        let batch = Batch::from_reviews(&[&review]);
+        let batch = Batch::from_reviews(&[&review]).expect("one-review batch");
         // One coherent block of k tokens at the start.
         let mut mask = vec![0.0f32; len];
         for m in mask.iter_mut().take(k) {
