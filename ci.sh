@@ -13,7 +13,17 @@ cargo clippy --all-targets -- -D warnings
 echo "=== cargo build --release ==="
 cargo build --release
 
-echo "=== cargo test --release ==="
-cargo test --workspace --release -q
+# dar-par lives under crates/shims/, which the workspace excludes so the
+# shims stay dependency-free; its tests must be invoked standalone.
+echo "=== dar-par pool tests (standalone, workspace-excluded) ==="
+cargo test --manifest-path crates/shims/dar-par/Cargo.toml --release -q
+
+# The full suite runs under two thread budgets. Results must not depend
+# on the budget (DESIGN.md §9) — a test that passes serially but fails
+# parallel (or vice versa) is a determinism bug, not flakiness.
+for threads in 1 4; do
+    echo "=== cargo test --release [DAR_THREADS=$threads] ==="
+    DAR_THREADS=$threads cargo test --workspace --release -q
+done
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,153 @@
+//! Parallel-runtime speedup measurement (DESIGN.md §9).
+//!
+//! Trains the same DAR model four ways — the old composite per-timestep
+//! GRU serially, then the fused kernel under thread budgets 1/2/4 — and
+//! records wall-clock and a bitwise fingerprint of every run's training
+//! history. The fused runs must be bit-identical across thread budgets;
+//! the speedup column compares each configuration against the composite
+//! serial baseline the runtime replaced.
+//!
+//! ```sh
+//! cargo run --release -p dar-bench --bin parspeed
+//! ```
+//!
+//! Output is appended to `results/parallel_speedup.txt`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dar_bench::{run_once, Profile};
+use dar_core::prelude::*;
+
+/// Bitwise fingerprint of a run: every loss/score in the history plus the
+/// final test metrics. Two runs with the same fingerprint took the same
+/// optimization trajectory down to the last ulp.
+fn fingerprint(rep: &TrainReport) -> Vec<u32> {
+    let mut bits: Vec<u32> = rep
+        .history
+        .iter()
+        .flat_map(|e| [e.train_loss.to_bits(), e.dev_score.to_bits()])
+        .collect();
+    for m in [&rep.test, &rep.dev] {
+        bits.extend([
+            m.precision.to_bits(),
+            m.recall.to_bits(),
+            m.f1.to_bits(),
+            m.sparsity.to_bits(),
+            m.acc.unwrap_or(-1.0).to_bits(),
+        ]);
+    }
+    bits
+}
+
+fn timed_run(profile: &Profile, composite: bool, threads: usize) -> (f64, TrainReport) {
+    dar_nn::gru::set_composite_gru(composite);
+    dar_par::with_threads(threads, || {
+        let start = Instant::now();
+        let rep = run_once(
+            "DAR",
+            Aspect::Appearance,
+            &RationaleConfig::default(),
+            profile,
+            17,
+        );
+        (start.elapsed().as_secs_f64(), rep)
+    })
+}
+
+fn main() {
+    let profile = Profile {
+        name: "parspeed",
+        scale: 0.4,
+        epochs: 6,
+        pretrain_epochs: 4,
+        batch: 32,
+        seeds: vec![17],
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("training DAR 4x (composite serial, fused @ 1/2/4 threads)...");
+    let (t_comp, rep_comp) = timed_run(&profile, true, 1);
+    println!("  composite, 1 thread: {t_comp:.2}s");
+    let (t_f1, rep_f1) = timed_run(&profile, false, 1);
+    println!("  fused,     1 thread: {t_f1:.2}s");
+    let (t_f2, rep_f2) = timed_run(&profile, false, 2);
+    println!("  fused,    2 threads: {t_f2:.2}s");
+    let (t_f4, rep_f4) = timed_run(&profile, false, 4);
+    println!("  fused,    4 threads: {t_f4:.2}s");
+
+    let fp1 = fingerprint(&rep_f1);
+    assert_eq!(
+        fp1,
+        fingerprint(&rep_f2),
+        "fused run diverged between 1 and 2 threads"
+    );
+    assert_eq!(
+        fp1,
+        fingerprint(&rep_f4),
+        "fused run diverged between 1 and 4 threads"
+    );
+    // The composite path is a float-reassociation of the same math: it must
+    // land in the same neighborhood (same learned solution) without being
+    // bit-equal — a cheap sanity check that the fused kernel is faithful.
+    assert!(
+        (rep_comp.test.f1 - rep_f1.test.f1).abs() < 0.15,
+        "fused and composite runs learned different solutions: F1 {} vs {}",
+        rep_comp.test.f1,
+        rep_f1.test.f1
+    );
+
+    let speedup = t_comp / t_f4;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== parallel runtime speedup (DAR, profile parspeed) =="
+    );
+    let _ = writeln!(
+        out,
+        "hardware: {cores} CPU core(s) visible to the container"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>10}",
+        "configuration", "wall_s", "speedup"
+    );
+    for (label, t) in [
+        ("composite GRU, 1 thread", t_comp),
+        ("fused GRU, 1 thread", t_f1),
+        ("fused GRU, 2 threads", t_f2),
+        ("fused GRU, 4 threads", t_f4),
+    ] {
+        let _ = writeln!(out, "{label:<28} {t:>8.2} {:>9.2}x", t_comp / t);
+    }
+    let _ = writeln!(
+        out,
+        "fused runs bit-identical across thread budgets: yes (fingerprint of \
+         {} history/metric values)",
+        fp1.len()
+    );
+    let _ = writeln!(
+        out,
+        "test F1: composite {:.3}, fused {:.3}",
+        rep_comp.test.f1, rep_f1.test.f1
+    );
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "note: only one core is visible, so thread budgets cannot shorten \
+             wall-clock here; the 4-thread speedup over the old serial runtime \
+             comes from the fused BPTT kernel that the shard-parallel rewrite \
+             introduced. On multi-core hosts the sharded GEMM/GRU kernels add \
+             on top of it with bit-identical results."
+        );
+    }
+    print!("{out}");
+
+    std::fs::create_dir_all("results").expect("cannot create results/");
+    std::fs::write("results/parallel_speedup.txt", &out).expect("cannot write results");
+    println!("wrote results/parallel_speedup.txt");
+    assert!(
+        speedup >= 1.5,
+        "4-thread runtime is only {speedup:.2}x over the serial baseline"
+    );
+}

@@ -211,17 +211,19 @@ impl MeanMetrics {
 }
 
 /// Run a model over all profile seeds and average.
+///
+/// Seeds fan out across the `dar-par` pool: each run is fully independent
+/// and thread-confined (tensors never cross threads), and results come
+/// back in seed order, so the mean is identical to the serial sweep.
 pub fn run_mean(
     model_name: &str,
     aspect: Aspect,
     cfg: &RationaleConfig,
     profile: &Profile,
 ) -> MeanMetrics {
-    let metrics: Vec<RationaleMetrics> = profile
-        .seeds
-        .iter()
-        .map(|&s| run_once(model_name, aspect, cfg, profile, s).test)
-        .collect();
+    let metrics: Vec<RationaleMetrics> = dar_par::run_shards(profile.seeds.len(), |i| {
+        run_once(model_name, aspect, cfg, profile, profile.seeds[i]).test
+    });
     MeanMetrics::of(&metrics)
 }
 

@@ -78,6 +78,12 @@ pub struct TrainConfig {
     pub clip: f32,
     /// Print one line per epoch.
     pub verbose: bool,
+    /// Split each batch into this many fixed contiguous row-shards for
+    /// gradient accumulation (see DESIGN.md §9). Shard boundaries are a
+    /// pure function of batch size and this count — never of the thread
+    /// budget — and shards are reduced in ascending order, so results for
+    /// a given shard count are bit-identical on any `DAR_THREADS`.
+    pub grad_accum_shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -88,6 +94,7 @@ impl Default for TrainConfig {
             patience: Some(8),
             clip: 5.0,
             verbose: false,
+            grad_accum_shards: 1,
         }
     }
 }

@@ -94,22 +94,9 @@ impl<M: RationaleModel> FaultyModel<M> {
     pub fn into_inner(self) -> M {
         self.inner
     }
-}
 
-impl<M: RationaleModel> RationaleModel for FaultyModel<M> {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn params(&self) -> Vec<Tensor> {
-        self.inner.params()
-    }
-
-    fn train_step(&mut self, batch: &dar_data::Batch, rng: &mut Rng) -> f32 {
-        let step = self.step;
-        self.step += 1;
-        self.steps_taken += 1;
-        let mut loss = self.inner.train_step(batch, rng);
+    /// Apply the plan's faults for `step` to a finished step's loss.
+    fn inject(&mut self, step: usize, mut loss: f32) -> f32 {
         if self.plan.nan_loss_at_step == Some(step) {
             loss = f32::NAN;
         }
@@ -127,6 +114,32 @@ impl<M: RationaleModel> RationaleModel for FaultyModel<M> {
             loss = f32::NAN;
         }
         loss
+    }
+}
+
+impl<M: RationaleModel> RationaleModel for FaultyModel<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        self.inner.params()
+    }
+
+    fn train_step(&mut self, batch: &dar_data::Batch, rng: &mut Rng) -> f32 {
+        let step = self.step;
+        self.step += 1;
+        self.steps_taken += 1;
+        let loss = self.inner.train_step(batch, rng);
+        self.inject(step, loss)
+    }
+
+    fn train_step_sharded(&mut self, batch: &dar_data::Batch, rng: &mut Rng, shards: usize) -> f32 {
+        let step = self.step;
+        self.step += 1;
+        self.steps_taken += 1;
+        let loss = self.inner.train_step_sharded(batch, rng, shards);
+        self.inject(step, loss)
     }
 
     fn infer(&self, batch: &dar_data::Batch) -> Inference {

@@ -353,7 +353,7 @@ impl GuardedTrainer {
         let mut loss_sum = 0.0;
         let mut n = 0usize;
         for batch in BatchIter::shuffled(&data.train, self.cfg.batch_size, rng) {
-            let loss = model.train_step(&batch, rng);
+            let loss = model.train_step_sharded(&batch, rng, self.cfg.grad_accum_shards);
             let step = n;
             if !loss.is_finite() {
                 return Err(GuardReason::NonFiniteLoss { step });

@@ -95,6 +95,18 @@ impl RationaleModel for Dar {
         loss.item()
     }
 
+    fn train_step_sharded(&mut self, batch: &Batch, rng: &mut Rng, shards: usize) -> f32 {
+        if shards <= 1 {
+            return self.train_step(batch, rng);
+        }
+        let params = self.params();
+        zero_grads(&params);
+        let total = super::accumulate_sharded(batch, shards, |sub| self.loss(sub, rng));
+        clip_grad_norm(&params, self.clip);
+        self.opt.step(&params);
+        total
+    }
+
     fn optim_states(&self) -> Vec<AdamState> {
         vec![self.opt.export_state(&self.params())]
     }

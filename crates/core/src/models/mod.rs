@@ -46,6 +46,20 @@ pub trait RationaleModel {
     /// One optimization step on a batch; returns the scalar loss.
     fn train_step(&mut self, batch: &Batch, rng: &mut Rng) -> f32;
 
+    /// One optimization step with the batch split into `shards` fixed
+    /// contiguous row-ranges, each forwarded/backwarded separately and the
+    /// gradients accumulated in ascending shard order (DESIGN.md §9).
+    ///
+    /// Shard boundaries depend only on the batch size and `shards` — never
+    /// on the thread budget — so for a given shard count the result is
+    /// bit-identical on any `DAR_THREADS`. The default delegates to
+    /// [`Self::train_step`]; models whose loss is a per-example mean
+    /// override this via the crate-private `accumulate_sharded` helper.
+    fn train_step_sharded(&mut self, batch: &Batch, rng: &mut Rng, shards: usize) -> f32 {
+        let _ = shards;
+        self.train_step(batch, rng)
+    }
+
     /// Deterministic inference (argmax masks, no Gumbel noise).
     fn infer(&self, batch: &Batch) -> Inference;
 
@@ -98,6 +112,36 @@ pub trait RationaleModel {
 
 /// Guard for the fixed-arity optimizer-state handshake in
 /// [`RationaleModel::restore_optim`] implementations.
+/// Accumulate gradients over fixed contiguous row-shards of `batch`.
+///
+/// Each shard's scalar loss is scaled by `|shard| / n` before `backward`,
+/// so for per-example-mean objectives the accumulated gradient equals the
+/// full-batch gradient up to float association. Shards run serially in
+/// ascending index order; parallelism lives inside the tensor ops, which
+/// are bit-identical for any thread budget. The caller zeroes grads first
+/// and clips/steps afterwards. Returns the summed (weighted) loss.
+pub(crate) fn accumulate_sharded(
+    batch: &Batch,
+    shards: usize,
+    mut shard_loss: impl FnMut(&Batch) -> Tensor,
+) -> f32 {
+    let n = batch.len();
+    let k = shards.clamp(1, n.max(1));
+    let mut total = 0.0f32;
+    for s in 0..k {
+        let r = dar_par::shard_range(n, k, s);
+        if r.is_empty() {
+            continue;
+        }
+        let w = r.len() as f32 / n as f32;
+        let sub = batch.rows(r);
+        let loss = shard_loss(&sub).scale(w);
+        total += loss.item();
+        loss.backward();
+    }
+    total
+}
+
 pub(crate) fn expect_states<'a, const N: usize>(
     model: &str,
     states: &'a [AdamState],

@@ -157,7 +157,7 @@ impl Trainer {
             let mut loss_sum = 0.0;
             let mut n = 0usize;
             for batch in BatchIter::shuffled(&data.train, cfg.batch_size, rng) {
-                loss_sum += model.train_step(&batch, rng);
+                loss_sum += model.train_step_sharded(&batch, rng, cfg.grad_accum_shards);
                 n += 1;
             }
             let train_loss = loss_sum / n.max(1) as f32;

@@ -5,10 +5,39 @@
 //! encoder. Padded positions (mask 0) carry the previous hidden state
 //! through unchanged, so batch padding never leaks into the encoding.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use dar_tensor::ops::rnn::gru_seq;
 use dar_tensor::ops::structural::{concat, stack};
 use dar_tensor::{init, Rng, Tensor};
 
 use crate::module::Module;
+
+/// Whether [`Gru::forward`] uses the step-by-step composite graph instead
+/// of the fused `gru_seq` kernel. The composite graph is the default: it
+/// is bit-compatible with every trajectory and checkpoint the repo has
+/// recorded. `DAR_GRU_COMPOSITE=0` (or [`set_composite_gru`]`(false)`)
+/// opts into the fused fast path — same math, ~1.7× faster end to end,
+/// but a different float association, so switching changes bits (each
+/// path is still individually deterministic and thread-budget-invariant;
+/// see `tests/parallel_equivalence.rs`).
+static COMPOSITE_GRU: OnceLock<AtomicBool> = OnceLock::new();
+
+fn composite_flag() -> &'static AtomicBool {
+    COMPOSITE_GRU
+        .get_or_init(|| AtomicBool::new(std::env::var("DAR_GRU_COMPOSITE").as_deref() != Ok("0")))
+}
+
+/// Force (or unforce) the composite reference implementation.
+pub fn set_composite_gru(on: bool) {
+    composite_flag().store(on, Ordering::Relaxed);
+}
+
+/// True when the composite reference path is active.
+pub fn composite_gru_enabled() -> bool {
+    composite_flag().load(Ordering::Relaxed)
+}
 
 /// A single GRU cell with fused gate weights.
 ///
@@ -103,7 +132,37 @@ impl Gru {
     /// Encode a batch. `mask` is `[b, l]` with 1 for real tokens.
     /// Returns `[b, l, hidden]` aligned with the input order (the reverse
     /// direction's outputs are re-reversed).
+    ///
+    /// Dispatches to the composite step-by-step graph by default, or the
+    /// fused shard-parallel [`gru_seq`] kernel when opted in
+    /// ([`set_composite_gru`]`(false)` / `DAR_GRU_COMPOSITE=0`).
     pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        if composite_gru_enabled() {
+            self.forward_composite(x, mask)
+        } else {
+            self.forward_fused(x, mask)
+        }
+    }
+
+    /// The fused shard-parallel [`gru_seq`] kernel, unconditionally.
+    pub fn forward_fused(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 3, "Gru expects [b, l, in], got {s:?}");
+        gru_seq(
+            x,
+            mask,
+            &self.cell.w_zr,
+            &self.cell.b_zr,
+            &self.cell.w_h,
+            &self.cell.b_h,
+            self.reverse,
+        )
+    }
+
+    /// Reference implementation: one composite autograd sub-graph per
+    /// timestep via [`GruCell::step`]. Kept for equivalence testing and as
+    /// the baseline the fused kernel is benchmarked against.
+    pub fn forward_composite(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
         let s = x.shape();
         assert_eq!(s.len(), 3, "Gru expects [b, l, in], got {s:?}");
         let (b, l, e) = (s[0], s[1], s[2]);
@@ -280,7 +339,98 @@ mod tests {
         let gru = Gru::new(&mut rng, 2, 2);
         let params = gru.params();
         let x = Tensor::new(vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2], &[1, 3, 2]);
-        let rep = check_gradients(&params, |_| gru.forward(&x, None).square().sum(), 1e-2);
+        let rep = check_gradients(
+            &params,
+            |_| gru.forward_fused(&x, None).square().sum(),
+            1e-2,
+        );
         assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn composite_gradcheck_small() {
+        // The reference path must stay gradient-correct too.
+        let mut rng = dar_tensor::rng(8);
+        let gru = Gru::new(&mut rng, 2, 2);
+        let params = gru.params();
+        let x = Tensor::new(vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.2], &[1, 3, 2]);
+        let rep = check_gradients(
+            &params,
+            |_| gru.forward_composite(&x, None).square().sum(),
+            1e-2,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    /// Forward + backward of the fused kernel against the composite
+    /// reference graph, with padding, in both directions.
+    #[test]
+    fn fused_matches_composite_reference() {
+        use dar_tensor::optim::zero_grads;
+        for (seed, reverse) in [(9u64, false), (10, true)] {
+            let mut rng = dar_tensor::rng(seed);
+            let gru = if reverse {
+                Gru::new_reverse(&mut rng, 3, 4)
+            } else {
+                Gru::new(&mut rng, 3, 4)
+            };
+            let xv = dar_tensor::init::uniform(&mut rng, 2 * 5 * 3, -0.8, 0.8);
+            let mask = Tensor::new(vec![1., 1., 1., 1., 0., 1., 1., 0., 0., 0.], &[2, 5]);
+            let params = gru.params();
+            let grads_of = |fused: bool| {
+                let x = Tensor::param(xv.clone(), &[2, 5, 3]);
+                zero_grads(&params);
+                let y = if fused {
+                    gru.forward_fused(&x, Some(&mask))
+                } else {
+                    gru.forward_composite(&x, Some(&mask))
+                };
+                y.square().sum().backward();
+                let mut all = vec![y.to_vec(), x.grad_vec().unwrap()];
+                all.extend(params.iter().map(|p| p.grad_vec().unwrap()));
+                all
+            };
+            for (f, c) in grads_of(true).iter().zip(&grads_of(false)) {
+                assert_eq!(f.len(), c.len());
+                for (a, b) in f.iter().zip(c) {
+                    assert!(
+                        (a - b).abs() < 2e-4,
+                        "fused/composite diverge (reverse={reverse}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod timing {
+    use super::*;
+    use dar_tensor::Tensor;
+
+    #[test]
+    #[ignore]
+    fn time_fused_vs_composite() {
+        let (b, l, e, h) = (32, 40, 50, 64);
+        let mut rng = dar_tensor::rng(0);
+        let gru = Gru::new(&mut rng, e, h);
+        let xv = dar_tensor::init::uniform(&mut rng, b * l * e, -0.5, 0.5);
+        for (label, composite) in [("fused", false), ("composite", true)] {
+            set_composite_gru(composite);
+            let t = std::time::Instant::now();
+            for _ in 0..20 {
+                let x = Tensor::param(xv.clone(), &[b, l, e]);
+                let y = gru.forward(&x, None);
+                std::hint::black_box(y.to_vec());
+            }
+            let fwd = t.elapsed() / 20;
+            let t = std::time::Instant::now();
+            for _ in 0..20 {
+                let x = Tensor::param(xv.clone(), &[b, l, e]);
+                gru.forward(&x, None).sum().backward();
+            }
+            println!("{label}: fwd {fwd:?}, fwd+bwd {:?}", t.elapsed() / 20);
+        }
+        set_composite_gru(true);
     }
 }

@@ -88,6 +88,53 @@ mod tests {
     }
 
     #[test]
+    fn st_gradients_equal_soft_surrogate_gradients() {
+        // The straight-through estimator cannot be finite-differenced
+        // directly: its forward value is piecewise constant (an argmax
+        // one-hot), so the numeric gradient is zero by design. The defining
+        // property is instead that its *analytic* gradients are exactly the
+        // soft sample's — verify that with an identical seeded noise draw.
+        let vals = vec![0.4, -0.9, 1.3, 0.2, -0.5, 0.8];
+        let w = Tensor::new(vec![1.0, -0.4, 0.6, -1.1, 0.3, 0.9], &[3, 2]);
+        let tau = 0.7;
+
+        let st_logits = Tensor::param(vals.clone(), &[3, 2]);
+        let mut rng = dar_tensor::rng(42);
+        let y = gumbel_softmax_st(&st_logits, tau, &mut rng);
+        assert!(y.to_vec().iter().all(|&v| v == 0.0 || v == 1.0));
+        y.mul(&w).sum().backward();
+        let g_st = st_logits.grad_vec().unwrap();
+
+        let soft_logits = Tensor::param(vals, &[3, 2]);
+        let mut rng = dar_tensor::rng(42);
+        let y_soft = gumbel_softmax_soft(&soft_logits, tau, &mut rng);
+        y_soft.mul(&w).sum().backward();
+        let g_soft = soft_logits.grad_vec().unwrap();
+
+        assert_eq!(g_st, g_soft, "ST grads must equal the soft surrogate's");
+        assert!(g_st.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn soft_surrogate_gradcheck() {
+        use dar_tensor::grad_check::check_gradients;
+        // Finite-difference the soft path that the ST estimator's gradients
+        // come from. A fresh seeded rng inside the closure makes the noise a
+        // pure function of nothing, so `f` is deterministic in the logits.
+        let logits = Tensor::param(vec![0.4, -0.9, 1.3, 0.2], &[2, 2]);
+        let w = Tensor::new(vec![1.0, -0.4, 0.6, -1.1], &[2, 2]);
+        let rep = check_gradients(
+            &[logits],
+            |ins| {
+                let mut rng = dar_tensor::rng(7);
+                gumbel_softmax_soft(&ins[0], 0.7, &mut rng).mul(&w).sum()
+            },
+            1e-2,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
     fn soft_sample_is_a_distribution() {
         let mut rng = dar_tensor::rng(3);
         let logits = Tensor::new(vec![0.0, 0.0, 0.0], &[1, 3]);

@@ -74,6 +74,21 @@ mod tests {
     }
 
     #[test]
+    fn layer_norm_gradcheck_input_gamma_beta() {
+        use dar_tensor::grad_check::check_gradients;
+        let ln = LayerNorm::new(3);
+        ln.gamma.set_values(vec![1.2, 0.8, -0.5]);
+        ln.beta.set_values(vec![0.1, -0.2, 0.3]);
+        let x = Tensor::param(vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7], &[2, 3]);
+        // Varying weights keep the per-row grads from collapsing to the
+        // trivial "normalized rows sum to zero" case.
+        let w = Tensor::new(vec![1.0, -2.0, 0.5, 0.7, 1.3, -0.4], &[2, 3]);
+        let inputs = vec![x, ln.gamma.clone(), ln.beta.clone()];
+        let rep = check_gradients(&inputs, |ins| ln.forward(&ins[0]).mul(&w).sum(), 1e-2);
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
     fn works_on_3d_input() {
         let ln = LayerNorm::new(4);
         let x = Tensor::ones(&[2, 3, 4]);

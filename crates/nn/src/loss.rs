@@ -168,6 +168,47 @@ mod tests {
     }
 
     #[test]
+    fn cross_entropy_gradcheck() {
+        use dar_tensor::grad_check::check_gradients;
+        let logits = Tensor::param(vec![0.5, -0.3, 1.2, -0.8, 0.1, 0.9], &[2, 3]);
+        let rep = check_gradients(&[logits], |ins| cross_entropy(&ins[0], &[2, 0]), 1e-2);
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn weighted_cross_entropy_gradcheck() {
+        use dar_tensor::grad_check::check_gradients;
+        let logits = Tensor::param(vec![0.5, -0.3, 1.2, -0.8, 0.1, 0.9], &[3, 2]);
+        let w = Tensor::new(vec![1.0, 0.0, 0.5], &[3]);
+        let rep = check_gradients(
+            &[logits],
+            |ins| weighted_cross_entropy(&ins[0], &[0, 1, 1], &w),
+            1e-2,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn kl_gradcheck_on_q_side() {
+        use dar_tensor::grad_check::check_gradients;
+        // The p side is detached by construction, so only q is an input:
+        // its analytic grads must match finite differences of the full loss.
+        let p = Tensor::new(vec![1.0, -0.5, 0.2, 0.8, -1.1, 0.4], &[2, 3]);
+        let q = Tensor::param(vec![-0.3, 0.6, 0.1, -0.9, 0.5, 1.2], &[2, 3]);
+        let rep = check_gradients(&[q], |ins| kl_div_logits(&p, &ins[0]), 1e-2);
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn js_gradcheck_on_both_sides() {
+        use dar_tensor::grad_check::check_gradients;
+        let a = Tensor::param(vec![1.4, -0.8, 0.3, 0.9, -1.2, 0.5], &[2, 3]);
+        let b = Tensor::param(vec![-0.6, 0.7, -0.2, 1.1, 0.4, -1.0], &[2, 3]);
+        let rep = check_gradients(&[a, b], |ins| js_div_logits(&ins[0], &ins[1]), 1e-2);
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
     fn accuracy_counts_matches() {
         let logits = Tensor::new(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
         assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);

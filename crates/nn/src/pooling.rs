@@ -66,6 +66,46 @@ mod tests {
     }
 
     #[test]
+    fn max_pool_gradcheck() {
+        use dar_tensor::grad_check::check_gradients;
+        // Margins between candidates are far larger than the finite-diff
+        // step, so the argmax never flips between perturbed evaluations.
+        let x = Tensor::param(
+            vec![
+                0.5, 2.0, -1.0, 1.0, -0.6, 0.4, 3.0, -2.0, 0.9, 1.7, -1.4, 0.2,
+            ],
+            &[2, 3, 2],
+        );
+        let mask = Tensor::new(vec![1.0, 1.0, 0.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let w = Tensor::new(vec![1.0, -0.5, 0.8, 1.2], &[2, 2]);
+        let rep = check_gradients(
+            &[x],
+            |ins| masked_max_pool(&ins[0], &mask).mul(&w).sum(),
+            1e-3,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn mean_pool_gradcheck() {
+        use dar_tensor::grad_check::check_gradients;
+        let x = Tensor::param(
+            vec![
+                0.5, 2.0, -1.0, 1.0, -0.6, 0.4, 3.0, -2.0, 0.9, 1.7, -1.4, 0.2,
+            ],
+            &[2, 3, 2],
+        );
+        let mask = Tensor::new(vec![1.0, 0.0, 1.0, 1.0, 1.0, 0.0], &[2, 3]);
+        let w = Tensor::new(vec![1.0, -0.5, 0.8, 1.2], &[2, 2]);
+        let rep = check_gradients(
+            &[x],
+            |ins| masked_mean_pool(&ins[0], &mask).mul(&w).sum(),
+            1e-3,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
     fn pool_shapes() {
         let x = Tensor::zeros(&[4, 7, 6]);
         let mask = Tensor::ones(&[4, 7]);

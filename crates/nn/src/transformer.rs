@@ -310,6 +310,64 @@ mod tests {
     }
 
     #[test]
+    fn attention_gradcheck_small() {
+        use dar_tensor::grad_check::check_gradients;
+        let mut rng = dar_tensor::rng(11);
+        let attn = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = Tensor::param(
+            dar_tensor::init::uniform(&mut rng, 6 * 4, -0.8, 0.8),
+            &[2, 3, 4],
+        );
+        // Last position of each sequence padded out.
+        let amask = Tensor::new(vec![0.0, 0.0, -1e9, 0.0, 0.0, -1e9], &[2, 1, 3]);
+        let w = Tensor::new(
+            dar_tensor::init::uniform(&mut rng, 6 * 4, -1.0, 1.0),
+            &[2, 3, 4],
+        );
+        let mut inputs = vec![x];
+        inputs.extend(attn.params());
+        let rep = check_gradients(
+            &inputs,
+            |ins| attn.forward(&ins[0], &amask).mul(&w).sum(),
+            1e-2,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn block_gradcheck_small() {
+        use dar_tensor::grad_check::check_gradients;
+        let mut rng = dar_tensor::rng(12);
+        let cfg = TransformerConfig {
+            vocab: 10,
+            dim: 4,
+            heads: 2,
+            layers: 1,
+            ff_dim: 8,
+            max_len: 4,
+            mask_token: 1,
+        };
+        let blk = Block::new(&mut rng, &cfg);
+        let x = Tensor::param(
+            dar_tensor::init::uniform(&mut rng, 6 * 4, -0.8, 0.8),
+            &[2, 3, 4],
+        );
+        let amask = Tensor::zeros(&[2, 1, 3]);
+        let w = Tensor::new(
+            dar_tensor::init::uniform(&mut rng, 6 * 4, -1.0, 1.0),
+            &[2, 3, 4],
+        );
+        let mut inputs = vec![x];
+        inputs.extend(blk.params());
+        let rep = check_gradients(
+            &inputs,
+            |ins| blk.forward(&ins[0], &amask).mul(&w).sum(),
+            1e-2,
+        );
+        assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
     fn mlm_loss_is_finite_and_trainable() {
         let mut rng = dar_tensor::rng(3);
         let enc = TransformerEncoder::new(&mut rng, tiny_cfg());

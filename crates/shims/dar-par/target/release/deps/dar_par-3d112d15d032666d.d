@@ -1,0 +1,5 @@
+/root/repo/crates/shims/dar-par/target/release/deps/dar_par-3d112d15d032666d.d: src/lib.rs
+
+/root/repo/crates/shims/dar-par/target/release/deps/dar_par-3d112d15d032666d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/dar-par/target/release/deps/dar_par-c60c94695fb72b37.d: src/lib.rs
+
+/root/repo/crates/shims/dar-par/target/release/deps/libdar_par-c60c94695fb72b37.rlib: src/lib.rs
+
+/root/repo/crates/shims/dar-par/target/release/deps/libdar_par-c60c94695fb72b37.rmeta: src/lib.rs
+
+src/lib.rs:

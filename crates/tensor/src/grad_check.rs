@@ -11,12 +11,23 @@ pub struct GradCheckReport {
 }
 
 impl GradCheckReport {
-    /// True when errors are within `tol` (relative, with absolute fallback
-    /// for tiny gradients).
+    /// True when every element is within `tol`.
+    ///
+    /// `max_rel_err` is already a per-element abs-or-rel criterion: each
+    /// element's error is divided by `max(|analytic|, |numeric|, REL_FLOOR)`,
+    /// so small-magnitude gradients are judged absolutely (error / REL_FLOOR)
+    /// and large ones relatively. The old semantics
+    /// (`max_rel_err < tol || max_abs_err < tol`) compared two *global*
+    /// maxima: one badly wrong element passed whenever some other element
+    /// kept the unrelated criterion's maximum small.
     pub fn ok(&self, tol: f32) -> bool {
-        self.max_rel_err < tol || self.max_abs_err < tol
+        self.max_rel_err < tol
     }
 }
+
+/// Gradient magnitudes below this are compared absolutely (scaled by the
+/// floor) rather than relatively, so noise around zero does not dominate.
+pub const REL_FLOOR: f32 = 1e-2;
 
 /// Compare the autograd gradient of `f` w.r.t. `inputs` against central
 /// finite differences.
@@ -54,7 +65,7 @@ pub fn check_gradients(
             let numeric = (up - down) / (2.0 * eps);
             let a = analytic[ti][i];
             let abs = (a - numeric).abs();
-            let rel = abs / a.abs().max(numeric.abs()).max(1e-4);
+            let rel = abs / a.abs().max(numeric.abs()).max(REL_FLOOR);
             max_abs = max_abs.max(abs);
             max_rel = max_rel.max(rel);
         }
@@ -89,5 +100,25 @@ mod tests {
         );
         // Analytic grad = 1 (only the linear term), numeric ≈ 2x + 1 = 5.
         assert!(rep.max_abs_err > 1.0, "{rep:?}");
+    }
+
+    #[test]
+    fn per_element_tolerance_rejects_what_global_disjunction_passed() {
+        // Element 0's gradient is 100% wrong in relative terms (analytic 0
+        // vs numeric 0.04) but its absolute error stays under tol, and
+        // element 1 is exact. The old `max_rel_err < tol || max_abs_err <
+        // tol` therefore accepted this report through the max_abs branch;
+        // the per-element abs-or-rel criterion must reject it.
+        let x = Tensor::param(vec![1.0, 1.0], &[2]);
+        let c1 = Tensor::new(vec![0.04, 0.0], &[2]);
+        let c2 = Tensor::new(vec![0.0, 1.0], &[2]);
+        let rep = check_gradients(
+            &[x],
+            |ins| ins[0].detach().mul(&c1).sum().add(&ins[0].mul(&c2).sum()),
+            1e-3,
+        );
+        let tol = 5e-2;
+        assert!(rep.max_abs_err < tol, "premise broken: {rep:?}");
+        assert!(!rep.ok(tol), "badly wrong element slipped through: {rep:?}");
     }
 }

@@ -1,14 +1,24 @@
-//! Matrix multiplication: a blocked, multi-threaded 2-D GEMM kernel plus a
-//! batched 3-D variant used by attention.
+//! Matrix multiplication: a shard-parallel 2-D GEMM kernel plus a batched
+//! 3-D variant used by attention.
+//!
+//! Parallelism goes through `dar-par` with a **fixed shard decomposition**:
+//! the shard count is a pure function of the problem size (never of the
+//! thread budget), every shard writes a disjoint row range of the output,
+//! and each output element is produced by the same serial inner loop as the
+//! single-threaded path. Results are therefore bit-identical for any
+//! `DAR_THREADS` (DESIGN.md §9).
 
 use crate::Tensor;
 
-/// Rows below this size are not worth spreading across threads.
-const PARALLEL_FLOP_THRESHOLD: usize = 4_000_000;
+/// Problems below this many flops are not worth dispatching to the pool.
+const PARALLEL_FLOP_THRESHOLD: usize = 200_000;
+
+/// Don't split finer than this many output rows per shard.
+const MIN_ROWS_PER_SHARD: usize = 4;
 
 /// `out[m,n] += a[m,k] * b[k,n]` — ikj loop order so the inner loop is a
 /// vectorizable axpy over contiguous rows of `b` and `out`.
-fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -27,32 +37,29 @@ fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
-/// Threaded GEMM: splits output rows across scoped threads when the work is
-/// large enough to amortize spawning.
+/// Deterministic shard count for an `[m,k] @ [k,n]` product: 1 below the
+/// flop threshold, otherwise a pure function of `m`.
+fn gemm_shards(m: usize, k: usize, n: usize) -> usize {
+    if 2 * m * k * n < PARALLEL_FLOP_THRESHOLD {
+        1
+    } else {
+        dar_par::shard_count(m, MIN_ROWS_PER_SHARD)
+    }
+}
+
+/// Shard-parallel GEMM: splits output rows into fixed shards; each shard
+/// runs the serial kernel over its rows, so per-element summation order is
+/// independent of both sharding and thread count.
 pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
-    let flops = 2 * m * k * n;
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    if flops < PARALLEL_FLOP_THRESHOLD || threads < 2 || m < 2 * threads {
+    let shards = gemm_shards(m, k, n);
+    if shards <= 1 || out.is_empty() {
         gemm_serial(a, b, &mut out, m, k, n);
         return out;
     }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest = out.as_mut_slice();
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows = rows_per.min(m - row0);
-            let (chunk, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            let a_chunk = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || {
-                gemm_serial(a_chunk, b, chunk, rows, k, n);
-            });
-            row0 += rows;
-        }
+    dar_par::run_shards_mut(&mut out, shards, n, |i, chunk| {
+        let r = dar_par::shard_range(m, shards, i);
+        gemm_serial(&a[r.start * k..r.end * k], b, chunk, r.len(), k, n);
     });
     out
 }
@@ -66,6 +73,16 @@ pub(crate) fn transpose_raw(x: &[f32], r: usize, c: usize) -> Vec<f32> {
         }
     }
     out
+}
+
+/// Deterministic shard count for a batch of `bs` independent `[m,k] @
+/// [k,n]` products (each batch item stays whole within one shard).
+fn bmm_shards(bs: usize, m: usize, k: usize, n: usize) -> usize {
+    if 2 * bs * m * k * n < PARALLEL_FLOP_THRESHOLD {
+        1
+    } else {
+        dar_par::shard_count(bs, 1)
+    }
 }
 
 impl Tensor {
@@ -102,7 +119,8 @@ impl Tensor {
         )
     }
 
-    /// Batched matrix product `self[b,m,k] @ other[b,k,n] -> [b,m,n]`.
+    /// Batched matrix product `self[b,m,k] @ other[b,k,n] -> [b,m,n]`,
+    /// shard-parallel over the batch dimension.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
         let (sa, sb) = (self.shape(), other.shape());
         assert_eq!(sa.len(), 3, "bmm lhs must be 3-D, got {sa:?}");
@@ -110,58 +128,85 @@ impl Tensor {
         assert_eq!(sa[0], sb[0], "bmm batch dims differ: {sa:?} vs {sb:?}");
         assert_eq!(sa[2], sb[1], "bmm inner dims differ: {sa:?} @ {sb:?}");
         let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
-        let av = self.values();
-        let bv = other.values();
+        let av_guard = self.values();
+        let bv_guard = other.values();
+        // Reborrow as plain slices: the cell guards are not Sync, slices are.
+        let (av, bv): (&[f32], &[f32]) = (&av_guard, &bv_guard);
         let mut values = vec![0.0f32; bs * m * n];
-        for i in 0..bs {
-            let a_i = &av[i * m * k..(i + 1) * m * k];
-            let b_i = &bv[i * k * n..(i + 1) * k * n];
-            gemm_serial(a_i, b_i, &mut values[i * m * n..(i + 1) * m * n], m, k, n);
+        let shards = bmm_shards(bs, m, k, n);
+        if shards <= 1 || values.is_empty() {
+            for i in 0..bs {
+                let a_i = &av[i * m * k..(i + 1) * m * k];
+                let b_i = &bv[i * k * n..(i + 1) * k * n];
+                gemm_serial(a_i, b_i, &mut values[i * m * n..(i + 1) * m * n], m, k, n);
+            }
+        } else {
+            dar_par::run_shards_mut(&mut values, shards, m * n, |s, chunk| {
+                for (local, i) in dar_par::shard_range(bs, shards, s).enumerate() {
+                    gemm_serial(
+                        &av[i * m * k..(i + 1) * m * k],
+                        &bv[i * k * n..(i + 1) * k * n],
+                        &mut chunk[local * m * n..(local + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            });
         }
-        drop(av);
-        drop(bv);
+        drop(av_guard);
+        drop(bv_guard);
         Tensor::from_op(
             values,
             vec![bs, m, n],
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
                 let (a, b) = (&parents[0], &parents[1]);
-                let av = a.values();
-                let bv = b.values();
+                let shards = bmm_shards(bs, m, k, n);
                 if a.requires_grad() {
+                    let bv_guard = b.values();
+                    let bv: &[f32] = &bv_guard;
                     let mut ga = vec![0.0f32; bs * m * k];
-                    for i in 0..bs {
+                    let per_item = |i: usize, out: &mut [f32]| {
+                        // dA_i = G_i @ B_i^T
                         let bt = transpose_raw(&bv[i * k * n..(i + 1) * k * n], k, n);
-                        gemm_serial(
-                            &g[i * m * n..(i + 1) * m * n],
-                            &bt,
-                            &mut ga[i * m * k..(i + 1) * m * k],
-                            m,
-                            n,
-                            k,
-                        );
+                        gemm_serial(&g[i * m * n..(i + 1) * m * n], &bt, out, m, n, k);
+                    };
+                    if shards <= 1 || ga.is_empty() {
+                        for i in 0..bs {
+                            per_item(i, &mut ga[i * m * k..(i + 1) * m * k]);
+                        }
+                    } else {
+                        dar_par::run_shards_mut(&mut ga, shards, m * k, |s, chunk| {
+                            for (local, i) in dar_par::shard_range(bs, shards, s).enumerate() {
+                                per_item(i, &mut chunk[local * m * k..(local + 1) * m * k]);
+                            }
+                        });
                     }
-                    drop(av);
+                    drop(bv_guard);
                     a.accumulate_grad(&ga);
-                } else {
-                    drop(av);
                 }
                 if b.requires_grad() {
-                    let av = a.values();
+                    let av_guard = a.values();
+                    let av: &[f32] = &av_guard;
                     let mut gb = vec![0.0f32; bs * k * n];
-                    for i in 0..bs {
+                    let per_item = |i: usize, out: &mut [f32]| {
+                        // dB_i = A_i^T @ G_i
                         let at = transpose_raw(&av[i * m * k..(i + 1) * m * k], m, k);
-                        gemm_serial(
-                            &at,
-                            &g[i * m * n..(i + 1) * m * n],
-                            &mut gb[i * k * n..(i + 1) * k * n],
-                            k,
-                            m,
-                            n,
-                        );
+                        gemm_serial(&at, &g[i * m * n..(i + 1) * m * n], out, k, m, n);
+                    };
+                    if shards <= 1 || gb.is_empty() {
+                        for i in 0..bs {
+                            per_item(i, &mut gb[i * k * n..(i + 1) * k * n]);
+                        }
+                    } else {
+                        dar_par::run_shards_mut(&mut gb, shards, k * n, |s, chunk| {
+                            for (local, i) in dar_par::shard_range(bs, shards, s).enumerate() {
+                                per_item(i, &mut chunk[local * k * n..(local + 1) * k * n]);
+                            }
+                        });
                     }
-                    drop(av);
-                    drop(bv);
+                    drop(av_guard);
                     b.accumulate_grad(&gb);
                 }
             }),
@@ -201,7 +246,7 @@ mod tests {
 
     #[test]
     fn large_matmul_threaded_matches_serial() {
-        // Exercise the threaded path against a naive reference.
+        // Exercise the sharded path against a naive reference.
         let m = 64;
         let k = 200;
         let n = 170;
@@ -221,6 +266,50 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-3, "threaded gemm mismatch: {g} vs {w}");
         }
+    }
+
+    #[test]
+    fn gemm_is_bit_identical_across_thread_budgets() {
+        // The determinism contract: any thread budget, same bits.
+        let m = 48;
+        let k = 96;
+        let n = 64;
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31) % 17) as f32 * 0.37 - 2.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 29) % 13) as f32 * 0.11 - 0.7)
+            .collect();
+        let serial = dar_par::with_threads(1, || super::gemm(&a, &b, m, k, n));
+        let par = dar_par::with_threads(4, || super::gemm(&a, &b, m, k, n));
+        assert_eq!(serial, par, "gemm output depends on thread budget");
+    }
+
+    #[test]
+    fn bmm_is_bit_identical_across_thread_budgets() {
+        let (bs, m, k, n) = (8, 16, 24, 20);
+        let a = Tensor::new(
+            (0..bs * m * k)
+                .map(|i| ((i * 7) % 11) as f32 - 5.0)
+                .collect(),
+            &[bs, m, k],
+        );
+        let b = Tensor::new(
+            (0..bs * k * n)
+                .map(|i| ((i * 5) % 9) as f32 - 4.0)
+                .collect(),
+            &[bs, k, n],
+        );
+        let run = |threads: usize| {
+            dar_par::with_threads(threads, || {
+                let ap = Tensor::param(a.to_vec(), &[bs, m, k]);
+                let bp = Tensor::param(b.to_vec(), &[bs, k, n]);
+                let y = ap.bmm(&bp);
+                y.sum().backward();
+                (y.to_vec(), ap.grad_vec().unwrap(), bp.grad_vec().unwrap())
+            })
+        };
+        assert_eq!(run(1), run(4), "bmm fwd/bwd depends on thread budget");
     }
 
     #[test]

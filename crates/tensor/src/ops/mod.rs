@@ -11,6 +11,7 @@
 //! * [`embed`] — embedding row gather with scatter-add backward.
 //! * [`structural`] — reshape, transpose, concat, narrow, stack, pad.
 //! * [`compare`] — non-differentiable helpers (argmax, one-hot, equality).
+//! * [`rnn`] — fused GRU sequence kernel with hand-written BPTT.
 
 pub mod activation;
 pub mod arith;
@@ -18,5 +19,6 @@ pub mod compare;
 pub mod embed;
 pub mod matmul;
 pub mod reduce;
+pub mod rnn;
 pub mod softmax;
 pub mod structural;

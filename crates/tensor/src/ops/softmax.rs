@@ -1,9 +1,55 @@
-//! Softmax and log-softmax over the last dimension.
+//! Softmax and log-softmax over the last dimension, shard-parallel across
+//! rows. Every output row is produced by the same serial per-row kernel as
+//! the single-threaded path and rows are disjoint, so results are
+//! bit-identical for any thread budget (DESIGN.md §9).
 
 use crate::Tensor;
 
 fn last_dim(shape: &[usize]) -> usize {
     *shape.last().expect("softmax needs at least one dimension")
+}
+
+/// Buffers below this many elements are not worth dispatching to the pool.
+const PARALLEL_ELEM_THRESHOLD: usize = 16_384;
+
+/// Don't split finer than this many rows per shard.
+const MIN_ROWS_PER_SHARD: usize = 32;
+
+/// Deterministic shard count: 1 below the element threshold, otherwise a
+/// pure function of the row count.
+fn row_shards(rows: usize, c: usize) -> usize {
+    if rows * c < PARALLEL_ELEM_THRESHOLD {
+        1
+    } else {
+        dar_par::shard_count(rows, MIN_ROWS_PER_SHARD)
+    }
+}
+
+/// Apply `per_row(global_row, input_row, output_row)` over a row-major
+/// buffer pair, sharded across rows.
+fn for_rows_sharded(
+    input: &[f32],
+    out: &mut [f32],
+    c: usize,
+    per_row: impl Fn(usize, &[f32], &mut [f32]) + Sync,
+) {
+    let rows = out.len() / c.max(1);
+    let shards = row_shards(rows, c);
+    if shards <= 1 {
+        for r in 0..rows {
+            per_row(r, &input[r * c..(r + 1) * c], &mut out[r * c..(r + 1) * c]);
+        }
+        return;
+    }
+    dar_par::run_shards_mut(out, shards, c, |s, chunk| {
+        for (local, r) in dar_par::shard_range(rows, shards, s).enumerate() {
+            per_row(
+                r,
+                &input[r * c..(r + 1) * c],
+                &mut chunk[local * c..(local + 1) * c],
+            );
+        }
+    });
 }
 
 impl Tensor {
@@ -13,21 +59,19 @@ impl Tensor {
         let c = last_dim(self.shape());
         assert!(c > 0, "softmax over empty dimension");
         let v = self.values();
-        let rows = v.len() / c;
         let mut out = vec![0.0f32; v.len()];
-        for r in 0..rows {
-            let row = &v[r * c..(r + 1) * c];
+        for_rows_sharded(&v, &mut out, c, |_, row, out_row| {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
-            for (o, &x) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
+            for (o, &x) in out_row.iter_mut().zip(row) {
                 let e = (x - m).exp();
                 *o = e;
                 denom += e;
             }
-            for o in &mut out[r * c..(r + 1) * c] {
+            for o in out_row {
                 *o /= denom;
             }
-        }
+        });
         drop(v);
         let y_saved = out.clone();
         Tensor::from_op(
@@ -40,15 +84,13 @@ impl Tensor {
                     return;
                 }
                 let mut gin = vec![0.0f32; g.len()];
-                let rows = g.len() / c;
-                for r in 0..rows {
+                for_rows_sharded(g, &mut gin, c, |r, gr, gin_row| {
                     let y = &y_saved[r * c..(r + 1) * c];
-                    let gr = &g[r * c..(r + 1) * c];
                     let dot: f32 = y.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
-                    for i in 0..c {
-                        gin[r * c + i] = y[i] * (gr[i] - dot);
+                    for (i, o) in gin_row.iter_mut().enumerate() {
+                        *o = y[i] * (gr[i] - dot);
                     }
-                }
+                });
                 p.accumulate_grad(&gin);
             }),
         )
@@ -59,16 +101,14 @@ impl Tensor {
         let c = last_dim(self.shape());
         assert!(c > 0, "log_softmax over empty dimension");
         let v = self.values();
-        let rows = v.len() / c;
         let mut out = vec![0.0f32; v.len()];
-        for r in 0..rows {
-            let row = &v[r * c..(r + 1) * c];
+        for_rows_sharded(&v, &mut out, c, |_, row, out_row| {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            for (o, &x) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
+            for (o, &x) in out_row.iter_mut().zip(row) {
                 *o = x - lse;
             }
-        }
+        });
         drop(v);
         let ls_saved = out.clone();
         Tensor::from_op(
@@ -81,15 +121,13 @@ impl Tensor {
                     return;
                 }
                 let mut gin = vec![0.0f32; g.len()];
-                let rows = g.len() / c;
-                for r in 0..rows {
+                for_rows_sharded(g, &mut gin, c, |r, gr, gin_row| {
                     let ls = &ls_saved[r * c..(r + 1) * c];
-                    let gr = &g[r * c..(r + 1) * c];
                     let gsum: f32 = gr.iter().sum();
-                    for i in 0..c {
-                        gin[r * c + i] = gr[i] - ls[i].exp() * gsum;
+                    for (i, o) in gin_row.iter_mut().enumerate() {
+                        *o = gr[i] - ls[i].exp() * gsum;
                     }
-                }
+                });
                 p.accumulate_grad(&gin);
             }),
         )
@@ -149,5 +187,43 @@ mod tests {
         let y = x.log_softmax().to_vec();
         assert!(y.iter().all(|v| v.is_finite()));
         assert!(y[0].abs() < 1e-5); // ~log(1)
+    }
+
+    #[test]
+    fn softmax_and_log_softmax_gradcheck() {
+        use crate::grad_check::check_gradients;
+        let x = Tensor::param(vec![0.5, -0.7, 1.3, 0.2, 2.0, -1.5], &[2, 3]);
+        let w = Tensor::new(vec![1.0, 2.0, -0.5, 0.3, -1.2, 0.8], &[2, 3]);
+        let rep = check_gradients(
+            std::slice::from_ref(&x),
+            |ins| ins[0].softmax().mul(&w).sum(),
+            1e-2,
+        );
+        assert!(rep.ok(5e-2), "softmax: {rep:?}");
+        let rep = check_gradients(&[x], |ins| ins[0].log_softmax().mul(&w).sum(), 1e-2);
+        assert!(rep.ok(5e-2), "log_softmax: {rep:?}");
+    }
+
+    #[test]
+    fn softmax_is_bit_identical_across_thread_budgets() {
+        // Large enough to cross the parallel threshold.
+        let rows = 4096;
+        let c = 8;
+        let vals: Vec<f32> = (0..rows * c)
+            .map(|i| ((i * 19) % 37) as f32 * 0.13 - 2.0)
+            .collect();
+        let w = Tensor::new(
+            (0..rows * c).map(|i| (i % 5) as f32 - 2.0).collect(),
+            &[rows, c],
+        );
+        let run = |threads: usize| {
+            dar_par::with_threads(threads, || {
+                let x = Tensor::param(vals.clone(), &[rows, c]);
+                let y = x.softmax();
+                y.mul(&w).sum().backward();
+                (y.to_vec(), x.grad_vec().unwrap())
+            })
+        };
+        assert_eq!(run(1), run(4), "softmax depends on thread budget");
     }
 }
