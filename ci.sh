@@ -26,4 +26,17 @@ for threads in 1 4; do
     DAR_THREADS=$threads cargo test --workspace --release -q
 done
 
+# The serving chaos harness (DESIGN.md §10) is part of the workspace runs
+# above; it is also invoked by name under both budgets so a serving
+# regression is unmistakable in the CI log.
+for threads in 1 4; do
+    echo "=== serving chaos harness [DAR_THREADS=$threads] ==="
+    DAR_THREADS=$threads cargo test --release -q --test serving_chaos
+done
+
+# Record sustained throughput + tail latency of the serving demo into
+# results/serve_bench.txt (and the BENCH_serve.json trajectory point).
+echo "=== dar-serve bench ==="
+cargo run --release --bin dar-serve -- --requests 400 --out results
+
 echo "ci.sh: all checks passed"

@@ -146,6 +146,116 @@ impl<M: RationaleModel> RationaleModel for FaultyModel<M> {
         self.inner.infer(batch)
     }
 
+    fn predict_full_text(&self, batch: &dar_data::Batch) -> Option<Tensor> {
+        self.inner.predict_full_text(batch)
+    }
+
+    fn player_modules(&self) -> (usize, usize) {
+        self.inner.player_modules()
+    }
+
+    fn optim_states(&self) -> Vec<AdamState> {
+        self.inner.optim_states()
+    }
+
+    fn restore_optim(&mut self, states: &[AdamState]) -> DarResult<()> {
+        self.inner.restore_optim(states)
+    }
+}
+
+/// Serving-side chaos schedule: trigger **token ids** that fire faults
+/// inside [`RationaleModel::infer`] only. The full-text path
+/// (`predict_full_text`) stays clean, modelling a failure localized to
+/// the generator — exactly the situation the serving breaker's
+/// predictor-only degraded mode exists for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosPlan {
+    /// A batch containing this token panics mid-`infer`.
+    pub panic_token: Option<usize>,
+    /// A batch containing this token returns an all-zero rationale
+    /// (collapse) from `infer`.
+    pub collapse_token: Option<usize>,
+    /// A batch containing this token sleeps this many milliseconds
+    /// before `infer` returns.
+    pub slow_token: Option<(usize, u64)>,
+    /// A batch containing this token panics inside `predict_full_text`
+    /// too — the fault that drives a breaker past predictor-only
+    /// degradation into a full shed.
+    pub full_panic_token: Option<usize>,
+}
+
+impl ChaosPlan {
+    fn batch_has(batch: &dar_data::Batch, token: usize) -> bool {
+        batch.ids.iter().flatten().any(|&t| t == token)
+    }
+}
+
+/// Wraps a model and fires the [`ChaosPlan`] during inference. Training,
+/// parameters, snapshots, optimizer state, and the full-text prediction
+/// path all pass straight through.
+pub struct ChaosModel<M: RationaleModel> {
+    inner: M,
+    plan: ChaosPlan,
+}
+
+impl<M: RationaleModel> ChaosModel<M> {
+    pub fn new(inner: M, plan: ChaosPlan) -> Self {
+        ChaosModel { inner, plan }
+    }
+
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: RationaleModel> RationaleModel for ChaosModel<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        self.inner.params()
+    }
+
+    fn train_step(&mut self, batch: &dar_data::Batch, rng: &mut Rng) -> f32 {
+        self.inner.train_step(batch, rng)
+    }
+
+    fn train_step_sharded(&mut self, batch: &dar_data::Batch, rng: &mut Rng, shards: usize) -> f32 {
+        self.inner.train_step_sharded(batch, rng, shards)
+    }
+
+    fn infer(&self, batch: &dar_data::Batch) -> Inference {
+        if let Some(t) = self.plan.panic_token {
+            if ChaosPlan::batch_has(batch, t) {
+                panic!("chaos: panic token {t} reached infer");
+            }
+        }
+        if let Some((t, ms)) = self.plan.slow_token {
+            if ChaosPlan::batch_has(batch, t) {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        let mut inf = self.inner.infer(batch);
+        if let Some(t) = self.plan.collapse_token {
+            if ChaosPlan::batch_has(batch, t) {
+                for row in &mut inf.masks {
+                    row.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+        inf
+    }
+
+    fn predict_full_text(&self, batch: &dar_data::Batch) -> Option<Tensor> {
+        if let Some(t) = self.plan.full_panic_token {
+            if ChaosPlan::batch_has(batch, t) {
+                panic!("chaos: full-panic token {t} reached predict_full_text");
+            }
+        }
+        self.inner.predict_full_text(batch)
+    }
+
     fn player_modules(&self) -> (usize, usize) {
         self.inner.player_modules()
     }
@@ -266,6 +376,79 @@ mod tests {
         );
         std::fs::remove_file(a).ok();
         std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn chaos_collapse_fires_on_infer_and_spares_full_text() {
+        use crate::models::test_support::{max_len, tiny_config, tiny_dataset, tiny_embedding};
+        use crate::models::Rnp;
+        use dar_data::BatchIter;
+
+        let data = tiny_dataset(300);
+        let cfg = tiny_config();
+        let emb = tiny_embedding(&data, 301);
+        let mut rng = dar_tensor::rng(302);
+        let model = Rnp::new(&cfg, &emb, max_len(&data), &mut rng);
+        let batch = BatchIter::sequential(&data.test, 4).next().unwrap();
+        let trigger = batch.ids[0][0];
+        let absent = batch.ids.iter().flatten().max().unwrap() + 1;
+        let baseline = model.infer(&batch).masks;
+
+        let chaos = ChaosModel::new(
+            model,
+            ChaosPlan {
+                collapse_token: Some(trigger),
+                ..Default::default()
+            },
+        );
+        let inf = chaos.infer(&batch);
+        assert!(
+            inf.masks.iter().flatten().all(|&v| v == 0.0),
+            "collapse trigger left a selected token"
+        );
+        let full = chaos.predict_full_text(&batch).expect("full-text path");
+        assert!(full.to_vec().iter().all(|v| v.is_finite()));
+
+        // A batch without the trigger token passes through untouched.
+        let clean = ChaosModel::new(
+            chaos.into_inner(),
+            ChaosPlan {
+                collapse_token: Some(absent),
+                slow_token: Some((absent, 50)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(clean.infer(&batch).masks, baseline);
+    }
+
+    #[test]
+    fn chaos_panic_token_kills_infer_only() {
+        use crate::models::test_support::{max_len, tiny_config, tiny_dataset, tiny_embedding};
+        use crate::models::Rnp;
+        use dar_data::BatchIter;
+
+        let data = tiny_dataset(310);
+        let cfg = tiny_config();
+        let emb = tiny_embedding(&data, 311);
+        let mut rng = dar_tensor::rng(312);
+        let model = Rnp::new(&cfg, &emb, max_len(&data), &mut rng);
+        let batch = BatchIter::sequential(&data.test, 2).next().unwrap();
+        let trigger = batch.ids[0][0];
+        let chaos = ChaosModel::new(
+            model,
+            ChaosPlan {
+                panic_token: Some(trigger),
+                ..Default::default()
+            },
+        );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let crashed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| chaos.infer(&batch))).is_err();
+        std::panic::set_hook(hook);
+        assert!(crashed, "panic token did not fire");
+        // The generator path is dead; the full-text path still answers.
+        assert!(chaos.predict_full_text(&batch).is_some());
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub struct GuardPolicy {
     pub collapse_high: f32,
 }
 
+impl GuardPolicy {
+    /// Whether a dev/serving selected fraction sits in the collapse band.
+    /// Shared by the training guard and the serving circuit breaker so
+    /// both layers agree on what "degenerate selector" means.
+    pub fn is_collapsed(&self, selected: f32) -> bool {
+        selected <= self.collapse_low || selected >= self.collapse_high
+    }
+}
+
 impl Default for GuardPolicy {
     fn default() -> Self {
         GuardPolicy {
@@ -235,7 +244,7 @@ impl GuardedTrainer {
                 Ok(train_loss) => {
                     let dev_metrics = evaluate_model(model, &data.dev, cfg.batch_size);
                     let selected = dev_metrics.sparsity;
-                    if selected <= policy.collapse_low || selected >= policy.collapse_high {
+                    if policy.is_collapsed(selected) {
                         let reason = GuardReason::RationaleCollapse { epoch, selected };
                         self.rollback(
                             model,

@@ -117,6 +117,10 @@ impl RationaleModel for A2r {
         }
     }
 
+    fn predict_full_text(&self, batch: &Batch) -> Option<Tensor> {
+        Some(self.pred.forward_full(batch))
+    }
+
     /// 1 generator + 2 predictors (Table IV).
     fn player_modules(&self) -> (usize, usize) {
         (1, 2)

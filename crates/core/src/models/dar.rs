@@ -128,6 +128,12 @@ impl RationaleModel for Dar {
         }
     }
 
+    /// The frozen discriminator *is* the model's full-text expert
+    /// (Eq. (4)), so degraded predictor-only serving reads it directly.
+    fn predict_full_text(&self, batch: &Batch) -> Option<Tensor> {
+        Some(self.disc.forward_full(batch))
+    }
+
     /// 1 generator + 2 predictors (Table IV).
     fn player_modules(&self) -> (usize, usize) {
         (1, 2)

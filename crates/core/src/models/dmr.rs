@@ -103,6 +103,10 @@ impl RationaleModel for Dmr {
         }
     }
 
+    fn predict_full_text(&self, batch: &Batch) -> Option<Tensor> {
+        Some(self.teacher.forward_full(batch))
+    }
+
     /// Paper Table IV counts DMR as 1 generator + 3 predictors (4×
     /// parameters); this re-implementation folds the class-wise pair into
     /// one conditioned head, so it carries 1 gen + 2 preds.

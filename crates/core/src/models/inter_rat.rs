@@ -134,6 +134,10 @@ impl RationaleModel for InterRat {
         }
     }
 
+    fn predict_full_text(&self, batch: &Batch) -> Option<Tensor> {
+        Some(self.pred.forward_full(batch))
+    }
+
     fn player_modules(&self) -> (usize, usize) {
         (1, 1)
     }

@@ -63,6 +63,19 @@ pub trait RationaleModel {
     /// Deterministic inference (argmax masks, no Gumbel noise).
     fn infer(&self, batch: &Batch) -> Inference;
 
+    /// Full-text prediction logits `[b, classes]` that bypass the
+    /// generator entirely, or `None` for models without a full-input
+    /// predictor path (label-conditioned selectors like CAR).
+    ///
+    /// This is the serving runtime's degraded mode: when the generator is
+    /// panicking or its rationales have collapsed, the service can keep
+    /// answering predictions from the full input without touching the
+    /// failing player.
+    fn predict_full_text(&self, batch: &Batch) -> Option<Tensor> {
+        let _ = batch;
+        None
+    }
+
     /// (generator count, predictor count) as reported in Table IV.
     fn player_modules(&self) -> (usize, usize) {
         (1, 1)

@@ -124,6 +124,10 @@ impl RationaleModel for Rnp {
         }
     }
 
+    fn predict_full_text(&self, batch: &Batch) -> Option<Tensor> {
+        Some(self.pred.forward_full(batch))
+    }
+
     fn player_modules(&self) -> (usize, usize) {
         (1, 1)
     }

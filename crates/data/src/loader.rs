@@ -34,15 +34,38 @@ impl Batch {
         Ok(Self::build(reviews))
     }
 
-    /// Assemble a batch and validate every token id against the vocabulary
-    /// size, so a malformed review can never cause an out-of-bounds
-    /// embedding lookup downstream.
+    /// Assemble a batch and validate every review: token ids against the
+    /// vocabulary size (so a malformed review can never cause an
+    /// out-of-bounds embedding lookup downstream) and non-emptiness (an
+    /// empty review would contribute an all-zero mask row that models turn
+    /// into NaN pooling outputs).
     pub fn from_reviews_checked(reviews: &[&Review], vocab_size: usize) -> DarResult<Batch> {
+        Self::from_reviews_bounded(reviews, vocab_size, usize::MAX)
+    }
+
+    /// [`Self::from_reviews_checked`] with a per-review length cap — the
+    /// admission path for untrusted (serving) input, where an over-length
+    /// review must be rejected with a typed error before it forces a huge
+    /// padded batch.
+    pub fn from_reviews_bounded(
+        reviews: &[&Review],
+        vocab_size: usize,
+        max_len: usize,
+    ) -> DarResult<Batch> {
         if reviews.is_empty() {
             return Err(DarError::EmptyBatch);
         }
         let mut position = 0usize;
         for r in reviews {
+            if r.ids.is_empty() {
+                return Err(DarError::EmptyInput);
+            }
+            if r.ids.len() > max_len {
+                return Err(DarError::InputTooLong {
+                    len: r.ids.len(),
+                    cap: max_len,
+                });
+            }
             for &token in &r.ids {
                 if token >= vocab_size {
                     return Err(DarError::TokenOutOfRange {
@@ -250,6 +273,37 @@ mod tests {
             Err(other) => panic!("wrong error: {other:?}"),
             Ok(_) => panic!("out-of-vocab token accepted"),
         }
+    }
+
+    #[test]
+    fn checked_assembly_rejects_empty_and_overlength_reviews() {
+        let good = Review {
+            ids: vec![3, 4],
+            label: 0,
+            rationale: vec![true, false],
+            first_sentence_end: 1,
+        };
+        let empty = Review {
+            ids: vec![],
+            label: 0,
+            rationale: vec![],
+            first_sentence_end: 1,
+        };
+        assert!(matches!(
+            Batch::from_reviews_checked(&[&good, &empty], 10),
+            Err(DarError::EmptyInput)
+        ));
+        let long = Review {
+            ids: vec![3; 9],
+            label: 1,
+            rationale: vec![false; 9],
+            first_sentence_end: 1,
+        };
+        assert!(matches!(
+            Batch::from_reviews_bounded(&[&good, &long], 10, 4),
+            Err(DarError::InputTooLong { len: 9, cap: 4 })
+        ));
+        assert!(Batch::from_reviews_bounded(&[&good, &long], 10, 16).is_ok());
     }
 
     #[test]

@@ -39,6 +39,40 @@ impl Review {
         self.rationale.iter().filter(|&&b| b).count() as f32 / self.ids.len() as f32
     }
 
+    /// Admission check for a single untrusted review: non-empty, within
+    /// the length cap, every token id in vocabulary, and the rationale
+    /// annotation parallel to the ids. This is the cheap per-request gate
+    /// the serving runtime runs before a review may enter a batch; the
+    /// typed errors let the caller reject without panicking.
+    pub fn admissible(&self, vocab_size: usize, max_len: usize) -> DarResult<()> {
+        if self.ids.is_empty() {
+            return Err(DarError::EmptyInput);
+        }
+        if self.ids.len() > max_len {
+            return Err(DarError::InputTooLong {
+                len: self.ids.len(),
+                cap: max_len,
+            });
+        }
+        if self.rationale.len() != self.ids.len() {
+            return Err(DarError::InvalidData(format!(
+                "rationale length {} does not match {} ids",
+                self.rationale.len(),
+                self.ids.len()
+            )));
+        }
+        for (position, &token) in self.ids.iter().enumerate() {
+            if token >= vocab_size {
+                return Err(DarError::TokenOutOfRange {
+                    position,
+                    token,
+                    vocab: vocab_size,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// A copy truncated to the first sentence (skewed-predictor
     /// pretraining data, Table VII).
     pub fn first_sentence(&self) -> Review {
@@ -171,6 +205,38 @@ mod tests {
         let mut r = review();
         r.first_sentence_end = 100;
         assert_eq!(r.first_sentence().len(), 6);
+    }
+
+    #[test]
+    fn admissible_gates_untrusted_reviews() {
+        let r = review();
+        assert!(r.admissible(100, 16).is_ok());
+        // Empty.
+        let mut bad = review();
+        bad.ids.clear();
+        bad.rationale.clear();
+        assert!(matches!(bad.admissible(100, 16), Err(DarError::EmptyInput)));
+        // Over-length.
+        assert!(matches!(
+            r.admissible(100, 3),
+            Err(DarError::InputTooLong { len: 6, cap: 3 })
+        ));
+        // Out-of-vocabulary token.
+        assert!(matches!(
+            r.admissible(7, 16),
+            Err(DarError::TokenOutOfRange {
+                position: 2,
+                token: 7,
+                vocab: 7,
+            })
+        ));
+        // Ragged annotation.
+        let mut ragged = review();
+        ragged.rationale.pop();
+        assert!(matches!(
+            ragged.admissible(100, 16),
+            Err(DarError::InvalidData(_))
+        ));
     }
 
     fn dataset() -> AspectDataset {

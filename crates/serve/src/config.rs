@@ -1,0 +1,61 @@
+//! Serving runtime knobs.
+
+use std::time::Duration;
+
+use crate::breaker::BreakerPolicy;
+
+/// Configuration for [`Server::start`](crate::Server::start).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker replicas. `0` derives a budget from the `dar-par` thread
+    /// policy (`DAR_THREADS`, clamped to 4) — each worker owns a full
+    /// model replica, so this is a memory knob as much as a CPU one.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it get `QueueFull`.
+    pub queue_cap: usize,
+    /// Requests per micro-batch.
+    pub max_batch: usize,
+    /// How long a worker lingers for more requests after the first one,
+    /// trading latency for batch occupancy. Never lingers past a queued
+    /// request's deadline.
+    pub linger: Duration,
+    /// Deadline for [`submit`](crate::Server::submit).
+    pub default_deadline: Duration,
+    /// Vocabulary bound for admission checks.
+    pub vocab_size: usize,
+    /// Token-length cap for admission checks.
+    pub max_len: usize,
+    /// Breaker thresholds.
+    pub breaker: BreakerPolicy,
+    /// When a worker panic's payload contains this marker, the worker
+    /// thread dies for real (exercising supervisor respawn) instead of
+    /// recovering in place. Chaos-test hook; leave `None` in production.
+    pub lethal_panic_marker: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 256,
+            max_batch: 16,
+            linger: Duration::from_millis(2),
+            default_deadline: Duration::from_secs(5),
+            vocab_size: usize::MAX,
+            max_len: 512,
+            breaker: BreakerPolicy::default(),
+            lethal_panic_marker: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Effective worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            dar_par::max_threads().clamp(1, 4)
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # dar-serve — resilient inference serving for rationalization models
+//!
+//! A serving runtime layered on the workspace's building blocks: worker
+//! replicas batching requests into [`dar_data::Batch`] tensors, the
+//! checkpoint format (CRC-validated hot swap), the training guards'
+//! collapse band (breaker signal), and the `dar-par` thread policy
+//! (compute budget). DESIGN.md §10 documents the architecture; the
+//! chaos harness in `tests/serving_chaos.rs` (workspace root) holds the
+//! runtime to its invariants under injected faults:
+//!
+//! * **Exactly one outcome per request** — admission rejection, typed
+//!   failure, or an answer; never silence, never two verdicts.
+//! * **No torn reads** — a batch runs start-to-finish on one weight
+//!   generation; hot swaps apply only between batches.
+//! * **Failure is a mode, not a retry** — the circuit breaker steps
+//!   through full → predictor-only → shed, and recovers through probes.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use dar_serve::{ServeConfig, Server};
+//! # fn factory_fn() -> Box<dyn dar_core::RationaleModel> { unimplemented!() }
+//! # fn some_review() -> dar_data::Review { unimplemented!() }
+//! let server = Server::start(ServeConfig::default(), Arc::new(factory_fn));
+//! let ticket = server.submit(some_review());
+//! let verdict = ticket.wait(); // exactly one outcome, whatever happened
+//! ```
+
+pub mod breaker;
+pub mod config;
+pub mod request;
+pub mod server;
+pub mod weights;
+
+pub use breaker::{
+    BatchPlan, BreakerEvent, BreakerPolicy, BreakerState, CircuitBreaker, TransitionCause,
+};
+pub use config::ServeConfig;
+pub use request::{ServeError, ServeOutput, ServeResult, Ticket};
+pub use server::{ModelFactory, Server, StatsSnapshot};
+pub use weights::{WeightSet, WeightStore};

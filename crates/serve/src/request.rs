@@ -1,0 +1,118 @@
+//! Request/response types and the exactly-one-outcome ticket.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use dar_data::Review;
+use dar_tensor::DarError;
+
+/// Successful response for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutput {
+    /// Predicted class.
+    pub label: usize,
+    /// Binary rationale mask over the review's tokens. Empty when the
+    /// answer came from the predictor-only degraded path — a degraded
+    /// answer never fabricates a rationale.
+    pub rationale: Vec<bool>,
+    /// True when the generator was bypassed (degraded mode or collapse
+    /// fallback within a full-path batch).
+    pub degraded: bool,
+    /// Weight generation the answer was computed on.
+    pub weights_version: u64,
+}
+
+/// Terminal failure for one request. Every variant is an *answer*: the
+/// ticket resolves exactly once whatever happens.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Rejected at admission (empty, over-length, out-of-vocabulary…).
+    Rejected(DarError),
+    /// The bounded queue was full — backpressure, try later.
+    QueueFull,
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExceeded,
+    /// The breaker is Open; nothing is being computed.
+    Shed,
+    /// The worker processing this request panicked.
+    WorkerPanicked,
+    /// Degraded mode was needed but the model has no full-text path.
+    DegradedUnavailable,
+    /// The server shut down before the request ran.
+    Shutdown,
+    /// The response channel died without a verdict — a runtime bug; the
+    /// chaos harness asserts this is never produced.
+    Lost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "rejected at admission: {e}"),
+            ServeError::QueueFull => write!(f, "queue full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Shed => write!(f, "shed: breaker open"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked"),
+            ServeError::DegradedUnavailable => write!(f, "no degraded path"),
+            ServeError::Shutdown => write!(f, "server shut down"),
+            ServeError::Lost => write!(f, "response lost (runtime bug)"),
+        }
+    }
+}
+
+pub type ServeResult = Result<ServeOutput, ServeError>;
+
+/// One queued request. Owned by the queue, then by exactly one worker's
+/// in-flight slot, until `respond` consumes it.
+pub(crate) struct Pending {
+    pub review: Review,
+    pub deadline: Instant,
+    tx: mpsc::Sender<ServeResult>,
+}
+
+impl Pending {
+    pub fn new(review: Review, deadline: Instant) -> (Self, Ticket) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Pending {
+                review,
+                deadline,
+                tx,
+            },
+            Ticket { rx },
+        )
+    }
+
+    pub fn expired(&self, now: Instant) -> bool {
+        now >= self.deadline
+    }
+
+    /// Deliver the verdict. Consumes the request, so the type system
+    /// enforces at-most-once; the runtime structure (queue → in-flight
+    /// slot → respond) enforces at-least-once.
+    pub fn respond(self, result: ServeResult) {
+        // The client may have dropped its ticket; that's its business.
+        let _ = self.tx.send(result);
+    }
+}
+
+/// The caller's handle: resolves to exactly one [`ServeResult`].
+pub struct Ticket {
+    rx: mpsc::Receiver<ServeResult>,
+}
+
+impl Ticket {
+    /// Block until the verdict arrives.
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().unwrap_or(Err(ServeError::Lost))
+    }
+
+    /// Block up to `timeout`; `None` means still in flight.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Lost)),
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! The serving runtime: bounded queue → adaptive micro-batcher → worker
+//! replicas → circuit breaker, with supervisor respawn and atomic weight
+//! swap.
+//!
+//! ## Why replicas
+//!
+//! `Tensor` is `Rc`-based and deliberately not `Send`, so model state can
+//! never be shared across threads. Each worker therefore *builds its own
+//! replica* in-thread from a [`ModelFactory`] (which captures only plain
+//! `Send` data) and keeps it aligned with the published [`WeightStore`]
+//! generation by re-applying weights **between batches**. Inside a batch
+//! the replica is untouched by swaps — that is the no-torn-read
+//! guarantee. Tensor ops inside each worker still fork-join onto the
+//! shared `dar-par` pool, so `DAR_THREADS` bounds total compute.
+//!
+//! ## Exactly one outcome
+//!
+//! A request is owned by exactly one place at any time: the bounded
+//! queue, a worker's in-flight slot, or (transiently) the stack of the
+//! code about to respond. Whoever owns it when a verdict is known calls
+//! [`Pending::respond`], which consumes it. If a worker thread dies
+//! mid-batch, the supervisor drains its in-flight slot and answers those
+//! requests with `WorkerPanicked`; at shutdown the queue is drained with
+//! `Shutdown`. The chaos harness asserts `Lost` is never observed.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dar_core::models::RationaleModel;
+use dar_data::{Batch, Review};
+use dar_tensor::no_grad;
+
+use crate::breaker::{BatchPlan, BreakerEvent, BreakerState, CircuitBreaker};
+use crate::config::ServeConfig;
+use crate::request::{Pending, ServeError, ServeOutput, Ticket};
+use crate::weights::{WeightSet, WeightStore};
+
+/// Builds one model replica. Called on each worker thread (replicas are
+/// thread-local because tensors are not `Send`), so it must capture only
+/// `Send + Sync` data and must be deterministic for any *frozen* modules
+/// the weight swap does not cover (frozen parts are excluded from
+/// `params()` and thus from checkpoints).
+pub type ModelFactory = Arc<dyn Fn() -> Box<dyn RationaleModel> + Send + Sync>;
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    accepting: bool,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    served_full: u64,
+    served_degraded: u64,
+    rejected: u64,
+    queue_full: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    panics: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Point-in-time counters plus latency percentiles (microseconds, over
+/// successful responses).
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    pub served_full: u64,
+    pub served_degraded: u64,
+    pub rejected: u64,
+    pub queue_full: u64,
+    pub shed: u64,
+    pub deadline_exceeded: u64,
+    pub panics: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    pub weights_version: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+    breaker: Mutex<CircuitBreaker>,
+    weights: WeightStore,
+    /// One slot per worker: requests claimed from the queue live here
+    /// while inference runs, so a dying worker cannot take them along.
+    inflight: Mutex<Vec<Vec<(Pending, Instant)>>>,
+    stats: Mutex<StatsInner>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn record_success(&self, born: Instant, degraded: bool) {
+        let us = born.elapsed().as_micros() as u64;
+        let mut s = self.stats.lock().unwrap();
+        if degraded {
+            s.served_degraded += 1;
+        } else {
+            s.served_full += 1;
+        }
+        // Unbounded growth guard for long-lived servers.
+        if s.latencies_us.len() < 1_000_000 {
+            s.latencies_us.push(us);
+        }
+    }
+}
+
+/// Sends the worker's slot index to the supervisor if the thread dies
+/// unwinding — the only signal a hard death leaves behind.
+struct DeathNotice {
+    slot: usize,
+    tx: mpsc::Sender<usize>,
+}
+
+impl Drop for DeathNotice {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(self.slot);
+        }
+    }
+}
+
+/// The serving runtime. Dropping without [`shutdown`](Server::shutdown)
+/// shuts down implicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build the initial weight generation from one factory call, spawn
+    /// workers and the supervisor, and start serving.
+    pub fn start(cfg: ServeConfig, factory: ModelFactory) -> Self {
+        let initial = {
+            let model = factory();
+            WeightSet::from_params(&model.params(), 1)
+        };
+        let workers = cfg.effective_workers();
+        let shared = Arc::new(Shared {
+            breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
+            cfg,
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                accepting: true,
+            }),
+            notify: Condvar::new(),
+            weights: WeightStore::new(initial),
+            inflight: Mutex::new((0..workers).map(|_| Vec::new()).collect()),
+            stats: Mutex::new(StatsInner::default()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (death_tx, death_rx) = mpsc::channel::<usize>();
+        let handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+            .map(|slot| {
+                Some(spawn_worker(
+                    Arc::clone(&shared),
+                    Arc::clone(&factory),
+                    slot,
+                    death_tx.clone(),
+                ))
+            })
+            .collect();
+
+        let sup_shared = Arc::clone(&shared);
+        let sup_factory = Arc::clone(&factory);
+        let supervisor = std::thread::Builder::new()
+            .name("dar-serve-supervisor".into())
+            .spawn(move || supervisor_loop(sup_shared, sup_factory, death_rx, death_tx, handles))
+            .expect("spawning dar-serve supervisor");
+
+        Server {
+            shared,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Submit with the configured default deadline.
+    pub fn submit(&self, review: Review) -> Ticket {
+        self.submit_with_deadline(review, self.shared.cfg.default_deadline)
+    }
+
+    /// Submit one review. The returned ticket resolves to exactly one
+    /// [`ServeResult`] — including for immediate rejections, which are
+    /// decided here on the caller's thread.
+    pub fn submit_with_deadline(&self, review: Review, deadline: Duration) -> Ticket {
+        let shared = &self.shared;
+        let (pending, ticket) = Pending::new(review, Instant::now() + deadline);
+
+        // Admission: cheap structural checks before anything is queued.
+        if let Err(e) = pending
+            .review
+            .admissible(shared.cfg.vocab_size, shared.cfg.max_len)
+        {
+            shared.stats.lock().unwrap().rejected += 1;
+            pending.respond(Err(ServeError::Rejected(e)));
+            return ticket;
+        }
+
+        // Breaker: an Open breaker sheds at the door (and each shed
+        // brings the HalfOpen probe closer).
+        {
+            let mut b = shared.breaker.lock().unwrap();
+            if b.shedding() {
+                b.on_shed();
+                drop(b);
+                shared.stats.lock().unwrap().shed += 1;
+                pending.respond(Err(ServeError::Shed));
+                return ticket;
+            }
+        }
+
+        // Bounded queue: full means backpressure, not waiting.
+        {
+            let mut q = shared.queue.lock().unwrap();
+            if !q.accepting {
+                drop(q);
+                pending.respond(Err(ServeError::Shutdown));
+                return ticket;
+            }
+            if q.items.len() >= shared.cfg.queue_cap {
+                drop(q);
+                shared.stats.lock().unwrap().queue_full += 1;
+                pending.respond(Err(ServeError::QueueFull));
+                return ticket;
+            }
+            q.items.push_back(pending);
+        }
+        shared.notify.notify_one();
+        ticket
+    }
+
+    /// Offer a checkpoint file as the next weight generation; validation
+    /// runs on this thread, never on workers. See
+    /// [`WeightStore::offer_checkpoint`].
+    pub fn offer_checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> dar_tensor::DarResult<u64> {
+        self.shared.weights.offer_checkpoint(path)
+    }
+
+    /// Published weight generation.
+    pub fn weights_version(&self) -> u64 {
+        self.shared.weights.version()
+    }
+
+    pub fn breaker_state(&self) -> BreakerState {
+        self.shared.breaker.lock().unwrap().state()
+    }
+
+    /// Transition log since start.
+    pub fn breaker_events(&self) -> Vec<BreakerEvent> {
+        self.shared.breaker.lock().unwrap().events().to_vec()
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = self.shared.stats.lock().unwrap();
+        let mut lat = s.latencies_us.clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+                lat[idx]
+            }
+        };
+        StatsSnapshot {
+            served_full: s.served_full,
+            served_degraded: s.served_degraded,
+            rejected: s.rejected,
+            queue_full: s.queue_full,
+            shed: s.shed,
+            deadline_exceeded: s.deadline_exceeded,
+            panics: s.panics,
+            p50_us: pct(0.5),
+            p99_us: pct(0.99),
+            max_us: lat.last().copied().unwrap_or(0),
+            weights_version: self.shared.weights.version(),
+        }
+    }
+
+    /// Stop accepting, fail queued requests with `Shutdown`, join every
+    /// worker and the supervisor. Idempotent via `Drop`.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.lock().unwrap().accepting = false;
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify.notify_all();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn spawn_worker(
+    shared: Arc<Shared>,
+    factory: ModelFactory,
+    slot: usize,
+    death_tx: mpsc::Sender<usize>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("dar-serve-worker-{slot}"))
+        .spawn(move || worker_loop(shared, factory, slot, death_tx))
+        .expect("spawning dar-serve worker")
+}
+
+/// Pop expired requests off the queue front-to-back, answering them.
+/// Returns the requests claimed for this batch (≤ `cap`).
+fn claim_batch(shared: &Shared, cap: usize) -> Option<Vec<Pending>> {
+    let cfg = &shared.cfg;
+    let mut q = shared.queue.lock().unwrap();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain everything left with a terminal verdict.
+            let leftovers: Vec<Pending> = q.items.drain(..).collect();
+            drop(q);
+            for p in leftovers {
+                p.respond(Err(ServeError::Shutdown));
+            }
+            return None;
+        }
+
+        // Expired requests get their verdict without costing inference.
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        let items = std::mem::take(&mut q.items);
+        for p in items {
+            if p.expired(now) {
+                expired.push(p);
+            } else {
+                q.items.push_back(p);
+            }
+        }
+        if !expired.is_empty() {
+            drop(q);
+            let mut s = shared.stats.lock().unwrap();
+            s.deadline_exceeded += expired.len() as u64;
+            drop(s);
+            for p in expired {
+                p.respond(Err(ServeError::DeadlineExceeded));
+            }
+            q = shared.queue.lock().unwrap();
+            continue;
+        }
+
+        if q.items.is_empty() {
+            let (qq, _) = shared
+                .notify
+                .wait_timeout(q, Duration::from_millis(20))
+                .unwrap();
+            q = qq;
+            continue;
+        }
+
+        // Linger for a fuller batch, but never past any queued deadline.
+        if q.items.len() < cap && !cfg.linger.is_zero() {
+            let linger_until = Instant::now() + cfg.linger;
+            let earliest = q.items.iter().map(|p| p.deadline).min().unwrap();
+            let stop = linger_until.min(earliest);
+            while q.items.len() < cap {
+                let now = Instant::now();
+                if now >= stop || shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let (qq, _) = shared.notify.wait_timeout(q, stop - now).unwrap();
+                q = qq;
+            }
+        }
+
+        let n = q.items.len().min(cap);
+        let claimed: Vec<Pending> = q.items.drain(..n).collect();
+        return Some(claimed);
+    }
+}
+
+/// Assemble claimed requests into a `Batch`. On failure every request is
+/// answered `Rejected` (should not happen post-admission; belt and
+/// braces) and `None` is returned.
+fn assemble(shared: &Shared, claimed: Vec<Pending>) -> Option<(Vec<Pending>, Batch)> {
+    let refs: Vec<&Review> = claimed.iter().map(|p| &p.review).collect();
+    match Batch::from_reviews_bounded(&refs, shared.cfg.vocab_size, shared.cfg.max_len) {
+        Ok(batch) => Some((claimed, batch)),
+        Err(e) => {
+            let mut s = shared.stats.lock().unwrap();
+            s.rejected += claimed.len() as u64;
+            drop(s);
+            let msg = e.to_string();
+            for p in claimed {
+                p.respond(Err(ServeError::Rejected(
+                    dar_tensor::DarError::InvalidData(msg.clone()),
+                )));
+            }
+            None
+        }
+    }
+}
+
+/// Outputs for a full-path batch: per-row label + rationale. Falls back
+/// to the predictor path row-set-wide if the selector collapsed.
+fn run_full(
+    shared: &Shared,
+    model: &dyn RationaleModel,
+    batch: &Batch,
+    version: u64,
+) -> Result<(Vec<ServeOutput>, bool), ServeError> {
+    let inf = no_grad(|| model.infer(batch));
+    // Selected fraction over real tokens — the breaker's collapse signal.
+    let mut selected = 0usize;
+    let mut total = 0usize;
+    for (i, &len) in batch.lengths.iter().enumerate() {
+        selected += inf.masks[i][..len].iter().filter(|&&v| v > 0.5).count();
+        total += len;
+    }
+    let frac = selected as f32 / total.max(1) as f32;
+    let collapsed = shared
+        .breaker
+        .lock()
+        .unwrap()
+        .policy()
+        .collapse
+        .is_collapsed(frac);
+    if collapsed {
+        // The selector degenerated: answer this batch from the full-text
+        // path rather than shipping an empty/total "rationale".
+        let outs = run_predictor(model, batch, version)?;
+        return Ok((outs, true));
+    }
+    let logits = inf
+        .logits
+        .or(inf.full_logits)
+        .ok_or(ServeError::DegradedUnavailable)?;
+    let labels = logits.argmax_rows();
+    let outs = batch
+        .lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| ServeOutput {
+            label: labels[i],
+            rationale: inf.masks[i][..len].iter().map(|&v| v > 0.5).collect(),
+            degraded: false,
+            weights_version: version,
+        })
+        .collect();
+    Ok((outs, false))
+}
+
+/// Outputs for a predictor-only batch: label from the full-text path, no
+/// rationale.
+fn run_predictor(
+    model: &dyn RationaleModel,
+    batch: &Batch,
+    version: u64,
+) -> Result<Vec<ServeOutput>, ServeError> {
+    let logits =
+        no_grad(|| model.predict_full_text(batch)).ok_or(ServeError::DegradedUnavailable)?;
+    let labels = logits.argmax_rows();
+    Ok(batch
+        .lengths
+        .iter()
+        .enumerate()
+        .map(|(i, _)| ServeOutput {
+            label: labels[i],
+            rationale: Vec::new(),
+            degraded: true,
+            weights_version: version,
+        })
+        .collect())
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    factory: ModelFactory,
+    slot: usize,
+    death_tx: mpsc::Sender<usize>,
+) {
+    let _death = DeathNotice { slot, tx: death_tx };
+    let mut model: Box<dyn RationaleModel> = factory();
+    let mut version = 0u64;
+
+    loop {
+        let cap = shared
+            .breaker
+            .lock()
+            .unwrap()
+            .batch_cap(shared.cfg.max_batch);
+        let Some(claimed) = claim_batch(&shared, cap) else {
+            return; // shutdown
+        };
+        if claimed.is_empty() {
+            continue;
+        }
+        // The plan is read *after* claiming: claim_batch may have blocked
+        // through a breaker transition, and requests must be served by
+        // the mode in force now, not the one when the worker went idle.
+        // (The cap above may be stale in the same way; a probe batch
+        // larger than 1 is acceptable, a stale path decision is not.)
+        let plan = shared.breaker.lock().unwrap().plan_batch();
+
+        if matches!(plan, BatchPlan::Shed) {
+            // Breaker opened while these were queued.
+            let mut b = shared.breaker.lock().unwrap();
+            for _ in &claimed {
+                b.on_shed();
+            }
+            drop(b);
+            shared.stats.lock().unwrap().shed += claimed.len() as u64;
+            for p in claimed {
+                p.respond(Err(ServeError::Shed));
+            }
+            continue;
+        }
+
+        let Some((claimed, batch)) = assemble(&shared, claimed) else {
+            continue;
+        };
+
+        // Between-batch weight sync: the only place a swap is observed.
+        // An apply failure leaves the replica on its old weights; the
+        // store never publishes a shape-mismatched set for a healthy
+        // factory, so that branch is unreachable in practice.
+        let w = shared.weights.current();
+        if w.version != version && w.apply(&model.params()).is_ok() {
+            version = w.version;
+        }
+
+        // Park the requests where the supervisor can reach them if this
+        // thread dies mid-inference.
+        let born = Instant::now();
+        shared.inflight.lock().unwrap()[slot] = claimed.into_iter().map(|p| (p, born)).collect();
+
+        let probe = matches!(plan, BatchPlan::Full { probe: true });
+        let outcome = catch_unwind(AssertUnwindSafe(|| match plan {
+            BatchPlan::Full { .. } => run_full(&shared, model.as_ref(), &batch, version),
+            BatchPlan::PredictorOnly => {
+                run_predictor(model.as_ref(), &batch, version).map(|outs| (outs, true))
+            }
+            BatchPlan::Shed => unreachable!("shed handled before assembly"),
+        }));
+
+        match outcome {
+            Ok(Ok((outs, degraded))) => {
+                let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                {
+                    let mut b = shared.breaker.lock().unwrap();
+                    match plan {
+                        BatchPlan::Full { .. } if degraded => b.on_full_failure(probe),
+                        BatchPlan::Full { .. } => b.on_full_success(probe),
+                        BatchPlan::PredictorOnly => b.on_degraded_success(),
+                        BatchPlan::Shed => unreachable!(),
+                    }
+                }
+                for ((p, born), out) in inflight.into_iter().zip(outs) {
+                    shared.record_success(born, out.degraded);
+                    p.respond(Ok(out));
+                }
+            }
+            Ok(Err(err)) => {
+                // Typed failure (no full-text path): the whole batch gets
+                // the same verdict and the breaker hears about it.
+                let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                {
+                    let mut b = shared.breaker.lock().unwrap();
+                    match plan {
+                        BatchPlan::Full { .. } => b.on_full_failure(probe),
+                        BatchPlan::PredictorOnly => b.on_degraded_failure(),
+                        BatchPlan::Shed => unreachable!(),
+                    }
+                }
+                let msg = err.to_string();
+                for (p, _) in inflight {
+                    p.respond(Err(ServeError::Rejected(
+                        dar_tensor::DarError::InvalidData(msg.clone()),
+                    )));
+                }
+            }
+            Err(payload) => {
+                shared.stats.lock().unwrap().panics += 1;
+                {
+                    let mut b = shared.breaker.lock().unwrap();
+                    match plan {
+                        BatchPlan::Full { .. } => b.on_full_failure(probe),
+                        BatchPlan::PredictorOnly => b.on_degraded_failure(),
+                        BatchPlan::Shed => unreachable!(),
+                    }
+                }
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                let lethal = shared
+                    .cfg
+                    .lethal_panic_marker
+                    .as_deref()
+                    .is_some_and(|m| msg.contains(m));
+                if lethal {
+                    // Die for real: the in-flight slot stays populated for
+                    // the supervisor to drain, and DeathNotice fires.
+                    resume_unwind(payload);
+                }
+                // Soft recovery: answer the victims, rebuild the replica
+                // in place (the model may be mid-panic inconsistent).
+                let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                for (p, _) in inflight {
+                    p.respond(Err(ServeError::WorkerPanicked));
+                }
+                model = factory();
+                version = 0; // force a weight re-sync next batch
+            }
+        }
+    }
+}
+
+fn supervisor_loop(
+    shared: Arc<Shared>,
+    factory: ModelFactory,
+    death_rx: mpsc::Receiver<usize>,
+    death_tx: mpsc::Sender<usize>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    let drain_slot = |slot: usize| {
+        let victims = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+        for (p, _) in victims {
+            p.respond(Err(ServeError::WorkerPanicked));
+        }
+    };
+
+    loop {
+        match death_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(slot) => {
+                if let Some(h) = handles[slot].take() {
+                    let _ = h.join(); // collect the corpse (ignore payload)
+                }
+                drain_slot(slot);
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    handles[slot] = Some(spawn_worker(
+                        Arc::clone(&shared),
+                        Arc::clone(&factory),
+                        slot,
+                        death_tx.clone(),
+                    ));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Shutdown: join workers (they drain the queue with `Shutdown`).
+    for h in handles.iter_mut() {
+        if let Some(h) = h.take() {
+            let _ = h.join();
+        }
+    }
+    // Late deaths and leftovers: one final sweep so nothing resolves as
+    // `Lost`. NB: the slot count is read *before* the loop — a `for`
+    // over `0..lock().len()` would hold the guard across `drain_slot`'s
+    // own lock and self-deadlock.
+    while let Ok(slot) = death_rx.try_recv() {
+        drain_slot(slot);
+    }
+    let slots = shared.inflight.lock().unwrap().len();
+    for slot in 0..slots {
+        drain_slot(slot);
+    }
+    let leftovers: Vec<Pending> = shared.queue.lock().unwrap().items.drain(..).collect();
+    for p in leftovers {
+        p.respond(Err(ServeError::Shutdown));
+    }
+}

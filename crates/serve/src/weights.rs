@@ -1,0 +1,187 @@
+//! Atomic hot checkpoint swap.
+//!
+//! Workers never read weight files. A background loader validates a
+//! checkpoint **off the hot path** — CRC-32 footer via
+//! [`dar_tensor::serial::load_checkpoint_path`], then tensor count and
+//! per-tensor shapes against the serving model — and only a fully
+//! validated set is published, by swapping one `Arc` pointer under a
+//! mutex. Workers pick the new version up **between batches**: a batch
+//! that started on version `n` finishes on version `n`, so a request
+//! never sees torn weights, and a corrupted or mismatched offer leaves
+//! the runtime serving the old version untouched.
+
+use std::sync::{Arc, Mutex};
+
+use dar_tensor::{serial, DarError, DarResult, Tensor};
+
+/// One immutable, validated generation of model weights.
+#[derive(Debug)]
+pub struct WeightSet {
+    /// Monotonic generation number (starts at 1).
+    pub version: u64,
+    /// Flat values, in the model's `params()` order.
+    pub values: Vec<Vec<f32>>,
+    /// Shapes, parallel to `values`.
+    pub shapes: Vec<Vec<usize>>,
+}
+
+impl WeightSet {
+    /// Snapshot live parameters (the initial serving weights).
+    pub fn from_params(params: &[Tensor], version: u64) -> Self {
+        WeightSet {
+            version,
+            values: params.iter().map(|p| p.to_vec()).collect(),
+            shapes: params.iter().map(|p| p.shape().to_vec()).collect(),
+        }
+    }
+
+    /// Copy this generation into live parameters (a worker replica).
+    pub fn apply(&self, params: &[Tensor]) -> DarResult<()> {
+        if params.len() != self.values.len() {
+            return Err(DarError::InvalidData(format!(
+                "weight set v{} has {} tensors, model has {}",
+                self.version,
+                self.values.len(),
+                params.len()
+            )));
+        }
+        for (i, (p, (v, s))) in params
+            .iter()
+            .zip(self.values.iter().zip(&self.shapes))
+            .enumerate()
+        {
+            if p.shape() != s.as_slice() {
+                return Err(DarError::InvalidData(format!(
+                    "weight set v{} tensor {i} is {s:?}, model wants {:?}",
+                    self.version,
+                    p.shape()
+                )));
+            }
+            p.set_values(v.clone());
+        }
+        Ok(())
+    }
+}
+
+/// The published weight generation plus swap bookkeeping.
+pub struct WeightStore {
+    current: Mutex<Arc<WeightSet>>,
+}
+
+impl WeightStore {
+    /// Seed the store with the weights the factory model was built with.
+    pub fn new(initial: WeightSet) -> Self {
+        WeightStore {
+            current: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// The newest validated generation (cheap: one lock, one Arc clone).
+    pub fn current(&self) -> Arc<WeightSet> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    pub fn version(&self) -> u64 {
+        self.current.lock().unwrap().version
+    }
+
+    /// Offer a checkpoint file as the next generation. All validation
+    /// happens here, on the offering thread: the CRC-verified load, the
+    /// tensor count, and every shape (against the currently-published
+    /// set). On any error the published set is left untouched. Returns
+    /// the new version on success.
+    pub fn offer_checkpoint(&self, path: impl AsRef<std::path::Path>) -> DarResult<u64> {
+        let loaded = serial::load_checkpoint_path(path)?;
+        let cur = self.current();
+        if loaded.tensors.len() != cur.values.len() {
+            return Err(DarError::InvalidData(format!(
+                "offered checkpoint has {} tensors, serving model has {}",
+                loaded.tensors.len(),
+                cur.values.len()
+            )));
+        }
+        for (i, (t, s)) in loaded.tensors.iter().zip(&cur.shapes).enumerate() {
+            if t.shape() != s.as_slice() {
+                return Err(DarError::InvalidData(format!(
+                    "offered checkpoint tensor {i} is {:?}, serving model wants {s:?}",
+                    t.shape()
+                )));
+            }
+        }
+        let next = WeightSet {
+            version: cur.version + 1,
+            values: loaded.tensors.iter().map(|t| t.to_vec()).collect(),
+            shapes: cur.shapes.clone(),
+        };
+        let version = next.version;
+        *self.current.lock().unwrap() = Arc::new(next);
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_tensor::serial::Checkpoint;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dar_serve_w_{name}_{}", std::process::id()));
+        p
+    }
+
+    fn params() -> Vec<Tensor> {
+        vec![
+            Tensor::param(vec![1.0; 6], &[2, 3]),
+            Tensor::param(vec![2.0; 4], &[4]),
+        ]
+    }
+
+    #[test]
+    fn offer_swaps_only_validated_checkpoints() {
+        let p = params();
+        let store = WeightStore::new(WeightSet::from_params(&p, 1));
+        assert_eq!(store.version(), 1);
+
+        // A matching checkpoint flips the version.
+        let path = tmpfile("good");
+        let good = vec![
+            Tensor::param(vec![9.0; 6], &[2, 3]),
+            Tensor::param(vec![8.0; 4], &[4]),
+        ];
+        serial::save_checkpoint_path(&path, &Checkpoint::new(good, Vec::new())).unwrap();
+        assert_eq!(store.offer_checkpoint(&path).unwrap(), 2);
+        let cur = store.current();
+        assert_eq!(cur.version, 2);
+        assert_eq!(cur.values[0], vec![9.0; 6]);
+
+        // Wrong shape: rejected, version unchanged.
+        let bad = vec![
+            Tensor::param(vec![9.0; 6], &[3, 2]),
+            Tensor::param(vec![8.0; 4], &[4]),
+        ];
+        serial::save_checkpoint_path(&path, &Checkpoint::new(bad, Vec::new())).unwrap();
+        assert!(store.offer_checkpoint(&path).is_err());
+        assert_eq!(store.version(), 2);
+
+        // Wrong tensor count: rejected.
+        let short = vec![Tensor::param(vec![9.0; 6], &[2, 3])];
+        serial::save_checkpoint_path(&path, &Checkpoint::new(short, Vec::new())).unwrap();
+        assert!(store.offer_checkpoint(&path).is_err());
+        assert_eq!(store.version(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn apply_round_trips_and_checks_shapes() {
+        let p = params();
+        let set = WeightSet::from_params(&p, 1);
+        let q = params();
+        q[0].set_values(vec![0.0; 6]);
+        set.apply(&q).unwrap();
+        assert_eq!(q[0].to_vec(), vec![1.0; 6]);
+
+        let wrong = vec![Tensor::param(vec![0.0; 6], &[6])];
+        assert!(set.apply(&wrong).is_err());
+    }
+}

@@ -34,6 +34,16 @@ pub enum DarError {
         token: usize,
         vocab: usize,
     },
+    /// A review or text with zero tokens reached an admission boundary
+    /// that requires non-empty input.
+    EmptyInput,
+    /// Input length exceeds an admission cap (tokens or characters,
+    /// depending on the boundary).
+    InputTooLong { len: usize, cap: usize },
+    /// Input text is mostly non-ASCII — outside what the tokenizer and
+    /// vocabulary were built for, so it is rejected at admission instead
+    /// of degenerating into an all-UNK sequence downstream.
+    NonAsciiHeavy { non_ascii: usize, len: usize },
     /// A loss, gradient, or parameter became NaN/Inf.
     NonFinite { context: String },
     /// The divergence guard rolled back and retried until its budget ran
@@ -58,6 +68,14 @@ impl fmt::Display for DarError {
             } => write!(
                 f,
                 "token id {token} at position {position} is outside the vocabulary (size {vocab})"
+            ),
+            DarError::EmptyInput => write!(f, "empty input (zero tokens)"),
+            DarError::InputTooLong { len, cap } => {
+                write!(f, "input of length {len} exceeds the admission cap {cap}")
+            }
+            DarError::NonAsciiHeavy { non_ascii, len } => write!(
+                f,
+                "input is non-ASCII-heavy ({non_ascii} of {len} characters)"
             ),
             DarError::NonFinite { context } => write!(f, "non-finite value in {context}"),
             DarError::RetriesExhausted { retries, last } => {

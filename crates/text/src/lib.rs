@@ -10,5 +10,5 @@ pub mod vocab;
 
 pub use corpus::Corpus;
 pub use glove::{GloveConfig, GloveTrainer};
-pub use tokenizer::tokenize;
+pub use tokenizer::{tokenize, tokenize_checked, TokenLimits};
 pub use vocab::Vocab;

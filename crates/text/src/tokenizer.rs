@@ -1,6 +1,36 @@
 //! Whitespace + punctuation tokenizer matching the preprocessing style of
 //! the rationalization literature (lowercased, punctuation split off as its
 //! own tokens — the `-` of Fig. 2 must be a token of its own).
+//!
+//! [`tokenize`] is infallible and suits trusted corpora; [`tokenize_checked`]
+//! adds the admission checks a serving boundary needs — empty, over-length,
+//! and non-ASCII-heavy inputs come back as typed [`DarError`]s instead of
+//! flowing on as degenerate (all-UNK or enormous) token sequences.
+
+use dar_tensor::{DarError, DarResult};
+
+/// Admission limits for [`tokenize_checked`].
+#[derive(Debug, Clone, Copy)]
+pub struct TokenLimits {
+    /// Maximum number of tokens the input may produce.
+    pub max_tokens: usize,
+    /// Maximum characters in any single token (a 10k-character "word" is
+    /// garbage, not vocabulary).
+    pub max_token_chars: usize,
+    /// Maximum fraction of non-ASCII characters (whitespace excluded)
+    /// before the input is rejected as outside the corpus's alphabet.
+    pub max_non_ascii: f32,
+}
+
+impl Default for TokenLimits {
+    fn default() -> Self {
+        TokenLimits {
+            max_tokens: 512,
+            max_token_chars: 64,
+            max_non_ascii: 0.5,
+        }
+    }
+}
 
 /// Tokenize text: lowercase, split on whitespace, and detach leading or
 /// trailing ASCII punctuation as separate tokens.
@@ -36,9 +66,61 @@ pub fn tokenize(text: &str) -> Vec<String> {
     out
 }
 
+/// [`tokenize`] behind admission checks: rejects whitespace-only input
+/// ([`DarError::EmptyInput`]), inputs that are mostly non-ASCII
+/// ([`DarError::NonAsciiHeavy`]), and inputs producing too many or too-long
+/// tokens ([`DarError::InputTooLong`]). The checks run before and during
+/// tokenization, so a hostile input is rejected cheaply instead of
+/// materializing an unbounded token list.
+pub fn tokenize_checked(text: &str, limits: &TokenLimits) -> DarResult<Vec<String>> {
+    let mut chars = 0usize;
+    let mut non_ascii = 0usize;
+    for c in text.chars().filter(|c| !c.is_whitespace()) {
+        chars += 1;
+        non_ascii += usize::from(!c.is_ascii());
+    }
+    if chars == 0 {
+        return Err(DarError::EmptyInput);
+    }
+    if non_ascii as f32 > limits.max_non_ascii * chars as f32 {
+        return Err(DarError::NonAsciiHeavy {
+            non_ascii,
+            len: chars,
+        });
+    }
+    // A token count bound is also a cheap pre-tokenization character bound:
+    // every token has at least one character, so more characters than
+    // `max_tokens * max_token_chars` cannot fit under both caps.
+    let char_cap = limits.max_tokens.saturating_mul(limits.max_token_chars);
+    if chars > char_cap {
+        return Err(DarError::InputTooLong {
+            len: chars,
+            cap: char_cap,
+        });
+    }
+    let tokens = tokenize(text);
+    if tokens.len() > limits.max_tokens {
+        return Err(DarError::InputTooLong {
+            len: tokens.len(),
+            cap: limits.max_tokens,
+        });
+    }
+    if let Some(long) = tokens
+        .iter()
+        .find(|t| t.chars().count() > limits.max_token_chars)
+    {
+        return Err(DarError::InputTooLong {
+            len: long.chars().count(),
+            cap: limits.max_token_chars,
+        });
+    }
+    Ok(tokens)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::tokenize;
+    use super::{tokenize, tokenize_checked, TokenLimits};
+    use dar_tensor::DarError;
 
     #[test]
     fn lowercases_and_splits() {
@@ -65,5 +147,75 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn checked_accepts_ordinary_text() {
+        let toks = tokenize_checked("The beer pours great!", &TokenLimits::default()).unwrap();
+        assert_eq!(toks, vec!["the", "beer", "pours", "great", "!"]);
+    }
+
+    #[test]
+    fn checked_rejects_empty_and_whitespace() {
+        for s in ["", "   ", "\t\n  "] {
+            assert!(matches!(
+                tokenize_checked(s, &TokenLimits::default()),
+                Err(DarError::EmptyInput)
+            ));
+        }
+    }
+
+    #[test]
+    fn checked_rejects_too_many_tokens() {
+        let limits = TokenLimits {
+            max_tokens: 4,
+            ..Default::default()
+        };
+        let text = "one two three four five";
+        assert!(matches!(
+            tokenize_checked(text, &limits),
+            Err(DarError::InputTooLong { len: 5, cap: 4 })
+        ));
+        assert!(tokenize_checked("one two three four", &limits).is_ok());
+    }
+
+    #[test]
+    fn checked_rejects_monster_tokens() {
+        let limits = TokenLimits {
+            max_token_chars: 8,
+            ..Default::default()
+        };
+        let text = format!("ok {}", "x".repeat(40));
+        assert!(matches!(
+            tokenize_checked(&text, &limits),
+            Err(DarError::InputTooLong { len: 40, cap: 8 })
+        ));
+    }
+
+    #[test]
+    fn checked_rejects_non_ascii_heavy_but_allows_a_sprinkle() {
+        let limits = TokenLimits::default();
+        // Mostly non-ASCII: rejected.
+        assert!(matches!(
+            tokenize_checked("ビール は 最高", &limits),
+            Err(DarError::NonAsciiHeavy { .. })
+        ));
+        // A stray accent inside ASCII text: accepted.
+        assert!(tokenize_checked("the café pours great beer today", &limits).is_ok());
+    }
+
+    #[test]
+    fn checked_rejects_unbounded_character_floods_cheaply() {
+        // More characters than max_tokens * max_token_chars can never fit.
+        let limits = TokenLimits {
+            max_tokens: 4,
+            max_token_chars: 4,
+            ..Default::default()
+        };
+        let flood = "a".repeat(1000);
+        assert!(matches!(
+            tokenize_checked(&flood, &limits),
+            Err(DarError::InputTooLong { .. })
+        ));
     }
 }

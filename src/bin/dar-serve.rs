@@ -1,0 +1,225 @@
+//! `dar-serve` — demo + benchmark driver for the resilient serving
+//! runtime.
+//!
+//! Trains a tiny RNP, checkpoints it, then replays a deterministic
+//! traffic trace through a [`Server`]: clean requests, a mid-trace hot
+//! weight swap, a corrupted checkpoint offer (must be rejected without a
+//! blip), and a tail of malformed requests (must bounce at admission).
+//! Throughput and latency percentiles land in `results/serve_bench.txt`
+//! and `results/BENCH_serve.json`.
+//!
+//! ```sh
+//! dar-serve                          # defaults: 400 requests, auto workers
+//! dar-serve --requests 1000 --workers 2 --seed 7 --out results
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dar::data::Review;
+use dar::prelude::*;
+use dar::serve::{ServeConfig, ServeError, Server};
+use dar::tensor::serial::{self, Checkpoint};
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: dar-serve [--requests N] [--workers N] [--seed N] [--out DIR]");
+        std::process::exit(2);
+    }
+    let n_requests = flag(&args, "--requests").unwrap_or(400) as usize;
+    let workers = flag(&args, "--workers").unwrap_or(0) as usize;
+    let seed = flag(&args, "--seed").unwrap_or(42);
+    let out_dir = PathBuf::from(str_flag(&args, "--out").unwrap_or_else(|| "results".into()));
+
+    // A tiny but real model: train one epoch so the swapped-in weights
+    // are visibly different from the factory's random init.
+    let synth = SynthConfig {
+        n_train: 128,
+        n_dev: 32,
+        n_test: 64,
+        ..SynthConfig::beer(Aspect::Aroma)
+    };
+    let data = SynBeer::generate(&synth, &mut dar::rng(seed));
+    let cfg = RationaleConfig {
+        emb_dim: 16,
+        hidden: 24,
+        sparsity: 0.16,
+        ..Default::default()
+    };
+    let ml = pretrain::max_len(&data);
+    let vocab = data.vocab.len();
+
+    eprintln!("[dar-serve] training a tiny RNP for the hot-swap checkpoint...");
+    let mut model = {
+        let mut rng = dar::rng(seed + 1);
+        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+        Rnp::new(&cfg, &emb, ml, &mut rng)
+    };
+    let mut rng = dar::rng(seed + 2);
+    let report = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    })
+    .fit(&mut model, &data, &mut rng);
+    eprintln!(
+        "[dar-serve] trained: acc {:.1}%  rationale F1 {:.1}%",
+        report.test.acc.unwrap_or(0.0) * 100.0,
+        report.test.f1 * 100.0
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("creating output dir");
+    let ckpt_path = out_dir.join("serve_demo.ckpt");
+    serial::save_checkpoint_path(&ckpt_path, &Checkpoint::new(model.params(), Vec::new()))
+        .expect("saving demo checkpoint");
+    drop(model);
+
+    // The serving factory rebuilds the same architecture from the same
+    // init seed on each worker thread; the trained weights arrive via the
+    // checkpoint swap, exactly as they would in production.
+    let factory: dar::serve::ModelFactory = Arc::new(move || {
+        let mut rng = dar::rng(seed + 1);
+        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+        Box::new(Rnp::new(&cfg, &emb, ml, &mut rng))
+    });
+    let serve_cfg = ServeConfig {
+        workers,
+        queue_cap: n_requests + 16,
+        vocab_size: vocab,
+        max_len: ml,
+        ..ServeConfig::default()
+    };
+    let n_workers = serve_cfg.effective_workers();
+    let server = Server::start(serve_cfg, factory);
+    eprintln!(
+        "[dar-serve] serving with {n_workers} workers (DAR_THREADS budget {})",
+        dar_par::max_threads()
+    );
+
+    // ---- Deterministic traffic trace ---------------------------------
+    let reviews: Vec<Review> = (0..n_requests)
+        .map(|i| data.test[i % data.test.len()].clone())
+        .collect();
+    let half = n_requests / 2;
+    let started = Instant::now();
+
+    // First half on the factory weights (v1).
+    let first: Vec<_> = reviews[..half]
+        .iter()
+        .map(|r| server.submit(r.clone()))
+        .collect();
+    let ok_first = first
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|r| r.is_ok())
+        .count();
+
+    // Hot swap mid-trace: the trained checkpoint becomes v2 between
+    // batches, with in-flight requests finishing on v1.
+    let v2 = server
+        .offer_checkpoint(&ckpt_path)
+        .expect("valid checkpoint accepted");
+    eprintln!("[dar-serve] hot swap accepted: weights v{v2}");
+
+    // A corrupted copy must be rejected while serving continues.
+    let bad_path = out_dir.join("serve_demo.bad.ckpt");
+    std::fs::copy(&ckpt_path, &bad_path).expect("copying checkpoint");
+    dar::core::fault::corrupt_bitflip(&bad_path, seed).expect("corrupting copy");
+    let rejected_offer = server.offer_checkpoint(&bad_path).is_err();
+    eprintln!(
+        "[dar-serve] corrupted offer rejected: {rejected_offer} (still v{})",
+        server.weights_version()
+    );
+
+    // Second half on the trained weights (v2).
+    let second: Vec<_> = reviews[half..]
+        .iter()
+        .map(|r| server.submit(r.clone()))
+        .collect();
+    let ok_second = second
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(|r| r.is_ok())
+        .count();
+    let elapsed = started.elapsed();
+
+    // A burst of malformed requests bounces at admission, not in workers.
+    let malformed = (0..16)
+        .map(|i| dar::core::fault::malformed_review(vocab, seed + i))
+        .map(|r| server.submit(r).wait())
+        .filter(|r| matches!(r, Err(ServeError::Rejected(_))))
+        .count();
+
+    let stats = server.shutdown();
+    std::fs::remove_file(&bad_path).ok();
+
+    let throughput = (ok_first + ok_second) as f64 / elapsed.as_secs_f64();
+    let txt = format!(
+        "dar-serve bench — {n} requests, {w} workers, seed {s}\n\
+         served (v1 weights):    {a}\n\
+         served (v2 weights):    {b}\n\
+         hot swap accepted:      v{v2}\n\
+         corrupted offer:        {rej}\n\
+         malformed bounced:      {malformed}/16\n\
+         throughput:             {tp:.1} req/s\n\
+         latency p50:            {p50} us\n\
+         latency p99:            {p99} us\n\
+         latency max:            {max} us\n\
+         panics:                 {panics}\n",
+        n = n_requests,
+        w = n_workers,
+        s = seed,
+        a = ok_first,
+        b = ok_second,
+        rej = if rejected_offer {
+            "rejected"
+        } else {
+            "ACCEPTED (BUG)"
+        },
+        tp = throughput,
+        p50 = stats.p50_us,
+        p99 = stats.p99_us,
+        max = stats.max_us,
+        panics = stats.panics,
+    );
+    print!("{txt}");
+    std::fs::write(out_dir.join("serve_bench.txt"), &txt).expect("writing serve_bench.txt");
+
+    let json = format!(
+        "{{\"requests\": {n_requests}, \"workers\": {n_workers}, \"seed\": {seed}, \
+          \"served_v1\": {ok_first}, \"served_v2\": {ok_second}, \
+          \"swap_version\": {v2}, \"corrupted_offer_rejected\": {rejected_offer}, \
+          \"malformed_bounced\": {malformed}, \
+          \"throughput_rps\": {throughput:.2}, \
+          \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"panics\": {}}}\n",
+        stats.p50_us, stats.p99_us, stats.max_us, stats.panics,
+    );
+    std::fs::write(out_dir.join("BENCH_serve.json"), json).expect("writing BENCH_serve.json");
+
+    let healthy = ok_first + ok_second == n_requests
+        && rejected_offer
+        && malformed == 16
+        && stats.panics == 0;
+    if !healthy {
+        eprintln!("[dar-serve] UNHEALTHY run — see counters above");
+        std::process::exit(1);
+    }
+    eprintln!("[dar-serve] ok");
+}

@@ -11,7 +11,9 @@
 //! * [`data`] — synthetic BeerAdvocate/HotelReview stand-ins with planted
 //!   token-level rationales;
 //! * [`core`] — the rationalization models (RNP, **DAR**, A2R, DMR,
-//!   Inter_RAT, CAR, 3PLAYER, VIB), trainer, and evaluation.
+//!   Inter_RAT, CAR, 3PLAYER, VIB), trainer, and evaluation;
+//! * [`serve`] — the resilient inference serving runtime (bounded queue,
+//!   micro-batching, circuit breaker, hot checkpoint swap).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -35,6 +37,7 @@
 pub use dar_core as core;
 pub use dar_data as data;
 pub use dar_nn as nn;
+pub use dar_serve as serve;
 pub use dar_tensor as tensor;
 pub use dar_text as text;
 

@@ -255,3 +255,65 @@ fn adam_state_bytes_are_lossless() {
     });
     set_composite_gru(true);
 }
+
+/// The *guarded* trainer — rollback path included — is thread-budget
+/// invariant too: a scheduled NaN loss trips the guard at the same step
+/// under every budget, rollback restores the same checkpoint bytes, and
+/// the retried run finishes bit-identical, down to the event log.
+#[test]
+fn guarded_rollback_is_bit_identical_across_thread_budgets() {
+    use dar::core::fault::{FaultPlan, FaultyModel};
+
+    let _g = lock_gru_path();
+    set_composite_gru(false);
+
+    let run = |threads: usize| {
+        dar_par::with_threads(threads, || {
+            let data = tiny_data(40);
+            let cfg = small_cfg();
+            let mut rng = dar::rng(41);
+            let emb = SharedEmbedding::random(data.vocab.len(), cfg.emb_dim, &mut rng);
+            let ml = pretrain::max_len(&data);
+            // 96 train reviews at batch 32 = 3 steps/epoch: step 4 NaNs
+            // mid-epoch-1, forcing a rollback to the epoch-0 checkpoint;
+            // the retry (steps 6+) runs clean.
+            let mut model = FaultyModel::new(
+                Rnp::new(&cfg, &emb, ml, &mut rng),
+                FaultPlan::nan_loss_at(4),
+            );
+            let ckpt = std::env::temp_dir()
+                .join(format!("dar_pareq_guard_{}_{threads}", std::process::id()));
+            let mut train_rng = dar::rng(42);
+            let guarded = GuardedTrainer::new(two_epochs(), GuardPolicy::default())
+                .fit(&mut model, &data, &mut train_rng, &ckpt)
+                .expect("guarded run recovers from the one-shot fault");
+            std::fs::remove_file(&ckpt).ok();
+            (
+                fingerprint(&model, &guarded.report),
+                guarded.events,
+                guarded.rollbacks,
+            )
+        })
+    };
+
+    let (serial_fp, serial_events, serial_rb) = run(1);
+    let (parallel_fp, parallel_events, parallel_rb) = run(4);
+    set_composite_gru(true);
+
+    assert!(serial_rb >= 1, "the scheduled fault must force a rollback");
+    assert!(
+        serial_events
+            .iter()
+            .any(|e| matches!(e, TrainEvent::RolledBack { .. })),
+        "event log records the rollback"
+    );
+    assert_eq!(serial_rb, parallel_rb);
+    assert_eq!(
+        serial_events, parallel_events,
+        "guard trips and rollbacks diverged across thread budgets"
+    );
+    assert_eq!(
+        serial_fp, parallel_fp,
+        "guarded 1-thread and 4-thread runs diverged"
+    );
+}

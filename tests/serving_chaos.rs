@@ -1,0 +1,480 @@
+//! Seeded chaos harness for the serving runtime (DESIGN.md §10).
+//!
+//! Faults are injected through [`ChaosModel`] trigger tokens (panics,
+//! rationale collapse, slow inference — in `infer` only, so the
+//! predictor-only degraded path stays clean) and through corrupted
+//! checkpoint files offered mid-swap. The invariants under test:
+//!
+//! * **Exactly one outcome** — every submitted request resolves to one
+//!   terminal verdict; `ServeError::Lost` is never observed.
+//! * **Scripted breaker ladder** — Closed → Degraded → Open → HalfOpen →
+//!   Closed, with the exact transition causes recorded.
+//! * **Hot swap safety** — a corrupted or shape-mismatched checkpoint is
+//!   rejected while serving continues on the old weights.
+//! * **Batching invariance** — a review's label and rationale do not
+//!   depend on which micro-batch it landed in.
+//! * **Supervisor respawn** — a worker thread dying for real is replaced
+//!   and service continues.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dar::data::Review;
+use dar::prelude::*;
+use dar::serve::{BreakerPolicy, BreakerState, ServeConfig, ServeError, Server, TransitionCause};
+use dar::tensor::serial::{self, Checkpoint};
+use dar::Tensor;
+
+/// Trigger token ids live in embedding rows past the dataset vocabulary,
+/// so no organic review ever contains one.
+const N_TRIGGERS: usize = 8;
+
+struct Fixture {
+    data: AspectDataset,
+    cfg: RationaleConfig,
+    /// Embedding rows = vocab + trigger space; also the admission cap.
+    vocab_rows: usize,
+    ml: usize,
+}
+
+impl Fixture {
+    fn new(seed: u64) -> Self {
+        let synth = SynthConfig {
+            n_train: 64,
+            n_dev: 24,
+            n_test: 24,
+            ..SynthConfig::beer(Aspect::Aroma)
+        };
+        let data = SynBeer::generate(&synth, &mut dar::rng(seed));
+        let cfg = RationaleConfig {
+            emb_dim: 12,
+            hidden: 12,
+            sparsity: 0.16,
+            ..Default::default()
+        };
+        let vocab_rows = data.vocab.len() + N_TRIGGERS;
+        let ml = pretrain::max_len(&data);
+        Fixture {
+            data,
+            cfg,
+            vocab_rows,
+            ml,
+        }
+    }
+
+    /// Trigger token `i` (guaranteed absent from every organic review).
+    fn trigger(&self, i: usize) -> usize {
+        assert!(i < N_TRIGGERS);
+        self.data.vocab.len() + i
+    }
+
+    /// A deterministic model factory: every call (on any thread) builds
+    /// the same replica, wrapped in the given chaos plan.
+    fn factory(&self, plan: ChaosPlan) -> dar::serve::ModelFactory {
+        let cfg = self.cfg;
+        let vocab_rows = self.vocab_rows;
+        let ml = self.ml;
+        Arc::new(move || {
+            let mut rng = dar::rng(77);
+            let emb = SharedEmbedding::random(vocab_rows, cfg.emb_dim, &mut rng);
+            let rnp = Rnp::new(&cfg, &emb, ml, &mut rng);
+            Box::new(ChaosModel::new(rnp, plan))
+        })
+    }
+
+    fn serve_cfg(&self) -> ServeConfig {
+        ServeConfig {
+            vocab_size: self.vocab_rows,
+            max_len: self.ml,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn clean(&self, i: usize) -> Review {
+        self.data.test[i % self.data.test.len()].clone()
+    }
+
+    /// A review carrying a trigger token in its first position.
+    fn triggered(&self, i: usize, trigger: usize) -> Review {
+        let mut r = self.clean(i);
+        r.ids[0] = trigger;
+        r
+    }
+}
+
+/// Every request gets exactly one terminal outcome — under worker
+/// panics, malformed inputs, oversized inputs, and tight deadlines, with
+/// multiple workers racing.
+#[test]
+fn every_request_gets_exactly_one_outcome() {
+    let fx = Fixture::new(500);
+    let panic_tok = fx.trigger(0);
+    let factory = fx.factory(ChaosPlan {
+        panic_token: Some(panic_tok),
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        linger: Duration::from_millis(1),
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory);
+
+    let mut tickets = Vec::new();
+    for i in 0..48 {
+        let review = match i % 6 {
+            // Worker-killing request.
+            5 => fx.triggered(i, panic_tok),
+            // Out-of-vocabulary ids → rejected at admission.
+            4 => dar::core::fault::malformed_review(fx.vocab_rows, 500 + i as u64),
+            // Empty input → rejected at admission.
+            3 => Review {
+                ids: Vec::new(),
+                label: 0,
+                rationale: Vec::new(),
+                first_sentence_end: 0,
+            },
+            // Over-length input → rejected at admission.
+            2 => Review {
+                ids: vec![1; fx.ml + 7],
+                label: 0,
+                rationale: vec![false; fx.ml + 7],
+                first_sentence_end: 1,
+            },
+            // Ordinary traffic.
+            _ => fx.clean(i),
+        };
+        tickets.push(server.submit(review));
+    }
+
+    let (mut ok, mut rejected, mut panicked, mut other) = (0, 0, 0, 0);
+    for t in tickets {
+        match t.wait() {
+            Ok(out) => {
+                assert!(out.label < 2);
+                ok += 1;
+            }
+            Err(ServeError::Lost) => panic!("a response was lost"),
+            Err(ServeError::Rejected(_)) => rejected += 1,
+            Err(ServeError::WorkerPanicked) => panicked += 1,
+            Err(_) => other += 1,
+        }
+    }
+    assert_eq!(ok + rejected + panicked + other, 48);
+    assert_eq!(rejected, 24, "8 malformed + 8 empty + 8 over-length");
+    // The rest resolve as served or as typed worker-panic verdicts —
+    // which is which depends on micro-batch composition and on whether
+    // the breaker degraded (the predictor path ignores the panic token),
+    // but nothing may land anywhere else, and nothing may be Lost.
+    assert_eq!(other, 0, "only Ok/Rejected/WorkerPanicked are reachable");
+    assert_eq!(ok + panicked, 24);
+    assert!(panicked >= 1, "at least the first panic batch fails typed");
+    let stats = server.shutdown();
+    assert!(stats.panics >= 1);
+}
+
+/// The breaker walks the scripted ladder with the exact transition
+/// causes, and outputs reflect the mode that produced them.
+#[test]
+fn breaker_walks_closed_degraded_open_halfopen_closed() {
+    let fx = Fixture::new(510);
+    let panic_tok = fx.trigger(0);
+    let full_panic_tok = fx.trigger(1);
+    let factory = fx.factory(ChaosPlan {
+        panic_token: Some(panic_tok),
+        full_panic_token: Some(full_panic_tok),
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        linger: Duration::ZERO,
+        breaker: BreakerPolicy {
+            failure_threshold: 2,
+            degraded_threshold: 2,
+            probe_after_degraded: 100, // keep Degraded stable in step (c)
+            probe_after_sheds: 3,
+            ..BreakerPolicy::default()
+        },
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory);
+
+    // (a) Closed: full service with a rationale.
+    let out = server.submit(fx.clean(0)).wait().expect("closed serves");
+    assert!(!out.degraded);
+    assert!(!out.rationale.is_empty());
+
+    // (b) Two generator panics → Degraded.
+    for i in 0..2 {
+        let err = server
+            .submit(fx.triggered(i, panic_tok))
+            .wait()
+            .expect_err("panic batch fails");
+        assert!(matches!(err, ServeError::WorkerPanicked));
+    }
+    assert_eq!(server.breaker_state(), BreakerState::Degraded);
+
+    // (c) Degraded still answers — predictor-only, no rationale.
+    let out = server.submit(fx.clean(1)).wait().expect("degraded serves");
+    assert!(out.degraded);
+    assert!(out.rationale.is_empty());
+
+    // (d) Two predictor-path panics → Open.
+    for i in 0..2 {
+        let err = server
+            .submit(fx.triggered(i, full_panic_tok))
+            .wait()
+            .expect_err("full-panic batch fails");
+        assert!(matches!(err, ServeError::WorkerPanicked));
+    }
+    assert_eq!(server.breaker_state(), BreakerState::Open);
+
+    // (e) Open sheds at the door; the shed budget earns a probe slot.
+    for _ in 0..3 {
+        let err = server.submit(fx.clean(2)).wait().expect_err("open sheds");
+        assert!(matches!(err, ServeError::Shed));
+    }
+    assert_eq!(server.breaker_state(), BreakerState::HalfOpen);
+
+    // (f) The HalfOpen probe succeeds → Closed, full service again.
+    let out = server.submit(fx.clean(3)).wait().expect("probe serves");
+    assert!(!out.degraded);
+    assert_eq!(server.breaker_state(), BreakerState::Closed);
+
+    let causes: Vec<TransitionCause> = server.breaker_events().iter().map(|e| e.cause).collect();
+    assert_eq!(
+        causes,
+        vec![
+            TransitionCause::GeneratorFailures,
+            TransitionCause::DegradedFailures,
+            TransitionCause::ShedBudget,
+            TransitionCause::ProbeRecovered,
+        ]
+    );
+    server.shutdown();
+}
+
+/// Rationale collapse — the guard.rs signal, not a panic — trips the
+/// breaker too, and the collapsed batch is answered from the full-text
+/// path instead of shipping an empty rationale.
+#[test]
+fn rationale_collapse_degrades_with_predictor_fallback() {
+    let fx = Fixture::new(520);
+    let collapse_tok = fx.trigger(2);
+    let factory = fx.factory(ChaosPlan {
+        collapse_token: Some(collapse_tok),
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        linger: Duration::ZERO,
+        breaker: BreakerPolicy {
+            failure_threshold: 1,
+            ..BreakerPolicy::default()
+        },
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory);
+
+    // The collapsed batch still gets an answer — degraded, no rationale.
+    let out = server
+        .submit(fx.triggered(0, collapse_tok))
+        .wait()
+        .expect("collapse falls back, not fails");
+    assert!(out.degraded);
+    assert!(out.rationale.is_empty());
+    assert_eq!(server.breaker_state(), BreakerState::Degraded);
+    let events = server.breaker_events();
+    assert_eq!(events[0].cause, TransitionCause::GeneratorFailures);
+    server.shutdown();
+}
+
+/// Hot swap: a validated checkpoint flips the served generation between
+/// batches; corrupted and shape-mismatched offers are rejected while
+/// serving continues on the old weights.
+#[test]
+fn hot_swap_is_atomic_and_rejects_corruption() {
+    let fx = Fixture::new(530);
+    let factory = fx.factory(ChaosPlan::default());
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 2,
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory.clone());
+    assert_eq!(server.weights_version(), 1);
+
+    let out = server.submit(fx.clean(0)).wait().expect("v1 serves");
+    assert_eq!(out.weights_version, 1);
+
+    // Build a same-shaped checkpoint with visibly different weights.
+    let tmp = std::env::temp_dir().join(format!("dar_chaos_swap_{}", std::process::id()));
+    {
+        let model = factory();
+        for p in model.params() {
+            let n = p.len();
+            p.set_values(vec![0.05; n]);
+        }
+        serial::save_checkpoint_path(&tmp, &Checkpoint::new(model.params(), Vec::new())).unwrap();
+    }
+    assert_eq!(server.offer_checkpoint(&tmp).unwrap(), 2);
+    let out = server.submit(fx.clean(1)).wait().expect("v2 serves");
+    assert_eq!(out.weights_version, 2, "swap picked up between batches");
+
+    // A bit-flipped file fails CRC validation and changes nothing.
+    dar::core::fault::corrupt_bitflip(&tmp, 9).unwrap();
+    assert!(server.offer_checkpoint(&tmp).is_err());
+    assert_eq!(server.weights_version(), 2);
+
+    // A shape-mismatched (but well-formed) file is rejected too.
+    serial::save_checkpoint_path(
+        &tmp,
+        &Checkpoint::new(vec![Tensor::param(vec![1.0; 4], &[4])], Vec::new()),
+    )
+    .unwrap();
+    assert!(server.offer_checkpoint(&tmp).is_err());
+    assert_eq!(server.weights_version(), 2);
+
+    // Serving never blinked.
+    let out = server.submit(fx.clean(2)).wait().expect("still serving");
+    assert_eq!(out.weights_version, 2);
+    std::fs::remove_file(&tmp).ok();
+    server.shutdown();
+}
+
+/// A review's verdict must not depend on micro-batch composition: a
+/// one-request-per-batch server and a batching multi-worker server give
+/// identical labels and rationales for identical inputs.
+#[test]
+fn outputs_are_invariant_to_batching() {
+    let fx = Fixture::new(540);
+    let reviews: Vec<Review> = (0..10).map(|i| fx.clean(i)).collect();
+
+    let solo = Server::start(
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            linger: Duration::ZERO,
+            ..fx.serve_cfg()
+        },
+        fx.factory(ChaosPlan::default()),
+    );
+    let solo_outs: Vec<_> = reviews
+        .iter()
+        .map(|r| solo.submit(r.clone()).wait().expect("solo serves"))
+        .collect();
+    solo.shutdown();
+
+    let batched = Server::start(
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            linger: Duration::from_millis(10),
+            ..fx.serve_cfg()
+        },
+        fx.factory(ChaosPlan::default()),
+    );
+    // Submit everything before waiting so the linger window really
+    // groups requests into mixed batches.
+    let tickets: Vec<_> = reviews.iter().map(|r| batched.submit(r.clone())).collect();
+    let batched_outs: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("batched serves"))
+        .collect();
+    batched.shutdown();
+
+    for (i, (a, b)) in solo_outs.iter().zip(&batched_outs).enumerate() {
+        assert_eq!(a.label, b.label, "label of review {i} depends on batching");
+        assert_eq!(
+            a.rationale, b.rationale,
+            "rationale of review {i} depends on batching"
+        );
+    }
+}
+
+/// A worker thread dying for real (panic re-raised past the recovery
+/// layer) is respawned by the supervisor; its in-flight requests get
+/// typed errors and service continues.
+#[test]
+fn supervisor_respawns_dead_workers() {
+    let fx = Fixture::new(550);
+    let panic_tok = fx.trigger(3);
+    let factory = fx.factory(ChaosPlan {
+        panic_token: Some(panic_tok),
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        linger: Duration::ZERO,
+        lethal_panic_marker: Some("chaos: panic token".to_owned()),
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory);
+
+    // Kill the only worker, twice — each death must be survivable.
+    for i in 0..2 {
+        let err = server
+            .submit(fx.triggered(i, panic_tok))
+            .wait()
+            .expect_err("lethal batch fails");
+        assert!(matches!(err, ServeError::WorkerPanicked));
+        let out = server
+            .submit(fx.clean(i))
+            .wait()
+            .expect("respawned worker serves");
+        // Interleaved successes keep the failure streak below the default
+        // threshold, so service stays full-path throughout.
+        assert!(!out.degraded);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 2);
+    assert!(stats.served_full + stats.served_degraded >= 2);
+}
+
+/// Deadlines and the bounded queue produce typed verdicts, not hangs:
+/// a slow worker lets queued requests expire, and submissions beyond the
+/// queue cap bounce immediately.
+#[test]
+fn deadlines_and_backpressure_resolve_typed() {
+    let fx = Fixture::new(560);
+    let slow_tok = fx.trigger(4);
+    let factory = fx.factory(ChaosPlan {
+        slow_token: Some((slow_tok, 400)),
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        linger: Duration::ZERO,
+        queue_cap: 2,
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory);
+
+    // Occupy the worker with a slow request…
+    let slow = server.submit_with_deadline(fx.triggered(0, slow_tok), Duration::from_secs(5));
+    std::thread::sleep(Duration::from_millis(100)); // let it get claimed
+
+    // …then a request that will expire while the worker sleeps…
+    let doomed = server.submit_with_deadline(fx.clean(0), Duration::from_millis(50));
+    // …fill the queue…
+    let queued = server.submit(fx.clean(1));
+    // …and overflow it.
+    let bounced = server.submit(fx.clean(2));
+    assert!(matches!(bounced.wait(), Err(ServeError::QueueFull)));
+
+    assert!(matches!(doomed.wait(), Err(ServeError::DeadlineExceeded)));
+    assert!(slow.wait().is_ok(), "slow but within deadline");
+    assert!(
+        queued.wait().is_ok(),
+        "queued request served after the slow one"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.queue_full, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+}
