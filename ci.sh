@@ -39,4 +39,23 @@ done
 echo "=== dar-serve bench ==="
 cargo run --release --bin dar-serve -- --requests 400 --out results
 
+# Numeric containment (DESIGN.md §11): the op kernels must stay free of
+# unwrap/expect — the module-level deny makes the clippy run above fail
+# on any new site, so CI only has to assert the attribute is still there.
+echo "=== numeric containment: ops unwrap/expect deny ==="
+grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/tensor/src/ops/mod.rs \
+    || { echo "ci.sh: crates/tensor/src/ops lost its unwrap/expect deny"; exit 1; }
+
+# Adversarial numeric fuzz: every public op returns a finite result or a
+# typed error under hostile inputs — never a panic — on both budgets.
+for threads in 1 4; do
+    echo "=== numeric fuzz harness [DAR_THREADS=$threads] ==="
+    DAR_THREADS=$threads cargo test --release -q --test numeric_fuzz
+done
+
+# Guard-rail overhead benchmark: raw vs guarded throughput on the same
+# seeded workload, recorded into results/BENCH_numeric.json (< 5% target).
+echo "=== numbench guard-rail overhead ==="
+cargo run --release --bin numbench -- --out results
+
 echo "ci.sh: all checks passed"

@@ -33,6 +33,10 @@ pub struct FaultPlan {
     /// Return NaN losses from this step *onward* — a persistent fault no
     /// amount of rollback can outrun (exhausts the retry budget).
     pub nan_loss_from_step: Option<usize>,
+    /// Produce the NaN loss at this step through a *real* tensor op
+    /// (`0/0` via [`Tensor::div`]) instead of overwriting the float, so
+    /// taint tracking can attribute the fault to its originating op.
+    pub taint_nan_at_step: Option<usize>,
 }
 
 impl FaultPlan {
@@ -65,6 +69,13 @@ impl FaultPlan {
     pub fn nan_loss_from(step: usize) -> Self {
         FaultPlan {
             nan_loss_from_step: Some(step),
+            ..Default::default()
+        }
+    }
+
+    pub fn taint_nan_at(step: usize) -> Self {
+        FaultPlan {
+            taint_nan_at_step: Some(step),
             ..Default::default()
         }
     }
@@ -112,6 +123,12 @@ impl<M: RationaleModel> FaultyModel<M> {
         }
         if self.plan.nan_loss_from_step.is_some_and(|s| step >= s) {
             loss = f32::NAN;
+        }
+        if self.plan.taint_nan_at_step == Some(step) {
+            // 0/0 through the graph: the resulting NaN is scanned by the
+            // taint layer and latched with op name "div".
+            let zero = Tensor::new(vec![0.0], &[1]);
+            loss = zero.div(&zero).item();
         }
         loss
     }
@@ -182,6 +199,10 @@ pub struct ChaosPlan {
     /// too — the fault that drives a breaker past predictor-only
     /// degradation into a full shed.
     pub full_panic_token: Option<usize>,
+    /// A batch containing this token gets its `infer` logits poisoned
+    /// with NaN through a real `0/0` div op, so the serving taint layer
+    /// can attribute the failure to `div`.
+    pub nan_logit_token: Option<usize>,
 }
 
 impl ChaosPlan {
@@ -241,6 +262,16 @@ impl<M: RationaleModel> RationaleModel for ChaosModel<M> {
             if ChaosPlan::batch_has(batch, t) {
                 for row in &mut inf.masks {
                     row.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+        if let Some(t) = self.plan.nan_logit_token {
+            if ChaosPlan::batch_has(batch, t) {
+                if let Some(logits) = inf.logits.take() {
+                    // NaN through the graph (0/0 broadcast-added) so taint
+                    // tracking sees a real `div` op produce it.
+                    let zero = Tensor::new(vec![0.0], &[1, 1]);
+                    inf.logits = Some(logits.add(&zero.div(&zero)));
                 }
             }
         }

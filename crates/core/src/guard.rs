@@ -71,10 +71,19 @@ impl Default for GuardPolicy {
 /// Why a guard tripped.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GuardReason {
-    /// A train step returned NaN/∞ loss.
-    NonFiniteLoss { step: usize },
-    /// A parameter went NaN/∞ (detected at the epoch boundary).
-    NonFiniteParams { epoch: usize },
+    /// A train step returned NaN/∞ loss. With taint tracking on
+    /// (`DAR_TAINT=1`), `origin` names the op that first produced the
+    /// non-finite value.
+    NonFiniteLoss {
+        step: usize,
+        origin: Option<&'static str>,
+    },
+    /// A parameter went NaN/∞ (detected at the epoch boundary); `origin`
+    /// as above when the taint latch caught the producing op.
+    NonFiniteParams {
+        epoch: usize,
+        origin: Option<&'static str>,
+    },
     /// A batch loss jumped far outside the recent distribution.
     LossSpike {
         step: usize,
@@ -90,9 +99,19 @@ pub enum GuardReason {
 impl std::fmt::Display for GuardReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GuardReason::NonFiniteLoss { step } => write!(f, "non-finite loss at step {step}"),
-            GuardReason::NonFiniteParams { epoch } => {
-                write!(f, "non-finite parameters after epoch {epoch}")
+            GuardReason::NonFiniteLoss { step, origin } => {
+                write!(f, "non-finite loss at step {step}")?;
+                if let Some(op) = origin {
+                    write!(f, " (first tainted by op `{op}`)")?;
+                }
+                Ok(())
+            }
+            GuardReason::NonFiniteParams { epoch, origin } => {
+                write!(f, "non-finite parameters after epoch {epoch}")?;
+                if let Some(op) = origin {
+                    write!(f, " (first tainted by op `{op}`)")?;
+                }
+                Ok(())
             }
             GuardReason::LossSpike {
                 step,
@@ -359,13 +378,20 @@ impl GuardedTrainer {
         window: &mut LossWindow,
     ) -> Result<f32, GuardReason> {
         let policy = self.policy;
+        let taint = dar_tensor::taint_enabled();
         let mut loss_sum = 0.0;
         let mut n = 0usize;
         for batch in BatchIter::shuffled(&data.train, self.cfg.batch_size, rng) {
+            if taint {
+                // Per-step latch: anything recorded now was produced by
+                // *this* step's forward/backward graph.
+                dar_tensor::clear_taint();
+            }
             let loss = model.train_step_sharded(&batch, rng, self.cfg.grad_accum_shards);
             let step = n;
             if !loss.is_finite() {
-                return Err(GuardReason::NonFiniteLoss { step });
+                let origin = dar_tensor::first_taint().map(|t| t.op);
+                return Err(GuardReason::NonFiniteLoss { step, origin });
             }
             if window.len() >= policy.spike_warmup {
                 let (mean, sigma) = window.mean_sigma();
@@ -390,7 +416,8 @@ impl GuardedTrainer {
             .iter()
             .any(|p| p.to_vec().iter().any(|v| !v.is_finite()));
         if any_bad_param {
-            return Err(GuardReason::NonFiniteParams { epoch });
+            let origin = dar_tensor::first_taint().map(|t| t.op);
+            return Err(GuardReason::NonFiniteParams { epoch, origin });
         }
         Ok(loss_sum / n.max(1) as f32)
     }

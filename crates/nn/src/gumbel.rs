@@ -4,15 +4,22 @@
 
 use dar_tensor::{init, Rng, Tensor};
 
+use crate::numeric::guard_finite;
+
 /// Differentiable sample from `softmax((logits + Gumbel noise) / tau)`,
 /// binarized with the straight-through trick: forward values are an exact
 /// one-hot of the per-row argmax, while gradients flow through the soft
 /// sample.
+///
+/// The scaled logits pass through [`guard_finite`] before the softmax:
+/// at extreme temperatures `1/tau` overflows and `±Inf` scaled logits
+/// would poison the max-subtraction into a NaN row. The guard is identity
+/// on finite values, so ordinary temperatures are bit-unchanged.
 pub fn gumbel_softmax_st(logits: &Tensor, tau: f32, rng: &mut Rng) -> Tensor {
     assert!(tau > 0.0, "temperature must be positive");
     let classes = *logits.shape().last().expect("logits need a class dim");
     let noise = Tensor::new(init::gumbel_noise(rng, logits.len()), logits.shape());
-    let y = logits.add(&noise).scale(1.0 / tau).softmax();
+    let y = guard_finite(&logits.add(&noise).scale(1.0 / tau)).softmax();
     let hard = Tensor::one_hot(&y.argmax_rows(), classes).reshape(logits.shape());
     // values: y - y + hard == hard exactly; grads: d/dlogits of y.
     y.sub(&y.detach()).add(&hard)
@@ -31,7 +38,7 @@ pub fn hard_softmax_st(logits: &Tensor) -> Tensor {
 pub fn gumbel_softmax_soft(logits: &Tensor, tau: f32, rng: &mut Rng) -> Tensor {
     assert!(tau > 0.0, "temperature must be positive");
     let noise = Tensor::new(init::gumbel_noise(rng, logits.len()), logits.shape());
-    logits.add(&noise).scale(1.0 / tau).softmax()
+    guard_finite(&logits.add(&noise).scale(1.0 / tau)).softmax()
 }
 
 #[cfg(test)]
@@ -132,6 +139,45 @@ mod tests {
             1e-2,
         );
         assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn extreme_temperature_and_logits_stay_finite_and_binary() {
+        // Regression: tau = 1e-6 scales ±40 logits to ±4e7 — well past the
+        // range where a naive exp overflows. The sample must still be an
+        // exact one-hot with finite soft-path gradients, under both rails.
+        for rails in [true, false] {
+            crate::numeric::with_guard_rails(rails, || {
+                let mut rng = dar_tensor::rng(11);
+                let logits = Tensor::param(vec![40.0, -40.0, -40.0, 40.0], &[2, 2]);
+                let y = gumbel_softmax_st(&logits, 1e-6, &mut rng);
+                let v = y.to_vec();
+                assert!(
+                    v.iter().all(|&x| x == 0.0 || x == 1.0),
+                    "rails={rails}: non-binary output {v:?}"
+                );
+                assert_eq!(v, vec![1.0, 0.0, 0.0, 1.0], "rails={rails}");
+                y.sum().backward();
+                let g = logits.grad_vec().unwrap();
+                assert!(g.iter().all(|x| x.is_finite()), "rails={rails}: {g:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn denormal_temperature_is_repaired_by_guard_rails() {
+        // tau = 1e-45 makes 1/tau overflow to +Inf, so every scaled logit is
+        // ±Inf (or NaN where a logit is ~0). With the rails on the guard
+        // repairs them before softmax and the output is still a one-hot.
+        crate::numeric::with_guard_rails(true, || {
+            let mut rng = dar_tensor::rng(13);
+            let logits = Tensor::new(vec![3.0, -2.0, -1.0, 4.0], &[2, 2]);
+            let y = gumbel_softmax_st(&logits, 1e-45, &mut rng).to_vec();
+            assert!(y.iter().all(|&x| x == 0.0 || x == 1.0), "{y:?}");
+            for row in y.chunks(2) {
+                assert_eq!(row.iter().sum::<f32>(), 1.0);
+            }
+        });
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use dar_tensor::Tensor;
 
 use crate::module::Module;
+use crate::numeric::guard_denormals;
 
 /// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, per last-dim row.
 pub struct LayerNorm {
@@ -21,6 +22,11 @@ impl LayerNorm {
     }
 
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        // Subnormal inputs make `centered.square()` underflow into garbage
+        // statistics; flushing them to zero first costs nothing on normal
+        // inputs (exact identity) and is disabled with the guard rails.
+        let x = guard_denormals(x);
+        let x = &x;
         let rank = x.shape().len();
         let axis = rank - 1;
         let mean = x.mean_axis(axis, true);
@@ -86,6 +92,19 @@ mod tests {
         let inputs = vec![x, ln.gamma.clone(), ln.beta.clone()];
         let rep = check_gradients(&inputs, |ins| ln.forward(&ins[0]).mul(&w).sum(), 1e-2);
         assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn denormal_rows_are_flushed_not_amplified() {
+        // A row of subnormals has variance ~0; without the flush the eps
+        // floor turns it into a near-zero row anyway, but mixed rows of
+        // denormals and normals must normalize off the normal values only.
+        let ln = LayerNorm::new(2);
+        let x = Tensor::new(vec![1.0e-40, 3.0, -2.0e-39, -3.0], &[2, 2]);
+        let y = crate::numeric::with_guard_rails(true, || ln.forward(&x).to_vec());
+        let z = ln.forward(&Tensor::new(vec![0.0, 3.0, 0.0, -3.0], &[2, 2]));
+        assert_eq!(y, z.to_vec(), "flush must match explicit zeros");
+        assert!(y.iter().all(|v| v.is_finite()));
     }
 
     #[test]

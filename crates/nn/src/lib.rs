@@ -10,6 +10,9 @@
 //! * [`TransformerEncoder`] — a small pre-trainable transformer standing in
 //!   for BERT in the Table VI experiment.
 //! * [`loss`] — cross-entropy, KL and JS divergences, accuracy.
+//! * [`numeric`] — default-on guard rails that repair NaN/Inf in the
+//!   hazard-prone layers (disable with `DAR_GUARDRAILS=0` for bit-exact
+//!   raw paths; identical on healthy inputs either way).
 
 pub mod dropout;
 pub mod embedding;
@@ -19,6 +22,7 @@ pub mod layer_norm;
 pub mod linear;
 pub mod loss;
 pub mod module;
+pub mod numeric;
 pub mod pooling;
 pub mod transformer;
 
@@ -28,6 +32,7 @@ pub use gru::{BiGru, Gru};
 pub use layer_norm::LayerNorm;
 pub use linear::Linear;
 pub use module::Module;
+pub use numeric::{guard_rails_enabled, set_guard_rails, with_guard_rails};
 pub use transformer::{TransformerConfig, TransformerEncoder};
 
 pub use dar_tensor::{rng, Rng, Tensor};

@@ -6,14 +6,19 @@
 
 use dar_tensor::Tensor;
 
+use crate::numeric::{safe_log_softmax, safe_softmax};
+
 /// Mean cross-entropy of `logits [n, c]` against integer `targets`.
+///
+/// Logits run through the numeric guard rails (identity on finite values),
+/// so a NaN/Inf logit yields a large-but-finite loss the divergence guards
+/// can act on instead of a poisoned batch.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
     let s = logits.shape();
     assert_eq!(s.len(), 2, "cross_entropy expects [n, c] logits, got {s:?}");
     assert_eq!(s[0], targets.len(), "targets length mismatch");
     let one_hot = Tensor::one_hot(targets, s[1]);
-    logits
-        .log_softmax()
+    safe_log_softmax(logits)
         .mul(&one_hot)
         .sum()
         .scale(-1.0 / s[0] as f32)
@@ -24,8 +29,7 @@ pub fn cross_entropy_per_example(logits: &Tensor, targets: &[usize]) -> Tensor {
     let s = logits.shape();
     assert_eq!(s.len(), 2, "expects [n, c] logits");
     let one_hot = Tensor::one_hot(targets, s[1]);
-    logits
-        .log_softmax()
+    safe_log_softmax(logits)
         .mul(&one_hot)
         .sum_axis(1, false)
         .scale(-1.0)
@@ -43,9 +47,9 @@ pub fn weighted_cross_entropy(logits: &Tensor, targets: &[usize], weights: &Tens
 /// `p` is treated as the (detached) target distribution.
 pub fn kl_div_logits(p_logits: &Tensor, q_logits: &Tensor) -> Tensor {
     let n = p_logits.shape()[0] as f32;
-    let p = p_logits.detach().softmax();
-    let logp = p_logits.detach().log_softmax();
-    let logq = q_logits.log_softmax();
+    let p = safe_softmax(&p_logits.detach());
+    let logp = safe_log_softmax(&p_logits.detach());
+    let logq = safe_log_softmax(q_logits);
     p.mul(&logp.sub(&logq)).sum().scale(1.0 / n)
 }
 
@@ -53,12 +57,12 @@ pub fn kl_div_logits(p_logits: &Tensor, q_logits: &Tensor) -> Tensor {
 /// over rows. Symmetric; gradients flow into both.
 pub fn js_div_logits(a_logits: &Tensor, b_logits: &Tensor) -> Tensor {
     let n = a_logits.shape()[0] as f32;
-    let pa = a_logits.softmax();
-    let pb = b_logits.softmax();
+    let pa = safe_softmax(a_logits);
+    let pb = safe_softmax(b_logits);
     let m = pa.add(&pb).scale(0.5);
     let log_m = m.ln();
-    let kl_am = pa.mul(&a_logits.log_softmax().sub(&log_m)).sum();
-    let kl_bm = pb.mul(&b_logits.log_softmax().sub(&log_m)).sum();
+    let kl_am = pa.mul(&safe_log_softmax(a_logits).sub(&log_m)).sum();
+    let kl_bm = pb.mul(&safe_log_softmax(b_logits).sub(&log_m)).sum();
     kl_am.add(&kl_bm).scale(0.5 / n)
 }
 
@@ -206,6 +210,21 @@ mod tests {
         let b = Tensor::param(vec![-0.6, 0.7, -0.2, 1.1, 0.4, -1.0], &[2, 3]);
         let rep = check_gradients(&[a, b], |ins| js_div_logits(&ins[0], &ins[1]), 1e-2);
         assert!(rep.ok(5e-2), "{rep:?}");
+    }
+
+    #[test]
+    fn poisoned_logits_yield_finite_loss_under_guard_rails() {
+        let logits = Tensor::new(vec![f32::NAN, 0.5, f32::INFINITY, -1.0], &[2, 2]);
+        let (ce, kl, js) = crate::numeric::with_guard_rails(true, || {
+            (
+                cross_entropy(&logits, &[0, 1]).item(),
+                kl_div_logits(&logits, &logits).item(),
+                js_div_logits(&logits, &logits).item(),
+            )
+        });
+        assert!(ce.is_finite(), "ce {ce}");
+        assert!(kl.is_finite(), "kl {kl}");
+        assert!(js.is_finite(), "js {js}");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Numeric guard rails: default-on containment wrappers for the layers
+//! whose math can go non-finite (DESIGN.md §11).
+//!
+//! Every guard is **exact identity on healthy inputs**: it repairs only
+//! NaN/Inf (and, for layer norm, denormals), so enabling the rails does not
+//! perturb a healthy trajectory by a single bit. Bit-compatibility with
+//! recorded results therefore holds in both modes on clean data; the modes
+//! differ only once a value has already gone pathological — rails on
+//! repairs it in place, rails off lets it propagate for the divergence
+//! guards to catch.
+//!
+//! The flag is per-thread and defaults to **on**; set `DAR_GUARDRAILS=0`
+//! (or call [`set_guard_rails`]`(false)`) to get the raw paths.
+
+use std::cell::Cell;
+
+use dar_tensor::Tensor;
+
+/// Magnitude ±Inf is clamped to by the rails. Far above anything a healthy
+/// f32 model produces, far below f32::MAX so downstream sums don't
+/// immediately re-overflow.
+pub const GUARD_BOUND: f32 = 1e30;
+
+thread_local! {
+    static GUARD_RAILS: Cell<bool> = Cell::new(env_default());
+}
+
+/// Process-wide default, read once per thread: on unless `DAR_GUARDRAILS`
+/// is set to `0`.
+fn env_default() -> bool {
+    match std::env::var("DAR_GUARDRAILS") {
+        Ok(v) => v != "0",
+        Err(_) => true,
+    }
+}
+
+/// Whether the guard rails are active on this thread.
+pub fn guard_rails_enabled() -> bool {
+    GUARD_RAILS.with(|c| c.get())
+}
+
+/// Turn the rails on or off for this thread (overrides `DAR_GUARDRAILS`).
+pub fn set_guard_rails(on: bool) {
+    GUARD_RAILS.with(|c| c.set(on));
+}
+
+/// Repair non-finite values (NaN→0, ±Inf→±[`GUARD_BOUND`]) when the rails
+/// are on; the tensor itself (same node) when off.
+pub fn guard_finite(t: &Tensor) -> Tensor {
+    if guard_rails_enabled() {
+        t.finite_clamp(-GUARD_BOUND, GUARD_BOUND, 0.0)
+    } else {
+        t.clone()
+    }
+}
+
+/// Softmax with repaired inputs. Raw softmax max-subtracts, so any finite
+/// row is safe — but a single ±Inf/NaN poisons the whole row (`Inf - Inf`);
+/// the rails repair the logits first.
+pub fn safe_softmax(t: &Tensor) -> Tensor {
+    guard_finite(t).softmax()
+}
+
+/// Log-softmax with repaired inputs (see [`safe_softmax`]).
+pub fn safe_log_softmax(t: &Tensor) -> Tensor {
+    guard_finite(t).log_softmax()
+}
+
+/// Division with a repaired quotient: `x/0 → ±GUARD_BOUND`, `0/0 → 0`.
+/// The denominator is untouched, so finite results are bit-identical to
+/// `a.div(b)`.
+pub fn safe_div(a: &Tensor, b: &Tensor) -> Tensor {
+    guard_finite(&a.div(b))
+}
+
+/// Exponential with repaired input and output: NaN input exps to 1 (its
+/// repaired value's exp), overflow lands on [`GUARD_BOUND`] instead of Inf.
+pub fn safe_exp(t: &Tensor) -> Tensor {
+    guard_finite(&guard_finite(t).exp())
+}
+
+/// Natural log with a repaired input (the raw `ln` already clamps its
+/// argument at 1e-12, so only NaN/Inf need repair).
+pub fn safe_ln(t: &Tensor) -> Tensor {
+    guard_finite(t).ln()
+}
+
+/// Denormal-flushed input for layer norm: subnormal magnitudes become 0
+/// when the rails are on. Normal, zero, and non-finite values pass through.
+pub fn guard_denormals(t: &Tensor) -> Tensor {
+    if guard_rails_enabled() {
+        t.flush_denormals()
+    } else {
+        t.clone()
+    }
+}
+
+/// Run `f` with the rails forced on or off, restoring the previous state
+/// afterwards (test and bench helper).
+pub fn with_guard_rails<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = guard_rails_enabled();
+    set_guard_rails(on);
+    let out = f();
+    set_guard_rails(prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rails_are_identity_on_healthy_values() {
+        let x = Tensor::new(vec![0.5, -3.0, 1e20, -1e20], &[1, 4]);
+        let (on, off) = (
+            with_guard_rails(true, || safe_softmax(&x).to_vec()),
+            with_guard_rails(false, || safe_softmax(&x).to_vec()),
+        );
+        assert_eq!(on, off, "rails changed a healthy softmax");
+        let raw = x.softmax().to_vec();
+        assert_eq!(on, raw);
+    }
+
+    #[test]
+    fn rails_repair_poisoned_softmax_rows() {
+        let x = Tensor::new(vec![f32::INFINITY, 0.0, f32::NAN, 1.0], &[2, 2]);
+        let y = with_guard_rails(true, || safe_softmax(&x).to_vec());
+        assert!(y.iter().all(|v| v.is_finite()), "{y:?}");
+        // Inf wins its row outright after repair to GUARD_BOUND.
+        assert!((y[0] - 1.0).abs() < 1e-6);
+        let raw = with_guard_rails(false, || safe_softmax(&x).to_vec());
+        assert!(raw.iter().any(|v| v.is_nan()), "raw path should propagate");
+    }
+
+    #[test]
+    fn safe_div_contains_zero_denominators() {
+        let a = Tensor::new(vec![1.0, 0.0, -2.0, 6.0], &[4]);
+        let b = Tensor::new(vec![0.0, 0.0, 0.0, 3.0], &[4]);
+        let y = with_guard_rails(true, || safe_div(&a, &b).to_vec());
+        assert_eq!(y, vec![GUARD_BOUND, 0.0, -GUARD_BOUND, 2.0]);
+    }
+
+    #[test]
+    fn safe_exp_never_overflows() {
+        let x = Tensor::new(vec![1000.0, f32::NAN, 0.0], &[3]);
+        let y = with_guard_rails(true, || safe_exp(&x).to_vec());
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert_eq!(y[2], 1.0);
+    }
+
+    #[test]
+    fn env_flag_is_overridable_per_thread() {
+        let prev = guard_rails_enabled();
+        set_guard_rails(false);
+        assert!(!guard_rails_enabled());
+        let x = Tensor::new(vec![f32::NAN], &[1]);
+        assert!(guard_finite(&x).to_vec()[0].is_nan());
+        set_guard_rails(prev);
+    }
+}

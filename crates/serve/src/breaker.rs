@@ -74,8 +74,10 @@ pub enum BreakerState {
 /// Why a transition fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransitionCause {
-    /// `failure_threshold` consecutive generator panics/collapses.
-    GeneratorFailures,
+    /// `failure_threshold` consecutive generator panics/collapses. With
+    /// taint tracking on, `origin` names the op that first produced the
+    /// non-finite value behind the most recent failure in the streak.
+    GeneratorFailures { origin: Option<&'static str> },
     /// `degraded_threshold` consecutive predictor-path failures.
     DegradedFailures,
     /// A full-path probe (from Degraded or HalfOpen) failed.
@@ -120,6 +122,8 @@ pub struct CircuitBreaker {
     degraded_served: usize,
     /// Sheds since entering Open.
     sheds: usize,
+    /// Taint origin of the most recent full-path failure (if reported).
+    last_origin: Option<&'static str>,
     events: Vec<BreakerEvent>,
 }
 
@@ -132,6 +136,7 @@ impl CircuitBreaker {
             degraded_failures: 0,
             degraded_served: 0,
             sheds: 0,
+            last_origin: None,
             events: Vec::new(),
         }
     }
@@ -188,7 +193,10 @@ impl CircuitBreaker {
     /// successes just clear the failure streak.
     pub fn on_full_success(&mut self, probe: bool) {
         match self.state {
-            BreakerState::Closed => self.failures = 0,
+            BreakerState::Closed => {
+                self.failures = 0;
+                self.last_origin = None;
+            }
             BreakerState::Degraded | BreakerState::HalfOpen if probe => {
                 self.transition(BreakerState::Closed, TransitionCause::ProbeRecovered);
             }
@@ -198,11 +206,26 @@ impl CircuitBreaker {
 
     /// A full-path batch failed: worker panic or rationale collapse.
     pub fn on_full_failure(&mut self, probe: bool) {
+        self.on_full_failure_with(probe, None);
+    }
+
+    /// [`on_full_failure`](Self::on_full_failure) carrying a taint origin:
+    /// the op name the numeric taint layer attributed the failure to, if
+    /// the worker had one. The Closed → Degraded transition records the
+    /// most recent origin of its failure streak.
+    pub fn on_full_failure_with(&mut self, probe: bool, origin: Option<&'static str>) {
+        if origin.is_some() {
+            self.last_origin = origin;
+        }
         match self.state {
             BreakerState::Closed => {
                 self.failures += 1;
                 if self.failures >= self.policy.failure_threshold {
-                    self.transition(BreakerState::Degraded, TransitionCause::GeneratorFailures);
+                    let origin = self.last_origin.take();
+                    self.transition(
+                        BreakerState::Degraded,
+                        TransitionCause::GeneratorFailures { origin },
+                    );
                 }
             }
             BreakerState::HalfOpen => {
@@ -303,11 +326,34 @@ mod tests {
         assert_eq!(
             causes,
             vec![
-                TransitionCause::GeneratorFailures,
+                TransitionCause::GeneratorFailures { origin: None },
                 TransitionCause::DegradedFailures,
                 TransitionCause::ShedBudget,
                 TransitionCause::ProbeRecovered,
             ]
+        );
+    }
+
+    #[test]
+    fn generator_failure_transition_names_the_taint_origin() {
+        let mut b = CircuitBreaker::new(tight());
+        b.on_full_failure_with(false, Some("div"));
+        b.on_full_failure_with(false, None); // panic with no taint report
+        assert_eq!(b.state(), BreakerState::Degraded);
+        assert_eq!(
+            b.events()[0].cause,
+            TransitionCause::GeneratorFailures {
+                origin: Some("div")
+            }
+        );
+        // A later clean streak must not resurrect the stale origin.
+        b.on_full_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_full_failure(false);
+        b.on_full_failure(false);
+        assert_eq!(
+            b.events().last().unwrap().cause,
+            TransitionCause::GeneratorFailures { origin: None }
         );
     }
 

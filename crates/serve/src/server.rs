@@ -446,6 +446,12 @@ fn run_full(
         .logits
         .or(inf.full_logits)
         .ok_or(ServeError::DegradedUnavailable)?;
+    if logits.to_vec().iter().any(|v| !v.is_finite()) {
+        // Numerically poisoned scores: answer from the predictor path and
+        // let the caller report a generator failure (with taint origin).
+        let outs = run_predictor(model, batch, version)?;
+        return Ok((outs, true));
+    }
     let labels = logits.argmax_rows();
     let outs = batch
         .lengths
@@ -546,6 +552,12 @@ fn worker_loop(
         shared.inflight.lock().unwrap()[slot] = claimed.into_iter().map(|p| (p, born)).collect();
 
         let probe = matches!(plan, BatchPlan::Full { probe: true });
+        // Per-batch taint latch: anything recorded during this inference
+        // was produced by this batch's ops (tensors are built on this
+        // thread, so the thread-local latch sees every node).
+        if dar_tensor::taint_enabled() {
+            dar_tensor::clear_taint();
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| match plan {
             BatchPlan::Full { .. } => run_full(&shared, model.as_ref(), &batch, version),
             BatchPlan::PredictorOnly => {
@@ -554,13 +566,16 @@ fn worker_loop(
             BatchPlan::Shed => unreachable!("shed handled before assembly"),
         }));
 
+        // Whatever the outcome, the latch now names the op that first went
+        // non-finite during this batch (None if nothing did).
+        let origin = dar_tensor::first_taint().map(|t| t.op);
         match outcome {
             Ok(Ok((outs, degraded))) => {
                 let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
                 {
                     let mut b = shared.breaker.lock().unwrap();
                     match plan {
-                        BatchPlan::Full { .. } if degraded => b.on_full_failure(probe),
+                        BatchPlan::Full { .. } if degraded => b.on_full_failure_with(probe, origin),
                         BatchPlan::Full { .. } => b.on_full_success(probe),
                         BatchPlan::PredictorOnly => b.on_degraded_success(),
                         BatchPlan::Shed => unreachable!(),
@@ -578,7 +593,7 @@ fn worker_loop(
                 {
                     let mut b = shared.breaker.lock().unwrap();
                     match plan {
-                        BatchPlan::Full { .. } => b.on_full_failure(probe),
+                        BatchPlan::Full { .. } => b.on_full_failure_with(probe, origin),
                         BatchPlan::PredictorOnly => b.on_degraded_failure(),
                         BatchPlan::Shed => unreachable!(),
                     }
@@ -595,7 +610,7 @@ fn worker_loop(
                 {
                     let mut b = shared.breaker.lock().unwrap();
                     match plan {
-                        BatchPlan::Full { .. } => b.on_full_failure(probe),
+                        BatchPlan::Full { .. } => b.on_full_failure_with(probe, origin),
                         BatchPlan::PredictorOnly => b.on_degraded_failure(),
                         BatchPlan::Shed => unreachable!(),
                     }

@@ -44,8 +44,17 @@ pub enum DarError {
     /// vocabulary were built for, so it is rejected at admission instead
     /// of degenerating into an all-UNK sequence downstream.
     NonAsciiHeavy { non_ascii: usize, len: usize },
-    /// A loss, gradient, or parameter became NaN/Inf.
-    NonFinite { context: String },
+    /// A value became NaN/Inf. When taint mode is on
+    /// ([`crate::taint`]), the fields name the op that produced the first
+    /// non-finite value, the graph node, and where in it the value sits;
+    /// otherwise `op` is the caller's context (e.g. `"loss"`) and the
+    /// remaining fields are zero.
+    NonFinite {
+        op: &'static str,
+        node_id: u64,
+        shape: Vec<usize>,
+        first_bad_index: usize,
+    },
     /// The divergence guard rolled back and retried until its budget ran
     /// out; `last` describes the final trip.
     RetriesExhausted { retries: usize, last: String },
@@ -77,7 +86,22 @@ impl fmt::Display for DarError {
                 f,
                 "input is non-ASCII-heavy ({non_ascii} of {len} characters)"
             ),
-            DarError::NonFinite { context } => write!(f, "non-finite value in {context}"),
+            DarError::NonFinite {
+                op,
+                node_id,
+                shape,
+                first_bad_index,
+            } => {
+                if *node_id == 0 {
+                    write!(f, "non-finite value in {op}")
+                } else {
+                    write!(
+                        f,
+                        "non-finite value produced by op `{op}` (node {node_id}, \
+                         shape {shape:?}, first bad element at {first_bad_index})"
+                    )
+                }
+            }
             DarError::RetriesExhausted { retries, last } => {
                 write!(
                     f,
@@ -121,6 +145,29 @@ mod tests {
         );
         assert!(DarError::EmptyBatch.to_string().contains("zero reviews"));
         assert!(DarError::Corrupt("crc".into()).to_string().contains("crc"));
+    }
+
+    #[test]
+    fn non_finite_display_names_the_op() {
+        let e = DarError::NonFinite {
+            op: "div",
+            node_id: 42,
+            shape: vec![2, 3],
+            first_bad_index: 5,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("div") && msg.contains("42") && msg.contains('5'),
+            "{msg}"
+        );
+        // Fallback form (no taint record) stays readable.
+        let e = DarError::NonFinite {
+            op: "loss",
+            node_id: 0,
+            shape: vec![],
+            first_bad_index: 0,
+        };
+        assert_eq!(e.to_string(), "non-finite value in loss");
     }
 
     #[test]

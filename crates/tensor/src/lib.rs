@@ -29,6 +29,8 @@
 //! * [`optim`] — Adam / SGD optimizers with gradient clipping.
 //! * [`grad_check`] — finite-difference gradient checking used throughout
 //!   the test suites of downstream crates.
+//! * [`taint`] — opt-in NaN/Inf provenance: with `DAR_TAINT=1` the first
+//!   non-finite op result on a thread is attributed to its originating op.
 
 pub mod error;
 pub mod grad_check;
@@ -37,9 +39,11 @@ pub mod ops;
 pub mod optim;
 pub mod serial;
 pub mod shape;
+pub mod taint;
 mod tensor;
 
 pub use error::{DarError, DarResult};
+pub use taint::{clear_taint, first_taint, set_taint_mode, taint_enabled, TaintRecord};
 pub use tensor::{no_grad, with_no_grad_disabled, Tensor};
 
 /// Convenience alias for the RNG used across the workspace.

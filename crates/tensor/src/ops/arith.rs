@@ -6,6 +6,7 @@
 //! (`[b, l, e] op [b, l, 1]`, every rationale masking) — take dedicated
 //! loops; everything else falls back to generic stride arithmetic.
 
+use crate::error::{DarError, DarResult};
 use crate::shape::{
     broadcast_index, broadcast_shape, broadcast_strides, numel, reduce_grad_to_shape, strides,
 };
@@ -18,6 +19,16 @@ enum BinOp {
     Sub,
     Mul,
     Div,
+}
+
+/// Provenance label for the taint layer.
+fn op_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+    }
 }
 
 #[inline(always)]
@@ -95,14 +106,14 @@ fn classify(a: &[usize], b: &[usize]) -> Layout {
 }
 
 /// Compute the broadcast elementwise result of `a op b`.
-fn forward(op: BinOp, a: &Tensor, b: &Tensor) -> (Vec<f32>, Vec<usize>) {
-    let out_shape = broadcast_shape(a.shape(), b.shape()).unwrap_or_else(|| {
-        panic!(
+fn forward(op: BinOp, a: &Tensor, b: &Tensor) -> DarResult<(Vec<f32>, Vec<usize>)> {
+    let out_shape = broadcast_shape(a.shape(), b.shape()).ok_or_else(|| {
+        DarError::InvalidData(format!(
             "cannot broadcast shapes {:?} and {:?}",
             a.shape(),
             b.shape()
-        )
-    });
+        ))
+    })?;
     let av = a.values();
     let bv = b.values();
     let n = numel(&out_shape);
@@ -145,7 +156,7 @@ fn forward(op: BinOp, a: &Tensor, b: &Tensor) -> (Vec<f32>, Vec<usize>) {
             }
         }
     }
-    (out, out_shape)
+    Ok((out, out_shape))
 }
 
 /// Gradient of the broadcast binary op w.r.t. each operand, reduced back to
@@ -281,17 +292,22 @@ fn drop_and_acc(t: &Tensor, values: std::cell::Ref<'_, Vec<f32>>, g: Vec<f32>) {
     t.accumulate_grad(&g);
 }
 
-fn binary(op: BinOp, a: &Tensor, b: &Tensor) -> Tensor {
-    let (values, out_shape) = forward(op, a, b);
+fn try_binary(op: BinOp, a: &Tensor, b: &Tensor) -> DarResult<Tensor> {
+    let (values, out_shape) = forward(op, a, b)?;
     let shape_for_bw = out_shape.clone();
-    Tensor::from_op(
+    Ok(Tensor::from_op(
+        op_name(op),
         values,
         out_shape,
         vec![a.clone(), b.clone()],
         Box::new(move |g, parents| {
             binary_backward(op, g, &shape_for_bw, &parents[0], &parents[1]);
         }),
-    )
+    ))
+}
+
+fn binary(op: BinOp, a: &Tensor, b: &Tensor) -> Tensor {
+    try_binary(op, a, b).unwrap_or_else(|e| panic!("{e}"))
 }
 
 impl Tensor {
@@ -315,10 +331,31 @@ impl Tensor {
         binary(BinOp::Div, self, other)
     }
 
+    /// Checked [`add`](Self::add): broadcast failure is a typed error.
+    pub fn try_add(&self, other: &Tensor) -> DarResult<Tensor> {
+        try_binary(BinOp::Add, self, other)
+    }
+
+    /// Checked [`sub`](Self::sub): broadcast failure is a typed error.
+    pub fn try_sub(&self, other: &Tensor) -> DarResult<Tensor> {
+        try_binary(BinOp::Sub, self, other)
+    }
+
+    /// Checked [`mul`](Self::mul): broadcast failure is a typed error.
+    pub fn try_mul(&self, other: &Tensor) -> DarResult<Tensor> {
+        try_binary(BinOp::Mul, self, other)
+    }
+
+    /// Checked [`div`](Self::div): broadcast failure is a typed error.
+    pub fn try_div(&self, other: &Tensor) -> DarResult<Tensor> {
+        try_binary(BinOp::Div, self, other)
+    }
+
     /// Add a scalar constant.
     pub fn add_scalar(&self, c: f32) -> Tensor {
         let values: Vec<f32> = self.values().iter().map(|&x| x + c).collect();
         Tensor::from_op(
+            "add_scalar",
             values,
             self.shape().to_vec(),
             vec![self.clone()],
@@ -334,6 +371,7 @@ impl Tensor {
     pub fn scale(&self, c: f32) -> Tensor {
         let values: Vec<f32> = self.values().iter().map(|&x| x * c).collect();
         Tensor::from_op(
+            "scale",
             values,
             self.shape().to_vec(),
             vec![self.clone()],
@@ -353,6 +391,7 @@ impl Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::Tensor;
 
@@ -486,5 +525,20 @@ mod tests {
         let a = Tensor::new(vec![1.0, 2.0], &[2]);
         let b = Tensor::new(vec![1.0, 2.0, 3.0], &[3]);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn try_ops_return_typed_errors_instead_of_panicking() {
+        let a = Tensor::new(vec![1.0, 2.0], &[2]);
+        let b = Tensor::new(vec![1.0, 2.0, 3.0], &[3]);
+        for r in [a.try_add(&b), a.try_sub(&b), a.try_mul(&b), a.try_div(&b)] {
+            match r {
+                Err(crate::DarError::InvalidData(msg)) => {
+                    assert!(msg.contains("cannot broadcast"), "{msg}");
+                }
+                other => panic!("expected InvalidData, got {other:?}"),
+            }
+        }
+        assert_eq!(a.try_add(&a).unwrap().to_vec(), vec![2.0, 4.0]);
     }
 }

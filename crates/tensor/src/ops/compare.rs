@@ -1,6 +1,7 @@
 //! Non-differentiable helpers: argmax, one-hot encoding, and comparisons.
 //! These produce leaf tensors (no gradient history).
 
+use crate::error::{DarError, DarResult};
 use crate::Tensor;
 
 impl Tensor {
@@ -12,11 +13,29 @@ impl Tensor {
     /// the divergence guards to catch, instead of aborting the process
     /// mid-epoch.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        let c = *self.shape().last().expect("argmax needs at least one dim");
-        assert!(c > 0, "argmax over empty dimension");
+        self.try_argmax_rows().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`argmax_rows`](Self::argmax_rows): a rank-0 tensor or a
+    /// zero-width last dimension is a typed error instead of a panic.
+    pub fn try_argmax_rows(&self) -> DarResult<Vec<usize>> {
+        let c = match self.shape().last() {
+            Some(&c) if c > 0 => c,
+            Some(_) => {
+                return Err(DarError::InvalidData(format!(
+                    "argmax over empty dimension (shape {:?})",
+                    self.shape()
+                )))
+            }
+            None => {
+                return Err(DarError::InvalidData(
+                    "argmax needs at least one dim".into(),
+                ))
+            }
+        };
         let key = |x: f32| if x.is_nan() { f32::NEG_INFINITY } else { x };
         let v = self.values();
-        v.chunks_exact(c)
+        Ok(v.chunks_exact(c)
             .map(|row| {
                 row.iter()
                     .enumerate()
@@ -24,17 +43,27 @@ impl Tensor {
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
-            .collect()
+            .collect())
     }
 
     /// One-hot encode indices into a `[n, classes]` leaf tensor.
     pub fn one_hot(ids: &[usize], classes: usize) -> Tensor {
+        Self::try_one_hot(ids, classes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`one_hot`](Self::one_hot): an out-of-range id is a typed
+    /// error instead of a panic.
+    pub fn try_one_hot(ids: &[usize], classes: usize) -> DarResult<Tensor> {
         let mut out = vec![0.0f32; ids.len() * classes];
         for (r, &id) in ids.iter().enumerate() {
-            assert!(id < classes, "one_hot id {id} >= classes {classes}");
+            if id >= classes {
+                return Err(DarError::InvalidData(format!(
+                    "one_hot id {id} >= classes {classes}"
+                )));
+            }
             out[r * classes + id] = 1.0;
         }
-        Tensor::new(out, &[ids.len(), classes])
+        Ok(Tensor::new(out, &[ids.len(), classes]))
     }
 
     /// Elementwise `self > threshold` as a 0/1 leaf tensor (no grad).
@@ -49,6 +78,7 @@ impl Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::Tensor;
 
@@ -89,5 +119,15 @@ mod tests {
     #[should_panic(expected = "one_hot id")]
     fn one_hot_rejects_out_of_range() {
         let _ = Tensor::one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn try_compare_helpers_return_typed_errors() {
+        assert!(Tensor::try_one_hot(&[3], 3).is_err());
+        assert!(Tensor::try_one_hot(&[2], 3).is_ok());
+        let empty = Tensor::new(vec![], &[2, 0]);
+        assert!(empty.try_argmax_rows().is_err());
+        let ok = Tensor::new(vec![0.0, 1.0], &[1, 2]);
+        assert_eq!(ok.try_argmax_rows().unwrap(), vec![1]);
     }
 }

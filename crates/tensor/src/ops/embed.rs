@@ -1,5 +1,6 @@
 //! Embedding-table row gather with scatter-add backward.
 
+use crate::error::{DarError, DarResult};
 use crate::Tensor;
 
 impl Tensor {
@@ -11,21 +12,33 @@ impl Tensor {
     /// # Panics
     /// Panics if the table is not 2-D or an id is out of range.
     pub fn gather_rows(&self, ids: &[usize]) -> Tensor {
+        self.try_gather_rows(ids).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`gather_rows`](Self::gather_rows): a non-2-D table or an
+    /// out-of-range id is a typed error instead of a panic.
+    pub fn try_gather_rows(&self, ids: &[usize]) -> DarResult<Tensor> {
         let s = self.shape();
-        assert_eq!(s.len(), 2, "gather_rows expects a 2-D table, got {s:?}");
+        if s.len() != 2 {
+            return Err(DarError::InvalidData(format!(
+                "gather_rows expects a 2-D table, got {s:?}"
+            )));
+        }
         let (v_rows, e) = (s[0], s[1]);
         let v = self.values();
         let mut out = Vec::with_capacity(ids.len() * e);
         for &id in ids {
-            assert!(
-                id < v_rows,
-                "row id {id} out of range for table with {v_rows} rows"
-            );
+            if id >= v_rows {
+                return Err(DarError::InvalidData(format!(
+                    "row id {id} out of range for table with {v_rows} rows"
+                )));
+            }
             out.extend_from_slice(&v[id * e..(id + 1) * e]);
         }
         drop(v);
         let ids_saved: Vec<usize> = ids.to_vec();
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "gather_rows",
             out,
             vec![ids_saved.len(), e],
             vec![self.clone()],
@@ -44,11 +57,12 @@ impl Tensor {
                 }
                 p.accumulate_grad(&gin);
             }),
-        )
+        ))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::Tensor;
 
@@ -74,5 +88,14 @@ mod tests {
     fn out_of_range_id_panics() {
         let table = Tensor::new(vec![0.0; 4], &[2, 2]);
         let _ = table.gather_rows(&[5]);
+    }
+
+    #[test]
+    fn try_gather_rows_returns_typed_errors() {
+        let table = Tensor::new(vec![0.0; 4], &[2, 2]);
+        assert!(table.try_gather_rows(&[5]).is_err());
+        assert!(table.try_gather_rows(&[0, 1]).is_ok());
+        let flat = Tensor::new(vec![0.0; 4], &[4]);
+        assert!(flat.try_gather_rows(&[0]).is_err());
     }
 }

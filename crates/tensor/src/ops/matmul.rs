@@ -8,6 +8,7 @@
 //! single-threaded path. Results are therefore bit-identical for any
 //! `DAR_THREADS` (DESIGN.md §9).
 
+use crate::error::{DarError, DarResult};
 use crate::Tensor;
 
 /// Problems below this many flops are not worth dispatching to the pool.
@@ -91,13 +92,32 @@ impl Tensor {
     /// # Panics
     /// Panics on non-2-D operands or mismatched inner dimensions.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.try_matmul(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`matmul`](Self::matmul): rank or inner-dim mismatch is a
+    /// typed error instead of a panic.
+    pub fn try_matmul(&self, other: &Tensor) -> DarResult<Tensor> {
         let (sa, sb) = (self.shape(), other.shape());
-        assert_eq!(sa.len(), 2, "matmul lhs must be 2-D, got {sa:?}");
-        assert_eq!(sb.len(), 2, "matmul rhs must be 2-D, got {sb:?}");
-        assert_eq!(sa[1], sb[0], "matmul inner dims differ: {sa:?} @ {sb:?}");
+        if sa.len() != 2 {
+            return Err(DarError::InvalidData(format!(
+                "matmul lhs must be 2-D, got {sa:?}"
+            )));
+        }
+        if sb.len() != 2 {
+            return Err(DarError::InvalidData(format!(
+                "matmul rhs must be 2-D, got {sb:?}"
+            )));
+        }
+        if sa[1] != sb[0] {
+            return Err(DarError::InvalidData(format!(
+                "matmul inner dims differ: {sa:?} @ {sb:?}"
+            )));
+        }
         let (m, k, n) = (sa[0], sa[1], sb[1]);
         let values = gemm(&self.values(), &other.values(), m, k, n);
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "matmul",
             values,
             vec![m, n],
             vec![self.clone(), other.clone()],
@@ -116,17 +136,39 @@ impl Tensor {
                     b.accumulate_grad(&gb);
                 }
             }),
-        )
+        ))
     }
 
     /// Batched matrix product `self[b,m,k] @ other[b,k,n] -> [b,m,n]`,
     /// shard-parallel over the batch dimension.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
+        self.try_bmm(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`bmm`](Self::bmm): rank, batch, or inner-dim mismatch is a
+    /// typed error instead of a panic.
+    pub fn try_bmm(&self, other: &Tensor) -> DarResult<Tensor> {
         let (sa, sb) = (self.shape(), other.shape());
-        assert_eq!(sa.len(), 3, "bmm lhs must be 3-D, got {sa:?}");
-        assert_eq!(sb.len(), 3, "bmm rhs must be 3-D, got {sb:?}");
-        assert_eq!(sa[0], sb[0], "bmm batch dims differ: {sa:?} vs {sb:?}");
-        assert_eq!(sa[2], sb[1], "bmm inner dims differ: {sa:?} @ {sb:?}");
+        if sa.len() != 3 {
+            return Err(DarError::InvalidData(format!(
+                "bmm lhs must be 3-D, got {sa:?}"
+            )));
+        }
+        if sb.len() != 3 {
+            return Err(DarError::InvalidData(format!(
+                "bmm rhs must be 3-D, got {sb:?}"
+            )));
+        }
+        if sa[0] != sb[0] {
+            return Err(DarError::InvalidData(format!(
+                "bmm batch dims differ: {sa:?} vs {sb:?}"
+            )));
+        }
+        if sa[2] != sb[1] {
+            return Err(DarError::InvalidData(format!(
+                "bmm inner dims differ: {sa:?} @ {sb:?}"
+            )));
+        }
         let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
         let av_guard = self.values();
         let bv_guard = other.values();
@@ -156,7 +198,8 @@ impl Tensor {
         }
         drop(av_guard);
         drop(bv_guard);
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "bmm",
             values,
             vec![bs, m, n],
             vec![self.clone(), other.clone()],
@@ -210,11 +253,12 @@ impl Tensor {
                     b.accumulate_grad(&gb);
                 }
             }),
-        )
+        ))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::Tensor;
 
@@ -329,5 +373,16 @@ mod tests {
         let a = Tensor::new(vec![0.0; 6], &[2, 3]);
         let b = Tensor::new(vec![0.0; 8], &[2, 4]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn try_matmul_and_bmm_return_typed_errors() {
+        let a = Tensor::new(vec![0.0; 6], &[2, 3]);
+        let b = Tensor::new(vec![0.0; 8], &[2, 4]);
+        assert!(a.try_matmul(&b).is_err());
+        assert!(a.try_matmul(&a).is_err()); // inner dims 3 vs 2
+        assert!(a.try_bmm(&b).is_err()); // not 3-D
+        let i = Tensor::new(vec![1., 0., 0., 1., 0., 0.], &[3, 2]);
+        assert_eq!(a.try_matmul(&i).unwrap().shape(), &[2, 2]);
     }
 }

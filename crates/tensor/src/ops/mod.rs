@@ -13,6 +13,11 @@
 //! * [`compare`] — non-differentiable helpers (argmax, one-hot, equality).
 //! * [`rnn`] — fused GRU sequence kernel with hand-written BPTT.
 
+// Containment rule: op code never calls `.unwrap()`/`.expect()`. Fallible
+// paths return `DarResult` (the `try_*` entry points); the panicking
+// wrappers funnel through those errors. Tests opt out locally.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod activation;
 pub mod arith;
 pub mod compare;

@@ -1,19 +1,21 @@
 //! Reductions: global and per-axis sum/mean, and max over an axis (pooling).
 
+use crate::error::{DarError, DarResult};
 use crate::shape::{numel, strides};
 use crate::Tensor;
 
 /// Split a shape at `axis` into (outer, axis_len, inner) extents so a
 /// reduction can be written as three nested loops over contiguous memory.
-fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
-    assert!(
-        axis < shape.len(),
-        "axis {axis} out of range for shape {shape:?}"
-    );
+fn axis_split(op: &'static str, shape: &[usize], axis: usize) -> DarResult<(usize, usize, usize)> {
+    if axis >= shape.len() {
+        return Err(DarError::InvalidData(format!(
+            "{op}: axis {axis} out of range for shape {shape:?}"
+        )));
+    }
     let outer: usize = shape[..axis].iter().product();
     let len = shape[axis];
     let inner: usize = shape[axis + 1..].iter().product();
-    (outer, len, inner)
+    Ok((outer, len, inner))
 }
 
 fn reduced_shape(shape: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
@@ -35,6 +37,7 @@ impl Tensor {
         let total: f32 = self.values().iter().sum();
         let n = self.len();
         Tensor::from_op(
+            "sum",
             vec![total],
             vec![1],
             vec![self.clone()],
@@ -55,7 +58,14 @@ impl Tensor {
 
     /// Sum over one axis. With `keepdim` the axis is kept at size 1.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
-        let (outer, len, inner) = axis_split(self.shape(), axis);
+        self.try_sum_axis(axis, keepdim)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`sum_axis`](Self::sum_axis): an out-of-range axis is a
+    /// typed error instead of a panic.
+    pub fn try_sum_axis(&self, axis: usize, keepdim: bool) -> DarResult<Tensor> {
+        let (outer, len, inner) = axis_split("sum_axis", self.shape(), axis)?;
         let v = self.values();
         let mut out = vec![0.0f32; outer * inner];
         for o in 0..outer {
@@ -69,7 +79,8 @@ impl Tensor {
         }
         drop(v);
         let out_shape = reduced_shape(self.shape(), axis, keepdim);
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "sum_axis",
             out,
             out_shape,
             vec![self.clone()],
@@ -88,20 +99,38 @@ impl Tensor {
                 }
                 p.accumulate_grad(&gin);
             }),
-        )
+        ))
     }
 
     /// Mean over one axis.
     pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Tensor {
-        let len = self.shape()[axis] as f32;
-        self.sum_axis(axis, keepdim).scale(1.0 / len)
+        self.try_mean_axis(axis, keepdim)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`mean_axis`](Self::mean_axis).
+    pub fn try_mean_axis(&self, axis: usize, keepdim: bool) -> DarResult<Tensor> {
+        let (_, len, _) = axis_split("mean_axis", self.shape(), axis)?;
+        Ok(self.try_sum_axis(axis, keepdim)?.scale(1.0 / len as f32))
     }
 
     /// Max over one axis; the gradient flows only to the arg-max element of
     /// each reduced group (ties go to the first).
     pub fn max_axis(&self, axis: usize, keepdim: bool) -> Tensor {
-        let (outer, len, inner) = axis_split(self.shape(), axis);
-        assert!(len > 0, "max over empty axis");
+        self.try_max_axis(axis, keepdim)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`max_axis`](Self::max_axis): an out-of-range axis or an
+    /// empty reduction axis is a typed error instead of a panic.
+    pub fn try_max_axis(&self, axis: usize, keepdim: bool) -> DarResult<Tensor> {
+        let (outer, len, inner) = axis_split("max_axis", self.shape(), axis)?;
+        if len == 0 {
+            return Err(DarError::InvalidData(format!(
+                "max over empty axis {axis} of shape {:?}",
+                self.shape()
+            )));
+        }
         let v = self.values();
         let mut out = vec![f32::NEG_INFINITY; outer * inner];
         let mut arg = vec![0usize; outer * inner];
@@ -120,7 +149,8 @@ impl Tensor {
         }
         drop(v);
         let out_shape = reduced_shape(self.shape(), axis, keepdim);
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "max_axis",
             out,
             out_shape,
             vec![self.clone()],
@@ -139,7 +169,7 @@ impl Tensor {
                 }
                 p.accumulate_grad(&gin);
             }),
-        )
+        ))
     }
 
     /// Reshape without changing data order.
@@ -147,14 +177,21 @@ impl Tensor {
     /// # Panics
     /// Panics if the element count changes.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
-        assert_eq!(
-            self.len(),
-            numel(shape),
-            "reshape from {:?} to {:?} changes element count",
-            self.shape(),
-            shape
-        );
-        Tensor::from_op(
+        self.try_reshape(shape).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`reshape`](Self::reshape): an element-count change is a
+    /// typed error instead of a panic.
+    pub fn try_reshape(&self, shape: &[usize]) -> DarResult<Tensor> {
+        if self.len() != numel(shape) {
+            return Err(DarError::InvalidData(format!(
+                "reshape from {:?} to {:?} changes element count",
+                self.shape(),
+                shape
+            )));
+        }
+        Ok(Tensor::from_op(
+            "reshape",
             self.to_vec(),
             shape.to_vec(),
             vec![self.clone()],
@@ -164,7 +201,7 @@ impl Tensor {
                     p.accumulate_grad(g);
                 }
             }),
-        )
+        ))
     }
 
     /// 2-D transpose.
@@ -174,6 +211,7 @@ impl Tensor {
         let (r, c) = (s[0], s[1]);
         let values = super::matmul::transpose_raw(&self.values(), r, c);
         Tensor::from_op(
+            "transpose",
             values,
             vec![c, r],
             vec![self.clone()],
@@ -214,6 +252,7 @@ impl Tensor {
         let os = out_shape.clone();
         let in_shape = s.to_vec();
         Tensor::from_op(
+            "permute3",
             out,
             out_shape,
             vec![self.clone()],
@@ -246,6 +285,7 @@ impl Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::Tensor;
 
@@ -312,6 +352,18 @@ mod tests {
         let w = Tensor::new(vec![1., 0., 0., 0., 0., 0.], &[3, 2]);
         y.mul(&w).sum().backward();
         assert_eq!(x.grad_vec().unwrap(), vec![1., 0., 0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn try_reductions_return_typed_errors() {
+        let x = Tensor::new(vec![1., 2., 3., 4.], &[2, 2]);
+        assert!(x.try_sum_axis(2, false).is_err());
+        assert!(x.try_mean_axis(5, true).is_err());
+        assert!(x.try_max_axis(3, false).is_err());
+        assert!(x.try_reshape(&[3]).is_err());
+        let empty = Tensor::new(vec![], &[2, 0]);
+        assert!(empty.try_max_axis(1, false).is_err());
+        assert_eq!(x.try_sum_axis(0, false).unwrap().to_vec(), vec![4., 6.]);
     }
 
     #[test]

@@ -381,6 +381,7 @@ pub fn gru_seq(
     let cs = Arc::new(cs);
     let steps_saved = Arc::new(steps);
     Tensor::from_op(
+        "gru_seq",
         out,
         vec![b, l, h],
         vec![
@@ -458,6 +459,7 @@ pub fn gru_seq(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::gru_seq;
     use crate::grad_check::check_gradients;

@@ -3,10 +3,21 @@
 //! the single-threaded path and rows are disjoint, so results are
 //! bit-identical for any thread budget (DESIGN.md §9).
 
+use crate::error::{DarError, DarResult};
 use crate::Tensor;
 
-fn last_dim(shape: &[usize]) -> usize {
-    *shape.last().expect("softmax needs at least one dimension")
+/// The row width softmax normalizes over; degenerate shapes are typed
+/// errors so the checked entry points never panic.
+fn last_dim(op: &'static str, shape: &[usize]) -> DarResult<usize> {
+    match shape.last() {
+        Some(&c) if c > 0 => Ok(c),
+        Some(_) => Err(DarError::InvalidData(format!(
+            "{op} over empty dimension (shape {shape:?})"
+        ))),
+        None => Err(DarError::InvalidData(format!(
+            "{op} needs at least one dimension"
+        ))),
+    }
 }
 
 /// Buffers below this many elements are not worth dispatching to the pool.
@@ -56,8 +67,13 @@ impl Tensor {
     /// Softmax over the last dimension, numerically stabilized by max
     /// subtraction.
     pub fn softmax(&self) -> Tensor {
-        let c = last_dim(self.shape());
-        assert!(c > 0, "softmax over empty dimension");
+        self.try_softmax().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`softmax`](Self::softmax): a rank-0 or zero-width last
+    /// dimension is a typed error instead of a panic.
+    pub fn try_softmax(&self) -> DarResult<Tensor> {
+        let c = last_dim("softmax", self.shape())?;
         let v = self.values();
         let mut out = vec![0.0f32; v.len()];
         for_rows_sharded(&v, &mut out, c, |_, row, out_row| {
@@ -74,7 +90,8 @@ impl Tensor {
         });
         drop(v);
         let y_saved = out.clone();
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "softmax",
             out,
             self.shape().to_vec(),
             vec![self.clone()],
@@ -93,13 +110,17 @@ impl Tensor {
                 });
                 p.accumulate_grad(&gin);
             }),
-        )
+        ))
     }
 
     /// Log-softmax over the last dimension (stable log-sum-exp).
     pub fn log_softmax(&self) -> Tensor {
-        let c = last_dim(self.shape());
-        assert!(c > 0, "log_softmax over empty dimension");
+        self.try_log_softmax().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`log_softmax`](Self::log_softmax).
+    pub fn try_log_softmax(&self) -> DarResult<Tensor> {
+        let c = last_dim("log_softmax", self.shape())?;
         let v = self.values();
         let mut out = vec![0.0f32; v.len()];
         for_rows_sharded(&v, &mut out, c, |_, row, out_row| {
@@ -111,7 +132,8 @@ impl Tensor {
         });
         drop(v);
         let ls_saved = out.clone();
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "log_softmax",
             out,
             self.shape().to_vec(),
             vec![self.clone()],
@@ -130,11 +152,12 @@ impl Tensor {
                 });
                 p.accumulate_grad(&gin);
             }),
-        )
+        ))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::Tensor;
 
@@ -202,6 +225,15 @@ mod tests {
         assert!(rep.ok(5e-2), "softmax: {rep:?}");
         let rep = check_gradients(&[x], |ins| ins[0].log_softmax().mul(&w).sum(), 1e-2);
         assert!(rep.ok(5e-2), "log_softmax: {rep:?}");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_typed_errors_not_panics() {
+        let empty = Tensor::new(vec![], &[2, 0]);
+        assert!(empty.try_softmax().is_err());
+        assert!(empty.try_log_softmax().is_err());
+        let ok = Tensor::new(vec![0.0, 1.0], &[1, 2]);
+        assert!(ok.try_softmax().is_ok());
     }
 
     #[test]

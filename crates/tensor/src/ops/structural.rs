@@ -1,35 +1,60 @@
 //! Structural ops: concat, narrow (slice), and row stacking.
 
+use crate::error::{DarError, DarResult};
 use crate::shape::numel;
 use crate::Tensor;
 
 /// Split a shape at `axis` into (outer, axis_len, inner) extents.
-fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
-    assert!(
-        axis < shape.len(),
-        "axis {axis} out of range for shape {shape:?}"
-    );
+fn axis_split(op: &'static str, shape: &[usize], axis: usize) -> DarResult<(usize, usize, usize)> {
+    if axis >= shape.len() {
+        return Err(DarError::InvalidData(format!(
+            "{op}: axis {axis} out of range for shape {shape:?}"
+        )));
+    }
     let outer: usize = shape[..axis].iter().product();
     let len = shape[axis];
     let inner: usize = shape[axis + 1..].iter().product();
-    (outer, len, inner)
+    Ok((outer, len, inner))
 }
 
 /// Concatenate tensors along `axis`. All other dimensions must match.
 pub fn concat(tensors: &[Tensor], axis: usize) -> Tensor {
-    assert!(!tensors.is_empty(), "concat of zero tensors");
+    try_concat(tensors, axis).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked [`concat`]: empty input, rank mismatch, bad axis, or non-axis
+/// dim mismatch is a typed error instead of a panic.
+pub fn try_concat(tensors: &[Tensor], axis: usize) -> DarResult<Tensor> {
+    if tensors.is_empty() {
+        return Err(DarError::InvalidData("concat of zero tensors".into()));
+    }
     let rank = tensors[0].shape().len();
+    if axis >= rank {
+        return Err(DarError::InvalidData(format!(
+            "concat: axis {axis} out of range for shape {:?}",
+            tensors[0].shape()
+        )));
+    }
     for t in tensors {
-        assert_eq!(t.shape().len(), rank, "concat rank mismatch");
+        if t.shape().len() != rank {
+            return Err(DarError::InvalidData(format!(
+                "concat rank mismatch: {:?} vs {:?}",
+                t.shape(),
+                tensors[0].shape()
+            )));
+        }
         for (d, (a, b)) in t.shape().iter().zip(tensors[0].shape()).enumerate() {
-            if d != axis {
-                assert_eq!(a, b, "concat non-axis dims differ: {:?}", t.shape());
+            if d != axis && a != b {
+                return Err(DarError::InvalidData(format!(
+                    "concat non-axis dims differ: {:?}",
+                    t.shape()
+                )));
             }
         }
     }
     let mut out_shape = tensors[0].shape().to_vec();
     out_shape[axis] = tensors.iter().map(|t| t.shape()[axis]).sum();
-    let (outer, _, inner) = axis_split(&out_shape, axis);
+    let (outer, _, inner) = axis_split("concat", &out_shape, axis)?;
     let mut out = vec![0.0f32; numel(&out_shape)];
     let total_axis = out_shape[axis];
     let mut offset = 0usize;
@@ -46,7 +71,8 @@ pub fn concat(tensors: &[Tensor], axis: usize) -> Tensor {
         offset += alen;
     }
     let parents: Vec<Tensor> = tensors.to_vec();
-    Tensor::from_op(
+    Ok(Tensor::from_op(
+        "concat",
         out,
         out_shape,
         parents,
@@ -64,23 +90,37 @@ pub fn concat(tensors: &[Tensor], axis: usize) -> Tensor {
                 t.accumulate_grad(&gin);
             }
         }),
-    )
+    ))
 }
 
 /// Stack `[r, c]`-shaped tensors along a new leading axis into `[n, r, c]`
 /// (general: any equal shapes).
 pub fn stack(tensors: &[Tensor]) -> Tensor {
-    assert!(!tensors.is_empty(), "stack of zero tensors");
+    try_stack(tensors).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked [`stack`]: empty input or a shape mismatch is a typed error
+/// instead of a panic.
+pub fn try_stack(tensors: &[Tensor]) -> DarResult<Tensor> {
+    if tensors.is_empty() {
+        return Err(DarError::InvalidData("stack of zero tensors".into()));
+    }
     let inner_shape = tensors[0].shape().to_vec();
     let inner_len = numel(&inner_shape);
     let mut out = Vec::with_capacity(tensors.len() * inner_len);
     for t in tensors {
-        assert_eq!(t.shape(), inner_shape.as_slice(), "stack shape mismatch");
+        if t.shape() != inner_shape.as_slice() {
+            return Err(DarError::ShapeMismatch {
+                expected: inner_shape.clone(),
+                got: t.shape().to_vec(),
+            });
+        }
         out.extend_from_slice(&t.values());
     }
     let mut out_shape = vec![tensors.len()];
     out_shape.extend_from_slice(&inner_shape);
-    Tensor::from_op(
+    Ok(Tensor::from_op(
+        "stack",
         out,
         out_shape,
         tensors.to_vec(),
@@ -91,19 +131,27 @@ pub fn stack(tensors: &[Tensor]) -> Tensor {
                 }
             }
         }),
-    )
+    ))
 }
 
 impl Tensor {
     /// Slice `len` entries starting at `start` along `axis`, keeping rank.
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        self.try_narrow(axis, start, len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`narrow`](Self::narrow): a bad axis or out-of-range slice
+    /// is a typed error instead of a panic.
+    pub fn try_narrow(&self, axis: usize, start: usize, len: usize) -> DarResult<Tensor> {
         let shape = self.shape().to_vec();
-        let (outer, alen, inner) = axis_split(&shape, axis);
-        assert!(
-            start + len <= alen,
-            "narrow [{start}..{}] out of range for axis {axis} of {shape:?}",
-            start + len
-        );
+        let (outer, alen, inner) = axis_split("narrow", &shape, axis)?;
+        if start + len > alen {
+            return Err(DarError::InvalidData(format!(
+                "narrow [{start}..{}] out of range for axis {axis} of {shape:?}",
+                start + len
+            )));
+        }
         let v = self.values();
         let mut out = vec![0.0f32; outer * len * inner];
         for o in 0..outer {
@@ -114,7 +162,8 @@ impl Tensor {
         drop(v);
         let mut out_shape = shape.clone();
         out_shape[axis] = len;
-        Tensor::from_op(
+        Ok(Tensor::from_op(
+            "narrow",
             out,
             out_shape,
             vec![self.clone()],
@@ -131,7 +180,7 @@ impl Tensor {
                 }
                 p.accumulate_grad(&gin);
             }),
-        )
+        ))
     }
 
     /// Concatenate `self` with `other` along `axis`.
@@ -141,6 +190,7 @@ impl Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::{concat, stack};
     use crate::Tensor;
@@ -216,5 +266,20 @@ mod tests {
     fn narrow_out_of_range_panics() {
         let x = Tensor::new(vec![0.0; 4], &[2, 2]);
         let _ = x.narrow(1, 1, 2);
+    }
+
+    #[test]
+    fn try_structural_ops_return_typed_errors() {
+        let x = Tensor::new(vec![0.0; 4], &[2, 2]);
+        assert!(x.try_narrow(1, 1, 2).is_err());
+        assert!(x.try_narrow(5, 0, 1).is_err());
+        assert!(super::try_concat(&[], 0).is_err());
+        assert!(super::try_concat(&[x.clone()], 3).is_err());
+        let y = Tensor::new(vec![0.0; 2], &[1, 2]);
+        assert!(super::try_concat(&[x.clone(), y.clone()], 0).is_ok());
+        assert!(super::try_concat(&[x.clone(), y.clone()], 1).is_err());
+        assert!(super::try_stack(&[]).is_err());
+        assert!(super::try_stack(&[x.clone(), y]).is_err());
+        assert!(super::try_stack(&[x.clone(), x]).is_ok());
     }
 }

@@ -105,21 +105,20 @@ pub mod codec {
         }
 
         pub fn u32(&mut self) -> DarResult<u32> {
-            Ok(u32::from_le_bytes(
-                self.take(4)?.try_into().expect("4-byte slice"),
-            ))
+            let b = self.take(4)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         }
 
         pub fn u64(&mut self) -> DarResult<u64> {
-            Ok(u64::from_le_bytes(
-                self.take(8)?.try_into().expect("8-byte slice"),
-            ))
+            let b = self.take(8)?;
+            Ok(u64::from_le_bytes([
+                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+            ]))
         }
 
         pub fn f32(&mut self) -> DarResult<f32> {
-            Ok(f32::from_le_bytes(
-                self.take(4)?.try_into().expect("4-byte slice"),
-            ))
+            let b = self.take(4)?;
+            Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
         }
 
         pub fn f32s(&mut self) -> DarResult<Vec<f32>> {
@@ -132,7 +131,7 @@ pub mod codec {
             let bytes = self.take(n * 4)?;
             Ok(bytes
                 .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect())
         }
 
@@ -305,7 +304,7 @@ fn read_tensor_block(r: &mut impl Read) -> DarResult<Vec<Tensor>> {
         r.read_exact(&mut bytes).map_err(truncation)?;
         let values = bytes
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         out.push(Tensor::new(values, &shape));
     }

@@ -1,0 +1,204 @@
+//! Deterministic NaN/Inf taint provenance.
+//!
+//! Every graph node records the name of the op that produced it (see
+//! [`Tensor::op`](crate::Tensor::op)). With taint mode enabled — `DAR_TAINT=1`
+//! in the environment, or [`set_taint_mode`] per thread — each op result is
+//! scanned for non-finite values as it is constructed, and the *first*
+//! non-finite value observed on the thread is recorded as a [`TaintRecord`]
+//! naming the originating op, the node id, its shape, and the flat index of
+//! the first bad element. Downstream fault handlers (the training guards,
+//! the serving breaker) read that record to attribute a NaN loss or a
+//! non-finite inference output to the op where it was born, instead of
+//! reporting only "NaN loss".
+//!
+//! The record is first-wins: once a taint is latched, later non-finite
+//! results do not overwrite it (they are downstream propagation, not the
+//! origin). Call [`clear_taint`] at the start of each unit of work (train
+//! step, inference batch) so attribution is fresh.
+//!
+//! Determinism: op results are constructed on the thread that called the op
+//! — `dar-par` shards only fill buffers, the `Tensor` node is always built
+//! on the caller thread — so the scan order is the serial element order and
+//! the recorded origin is identical for any `DAR_THREADS` budget.
+//!
+//! Cost: one `Cell` read per op when the mode is off; one linear scan of
+//! the output buffer per op when on (and no taint is latched yet). The scan
+//! is opt-in precisely so the hot path stays free of it by default.
+
+use std::cell::{Cell, RefCell};
+
+/// Where a non-finite value first appeared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintRecord {
+    /// Name of the op that produced the value (e.g. `"div"`, `"exp"`).
+    pub op: &'static str,
+    /// Stable id of the graph node (see [`Tensor::id`](crate::Tensor::id)).
+    pub node_id: u64,
+    /// Shape of the tainted output.
+    pub shape: Vec<usize>,
+    /// Flat index of the first non-finite element.
+    pub first_bad_index: usize,
+}
+
+thread_local! {
+    static TAINT_MODE: Cell<bool> = Cell::new(env_taint_default());
+    static FIRST_TAINT: RefCell<Option<TaintRecord>> = const { RefCell::new(None) };
+}
+
+/// The process-wide default, read once per thread: `DAR_TAINT=1` (or any
+/// value other than `0`/empty) turns the scan on for every thread,
+/// including `dar-par` pool workers and `dar-serve` replicas.
+fn env_taint_default() -> bool {
+    match std::env::var("DAR_TAINT") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Whether taint scanning is on for this thread.
+pub fn taint_enabled() -> bool {
+    TAINT_MODE.with(|c| c.get())
+}
+
+/// Turn taint scanning on or off for this thread (overrides `DAR_TAINT`).
+pub fn set_taint_mode(on: bool) {
+    TAINT_MODE.with(|c| c.set(on));
+}
+
+/// The first taint latched on this thread since the last [`clear_taint`].
+pub fn first_taint() -> Option<TaintRecord> {
+    FIRST_TAINT.with(|slot| slot.borrow().clone())
+}
+
+/// Drop any latched taint so the next scan attributes afresh.
+pub fn clear_taint() {
+    FIRST_TAINT.with(|slot| *slot.borrow_mut() = None);
+}
+
+/// Scan an op result and latch a [`TaintRecord`] if it holds the first
+/// non-finite value seen on this thread. No-op when the mode is off or a
+/// taint is already latched (first-wins).
+pub(crate) fn scan(op: &'static str, node_id: u64, shape: &[usize], values: &[f32]) {
+    if !taint_enabled() {
+        return;
+    }
+    FIRST_TAINT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_some() {
+            return;
+        }
+        if let Some(idx) = values.iter().position(|v| !v.is_finite()) {
+            *slot = Some(TaintRecord {
+                op,
+                node_id,
+                shape: shape.to_vec(),
+                first_bad_index: idx,
+            });
+        }
+    });
+}
+
+/// Build the [`DarError::NonFinite`](crate::DarError::NonFinite) for the
+/// latched taint, falling back to attributing `fallback_op` when nothing
+/// was latched (mode off, or the bad value arrived from outside the graph).
+pub fn non_finite_error(fallback_op: &'static str) -> crate::DarError {
+    match first_taint() {
+        Some(t) => crate::DarError::NonFinite {
+            op: t.op,
+            node_id: t.node_id,
+            shape: t.shape,
+            first_bad_index: t.first_bad_index,
+        },
+        None => crate::DarError::NonFinite {
+            op: fallback_op,
+            node_id: 0,
+            shape: Vec::new(),
+            first_bad_index: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    /// Serialize taint tests: they mutate the same thread-local slot and
+    /// cargo runs #[test]s of one binary on separate threads, but each
+    /// test's state is its own thread's — so no lock is actually needed;
+    /// this exists to document the invariant.
+    fn with_taint<T>(f: impl FnOnce() -> T) -> T {
+        set_taint_mode(true);
+        clear_taint();
+        let out = f();
+        clear_taint();
+        set_taint_mode(false);
+        out
+    }
+
+    #[test]
+    fn off_by_default_and_costs_nothing() {
+        clear_taint();
+        let a = Tensor::new(vec![f32::NAN], &[1]);
+        let _ = a.add_scalar(1.0);
+        assert!(first_taint().is_none(), "taint latched with mode off");
+    }
+
+    #[test]
+    fn first_taint_wins_and_names_the_origin_op() {
+        with_taint(|| {
+            let zero = Tensor::new(vec![0.0], &[1]);
+            let bad = zero.div(&zero); // 0/0 = NaN born in `div`
+            let worse = bad.exp(); // propagation, not origin
+            assert!(worse.to_vec()[0].is_nan());
+            let t = first_taint().expect("no taint latched");
+            assert_eq!(t.op, "div");
+            assert_eq!(t.node_id, bad.id());
+            assert_eq!(t.shape, vec![1]);
+            assert_eq!(t.first_bad_index, 0);
+        });
+    }
+
+    #[test]
+    fn clear_resets_attribution() {
+        with_taint(|| {
+            let zero = Tensor::new(vec![0.0], &[1]);
+            let _ = zero.div(&zero);
+            assert_eq!(first_taint().unwrap().op, "div");
+            clear_taint();
+            let inf = Tensor::new(vec![f32::MAX], &[1]).exp();
+            assert!(inf.to_vec()[0].is_infinite());
+            assert_eq!(first_taint().unwrap().op, "exp");
+        });
+    }
+
+    #[test]
+    fn leaf_taint_is_attributed_to_the_leaf() {
+        with_taint(|| {
+            let _ = Tensor::new(vec![1.0, f32::INFINITY], &[2]);
+            let t = first_taint().expect("leaf scan missing");
+            assert_eq!(t.op, "leaf");
+            assert_eq!(t.first_bad_index, 1);
+        });
+    }
+
+    #[test]
+    fn error_helper_carries_the_record() {
+        with_taint(|| {
+            let zero = Tensor::new(vec![0.0, 0.0], &[2]);
+            let _ = zero.div(&zero);
+            match non_finite_error("loss") {
+                crate::DarError::NonFinite { op, shape, .. } => {
+                    assert_eq!(op, "div");
+                    assert_eq!(shape, vec![2]);
+                }
+                other => panic!("wrong error {other:?}"),
+            }
+            clear_taint();
+            match non_finite_error("loss") {
+                crate::DarError::NonFinite { op, .. } => assert_eq!(op, "loss"),
+                other => panic!("wrong error {other:?}"),
+            }
+        });
+    }
+}

@@ -5,7 +5,9 @@ use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::error::{DarError, DarResult};
 use crate::shape::{check_numel, numel};
+use crate::taint;
 
 thread_local! {
     static NEXT_ID: Cell<u64> = const { Cell::new(1) };
@@ -48,6 +50,9 @@ pub(crate) type BackwardFn = Box<dyn Fn(&[f32], &[Tensor])>;
 
 pub(crate) struct Inner {
     pub(crate) id: u64,
+    /// Name of the op that produced this node (`"leaf"`/`"param"` for
+    /// leaves) — the taint layer's provenance label.
+    pub(crate) op: &'static str,
     pub(crate) shape: Vec<usize>,
     pub(crate) values: RefCell<Vec<f32>>,
     pub(crate) grad: RefCell<Option<Vec<f32>>>,
@@ -97,9 +102,12 @@ impl Tensor {
     /// A leaf tensor that does not require gradients (inputs, constants).
     pub fn new(values: Vec<f32>, shape: &[usize]) -> Self {
         check_numel(values.len(), shape);
+        let id = next_id();
+        taint::scan("leaf", id, shape, &values);
         Tensor {
             inner: Rc::new(Inner {
-                id: next_id(),
+                id,
+                op: "leaf",
                 shape: shape.to_vec(),
                 values: RefCell::new(values),
                 grad: RefCell::new(None),
@@ -113,9 +121,12 @@ impl Tensor {
     /// A trainable leaf tensor: gradients accumulate here during backward.
     pub fn param(values: Vec<f32>, shape: &[usize]) -> Self {
         check_numel(values.len(), shape);
+        let id = next_id();
+        taint::scan("param", id, shape, &values);
         Tensor {
             inner: Rc::new(Inner {
-                id: next_id(),
+                id,
+                op: "param",
                 shape: shape.to_vec(),
                 values: RefCell::new(values),
                 grad: RefCell::new(None),
@@ -127,18 +138,24 @@ impl Tensor {
     }
 
     /// Internal constructor for op results. If gradient recording is off or
-    /// no parent requires gradients, the history is pruned.
+    /// no parent requires gradients, the history is pruned. `op` is the
+    /// node's provenance label; when taint mode is on the output is scanned
+    /// and the first non-finite value on the thread is attributed to it.
     pub(crate) fn from_op(
+        op: &'static str,
         values: Vec<f32>,
         shape: Vec<usize>,
         parents: Vec<Tensor>,
         backward: BackwardFn,
     ) -> Self {
         check_numel(values.len(), &shape);
+        let id = next_id();
+        taint::scan(op, id, &shape, &values);
         let track = grad_enabled() && parents.iter().any(|p| p.inner.requires_grad.get());
         Tensor {
             inner: Rc::new(Inner {
-                id: next_id(),
+                id,
+                op,
                 shape,
                 values: RefCell::new(values),
                 grad: RefCell::new(None),
@@ -176,6 +193,12 @@ impl Tensor {
     /// Unique node id (useful for parameter registries).
     pub fn id(&self) -> u64 {
         self.inner.id
+    }
+
+    /// Name of the op that produced this node (`"leaf"`/`"param"` for
+    /// leaves) — the taint layer's provenance label.
+    pub fn op(&self) -> &'static str {
+        self.inner.op
     }
 
     /// The tensor's shape.
@@ -221,6 +244,24 @@ impl Tensor {
             self.inner.shape
         );
         v[0]
+    }
+
+    /// Checked [`item`](Self::item): a non-scalar tensor is a typed error,
+    /// and a non-finite scalar reports its taint provenance (when latched)
+    /// instead of silently returning NaN.
+    pub fn try_item(&self) -> DarResult<f32> {
+        let v = self.inner.values.borrow();
+        if v.len() != 1 {
+            return Err(DarError::InvalidData(format!(
+                "item() called on non-scalar tensor {:?}",
+                self.inner.shape
+            )));
+        }
+        let x = v[0];
+        if !x.is_finite() {
+            return Err(taint::non_finite_error(self.inner.op));
+        }
+        Ok(x)
     }
 
     /// Copy of the accumulated gradient, if any.

@@ -119,4 +119,56 @@ proptest! {
         let z_over = Tensor::ones(&[1, len]);
         prop_assert!(omega(&z_over, &batch, &cfg).item() > 1e-3);
     }
+
+    /// Taint provenance survives thread-budget changes: a NaN manufactured
+    /// through a real `div` op (0/0) at a scheduled train step is
+    /// attributed to `div` by the divergence guard under both 1 and 4
+    /// worker threads.
+    #[test]
+    fn taint_attributes_injected_nan_to_its_op(seed in 0u64..8, step in 0usize..3) {
+        use dar::core::fault::{FaultPlan, FaultyModel};
+        use dar::tensor::{clear_taint, set_taint_mode, DarError};
+
+        for threads in [1usize, 4] {
+            let reason = dar_par::with_threads(threads, || {
+                set_taint_mode(true);
+                clear_taint();
+                let dcfg = SynthConfig {
+                    n_train: 16, n_dev: 8, n_test: 8,
+                    ..SynthConfig::beer(Aspect::Aroma)
+                };
+                let mut rng = dar::rng(seed);
+                let data = SynBeer::generate(&dcfg, &mut rng);
+                let cfg = RationaleConfig { emb_dim: 16, hidden: 8, ..Default::default() };
+                let emb = SharedEmbedding::random(data.vocab.len(), 16, &mut rng);
+                let ml = pretrain::max_len(&data);
+                let inner = Rnp::new(&cfg, &emb, ml, &mut rng);
+                let mut model = FaultyModel::new(inner, FaultPlan::taint_nan_at(step));
+                let tcfg = TrainConfig {
+                    epochs: 1, batch_size: 4, patience: None,
+                    ..Default::default()
+                };
+                let policy = GuardPolicy { max_retries: 0, ..GuardPolicy::default() };
+                let mut path = std::env::temp_dir();
+                path.push(format!(
+                    "dar_taint_prop_{}_{threads}_{seed}_{step}",
+                    std::process::id()
+                ));
+                let err = GuardedTrainer::new(tcfg, policy)
+                    .fit(&mut model, &data, &mut rng, &path)
+                    .expect_err("injected NaN must exhaust the zero retry budget");
+                std::fs::remove_file(&path).ok();
+                set_taint_mode(false);
+                clear_taint();
+                match err {
+                    DarError::RetriesExhausted { last, .. } => last,
+                    other => panic!("unexpected error: {other:?}"),
+                }
+            });
+            prop_assert!(
+                reason.contains("first tainted by op `div`"),
+                "threads={}: guard reason did not name div: {}", threads, reason
+            );
+        }
+    }
 }

@@ -247,7 +247,7 @@ fn breaker_walks_closed_degraded_open_halfopen_closed() {
     assert_eq!(
         causes,
         vec![
-            TransitionCause::GeneratorFailures,
+            TransitionCause::GeneratorFailures { origin: None },
             TransitionCause::DegradedFailures,
             TransitionCause::ShedBudget,
             TransitionCause::ProbeRecovered,
@@ -288,7 +288,10 @@ fn rationale_collapse_degrades_with_predictor_fallback() {
     assert!(out.rationale.is_empty());
     assert_eq!(server.breaker_state(), BreakerState::Degraded);
     let events = server.breaker_events();
-    assert_eq!(events[0].cause, TransitionCause::GeneratorFailures);
+    assert!(matches!(
+        events[0].cause,
+        TransitionCause::GeneratorFailures { .. }
+    ));
     server.shutdown();
 }
 
