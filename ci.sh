@@ -1,61 +1,166 @@
 #!/bin/bash
-# Repo CI gate: formatting, lints, build, tests. Run before merging and as
-# the run_experiments.sh preflight (skip there with DAR_SKIP_CI=1).
-set -euo pipefail
+# Repo CI gate: formatting, lints, build, tests, benches, regression gate.
+# Run before merging and as the run_experiments.sh preflight (skip there
+# with DAR_SKIP_CI=1).
+#
+# Every check is a named, individually-timed stage. A full run writes
+# results/ci_report.json (stage -> status/duration) and always ends with
+# a summary table, pass or fail.
+#
+#   ./ci.sh                   # full gate
+#   ./ci.sh --stage clippy    # one stage, same report/table machinery
+#   ./ci.sh --list            # stage names
+#
+# The benchgate stage compares fresh BENCH_*.json against the trajectory
+# committed at HEAD; DAR_BENCHGATE=off skips that comparison for machines
+# whose absolute throughput is incomparable to the committed baseline.
+set -uo pipefail
 cd "$(dirname "$0")"
 
-echo "=== cargo fmt --check ==="
-cargo fmt --all -- --check
+# ---- stage implementations ---------------------------------------------
 
-echo "=== cargo clippy (-D warnings) ==="
-cargo clippy --all-targets -- -D warnings
+st_fmt() { cargo fmt --all -- --check; }
 
-echo "=== cargo build --release ==="
-cargo build --release
+st_clippy() { cargo clippy --all-targets -- -D warnings; }
+
+st_build() { cargo build --release; }
 
 # dar-par lives under crates/shims/, which the workspace excludes so the
 # shims stay dependency-free; its tests must be invoked standalone.
-echo "=== dar-par pool tests (standalone, workspace-excluded) ==="
-cargo test --manifest-path crates/shims/dar-par/Cargo.toml --release -q
+st_par_tests() { cargo test --manifest-path crates/shims/dar-par/Cargo.toml --release -q; }
 
 # The full suite runs under two thread budgets. Results must not depend
 # on the budget (DESIGN.md §9) — a test that passes serially but fails
-# parallel (or vice versa) is a determinism bug, not flakiness.
-for threads in 1 4; do
-    echo "=== cargo test --release [DAR_THREADS=$threads] ==="
-    DAR_THREADS=$threads cargo test --workspace --release -q
-done
+# parallel (or vice versa) is a determinism bug, not flakiness. This also
+# exercises tests/obs_determinism.rs process-wide under both budgets.
+st_test_t1() { DAR_THREADS=1 cargo test --workspace --release -q; }
+st_test_t4() { DAR_THREADS=4 cargo test --workspace --release -q; }
 
 # The serving chaos harness (DESIGN.md §10) is part of the workspace runs
 # above; it is also invoked by name under both budgets so a serving
 # regression is unmistakable in the CI log.
-for threads in 1 4; do
-    echo "=== serving chaos harness [DAR_THREADS=$threads] ==="
-    DAR_THREADS=$threads cargo test --release -q --test serving_chaos
-done
+st_chaos_t1() { DAR_THREADS=1 cargo test --release -q --test serving_chaos; }
+st_chaos_t4() { DAR_THREADS=4 cargo test --release -q --test serving_chaos; }
 
 # Record sustained throughput + tail latency of the serving demo into
-# results/serve_bench.txt (and the BENCH_serve.json trajectory point).
-echo "=== dar-serve bench ==="
-cargo run --release --bin dar-serve -- --requests 400 --out results
+# results/serve_bench.txt, the BENCH_serve.json trajectory point, and the
+# obs_serve.json observability snapshot.
+st_serve_bench() { cargo run --release --bin dar-serve -- --requests 400 --out results; }
 
 # Numeric containment (DESIGN.md §11): the op kernels must stay free of
-# unwrap/expect — the module-level deny makes the clippy run above fail
-# on any new site, so CI only has to assert the attribute is still there.
-echo "=== numeric containment: ops unwrap/expect deny ==="
-grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/tensor/src/ops/mod.rs \
-    || { echo "ci.sh: crates/tensor/src/ops lost its unwrap/expect deny"; exit 1; }
+# unwrap/expect — the module-level deny makes the clippy stage fail on
+# any new site, so CI only has to assert the attribute is still there.
+st_ops_deny() {
+    grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/tensor/src/ops/mod.rs \
+        || { echo "ci.sh: crates/tensor/src/ops lost its unwrap/expect deny"; return 1; }
+}
 
 # Adversarial numeric fuzz: every public op returns a finite result or a
 # typed error under hostile inputs — never a panic — on both budgets.
-for threads in 1 4; do
-    echo "=== numeric fuzz harness [DAR_THREADS=$threads] ==="
-    DAR_THREADS=$threads cargo test --release -q --test numeric_fuzz
-done
+st_fuzz_t1() { DAR_THREADS=1 cargo test --release -q --test numeric_fuzz; }
+st_fuzz_t4() { DAR_THREADS=4 cargo test --release -q --test numeric_fuzz; }
 
 # Guard-rail overhead benchmark: raw vs guarded throughput on the same
 # seeded workload, recorded into results/BENCH_numeric.json (< 5% target).
-echo "=== numbench guard-rail overhead ==="
-cargo run --release --bin numbench -- --out results
+st_numbench() { cargo run --release --bin numbench -- --out results; }
+
+# Observability overhead benchmark: instrumentation disabled vs enabled on
+# the same seeded workload, recorded into results/BENCH_obs.json. The
+# binary itself exits non-zero past the 3% budget (DESIGN.md §12).
+st_obsbench() { cargo run --release --bin obsbench -- --out results; }
+
+# Regression gate over the committed bench trajectory: extract the
+# BENCH_*.json baseline from HEAD (the binary never runs git itself),
+# prove the gate catches a synthetic regression, then compare the fresh
+# points produced by the bench stages above.
+st_benchgate() {
+    cargo run --release --bin benchgate -- --self-test || return 1
+    local bl=target/benchgate/baseline
+    rm -rf "$bl" && mkdir -p "$bl"
+    local f
+    for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json; do
+        git show "HEAD:results/$f" > "$bl/$f" 2>/dev/null || rm -f "$bl/$f"
+    done
+    cargo run --release --bin benchgate -- --baseline "$bl" --fresh results
+}
+
+# ---- stage driver -------------------------------------------------------
+
+STAGE_NAMES=(fmt clippy build par-tests test-t1 test-t4 chaos-t1 chaos-t4
+    serve-bench ops-deny fuzz-t1 fuzz-t4 numbench obsbench benchgate)
+
+RAN_NAMES=()
+RAN_STATUS=()
+RAN_SECS=()
+
+write_report() {
+    mkdir -p results
+    {
+        echo '{'
+        echo '  "schema_version": 1,'
+        echo '  "stages": {'
+        local i last=$((${#RAN_NAMES[@]} - 1))
+        for i in "${!RAN_NAMES[@]}"; do
+            local comma=','
+            [[ $i -eq $last ]] && comma=''
+            printf '    "%s": {"status": "%s", "seconds": %s}%s\n' \
+                "${RAN_NAMES[$i]}" "${RAN_STATUS[$i]}" "${RAN_SECS[$i]}" "$comma"
+        done
+        echo '  }'
+        echo '}'
+    } > results/ci_report.json
+}
+
+summary() {
+    [[ ${#RAN_NAMES[@]} -eq 0 ]] && return 0
+    write_report
+    echo
+    echo "ci.sh summary (results/ci_report.json):"
+    printf '  %-12s %-6s %8s\n' stage status seconds
+    local i
+    for i in "${!RAN_NAMES[@]}"; do
+        printf '  %-12s %-6s %8s\n' \
+            "${RAN_NAMES[$i]}" "${RAN_STATUS[$i]}" "${RAN_SECS[$i]}"
+    done
+}
+trap summary EXIT
+
+run_stage() {
+    local name="$1" fn="$2"
+    echo "=== $name ==="
+    local start=$SECONDS status=ok
+    "$fn" || status=FAIL
+    RAN_NAMES+=("$name")
+    RAN_STATUS+=("$status")
+    RAN_SECS+=($((SECONDS - start)))
+    if [[ $status == FAIL ]]; then
+        echo "ci.sh: stage '$name' FAILED"
+        exit 1
+    fi
+}
+
+ONLY=""
+case "${1:-}" in
+    --stage)
+        ONLY="${2:?usage: ci.sh --stage <name>}"
+        if [[ ! " ${STAGE_NAMES[*]} " == *" $ONLY "* ]]; then
+            echo "ci.sh: unknown stage '$ONLY' (try --list)"
+            exit 2
+        fi
+        ;;
+    --list)
+        printf '%s\n' "${STAGE_NAMES[@]}"
+        exit 0
+        ;;
+    -h | --help)
+        echo "usage: ci.sh [--stage <name>] [--list]"
+        exit 0
+        ;;
+esac
+
+for name in "${STAGE_NAMES[@]}"; do
+    [[ -n $ONLY && $name != "$ONLY" ]] && continue
+    run_stage "$name" "st_${name//-/_}"
+done
 
 echo "ci.sh: all checks passed"

@@ -146,6 +146,7 @@ fn main() {
     std::fs::create_dir_all("results").expect("cannot create results/");
     std::fs::write("results/parallel_speedup.txt", &out).expect("cannot write results");
     println!("wrote results/parallel_speedup.txt");
+    dar_bench::write_obs("parspeed");
     assert!(
         speedup >= 1.5,
         "4-thread runtime is only {speedup:.2}x over the serial baseline"

@@ -84,6 +84,16 @@ impl Profile {
     }
 }
 
+/// Write the observability snapshot of a finished experiment binary to
+/// `results/obs_<run>.json`. Best-effort: a snapshot failure must never
+/// fail the experiment that produced the actual numbers.
+pub fn write_obs(run: &str) {
+    match dar_obs::write_snapshot(std::path::Path::new("results"), run) {
+        Ok(p) => println!("obs snapshot: {}", p.display()),
+        Err(e) => eprintln!("obs snapshot failed: {e}"),
+    }
+}
+
 /// Target rationale sparsity per aspect — set near the human-annotation
 /// sparsity (Table IX), as the paper does for its main tables.
 pub fn aspect_alpha(aspect: Aspect) -> f32 {
@@ -142,6 +152,7 @@ pub fn run_once(
     profile: &Profile,
     seed: u64,
 ) -> TrainReport {
+    let _span = dar_obs::span("bench_run");
     let data = dataset(aspect, profile, seed);
     let cfg = RationaleConfig {
         sparsity: aspect_alpha(aspect),

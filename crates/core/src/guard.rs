@@ -232,6 +232,7 @@ impl GuardedTrainer {
         rng: &mut Rng,
         ckpt: &Path,
     ) -> DarResult<GuardedReport> {
+        let _train_span = dar_obs::span("train");
         let cfg = self.cfg;
         let policy = self.policy;
         let mut events = Vec::new();
@@ -261,7 +262,10 @@ impl GuardedTrainer {
             }
             match self.try_epoch(model, data, rng, epoch, &mut window) {
                 Ok(train_loss) => {
-                    let dev_metrics = evaluate_model(model, &data.dev, cfg.batch_size);
+                    let dev_metrics = {
+                        let _eval_span = dar_obs::span("eval");
+                        evaluate_model(model, &data.dev, cfg.batch_size)
+                    };
                     let selected = dev_metrics.sparsity;
                     if policy.is_collapsed(selected) {
                         let reason = GuardReason::RationaleCollapse { epoch, selected };
@@ -296,6 +300,12 @@ impl GuardedTrainer {
                         train_loss,
                         dev_score: score,
                     });
+                    dar_obs::event(dar_obs::ObsEvent::EpochDone {
+                        epoch: epoch as u64,
+                        train_loss,
+                        dev_score: score,
+                    });
+                    dar_obs::inc("train.epochs");
                     if cfg.verbose {
                         println!(
                             "[{}|guarded] epoch {epoch:>3}  loss {train_loss:.4}  dev {score:.4}",
@@ -352,8 +362,14 @@ impl GuardedTrainer {
         }
 
         model.restore(&best_snap);
-        let dev = evaluate_model(model, &data.dev, cfg.batch_size);
-        let test = evaluate_model(model, &data.test, cfg.batch_size);
+        let (dev, test) = {
+            let _eval_span = dar_obs::span("eval");
+            (
+                evaluate_model(model, &data.dev, cfg.batch_size),
+                evaluate_model(model, &data.test, cfg.batch_size),
+            )
+        };
+        dar_obs::gauge_set("train.best_epoch", best_epoch as i64);
         Ok(GuardedReport {
             report: TrainReport {
                 model_name: model.name().to_owned(),
@@ -377,6 +393,7 @@ impl GuardedTrainer {
         epoch: usize,
         window: &mut LossWindow,
     ) -> Result<f32, GuardReason> {
+        let _epoch_span = dar_obs::span("epoch");
         let policy = self.policy;
         let taint = dar_tensor::taint_enabled();
         let mut loss_sum = 0.0;
@@ -419,6 +436,7 @@ impl GuardedTrainer {
             let origin = dar_tensor::first_taint().map(|t| t.op);
             return Err(GuardReason::NonFiniteParams { epoch, origin });
         }
+        dar_obs::add("train.steps", n as u64);
         Ok(loss_sum / n.max(1) as f32)
     }
 
@@ -445,8 +463,16 @@ impl GuardedTrainer {
             epoch,
             reason: reason.clone(),
         });
+        dar_obs::event(dar_obs::ObsEvent::GuardTripped {
+            epoch: epoch as u64,
+            reason: reason.to_string(),
+        });
+        dar_obs::inc("guard.trips");
         if *retries >= self.policy.max_retries {
             events.push(TrainEvent::RetriesExhausted { epoch });
+            dar_obs::event(dar_obs::ObsEvent::RetriesExhausted {
+                epoch: epoch as u64,
+            });
             return Err(DarError::RetriesExhausted {
                 retries: *retries,
                 last: reason.to_string(),
@@ -479,6 +505,12 @@ impl GuardedTrainer {
             retry: *retries,
             lr_scale: *lr_scale,
         });
+        dar_obs::event(dar_obs::ObsEvent::RolledBack {
+            to_epoch: state.next_epoch as u64,
+            retry: *retries as u64,
+            lr_scale: *lr_scale,
+        });
+        dar_obs::inc("guard.rollbacks");
         if self.cfg.verbose {
             println!(
                 "[{}|guarded] rollback to epoch {} (retry {}, lr×{:.3})",
@@ -521,7 +553,15 @@ impl GuardedTrainer {
             best_snap: best_snap.to_vec(),
             optim: model.optim_states(),
         };
-        serial::save_checkpoint_path(ckpt, &Checkpoint::new(model.params(), state.encode()))
+        {
+            let _ckpt_span = dar_obs::span("checkpoint");
+            serial::save_checkpoint_path(ckpt, &Checkpoint::new(model.params(), state.encode()))?;
+        }
+        dar_obs::event(dar_obs::ObsEvent::CheckpointSaved {
+            next_epoch: next_epoch as u64,
+        });
+        dar_obs::inc("train.checkpoints_saved");
+        Ok(())
     }
 }
 

@@ -114,6 +114,10 @@ impl Trainer {
         serial::restore_into(&loaded.tensors, &model.params())?;
         model.restore_optim(&state.optim)?;
         *rng = Rng::from_state(state.rng_state);
+        dar_obs::event(dar_obs::ObsEvent::CheckpointResumed {
+            next_epoch: state.next_epoch as u64,
+        });
+        dar_obs::inc("train.resumes");
         self.run(model, data, rng, Some(ckpt), Some(state))
     }
 
@@ -125,6 +129,7 @@ impl Trainer {
         ckpt: Option<&Path>,
         resume: Option<ResumeState>,
     ) -> DarResult<TrainReport> {
+        let _train_span = dar_obs::span("train");
         let cfg = self.cfg;
         let (mut history, mut best_score, mut best_epoch, mut best_snap, mut since_best, start) =
             match resume {
@@ -156,13 +161,26 @@ impl Trainer {
             }
             let mut loss_sum = 0.0;
             let mut n = 0usize;
-            for batch in BatchIter::shuffled(&data.train, cfg.batch_size, rng) {
-                loss_sum += model.train_step_sharded(&batch, rng, cfg.grad_accum_shards);
-                n += 1;
+            {
+                let _epoch_span = dar_obs::span("epoch");
+                for batch in BatchIter::shuffled(&data.train, cfg.batch_size, rng) {
+                    loss_sum += model.train_step_sharded(&batch, rng, cfg.grad_accum_shards);
+                    n += 1;
+                }
             }
+            dar_obs::add("train.steps", n as u64);
+            dar_obs::inc("train.epochs");
             let train_loss = loss_sum / n.max(1) as f32;
-            let dev_metrics = evaluate_model(model, &data.dev, cfg.batch_size);
+            let dev_metrics = {
+                let _eval_span = dar_obs::span("eval");
+                evaluate_model(model, &data.dev, cfg.batch_size)
+            };
             let score = Self::dev_score(&dev_metrics);
+            dar_obs::event(dar_obs::ObsEvent::EpochDone {
+                epoch: epoch as u64,
+                train_loss,
+                dev_score: score,
+            });
             history.push(EpochLog {
                 epoch,
                 train_loss,
@@ -195,13 +213,26 @@ impl Trainer {
                     optim: model.optim_states(),
                 };
                 let ckpt = Checkpoint::new(model.params(), state.encode());
-                serial::save_checkpoint_path(path, &ckpt)?;
+                {
+                    let _ckpt_span = dar_obs::span("checkpoint");
+                    serial::save_checkpoint_path(path, &ckpt)?;
+                }
+                dar_obs::event(dar_obs::ObsEvent::CheckpointSaved {
+                    next_epoch: (epoch + 1) as u64,
+                });
+                dar_obs::inc("train.checkpoints_saved");
             }
         }
 
         model.restore(&best_snap);
-        let dev = evaluate_model(model, &data.dev, cfg.batch_size);
-        let test = evaluate_model(model, &data.test, cfg.batch_size);
+        let (dev, test) = {
+            let _eval_span = dar_obs::span("eval");
+            (
+                evaluate_model(model, &data.dev, cfg.batch_size),
+                evaluate_model(model, &data.test, cfg.batch_size),
+            )
+        };
+        dar_obs::gauge_set("train.best_epoch", best_epoch as i64);
         Ok(TrainReport {
             model_name: model.name().to_owned(),
             epochs_run: history.len(),

@@ -1,0 +1,178 @@
+//! The typed event journal: one ordered stream unifying the signals that
+//! previously lived in four incompatible formats (`TrainEvent`, breaker
+//! `TransitionCause`, `TaintRecord`, ad-hoc bench prints).
+//!
+//! Events belong to the snapshot's *deterministic* section: they are
+//! emitted from deterministic control flow (epoch boundaries, state-machine
+//! transitions, the first-wins taint latch), carry no wall-clock fields,
+//! and are serialized in emission order.
+
+use crate::json;
+
+/// One journal entry. Producers in other crates convert their native
+/// event types into this; `dar-obs` stays dependency-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// A training epoch finished clean (plain or guarded trainer).
+    EpochDone {
+        epoch: u64,
+        train_loss: f32,
+        dev_score: f32,
+    },
+    /// A divergence guard tripped; `reason` is the guard's display form.
+    GuardTripped { epoch: u64, reason: String },
+    /// Guarded training rolled back to its last good checkpoint.
+    RolledBack {
+        to_epoch: u64,
+        retry: u64,
+        lr_scale: f32,
+    },
+    /// The guarded trainer's retry budget ran out.
+    RetriesExhausted { epoch: u64 },
+    /// An epoch-boundary checkpoint was written durably.
+    CheckpointSaved { next_epoch: u64 },
+    /// Training resumed from a checkpoint at this epoch.
+    CheckpointResumed { next_epoch: u64 },
+    /// The serving circuit breaker changed state.
+    BreakerTransition {
+        from: String,
+        to: String,
+        cause: String,
+    },
+    /// The numeric taint latch caught the first non-finite op result of a
+    /// unit of work (train step / inference batch).
+    TaintLatched {
+        op: String,
+        node_id: u64,
+        first_bad_index: u64,
+    },
+    /// The serving weight store published a new generation.
+    WeightsSwapped { version: u64 },
+    /// Escape hatch for one-off signals; keep `kind` snake_case.
+    Custom { kind: String, detail: String },
+}
+
+impl ObsEvent {
+    /// Stable snake_case discriminator written into the snapshot.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::EpochDone { .. } => "epoch_done",
+            ObsEvent::GuardTripped { .. } => "guard_tripped",
+            ObsEvent::RolledBack { .. } => "rolled_back",
+            ObsEvent::RetriesExhausted { .. } => "retries_exhausted",
+            ObsEvent::CheckpointSaved { .. } => "checkpoint_saved",
+            ObsEvent::CheckpointResumed { .. } => "checkpoint_resumed",
+            ObsEvent::BreakerTransition { .. } => "breaker_transition",
+            ObsEvent::TaintLatched { .. } => "taint_latched",
+            ObsEvent::WeightsSwapped { .. } => "weights_swapped",
+            ObsEvent::Custom { .. } => "custom",
+        }
+    }
+
+    /// Append this event as one JSON object: `{"seq":N,"kind":...,fields}`.
+    pub(crate) fn push_json(&self, out: &mut String, seq: u64) {
+        out.push_str(&format!("{{\"seq\":{seq},\"kind\":"));
+        json::push_str(out, self.kind());
+        match self {
+            ObsEvent::EpochDone {
+                epoch,
+                train_loss,
+                dev_score,
+            } => {
+                out.push_str(&format!(",\"epoch\":{epoch},\"train_loss\":"));
+                json::push_f32(out, *train_loss);
+                out.push_str(",\"dev_score\":");
+                json::push_f32(out, *dev_score);
+            }
+            ObsEvent::GuardTripped { epoch, reason } => {
+                out.push_str(&format!(",\"epoch\":{epoch},\"reason\":"));
+                json::push_str(out, reason);
+            }
+            ObsEvent::RolledBack {
+                to_epoch,
+                retry,
+                lr_scale,
+            } => {
+                out.push_str(&format!(
+                    ",\"to_epoch\":{to_epoch},\"retry\":{retry},\"lr_scale\":"
+                ));
+                json::push_f32(out, *lr_scale);
+            }
+            ObsEvent::RetriesExhausted { epoch } => {
+                out.push_str(&format!(",\"epoch\":{epoch}"));
+            }
+            ObsEvent::CheckpointSaved { next_epoch } => {
+                out.push_str(&format!(",\"next_epoch\":{next_epoch}"));
+            }
+            ObsEvent::CheckpointResumed { next_epoch } => {
+                out.push_str(&format!(",\"next_epoch\":{next_epoch}"));
+            }
+            ObsEvent::BreakerTransition { from, to, cause } => {
+                out.push_str(",\"from\":");
+                json::push_str(out, from);
+                out.push_str(",\"to\":");
+                json::push_str(out, to);
+                out.push_str(",\"cause\":");
+                json::push_str(out, cause);
+            }
+            ObsEvent::TaintLatched {
+                op,
+                node_id,
+                first_bad_index,
+            } => {
+                out.push_str(",\"op\":");
+                json::push_str(out, op);
+                out.push_str(&format!(
+                    ",\"node_id\":{node_id},\"first_bad_index\":{first_bad_index}"
+                ));
+            }
+            ObsEvent::WeightsSwapped { version } => {
+                out.push_str(&format!(",\"version\":{version}"));
+            }
+            ObsEvent::Custom { kind, detail } => {
+                out.push_str(",\"custom_kind\":");
+                json::push_str(out, kind);
+                out.push_str(",\"detail\":");
+                json::push_str(out, detail);
+            }
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(
+            ObsEvent::EpochDone {
+                epoch: 0,
+                train_loss: 0.0,
+                dev_score: 0.0
+            }
+            .kind(),
+            "epoch_done"
+        );
+        assert_eq!(
+            ObsEvent::WeightsSwapped { version: 2 }.kind(),
+            "weights_swapped"
+        );
+    }
+
+    #[test]
+    fn serializes_with_seq_and_kind() {
+        let mut out = String::new();
+        ObsEvent::BreakerTransition {
+            from: "Closed".into(),
+            to: "Degraded".into(),
+            cause: "generator failures".into(),
+        }
+        .push_json(&mut out, 7);
+        assert_eq!(
+            out,
+            r#"{"seq":7,"kind":"breaker_transition","from":"Closed","to":"Degraded","cause":"generator failures"}"#
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! The global metrics registry: named counters and gauges behind one
+//! process-wide instance, plus the event journal.
+//!
+//! Lock discipline: every metric name resolves to an `Arc<Atomic*>`
+//! handle through a short mutex-protected `BTreeMap` lookup; the handle
+//! itself is updated lock-free. Hot sites therefore pay one map lookup
+//! per update — and nothing at all when the layer is disabled. The
+//! `BTreeMap` keying doubles as the ascending-order aggregation the
+//! snapshot determinism contract requires.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::journal::ObsEvent;
+use crate::span::SpanStore;
+
+/// Hard cap on retained journal events; later events are counted in
+/// `events_dropped` instead of growing without bound.
+pub(crate) const JOURNAL_CAP: usize = 1 << 16;
+
+pub(crate) struct Journal {
+    pub events: Vec<ObsEvent>,
+    pub dropped: u64,
+}
+
+pub(crate) struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicI64>>>,
+    journal: Mutex<Journal>,
+    pub(crate) spans: Mutex<SpanStore>,
+}
+
+/// `DAR_OBS=0` (or empty) disables the layer at startup; anything else —
+/// including unset — leaves it on.
+fn env_enabled_default() -> bool {
+    match std::env::var("DAR_OBS") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => true,
+    }
+}
+
+pub(crate) fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        enabled: AtomicBool::new(env_enabled_default()),
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        journal: Mutex::new(Journal {
+            events: Vec::new(),
+            dropped: 0,
+        }),
+        spans: Mutex::new(SpanStore::new()),
+    })
+}
+
+/// Survive a panic while a registry lock was held (metrics must never
+/// take the process down with them).
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether the layer records anything. One relaxed atomic load.
+pub fn enabled() -> bool {
+    global().enabled.load(Ordering::Relaxed)
+}
+
+/// Turn the whole layer on or off at runtime (overrides `DAR_OBS`).
+/// Process-global: affects every thread, including pool and serve workers.
+pub fn set_enabled(on: bool) {
+    global().enabled.store(on, Ordering::Relaxed);
+}
+
+fn counter_handle(name: &'static str) -> Arc<AtomicU64> {
+    let mut map = relock(&global().counters);
+    Arc::clone(map.entry(name).or_default())
+}
+
+fn gauge_handle(name: &'static str) -> Arc<AtomicI64> {
+    let mut map = relock(&global().gauges);
+    Arc::clone(map.entry(name).or_default())
+}
+
+/// Increment a counter by one.
+pub fn inc(name: &'static str) {
+    add(name, 1);
+}
+
+/// Add `delta` to a counter. Integer adds commute, so the final value is
+/// exact for any thread interleaving — counters are safe to place in the
+/// snapshot's deterministic section.
+pub fn add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_handle(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Set a gauge to an absolute value. Last-writer-wins: only use gauges
+/// for values written from deterministic control flow (e.g. a final
+/// epoch index), never for concurrent sampling.
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    gauge_handle(name).store(value, Ordering::Relaxed);
+}
+
+/// Append an event to the journal (dropped, and counted, past the cap).
+pub fn event(e: ObsEvent) {
+    if !enabled() {
+        return;
+    }
+    let mut j = relock(&global().journal);
+    if j.events.len() < JOURNAL_CAP {
+        j.events.push(e);
+    } else {
+        j.dropped += 1;
+    }
+}
+
+/// Clear every counter, gauge, span statistic, and journal entry. For
+/// tests and benches that need a pristine registry; the enabled flag is
+/// left as-is.
+pub fn reset() {
+    let r = global();
+    relock(&r.counters).clear();
+    relock(&r.gauges).clear();
+    {
+        let mut j = relock(&r.journal);
+        j.events.clear();
+        j.dropped = 0;
+    }
+    relock(&r.spans).clear();
+}
+
+pub(crate) fn counters_sorted() -> Vec<(String, u64)> {
+    relock(&global().counters)
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+pub(crate) fn gauges_sorted() -> Vec<(String, i64)> {
+    relock(&global().gauges)
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+pub(crate) fn journal_snapshot() -> (Vec<ObsEvent>, u64) {
+    let j = relock(&global().journal);
+    (j.events.clone(), j.dropped)
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        inc("z.second");
+        add("a.first", 41);
+        inc("a.first");
+        let got = counters_sorted();
+        assert_eq!(
+            got,
+            vec![("a.first".to_string(), 42), ("z.second".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = test_lock();
+        reset();
+        set_enabled(false);
+        inc("ghost");
+        gauge_set("ghost.gauge", 7);
+        event(ObsEvent::WeightsSwapped { version: 1 });
+        set_enabled(true);
+        assert!(counters_sorted().is_empty());
+        assert!(gauges_sorted().is_empty());
+        assert!(journal_snapshot().0.is_empty());
+    }
+
+    #[test]
+    fn journal_caps_and_counts_drops() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        for v in 0..(JOURNAL_CAP as u64 + 5) {
+            event(ObsEvent::WeightsSwapped { version: v });
+        }
+        let (events, dropped) = journal_snapshot();
+        assert_eq!(events.len(), JOURNAL_CAP);
+        assert_eq!(dropped, 5);
+        reset();
+        assert_eq!(journal_snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn gauge_is_last_writer_wins() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        gauge_set("best_epoch", 3);
+        gauge_set("best_epoch", -1);
+        assert_eq!(gauges_sorted(), vec![("best_epoch".to_string(), -1)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Point-in-time export of the whole registry as a schema-versioned JSON
+//! document (`results/obs_<run>.json`).
+//!
+//! Layout (schema version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "run": "train",
+//!   "deterministic": {
+//!     "counters": {"train.epochs": 2, ...},   // sorted by name
+//!     "gauges": {"train.best_epoch": 1, ...}, // sorted by name
+//!     "events": [{"seq":0,"kind":"epoch_done",...}, ...],
+//!     "events_dropped": 0
+//!   },
+//!   "timing": {
+//!     "spans": [{"path":"train/epoch","count":2,"total_us":...,
+//!                "p50_us":...,"p99_us":...,"max_us":...}, ...]
+//!   }
+//! }
+//! ```
+//!
+//! The `deterministic` object is the byte-comparison surface of the
+//! determinism contract (DESIGN.md §12); `timing` holds every
+//! wall-clock-derived field and is never compared.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::journal::ObsEvent;
+use crate::json;
+use crate::registry;
+use crate::SCHEMA_VERSION;
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone)]
+pub struct SpanSummary {
+    pub path: String,
+    pub count: u64,
+    pub total_us: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub run: String,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub events: Vec<ObsEvent>,
+    pub events_dropped: u64,
+    pub spans: Vec<SpanSummary>,
+}
+
+/// Capture the registry under a run name. Cheap enough to call at any
+/// point; typically once at the end of a run, before [`write_snapshot`].
+pub fn snapshot(run: &str) -> Snapshot {
+    let (events, events_dropped) = registry::journal_snapshot();
+    let spans = registry::relock(&registry::global().spans)
+        .sorted()
+        .into_iter()
+        .map(|(path, s)| SpanSummary {
+            path,
+            count: s.count,
+            total_us: s.total_us,
+            p50_us: s.quantile_us(0.5),
+            p99_us: s.quantile_us(0.99),
+            max_us: s.max_us,
+        })
+        .collect();
+    Snapshot {
+        run: run.to_string(),
+        counters: registry::counters_sorted(),
+        gauges: registry::gauges_sorted(),
+        events,
+        events_dropped,
+        spans,
+    }
+}
+
+impl Snapshot {
+    /// The `deterministic` object alone — the byte-comparison surface.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        self.push_deterministic(&mut out);
+        out
+    }
+
+    fn push_deterministic(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.push_json(out, i as u64);
+        }
+        out.push_str(&format!("],\"events_dropped\":{}}}", self.events_dropped));
+    }
+
+    /// The full document (deterministic + timing sections), pretty enough
+    /// to diff: one line per top-level section.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n\"schema_version\": {SCHEMA_VERSION},\n\"run\": "
+        ));
+        json::push_str(&mut out, &self.run);
+        out.push_str(",\n\"deterministic\": ");
+        self.push_deterministic(&mut out);
+        out.push_str(",\n\"timing\": {\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n {\"path\":");
+            json::push_str(&mut out, &s.path);
+            out.push_str(&format!(
+                ",\"count\":{},\"total_us\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                s.count, s.total_us, s.p50_us, s.p99_us, s.max_us
+            ));
+        }
+        out.push_str("\n]}\n}\n");
+        out
+    }
+
+    /// Write `obs_<run>.json` into `dir`, returning the path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("obs_{}.json", self.run));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// [`snapshot`] + [`Snapshot::write`] in one call.
+pub fn write_snapshot(dir: &Path, run: &str) -> io::Result<PathBuf> {
+    snapshot(run).write(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{event, inc, reset, set_enabled, test_lock};
+    use crate::span::span;
+
+    #[test]
+    fn deterministic_section_is_stable_and_excludes_timing() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        inc("b.counter");
+        inc("a.counter");
+        event(ObsEvent::WeightsSwapped { version: 2 });
+        {
+            let _s = span("wall_clock");
+        }
+        let det = snapshot("run").deterministic_json();
+        assert_eq!(
+            det,
+            "{\"counters\":{\"a.counter\":1,\"b.counter\":1},\"gauges\":{},\
+             \"events\":[{\"seq\":0,\"kind\":\"weights_swapped\",\"version\":2}],\
+             \"events_dropped\":0}"
+        );
+        // Identical logical state → identical bytes, however often spans
+        // fired in between.
+        reset();
+        inc("a.counter");
+        inc("b.counter");
+        event(ObsEvent::WeightsSwapped { version: 2 });
+        for _ in 0..3 {
+            let _s = span("other_wall_clock");
+        }
+        assert_eq!(snapshot("run").deterministic_json(), det);
+    }
+
+    #[test]
+    fn full_document_carries_schema_and_sections() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        inc("x");
+        {
+            let _s = span("stage");
+        }
+        let doc = snapshot("demo").to_json();
+        assert!(doc.contains("\"schema_version\": 1"));
+        assert!(doc.contains("\"run\": \"demo\""));
+        assert!(doc.contains("\"deterministic\": "));
+        assert!(doc.contains("\"timing\": "));
+        assert!(doc.contains("\"path\":\"stage\""));
+    }
+
+    #[test]
+    fn write_creates_named_file() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        inc("written");
+        let dir = std::env::temp_dir().join(format!("dar_obs_{}", std::process::id()));
+        let path = write_snapshot(&dir, "unit").unwrap();
+        assert!(path.ends_with("obs_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"written\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

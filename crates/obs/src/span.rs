@@ -1,0 +1,313 @@
+//! Hierarchical span timing.
+//!
+//! [`span`] opens a timing scope tied to a thread-local stack: a span
+//! opened while another is active aggregates under the concatenated path
+//! (`train/epoch/matmul`), so the same kernel is accounted separately
+//! per enclosing phase. Guards are strictly LIFO — hold them in a local
+//! and let scope end close them.
+//!
+//! Aggregation is a fixed-bucket power-of-two histogram per path
+//! (microsecond resolution), which yields stable p50/p99 estimates
+//! without storing individual samples. Durations are wall-clock and thus
+//! live in the snapshot's non-deterministic `timing` section; the
+//! *paths* are interned globally so the export order (ascending by path)
+//! is stable.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::registry::{enabled, global, relock};
+
+/// Bucket count: bucket `i ≥ 1` covers `[2^(i-1), 2^i)` µs; bucket 0 is
+/// sub-microsecond. 28 buckets reach ~2.2 minutes; longer samples clamp
+/// into the top bucket.
+pub(crate) const N_BUCKETS: usize = 28;
+
+#[derive(Clone)]
+pub(crate) struct SpanStat {
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl SpanStat {
+    fn new() -> Self {
+        SpanStat {
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+        self.buckets[bucket_index(us)] += 1;
+    }
+
+    /// Estimate the `p`-quantile (0..=1) as the upper bound of the bucket
+    /// where the cumulative count crosses it.
+    pub fn quantile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+pub(crate) fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+}
+
+fn bucket_upper_us(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else {
+        1u64 << i
+    }
+}
+
+/// Interner + statistics for every span path seen by the process.
+pub(crate) struct SpanStore {
+    /// `paths[id]` is the full `/`-joined path; id 0 is the root sentinel.
+    paths: Vec<String>,
+    /// `(parent_id, leaf_name) → id`.
+    children: BTreeMap<(u32, &'static str), u32>,
+    stats: Vec<SpanStat>,
+}
+
+impl SpanStore {
+    pub fn new() -> Self {
+        SpanStore {
+            paths: vec![String::new()],
+            children: BTreeMap::new(),
+            stats: vec![SpanStat::new()],
+        }
+    }
+
+    pub fn clear(&mut self) {
+        *self = SpanStore::new();
+    }
+
+    fn intern(&mut self, parent: u32, leaf: &'static str) -> u32 {
+        if let Some(&id) = self.children.get(&(parent, leaf)) {
+            return id;
+        }
+        let path = if parent == 0 {
+            leaf.to_string()
+        } else {
+            format!("{}/{leaf}", self.paths[parent as usize])
+        };
+        let id = self.paths.len() as u32;
+        self.paths.push(path);
+        self.stats.push(SpanStat::new());
+        self.children.insert((parent, leaf), id);
+        id
+    }
+
+    /// Resolve a stack of leaf names to a path id, interning as needed.
+    fn intern_chain(&mut self, chain: &[&'static str]) -> u32 {
+        let mut id = 0u32;
+        for leaf in chain {
+            id = self.intern(id, leaf);
+        }
+        id
+    }
+
+    pub fn record_chain(&mut self, chain: &[&'static str], us: u64) {
+        let id = self.intern_chain(chain);
+        self.stats[id as usize].record(us);
+    }
+
+    /// `(path, stat)` for every recorded span, ascending by path.
+    pub fn sorted(&self) -> Vec<(String, SpanStat)> {
+        let mut out: Vec<(String, SpanStat)> = self
+            .paths
+            .iter()
+            .zip(&self.stats)
+            .skip(1) // root sentinel
+            .filter(|(_, s)| s.count > 0)
+            .map(|(p, s)| (p.clone(), s.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open timing scope; closes (and records) on drop.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Open a span named `leaf` under the thread's current span path. When
+/// the layer is disabled this returns an inert guard (no clock read, no
+/// stack push).
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { name, start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let us = start.elapsed().as_micros() as u64;
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // LIFO discipline: the top must be us. If a guard escaped its
+            // scope out of order, drop down to it rather than corrupting
+            // the stack for every later span on this thread.
+            while let Some(top) = stack.pop() {
+                if std::ptr::eq(top.as_ptr(), self.name.as_ptr()) || top == self.name {
+                    break;
+                }
+            }
+            relock(&global().spans).record_chain(
+                &stack
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(self.name))
+                    .collect::<Vec<_>>(),
+                us,
+            );
+        });
+    }
+}
+
+/// Record an externally-measured duration under a root-level path — for
+/// durations that cross threads (e.g. a request's queue wait, measured
+/// from submission on one thread to claim on another) and cannot be a
+/// scoped guard.
+pub fn record_micros(name: &'static str, us: u64) {
+    if !enabled() {
+        return;
+    }
+    relock(&global().spans).record_chain(&[name], us);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{reset, set_enabled, test_lock};
+    use crate::snapshot::snapshot;
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("train");
+            {
+                let _mid = span("epoch");
+                let _inner = span("matmul");
+            }
+            let _sibling = span("eval");
+        }
+        let snap = snapshot("t");
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["train", "train/epoch", "train/epoch/matmul", "train/eval"]
+        );
+        assert!(snap.spans.iter().all(|s| s.count == 1));
+    }
+
+    #[test]
+    fn same_leaf_under_different_parents_is_two_paths() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _a = span("train");
+            let _k = span("matmul");
+        }
+        {
+            let _b = span("serve");
+            let _k = span("matmul");
+        }
+        let snap = snapshot("t");
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["serve", "serve/matmul", "train", "train/matmul"]
+        );
+    }
+
+    #[test]
+    fn record_micros_lands_at_root() {
+        let _g = test_lock();
+        reset();
+        set_enabled(true);
+        record_micros("queue_wait", 100);
+        record_micros("queue_wait", 300);
+        let snap = snapshot("t");
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].path, "queue_wait");
+        assert_eq!(snap.spans[0].count, 2);
+        assert_eq!(snap.spans[0].total_us, 400);
+        assert_eq!(snap.spans[0].max_us, 300);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        reset();
+        set_enabled(false);
+        {
+            let _s = span("ghost");
+        }
+        record_micros("ghost", 5);
+        set_enabled(true);
+        assert!(snapshot("t").spans.is_empty());
+    }
+
+    #[test]
+    fn bucket_geometry() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        let mut s = SpanStat::new();
+        for us in [10, 20, 30, 40, 1000] {
+            s.record(us);
+        }
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_us, 1100);
+        assert_eq!(s.max_us, 1000);
+        // p50 falls in the bucket holding 20/30 µs → upper bound 32.
+        assert_eq!(s.quantile_us(0.5), 32);
+        // p99 clamps to the observed max.
+        assert_eq!(s.quantile_us(0.99), 1000);
+    }
+}

@@ -160,6 +160,12 @@ impl CircuitBreaker {
             to,
             cause,
         });
+        dar_obs::event(dar_obs::ObsEvent::BreakerTransition {
+            from: format!("{:?}", self.state),
+            to: format!("{to:?}"),
+            cause: format!("{cause:?}"),
+        });
+        dar_obs::inc("serve.breaker_transitions");
         self.state = to;
         self.failures = 0;
         self.degraded_failures = 0;

@@ -67,6 +67,9 @@ pub type ServeResult = Result<ServeOutput, ServeError>;
 pub(crate) struct Pending {
     pub review: Review,
     pub deadline: Instant,
+    /// When the request entered the runtime — the start of its queue wait
+    /// in the observability timings.
+    pub submitted: Instant,
     tx: mpsc::Sender<ServeResult>,
 }
 
@@ -77,6 +80,7 @@ impl Pending {
             Pending {
                 review,
                 deadline,
+                submitted: Instant::now(),
                 tx,
             },
             Ticket { rx },

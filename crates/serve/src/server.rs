@@ -97,6 +97,12 @@ struct Shared {
 impl Shared {
     fn record_success(&self, born: Instant, degraded: bool) {
         let us = born.elapsed().as_micros() as u64;
+        if degraded {
+            dar_obs::inc("serve.served_degraded");
+        } else {
+            dar_obs::inc("serve.served_full");
+        }
+        dar_obs::record_micros("serve/latency", us);
         let mut s = self.stats.lock().unwrap();
         if degraded {
             s.served_degraded += 1;
@@ -191,6 +197,7 @@ impl Server {
     pub fn submit_with_deadline(&self, review: Review, deadline: Duration) -> Ticket {
         let shared = &self.shared;
         let (pending, ticket) = Pending::new(review, Instant::now() + deadline);
+        dar_obs::inc("serve.submitted");
 
         // Admission: cheap structural checks before anything is queued.
         if let Err(e) = pending
@@ -198,6 +205,7 @@ impl Server {
             .admissible(shared.cfg.vocab_size, shared.cfg.max_len)
         {
             shared.stats.lock().unwrap().rejected += 1;
+            dar_obs::inc("serve.rejected");
             pending.respond(Err(ServeError::Rejected(e)));
             return ticket;
         }
@@ -210,6 +218,7 @@ impl Server {
                 b.on_shed();
                 drop(b);
                 shared.stats.lock().unwrap().shed += 1;
+                dar_obs::inc("serve.shed");
                 pending.respond(Err(ServeError::Shed));
                 return ticket;
             }
@@ -226,6 +235,7 @@ impl Server {
             if q.items.len() >= shared.cfg.queue_cap {
                 drop(q);
                 shared.stats.lock().unwrap().queue_full += 1;
+                dar_obs::inc("serve.queue_full");
                 pending.respond(Err(ServeError::QueueFull));
                 return ticket;
             }
@@ -353,6 +363,7 @@ fn claim_batch(shared: &Shared, cap: usize) -> Option<Vec<Pending>> {
             let mut s = shared.stats.lock().unwrap();
             s.deadline_exceeded += expired.len() as u64;
             drop(s);
+            dar_obs::add("serve.deadline_exceeded", expired.len() as u64);
             for p in expired {
                 p.respond(Err(ServeError::DeadlineExceeded));
             }
@@ -401,6 +412,7 @@ fn assemble(shared: &Shared, claimed: Vec<Pending>) -> Option<(Vec<Pending>, Bat
             let mut s = shared.stats.lock().unwrap();
             s.rejected += claimed.len() as u64;
             drop(s);
+            dar_obs::add("serve.rejected", claimed.len() as u64);
             let msg = e.to_string();
             for p in claimed {
                 p.respond(Err(ServeError::Rejected(
@@ -533,7 +545,23 @@ fn worker_loop(
             continue;
         }
 
-        let Some((claimed, batch)) = assemble(&shared, claimed) else {
+        // The queue wait spans two threads (submit → claim), so it is
+        // recorded as an external duration rather than a scoped span.
+        let claim_time = Instant::now();
+        for p in &claimed {
+            dar_obs::record_micros(
+                "serve/queue_wait",
+                claim_time
+                    .saturating_duration_since(p.submitted)
+                    .as_micros() as u64,
+            );
+        }
+
+        let assembled = {
+            let _span = dar_obs::span("serve_assemble");
+            assemble(&shared, claimed)
+        };
+        let Some((claimed, batch)) = assembled else {
             continue;
         };
 
@@ -558,19 +586,23 @@ fn worker_loop(
         if dar_tensor::taint_enabled() {
             dar_tensor::clear_taint();
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| match plan {
-            BatchPlan::Full { .. } => run_full(&shared, model.as_ref(), &batch, version),
-            BatchPlan::PredictorOnly => {
-                run_predictor(model.as_ref(), &batch, version).map(|outs| (outs, true))
-            }
-            BatchPlan::Shed => unreachable!("shed handled before assembly"),
-        }));
+        let outcome = {
+            let _span = dar_obs::span("serve_infer");
+            catch_unwind(AssertUnwindSafe(|| match plan {
+                BatchPlan::Full { .. } => run_full(&shared, model.as_ref(), &batch, version),
+                BatchPlan::PredictorOnly => {
+                    run_predictor(model.as_ref(), &batch, version).map(|outs| (outs, true))
+                }
+                BatchPlan::Shed => unreachable!("shed handled before assembly"),
+            }))
+        };
 
         // Whatever the outcome, the latch now names the op that first went
         // non-finite during this batch (None if nothing did).
         let origin = dar_tensor::first_taint().map(|t| t.op);
         match outcome {
             Ok(Ok((outs, degraded))) => {
+                let _span = dar_obs::span("serve_respond");
                 let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
                 {
                     let mut b = shared.breaker.lock().unwrap();
@@ -607,6 +639,7 @@ fn worker_loop(
             }
             Err(payload) => {
                 shared.stats.lock().unwrap().panics += 1;
+                dar_obs::inc("serve.panics");
                 {
                     let mut b = shared.breaker.lock().unwrap();
                     match plan {

@@ -115,6 +115,8 @@ impl WeightStore {
         };
         let version = next.version;
         *self.current.lock().unwrap() = Arc::new(next);
+        dar_obs::event(dar_obs::ObsEvent::WeightsSwapped { version });
+        dar_obs::inc("serve.weight_swaps");
         Ok(version)
     }
 }

@@ -98,6 +98,7 @@ impl Tensor {
     /// Checked [`matmul`](Self::matmul): rank or inner-dim mismatch is a
     /// typed error instead of a panic.
     pub fn try_matmul(&self, other: &Tensor) -> DarResult<Tensor> {
+        let _span = dar_obs::span("matmul");
         let (sa, sb) = (self.shape(), other.shape());
         if sa.len() != 2 {
             return Err(DarError::InvalidData(format!(
@@ -148,6 +149,7 @@ impl Tensor {
     /// Checked [`bmm`](Self::bmm): rank, batch, or inner-dim mismatch is a
     /// typed error instead of a panic.
     pub fn try_bmm(&self, other: &Tensor) -> DarResult<Tensor> {
+        let _span = dar_obs::span("bmm");
         let (sa, sb) = (self.shape(), other.shape());
         if sa.len() != 3 {
             return Err(DarError::InvalidData(format!(

@@ -332,6 +332,7 @@ pub fn gru_seq(
     b_h: &Tensor,
     reverse: bool,
 ) -> Tensor {
+    let _span = dar_obs::span("gru_seq");
     let s = x.shape();
     assert_eq!(s.len(), 3, "gru_seq expects [b, l, e], got {s:?}");
     let (b, l, e) = (s[0], s[1], s[2]);
@@ -392,6 +393,7 @@ pub fn gru_seq(
             b_h.clone(),
         ],
         Box::new(move |g, parents| {
+            let _span = dar_obs::span("gru_bptt");
             let (x, w_zr, b_zr, w_h, b_h) = (
                 &parents[0],
                 &parents[1],

@@ -73,6 +73,7 @@ impl Tensor {
     /// Checked [`softmax`](Self::softmax): a rank-0 or zero-width last
     /// dimension is a typed error instead of a panic.
     pub fn try_softmax(&self) -> DarResult<Tensor> {
+        let _span = dar_obs::span("softmax");
         let c = last_dim("softmax", self.shape())?;
         let v = self.values();
         let mut out = vec![0.0f32; v.len()];
@@ -120,6 +121,7 @@ impl Tensor {
 
     /// Checked [`log_softmax`](Self::log_softmax).
     pub fn try_log_softmax(&self) -> DarResult<Tensor> {
+        let _span = dar_obs::span("log_softmax");
         let c = last_dim("log_softmax", self.shape())?;
         let v = self.values();
         let mut out = vec![0.0f32; v.len()];

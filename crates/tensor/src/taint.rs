@@ -94,6 +94,12 @@ pub(crate) fn scan(op: &'static str, node_id: u64, shape: &[usize], values: &[f3
                 shape: shape.to_vec(),
                 first_bad_index: idx,
             });
+            dar_obs::event(dar_obs::ObsEvent::TaintLatched {
+                op: op.to_string(),
+                node_id,
+                first_bad_index: idx as u64,
+            });
+            dar_obs::inc("tensor.taints_latched");
         }
     });
 }

@@ -1,0 +1,259 @@
+//! `benchgate` — CI regression gate over the committed bench trajectory.
+//!
+//! Compares freshly-measured `BENCH_*.json` points against the baseline
+//! committed in git (CI extracts `git show HEAD:results/BENCH_*.json`
+//! into a baseline directory; this binary never runs git itself). A
+//! throughput metric may not drop more than 10% below baseline and a
+//! latency metric may not inflate more than 15% above it — past either
+//! line the gate exits non-zero and CI fails.
+//!
+//! ```sh
+//! benchgate --baseline target/benchgate/baseline --fresh results
+//! benchgate --self-test        # gate must fail a synthetic regression
+//! ```
+//!
+//! Escape hatch: `DAR_BENCHGATE=off` skips the comparison entirely (exit
+//! 0) — for machines whose absolute throughput is incomparable to the
+//! one that produced the committed trajectory. Use it to land a change
+//! that legitimately moves a bench number, then commit the fresh point
+//! as the new baseline.
+
+use std::path::Path;
+
+use dar::obs::json::parse_flat;
+
+/// Higher-is-better metrics per trajectory file: fresh must stay above
+/// `(1 - MAX_THROUGHPUT_DROP)` × baseline.
+const THROUGHPUT_METRICS: &[(&str, &str)] = &[
+    ("BENCH_serve.json", "throughput_rps"),
+    ("BENCH_numeric.json", "raw_examples_per_s"),
+    ("BENCH_numeric.json", "guarded_examples_per_s"),
+    ("BENCH_obs.json", "on_examples_per_s"),
+];
+
+/// Lower-is-better metrics: fresh must stay below
+/// `(1 + MAX_LATENCY_INFLATION)` × baseline.
+const LATENCY_METRICS: &[(&str, &str)] = &[("BENCH_serve.json", "p99_us")];
+
+const MAX_THROUGHPUT_DROP: f64 = 0.10;
+const MAX_LATENCY_INFLATION: f64 = 0.15;
+
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok,
+    Regressed,
+}
+
+fn check_throughput(baseline: f64, fresh: f64) -> Verdict {
+    if fresh < baseline * (1.0 - MAX_THROUGHPUT_DROP) {
+        Verdict::Regressed
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn check_latency(baseline: f64, fresh: f64) -> Verdict {
+    if fresh > baseline * (1.0 + MAX_LATENCY_INFLATION) {
+        Verdict::Regressed
+    } else {
+        Verdict::Ok
+    }
+}
+
+fn metric(dir: &Path, file: &str, key: &str) -> Result<Option<f64>, String> {
+    let path = dir.join(file);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let map = parse_flat(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    match map.get(key) {
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("{file}:{key} is not a number")),
+        None => Ok(None),
+    }
+}
+
+/// Run every gate over `baseline` vs `fresh`. Returns the failures; an
+/// empty vec is a pass. A file or key missing on the *baseline* side is
+/// skipped with a note (a brand-new bench has no history to regress
+/// from); missing on the *fresh* side it is an error — the bench that
+/// should have produced it did not run.
+fn run_gate(baseline: &Path, fresh: &Path) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    let checks = THROUGHPUT_METRICS
+        .iter()
+        .map(|&(f, k)| (f, k, true))
+        .chain(LATENCY_METRICS.iter().map(|&(f, k)| (f, k, false)));
+    for (file, key, higher_is_better) in checks {
+        let Some(base) = metric(baseline, file, key)? else {
+            println!("benchgate: {file}:{key} has no baseline yet — skipping");
+            continue;
+        };
+        let Some(new) = metric(fresh, file, key)? else {
+            return Err(format!(
+                "benchgate: {file}:{key} missing from fresh results — did the bench run?"
+            ));
+        };
+        let (verdict, direction, limit_pct) = if higher_is_better {
+            (
+                check_throughput(base, new),
+                "drop",
+                MAX_THROUGHPUT_DROP * 100.0,
+            )
+        } else {
+            (
+                check_latency(base, new),
+                "inflation",
+                MAX_LATENCY_INFLATION * 100.0,
+            )
+        };
+        let delta_pct = (new / base - 1.0) * 100.0;
+        println!("benchgate: {file}:{key} baseline {base:.2} fresh {new:.2} ({delta_pct:+.1}%)");
+        if verdict == Verdict::Regressed {
+            failures.push(format!(
+                "{file}:{key} {direction} beyond {limit_pct:.0}%: baseline {base:.2}, fresh {new:.2} ({delta_pct:+.1}%)"
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// The gate must catch a synthetic regression and pass an identical
+/// point — the negative test CI runs on every build.
+fn self_test() {
+    let dir = std::env::temp_dir().join(format!("dar_benchgate_{}", std::process::id()));
+    let base = dir.join("baseline");
+    let fresh = dir.join("fresh");
+    std::fs::create_dir_all(&base).expect("creating self-test baseline dir");
+    std::fs::create_dir_all(&fresh).expect("creating self-test fresh dir");
+
+    let serve_base = r#"{"throughput_rps": 1000.0, "p99_us": 10000}"#;
+    let numeric = r#"{"raw_examples_per_s": 500.0, "guarded_examples_per_s": 490.0}"#;
+    let obs = r#"{"on_examples_per_s": 480.0}"#;
+    std::fs::write(base.join("BENCH_serve.json"), serve_base).expect("writing baseline");
+    std::fs::write(base.join("BENCH_numeric.json"), numeric).expect("writing baseline");
+    std::fs::write(base.join("BENCH_obs.json"), obs).expect("writing baseline");
+
+    // Identical fresh point: must pass.
+    std::fs::write(fresh.join("BENCH_serve.json"), serve_base).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_numeric.json"), numeric).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_obs.json"), obs).expect("writing fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert!(
+        failures.is_empty(),
+        "identical point must pass, got {failures:?}"
+    );
+
+    // Regressed fresh point (-20% throughput, +30% p99): must fail both.
+    std::fs::write(
+        fresh.join("BENCH_serve.json"),
+        r#"{"throughput_rps": 800.0, "p99_us": 13000}"#,
+    )
+    .expect("writing regressed fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert_eq!(
+        failures.len(),
+        2,
+        "regressed point must fail throughput and p99, got {failures:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("benchgate: self-test ok");
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: benchgate --baseline DIR --fresh DIR | --self-test");
+        eprintln!("       DAR_BENCHGATE=off benchgate ...   # skip (exit 0)");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--self-test") {
+        self_test();
+        return;
+    }
+    if std::env::var("DAR_BENCHGATE").as_deref() == Ok("off") {
+        println!("benchgate: DAR_BENCHGATE=off — skipping regression gate");
+        return;
+    }
+    let baseline = str_flag(&args, "--baseline").unwrap_or_else(|| {
+        eprintln!("missing --baseline DIR");
+        std::process::exit(2);
+    });
+    let fresh = str_flag(&args, "--fresh").unwrap_or_else(|| {
+        eprintln!("missing --fresh DIR");
+        std::process::exit(2);
+    });
+    match run_gate(Path::new(&baseline), Path::new(&fresh)) {
+        Ok(failures) if failures.is_empty() => println!("benchgate: ok"),
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("benchgate: FAIL {f}");
+            }
+            eprintln!(
+                "benchgate: {} regression(s). If the change legitimately moves the \
+                 trajectory, commit the fresh results/BENCH_*.json as the new baseline \
+                 (or set DAR_BENCHGATE=off for incomparable hardware).",
+                failures.len()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("benchgate: ERROR {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_threshold_is_ten_percent() {
+        assert_eq!(check_throughput(1000.0, 901.0), Verdict::Ok);
+        assert_eq!(check_throughput(1000.0, 899.0), Verdict::Regressed);
+        // Improvements always pass.
+        assert_eq!(check_throughput(1000.0, 1500.0), Verdict::Ok);
+    }
+
+    #[test]
+    fn latency_threshold_is_fifteen_percent() {
+        assert_eq!(check_latency(10000.0, 11400.0), Verdict::Ok);
+        assert_eq!(check_latency(10000.0, 11600.0), Verdict::Regressed);
+        assert_eq!(check_latency(10000.0, 5000.0), Verdict::Ok);
+    }
+
+    #[test]
+    fn gate_skips_missing_baseline_but_rejects_missing_fresh() {
+        let dir = std::env::temp_dir().join(format!("dar_bg_unit_{}", std::process::id()));
+        let base = dir.join("b");
+        let fresh = dir.join("f");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+
+        // No baseline files at all: everything skips, gate passes.
+        assert!(run_gate(&base, &fresh).unwrap().is_empty());
+
+        // Baseline exists but fresh missing: hard error.
+        std::fs::write(base.join("BENCH_serve.json"), r#"{"throughput_rps": 10.0}"#).unwrap();
+        assert!(run_gate(&base, &fresh).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn self_test_scenario_passes() {
+        self_test();
+    }
+}

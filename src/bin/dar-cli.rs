@@ -31,6 +31,9 @@ fn main() {
             eprintln!("          --checkpoint-dir DIR   save a durable checkpoint every epoch");
             eprintln!("          --resume               continue from the checkpoint in DIR");
             eprintln!("          --guard                train with divergence guards + rollback");
+            eprintln!(
+                "          --obs-out DIR          write the obs snapshot to DIR/obs_cli.json"
+            );
             std::process::exit(2);
         }
     }
@@ -136,6 +139,7 @@ fn train(args: &[String], show: bool) {
     let seed = flag(args, "--seed").map(|v| v as u64).unwrap_or(17);
     let sparsity = flag(args, "--sparsity").unwrap_or(0.15);
     let ckpt_dir = str_flag(args, "--checkpoint-dir").map(PathBuf::from);
+    let obs_out = str_flag(args, "--obs-out").map(PathBuf::from);
     let resume = bool_flag(args, "--resume");
     let guard = bool_flag(args, "--guard");
     if (resume || guard) && ckpt_dir.is_none() {
@@ -215,6 +219,12 @@ fn train(args: &[String], show: bool) {
     };
     if let Some(path) = &ckpt {
         println!("checkpoint: {}", path.display());
+    }
+    if let Some(dir) = &obs_out {
+        match dar::obs::write_snapshot(dir, "cli") {
+            Ok(p) => println!("obs snapshot: {}", p.display()),
+            Err(e) => eprintln!("obs snapshot failed: {e}"),
+        }
     }
     println!("\n{:<10}   S   Acc    P     R     F1", report.model_name);
     println!("{:<10} {}", "test", report.test.row());

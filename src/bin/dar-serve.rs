@@ -213,6 +213,11 @@ fn main() {
     );
     std::fs::write(out_dir.join("BENCH_serve.json"), json).expect("writing BENCH_serve.json");
 
+    match dar::obs::write_snapshot(&out_dir, "serve") {
+        Ok(p) => eprintln!("[dar-serve] obs snapshot: {}", p.display()),
+        Err(e) => eprintln!("[dar-serve] obs snapshot failed: {e}"),
+    }
+
     let healthy = ok_first + ok_second == n_requests
         && rejected_offer
         && malformed == 16

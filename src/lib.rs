@@ -13,7 +13,10 @@
 //! * [`core`] — the rationalization models (RNP, **DAR**, A2R, DMR,
 //!   Inter_RAT, CAR, 3PLAYER, VIB), trainer, and evaluation;
 //! * [`serve`] — the resilient inference serving runtime (bounded queue,
-//!   micro-batching, circuit breaker, hot checkpoint swap).
+//!   micro-batching, circuit breaker, hot checkpoint swap);
+//! * [`obs`] — the zero-dependency observability layer (metrics registry,
+//!   hierarchical span timings, typed event journal, deterministic
+//!   snapshots; see DESIGN.md §12).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -37,6 +40,7 @@
 pub use dar_core as core;
 pub use dar_data as data;
 pub use dar_nn as nn;
+pub use dar_obs as obs;
 pub use dar_serve as serve;
 pub use dar_tensor as tensor;
 pub use dar_text as text;
