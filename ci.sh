@@ -42,10 +42,22 @@ st_test_t4() { DAR_THREADS=4 cargo test --workspace --release -q; }
 st_chaos_t1() { DAR_THREADS=1 cargo test --release -q --test serving_chaos; }
 st_chaos_t4() { DAR_THREADS=4 cargo test --release -q --test serving_chaos; }
 
+# The online-loop chaos suite (DESIGN.md §13) under both budgets: the
+# promotion-journal goldens inside assert the event sequence is
+# byte-identical whatever the thread budget.
+st_online_t1() { DAR_THREADS=1 cargo test --release -q --test online_loop; }
+st_online_t4() { DAR_THREADS=4 cargo test --release -q --test online_loop; }
+
 # Record sustained throughput + tail latency of the serving demo into
 # results/serve_bench.txt, the BENCH_serve.json trajectory point, and the
 # obs_serve.json observability snapshot.
 st_serve_bench() { cargo run --release --bin dar-serve -- --requests 400 --out results; }
+
+# Closed online loop demo: train-while-serve with canary promotion and
+# auto-rollback, recorded into results/BENCH_online.json and the
+# obs_online.json snapshot. The binary exits non-zero on any dropped
+# request, trainer death, or a promotion that failed its accuracy bar.
+st_loop_bench() { cargo run --release --bin dar-loop -- --rounds 3 --out results; }
 
 # Numeric containment (DESIGN.md §11): the op kernels must stay free of
 # unwrap/expect — the module-level deny makes the clippy stage fail on
@@ -78,7 +90,7 @@ st_benchgate() {
     local bl=target/benchgate/baseline
     rm -rf "$bl" && mkdir -p "$bl"
     local f
-    for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json; do
+    for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json BENCH_online.json; do
         git show "HEAD:results/$f" > "$bl/$f" 2>/dev/null || rm -f "$bl/$f"
     done
     cargo run --release --bin benchgate -- --baseline "$bl" --fresh results
@@ -87,7 +99,8 @@ st_benchgate() {
 # ---- stage driver -------------------------------------------------------
 
 STAGE_NAMES=(fmt clippy build par-tests test-t1 test-t4 chaos-t1 chaos-t4
-    serve-bench ops-deny fuzz-t1 fuzz-t4 numbench obsbench benchgate)
+    online-t1 online-t4 serve-bench loop-bench ops-deny fuzz-t1 fuzz-t4
+    numbench obsbench benchgate)
 
 RAN_NAMES=()
 RAN_STATUS=()

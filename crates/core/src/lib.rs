@@ -47,6 +47,7 @@ pub mod predictor;
 pub mod pretrain;
 pub mod regularizer;
 pub mod sentence;
+pub mod stream;
 pub mod trainer;
 
 pub use config::{EncoderKind, RationaleConfig, TrainConfig};
@@ -56,6 +57,9 @@ pub use generator::Generator;
 pub use guard::{GuardPolicy, GuardedReport, GuardedTrainer, TrainEvent};
 pub use models::{Inference, RationaleModel};
 pub use predictor::Predictor;
+pub use stream::{
+    spawn_online_trainer, CandidateMsg, FeedConfig, OnlineTrainer, OnlineTrainerConfig, ReviewFeed,
+};
 pub use trainer::{TrainReport, Trainer};
 
 pub use dar_tensor::{rng, Rng, Tensor};

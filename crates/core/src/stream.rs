@@ -1,0 +1,374 @@
+//! Streaming review feed + guarded background trainer for the online
+//! loop (`dar-loop`).
+//!
+//! The feed generates an endless sequence of synthetic review chunks —
+//! each chunk is a fresh `SynBeer::generate` draw under a per-round seed
+//! derived from the feed seed, so the stream is reproducible and every
+//! chunk shares the *same* vocabulary (the synthetic vocab is built from
+//! the fixed domain lexicon, independent of the RNG), which keeps every
+//! candidate checkpoint shape- and vocab-compatible with the serving
+//! replicas. A chaos hook can poison the stream with malformed reviews;
+//! the trainer filters them through the same typed admission check the
+//! server uses ([`dar_data::Review::admissible`]).
+//!
+//! The trainer is *guarded* in the `GuardedTrainer` sense but scoped to
+//! a round: parameters are snapshotted before each round, and a round
+//! that produces a non-finite loss or non-finite parameters is rolled
+//! back and reported as `Skipped` — a poisoned round can never become a
+//! candidate checkpoint, and the serving side additionally re-validates
+//! (CRC/shape) and canaries whatever it is offered. Trainer panics are
+//! caught at the thread boundary and surfaced as a `TrainerDied`
+//! message: the background loop dying must never take serving with it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dar_data::{BatchIter, Review, SynBeer, SynthConfig};
+use dar_obs::ObsEvent;
+use dar_tensor::serial::{self, Checkpoint};
+use dar_tensor::Rng;
+
+use crate::fault::malformed_review;
+use crate::models::RationaleModel;
+
+/// Builds the trainer's model replica on the trainer thread (tensors are
+/// not `Send`). Use the *same* closure as the serving `ModelFactory` so
+/// candidate checkpoints match the serving architecture.
+pub type StreamModelFactory = Arc<dyn Fn() -> Box<dyn RationaleModel> + Send + Sync>;
+
+/// Knobs for [`ReviewFeed`].
+#[derive(Debug, Clone, Copy)]
+pub struct FeedConfig {
+    /// Chunk shape: `n_train` is the chunk size (`n_dev`/`n_test` are
+    /// forced to 0).
+    pub synth: SynthConfig,
+    /// Stream seed; round `r` draws from `seed ^ (r · φ64)`.
+    pub seed: u64,
+    /// Chaos hook: replace every k-th review with a malformed one
+    /// (out-of-vocabulary ids), exercising feed admission.
+    pub poison_every: Option<usize>,
+}
+
+/// One chunk of the stream.
+#[derive(Debug, Clone)]
+pub struct FeedChunk {
+    pub round: u64,
+    pub reviews: Vec<Review>,
+    /// How many reviews the poison hook replaced.
+    pub poisoned: usize,
+}
+
+impl FeedChunk {
+    /// Typed admission, mirroring the serving door: returns the reviews
+    /// a server would accept and the count it would bounce.
+    pub fn admit(&self, vocab_size: usize, max_len: usize) -> (Vec<Review>, usize) {
+        let mut clean = Vec::with_capacity(self.reviews.len());
+        let mut rejected = 0usize;
+        for r in &self.reviews {
+            if r.admissible(vocab_size, max_len).is_ok() {
+                clean.push(r.clone());
+            } else {
+                rejected += 1;
+            }
+        }
+        (clean, rejected)
+    }
+}
+
+/// Deterministic infinite stream of synthetic review chunks.
+pub struct ReviewFeed {
+    cfg: FeedConfig,
+    next_round: u64,
+}
+
+impl ReviewFeed {
+    pub fn new(cfg: FeedConfig) -> Self {
+        ReviewFeed { cfg, next_round: 0 }
+    }
+
+    pub fn next_chunk(&mut self) -> FeedChunk {
+        let round = self.next_round;
+        self.next_round += 1;
+        let seed = self.cfg.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let synth = SynthConfig {
+            n_dev: 0,
+            n_test: 0,
+            ..self.cfg.synth
+        };
+        let data = SynBeer::generate(&synth, &mut dar_tensor::rng(seed));
+        let vocab = data.vocab.len();
+        let mut reviews = data.train;
+        let mut poisoned = 0usize;
+        if let Some(k) = self.cfg.poison_every {
+            if k > 0 {
+                let mut i = k - 1;
+                while i < reviews.len() {
+                    reviews[i] = malformed_review(vocab, seed ^ i as u64);
+                    poisoned += 1;
+                    i += k;
+                }
+            }
+        }
+        FeedChunk {
+            round,
+            reviews,
+            poisoned,
+        }
+    }
+}
+
+/// Knobs for [`OnlineTrainer`].
+#[derive(Debug, Clone)]
+pub struct OnlineTrainerConfig {
+    /// Candidate rounds to produce before `Finished`.
+    pub rounds: usize,
+    /// Passes over each chunk.
+    pub epochs_per_round: usize,
+    pub batch_size: usize,
+    /// Admission bounds, mirroring the serving config.
+    pub vocab_size: usize,
+    pub max_len: usize,
+    /// Where candidate checkpoints land (`candidate_r<round>.ckpt`).
+    pub candidate_dir: PathBuf,
+    /// Trainer RNG seed (batch shuffles, Gumbel noise).
+    pub seed: u64,
+    /// Chaos hook: panic at the start of this round, mid-"epoch" from
+    /// the loop's perspective. Leave `None` in production.
+    pub panic_at_round: Option<usize>,
+}
+
+/// One message from the trainer to the promotion controller.
+#[derive(Debug)]
+pub enum CandidateMsg {
+    /// A round produced a candidate checkpoint at `path`.
+    Candidate {
+        round: usize,
+        path: PathBuf,
+        /// Admitted reviews the round trained on.
+        trained_on: usize,
+        /// Reviews the feed admission bounced (poisoned data).
+        rejected: usize,
+    },
+    /// The round produced no candidate (guard rollback, empty chunk,
+    /// checkpoint I/O failure); `cause` is a stable snake_case-ish tag.
+    Skipped { round: usize, cause: String },
+    /// The trainer thread panicked; no further candidates will come.
+    TrainerDied { msg: String },
+    /// All configured rounds completed.
+    Finished,
+}
+
+/// The guarded background trainer. Synchronous by design — drive it
+/// directly for deterministic tests, or hand it to
+/// [`spawn_online_trainer`] for the real train-while-serve topology.
+pub struct OnlineTrainer {
+    cfg: OnlineTrainerConfig,
+    feed: ReviewFeed,
+    model: Box<dyn RationaleModel>,
+    rng: Rng,
+}
+
+impl OnlineTrainer {
+    pub fn new(
+        cfg: OnlineTrainerConfig,
+        factory: &dyn Fn() -> Box<dyn RationaleModel>,
+        feed: ReviewFeed,
+    ) -> Self {
+        let model = factory();
+        let rng = dar_tensor::rng(cfg.seed);
+        OnlineTrainer {
+            cfg,
+            feed,
+            model,
+            rng,
+        }
+    }
+
+    /// Consume one chunk, train on it, and either write a candidate
+    /// checkpoint or roll the round back.
+    pub fn train_round(&mut self, round: usize) -> CandidateMsg {
+        let chunk = self.feed.next_chunk();
+        let (clean, rejected) = chunk.admit(self.cfg.vocab_size, self.cfg.max_len);
+        dar_obs::add("loop.feed_reviews", chunk.reviews.len() as u64);
+        dar_obs::add("loop.feed_rejected", rejected as u64);
+        if clean.is_empty() {
+            return CandidateMsg::Skipped {
+                round,
+                cause: "empty_chunk".into(),
+            };
+        }
+
+        // Round-scoped guard: any divergence rolls back to here, and the
+        // round yields no candidate.
+        let snap = self.model.snapshot();
+        if self.cfg.panic_at_round == Some(round) {
+            panic!("online trainer chaos panic (round {round})");
+        }
+        for _ in 0..self.cfg.epochs_per_round.max(1) {
+            for batch in BatchIter::shuffled(&clean, self.cfg.batch_size, &mut self.rng) {
+                let loss = self.model.train_step(&batch, &mut self.rng);
+                if !loss.is_finite() {
+                    self.model.restore(&snap);
+                    dar_obs::event(ObsEvent::GuardTripped {
+                        epoch: round as u64,
+                        reason: "online: non-finite loss".into(),
+                    });
+                    return CandidateMsg::Skipped {
+                        round,
+                        cause: "non_finite_loss".into(),
+                    };
+                }
+            }
+        }
+        let poisoned_params = self
+            .model
+            .params()
+            .iter()
+            .any(|p| p.to_vec().iter().any(|v| !v.is_finite()));
+        if poisoned_params {
+            self.model.restore(&snap);
+            dar_obs::event(ObsEvent::GuardTripped {
+                epoch: round as u64,
+                reason: "online: non-finite params".into(),
+            });
+            return CandidateMsg::Skipped {
+                round,
+                cause: "non_finite_params".into(),
+            };
+        }
+
+        let path = self
+            .cfg
+            .candidate_dir
+            .join(format!("candidate_r{round}.ckpt"));
+        match serial::save_checkpoint_path(&path, &Checkpoint::new(self.model.params(), Vec::new()))
+        {
+            Ok(()) => {
+                dar_obs::inc("loop.candidates");
+                CandidateMsg::Candidate {
+                    round,
+                    path,
+                    trained_on: clean.len(),
+                    rejected,
+                }
+            }
+            Err(e) => CandidateMsg::Skipped {
+                round,
+                cause: format!("checkpoint_io: {e}"),
+            },
+        }
+    }
+}
+
+/// Spawn the trainer on its own thread. Every round's outcome arrives on
+/// the returned channel; a panic anywhere in training surfaces as
+/// [`CandidateMsg::TrainerDied`] and the thread exits cleanly — serving
+/// is structurally unaffected.
+pub fn spawn_online_trainer(
+    cfg: OnlineTrainerConfig,
+    factory: StreamModelFactory,
+    feed: FeedConfig,
+) -> (JoinHandle<()>, mpsc::Receiver<CandidateMsg>) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name("dar-loop-trainer".into())
+        .spawn(move || {
+            let rounds = cfg.rounds;
+            let verdict = catch_unwind(AssertUnwindSafe(|| {
+                let mut trainer = OnlineTrainer::new(cfg, factory.as_ref(), ReviewFeed::new(feed));
+                for round in 0..rounds {
+                    let msg = trainer.train_round(round);
+                    if tx.send(msg).is_err() {
+                        return; // controller gone; stop quietly
+                    }
+                }
+                let _ = tx.send(CandidateMsg::Finished);
+            }));
+            if let Err(payload) = verdict {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                dar_obs::inc("loop.trainer_deaths");
+                let _ = tx.send(CandidateMsg::TrainerDied { msg });
+            }
+        })
+        .expect("spawning dar-loop trainer");
+    (handle, rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_data::Aspect;
+
+    fn feed_cfg(seed: u64, poison_every: Option<usize>) -> FeedConfig {
+        FeedConfig {
+            synth: SynthConfig {
+                n_train: 24,
+                ..SynthConfig::beer(Aspect::Aroma)
+            },
+            seed,
+            poison_every,
+        }
+    }
+
+    #[test]
+    fn feed_is_deterministic_and_chunks_share_the_vocab() {
+        let mut a = ReviewFeed::new(feed_cfg(7, None));
+        let mut b = ReviewFeed::new(feed_cfg(7, None));
+        let (c0a, c0b) = (a.next_chunk(), b.next_chunk());
+        assert_eq!(c0a.reviews.len(), 24);
+        assert_eq!(
+            c0a.reviews[0].ids, c0b.reviews[0].ids,
+            "same seed, same stream"
+        );
+
+        // Different rounds draw different reviews over the same vocab:
+        // every id fits the vocab bound derived from any chunk's draw.
+        let c1 = a.next_chunk();
+        assert_ne!(c0a.reviews[0].ids, c1.reviews[0].ids, "rounds differ");
+        let bound = SynBeer::generate(
+            &SynthConfig {
+                n_train: 1,
+                n_dev: 0,
+                n_test: 0,
+                ..feed_cfg(7, None).synth
+            },
+            &mut dar_tensor::rng(999),
+        )
+        .vocab
+        .len();
+        for r in c0a.reviews.iter().chain(&c1.reviews) {
+            assert!(r.ids.iter().all(|&id| id < bound), "vocab drifted");
+        }
+    }
+
+    #[test]
+    fn poison_is_injected_and_admission_filters_it() {
+        let mut feed = ReviewFeed::new(feed_cfg(11, Some(4)));
+        let chunk = feed.next_chunk();
+        assert_eq!(chunk.poisoned, 6, "every 4th of 24 reviews poisoned");
+        let vocab = SynBeer::generate(
+            &SynthConfig {
+                n_train: 1,
+                n_dev: 0,
+                n_test: 0,
+                ..feed_cfg(11, None).synth
+            },
+            &mut dar_tensor::rng(999),
+        )
+        .vocab
+        .len();
+        let (clean, rejected) = chunk.admit(vocab, 512);
+        assert_eq!(rejected, 6, "admission bounces exactly the poison");
+        assert_eq!(clean.len(), 18);
+        for r in &clean {
+            assert!(r.admissible(vocab, 512).is_ok());
+        }
+    }
+}

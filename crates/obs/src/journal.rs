@@ -48,6 +48,28 @@ pub enum ObsEvent {
     },
     /// The serving weight store published a new generation.
     WeightsSwapped { version: u64 },
+    /// A candidate checkpoint entered canary evaluation on a deterministic
+    /// traffic slice (promotion state machine: Candidate → Canary).
+    CanaryStarted { version: u64 },
+    /// The canary verdict promoted the candidate to serve all traffic
+    /// (Canary → Promoted). Always preceded by the `weights_swapped`
+    /// event of the same version.
+    CandidatePromoted { version: u64 },
+    /// The canary verdict rolled the candidate back; the incumbent keeps
+    /// serving all traffic untouched (Canary → RolledBack). `cause` is
+    /// the snake_case rollback reason.
+    CandidateRolledBack { version: u64, cause: String },
+    /// An offered checkpoint was rejected before publication (CRC
+    /// mismatch, shape mismatch, …). `cause` is a stable snake_case
+    /// classifier; `detail` the underlying error text.
+    OfferRejected { cause: String, detail: String },
+    /// The supervisor delayed a worker respawn (bounded exponential
+    /// backoff with seeded jitter) instead of retrying immediately.
+    RespawnBackoff {
+        slot: u64,
+        attempt: u64,
+        delay_ms: u64,
+    },
     /// Escape hatch for one-off signals; keep `kind` snake_case.
     Custom { kind: String, detail: String },
 }
@@ -65,6 +87,11 @@ impl ObsEvent {
             ObsEvent::BreakerTransition { .. } => "breaker_transition",
             ObsEvent::TaintLatched { .. } => "taint_latched",
             ObsEvent::WeightsSwapped { .. } => "weights_swapped",
+            ObsEvent::CanaryStarted { .. } => "canary_started",
+            ObsEvent::CandidatePromoted { .. } => "candidate_promoted",
+            ObsEvent::CandidateRolledBack { .. } => "candidate_rolled_back",
+            ObsEvent::OfferRejected { .. } => "offer_rejected",
+            ObsEvent::RespawnBackoff { .. } => "respawn_backoff",
             ObsEvent::Custom { .. } => "custom",
         }
     }
@@ -126,8 +153,29 @@ impl ObsEvent {
                     ",\"node_id\":{node_id},\"first_bad_index\":{first_bad_index}"
                 ));
             }
-            ObsEvent::WeightsSwapped { version } => {
+            ObsEvent::WeightsSwapped { version }
+            | ObsEvent::CanaryStarted { version }
+            | ObsEvent::CandidatePromoted { version } => {
                 out.push_str(&format!(",\"version\":{version}"));
+            }
+            ObsEvent::CandidateRolledBack { version, cause } => {
+                out.push_str(&format!(",\"version\":{version},\"cause\":"));
+                json::push_str(out, cause);
+            }
+            ObsEvent::OfferRejected { cause, detail } => {
+                out.push_str(",\"cause\":");
+                json::push_str(out, cause);
+                out.push_str(",\"detail\":");
+                json::push_str(out, detail);
+            }
+            ObsEvent::RespawnBackoff {
+                slot,
+                attempt,
+                delay_ms,
+            } => {
+                out.push_str(&format!(
+                    ",\"slot\":{slot},\"attempt\":{attempt},\"delay_ms\":{delay_ms}"
+                ));
             }
             ObsEvent::Custom { kind, detail } => {
                 out.push_str(",\"custom_kind\":");
@@ -158,6 +206,63 @@ mod tests {
         assert_eq!(
             ObsEvent::WeightsSwapped { version: 2 }.kind(),
             "weights_swapped"
+        );
+        assert_eq!(
+            ObsEvent::CanaryStarted { version: 3 }.kind(),
+            "canary_started"
+        );
+        assert_eq!(
+            ObsEvent::CandidatePromoted { version: 3 }.kind(),
+            "candidate_promoted"
+        );
+        assert_eq!(
+            ObsEvent::CandidateRolledBack {
+                version: 3,
+                cause: "accuracy_regressed".into()
+            }
+            .kind(),
+            "candidate_rolled_back"
+        );
+        assert_eq!(
+            ObsEvent::OfferRejected {
+                cause: "crc_mismatch".into(),
+                detail: String::new()
+            }
+            .kind(),
+            "offer_rejected"
+        );
+        assert_eq!(
+            ObsEvent::RespawnBackoff {
+                slot: 0,
+                attempt: 1,
+                delay_ms: 10
+            }
+            .kind(),
+            "respawn_backoff"
+        );
+    }
+
+    #[test]
+    fn promotion_events_serialize_stably() {
+        let mut out = String::new();
+        ObsEvent::CandidateRolledBack {
+            version: 3,
+            cause: "candidate_faults".into(),
+        }
+        .push_json(&mut out, 2);
+        assert_eq!(
+            out,
+            r#"{"seq":2,"kind":"candidate_rolled_back","version":3,"cause":"candidate_faults"}"#
+        );
+        let mut out = String::new();
+        ObsEvent::OfferRejected {
+            cause: "shape_mismatch".into(),
+            detail: "tensor 0 is [3, 2]".into(),
+        }
+        .push_json(&mut out, 0);
+        assert_eq!(
+            out,
+            r#"{"seq":0,"kind":"offer_rejected","cause":"shape_mismatch","detail":"tensor 0 is [3, 2]"}"#
         );
     }
 

@@ -1,0 +1,346 @@
+//! Canary evaluation: the promotion state machine's comparison contract.
+//!
+//! A candidate generation serves a deterministic slice of traffic
+//! (requests whose submission sequence number satisfies
+//! `seq % slice_modulus == 0`) while the incumbent serves the rest. Both
+//! arms accumulate *commutative* counts — correct labels, rationale
+//! confusion cells, degraded/fault/error tallies — against the planted
+//! ground truth each [`Review`] carries, so the verdict is independent
+//! of worker interleaving and thread budget. The pure [`decide`]
+//! function turns one [`CanarySnapshot`] into promote-or-rollback;
+//! the server applies it atomically (DESIGN.md §13).
+//!
+//! Wall-clock latency is the one non-deterministic signal, so the p99
+//! gate is opt-in ([`CanaryPolicy::max_p99_inflation`], default `None`)
+//! and the deterministic chaos suite leaves it off.
+
+use dar_data::Review;
+
+use crate::request::ServeOutput;
+
+/// SplitMix64 — the deterministic hash behind canary routing and the
+/// supervisor's respawn jitter.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic canary routing: request `seq` goes to the candidate iff
+/// `splitmix64(seq) % slice_modulus == 0`. Hashing the sequence number
+/// (instead of using it raw) decorrelates the slice from any periodicity
+/// in the traffic — the synthetic datasets alternate labels for exact
+/// balance, and a raw `seq % 2` would hand each arm a disjoint label
+/// population.
+pub fn routes_to_canary(seq: u64, slice_modulus: u64) -> bool {
+    slice_modulus >= 2 && splitmix64(seq).is_multiple_of(slice_modulus)
+}
+
+/// Promotion state machine phases (journaled via `ObsEvent`s:
+/// `canary_started`, `candidate_promoted`, `candidate_rolled_back`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionPhase {
+    /// A checkpoint exists but has not been offered yet.
+    Candidate,
+    /// Serving the canary slice, accumulating arm stats.
+    Canary,
+    /// The candidate won and is now the incumbent.
+    Promoted,
+    /// The candidate lost; the incumbent was never displaced.
+    RolledBack,
+}
+
+/// Why a candidate was rolled back. `as_str` values are stable — they
+/// appear in the byte-compared deterministic journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackCause {
+    /// Candidate accuracy fell more than `max_acc_drop` below incumbent.
+    AccuracyRegressed,
+    /// Candidate rationale-F1 fell more than `max_f1_drop` below incumbent.
+    RationaleRegressed,
+    /// Candidate produced more degraded / non-finite / errored answers
+    /// than the fault budget allows.
+    CandidateFaults,
+    /// Candidate p99 latency inflated past the opt-in multiplier.
+    LatencyInflated,
+    /// The canary was aborted before a verdict (operator or safety cap).
+    Aborted,
+}
+
+impl RollbackCause {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RollbackCause::AccuracyRegressed => "accuracy_regressed",
+            RollbackCause::RationaleRegressed => "rationale_regressed",
+            RollbackCause::CandidateFaults => "candidate_faults",
+            RollbackCause::LatencyInflated => "latency_inflated",
+            RollbackCause::Aborted => "aborted",
+        }
+    }
+}
+
+impl std::fmt::Display for RollbackCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Verdict thresholds for one canary evaluation.
+#[derive(Debug, Clone)]
+pub struct CanaryPolicy {
+    /// Requests with `seq % slice_modulus == 0` go to the candidate;
+    /// clamped to ≥ 2 so the incumbent always keeps traffic.
+    pub slice_modulus: u64,
+    /// Minimum outcomes (answers + errors) *per arm* before a verdict.
+    pub window: u64,
+    /// Tolerated accuracy drop, candidate vs incumbent.
+    pub max_acc_drop: f32,
+    /// Tolerated rationale-F1 drop, candidate vs incumbent.
+    pub max_f1_drop: f32,
+    /// Degraded + non-finite + errored answers the candidate arm may
+    /// produce before it is rolled back outright.
+    pub max_candidate_faults: u64,
+    /// Opt-in p99 gate: rollback if candidate p99 exceeds incumbent p99
+    /// times this factor. `None` (default) keeps the verdict free of
+    /// wall-clock input, which the determinism contract requires.
+    pub max_p99_inflation: Option<f64>,
+}
+
+impl Default for CanaryPolicy {
+    fn default() -> Self {
+        CanaryPolicy {
+            slice_modulus: 2,
+            window: 48,
+            max_acc_drop: 0.02,
+            max_f1_drop: 0.05,
+            max_candidate_faults: 0,
+            max_p99_inflation: None,
+        }
+    }
+}
+
+/// Commutative per-arm counters: insensitive to response ordering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArmStats {
+    /// Answered requests (full or degraded).
+    pub served: u64,
+    /// Answers whose label matched the review's planted label.
+    pub correct: u64,
+    /// Degraded answers (collapse fallback or non-finite logits).
+    pub degraded: u64,
+    /// Answers produced while the numeric taint latch held an origin.
+    pub faults: u64,
+    /// Requests that resolved to a typed failure instead of an answer.
+    pub errors: u64,
+    /// Rationale confusion cells vs the planted token-level rationale.
+    pub tp: u64,
+    pub fp: u64,
+    pub fneg: u64,
+    /// End-to-end latencies (µs), capped; only read by the opt-in gate.
+    pub latencies_us: Vec<u64>,
+}
+
+impl ArmStats {
+    /// Total verdicts this arm has produced — what the window counts.
+    pub fn outcomes(&self) -> u64 {
+        self.served + self.errors
+    }
+
+    pub fn accuracy(&self) -> f32 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.served as f32
+        }
+    }
+
+    pub fn rationale_f1(&self) -> f32 {
+        let denom = 2 * self.tp + self.fp + self.fneg;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.tp as f32 / denom as f32
+        }
+    }
+
+    pub fn p99_us(&self) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut lat = self.latencies_us.clone();
+        lat.sort_unstable();
+        lat[((lat.len() as f64 - 1.0) * 0.99).round() as usize]
+    }
+
+    pub(crate) fn record_output(
+        &mut self,
+        review: &Review,
+        out: &ServeOutput,
+        tainted: bool,
+        latency_us: u64,
+    ) {
+        self.served += 1;
+        if out.label == review.label {
+            self.correct += 1;
+        }
+        if out.degraded {
+            self.degraded += 1;
+        } else {
+            for (&gold, &got) in review.rationale.iter().zip(&out.rationale) {
+                match (gold, got) {
+                    (true, true) => self.tp += 1,
+                    (false, true) => self.fp += 1,
+                    (true, false) => self.fneg += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+        if tainted {
+            self.faults += 1;
+        }
+        if self.latencies_us.len() < 100_000 {
+            self.latencies_us.push(latency_us);
+        }
+    }
+
+    pub(crate) fn record_error(&mut self, n: u64, tainted: bool) {
+        self.errors += n;
+        if tainted {
+            self.faults += n;
+        }
+    }
+}
+
+/// Both arms at one instant, plus the versions they identify.
+#[derive(Debug, Clone)]
+pub struct CanarySnapshot {
+    pub candidate_version: u64,
+    pub incumbent_version: u64,
+    pub candidate: ArmStats,
+    pub incumbent: ArmStats,
+}
+
+/// Terminal record of one canary evaluation.
+#[derive(Debug, Clone)]
+pub struct CanaryOutcome {
+    /// The candidate's version.
+    pub version: u64,
+    /// `Promoted` or `RolledBack`.
+    pub phase: PromotionPhase,
+    /// Set iff `phase == RolledBack`.
+    pub cause: Option<RollbackCause>,
+    /// The arm stats the verdict was computed from.
+    pub snapshot: CanarySnapshot,
+}
+
+/// The pure comparison contract: gates are checked in severity order
+/// (faults, accuracy, rationale-F1, then the opt-in latency gate), so
+/// the journaled cause is deterministic when several would fire.
+pub fn decide(policy: &CanaryPolicy, snap: &CanarySnapshot) -> Result<(), RollbackCause> {
+    let c = &snap.candidate;
+    let i = &snap.incumbent;
+    if c.degraded + c.faults + c.errors > policy.max_candidate_faults {
+        return Err(RollbackCause::CandidateFaults);
+    }
+    if c.accuracy() + policy.max_acc_drop < i.accuracy() {
+        return Err(RollbackCause::AccuracyRegressed);
+    }
+    if c.rationale_f1() + policy.max_f1_drop < i.rationale_f1() {
+        return Err(RollbackCause::RationaleRegressed);
+    }
+    if let Some(mult) = policy.max_p99_inflation {
+        if i.p99_us() > 0 && c.p99_us() as f64 > i.p99_us() as f64 * mult {
+            return Err(RollbackCause::LatencyInflated);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arm(served: u64, correct: u64, tp: u64, fp: u64, fneg: u64) -> ArmStats {
+        ArmStats {
+            served,
+            correct,
+            tp,
+            fp,
+            fneg,
+            ..ArmStats::default()
+        }
+    }
+
+    fn snap(candidate: ArmStats, incumbent: ArmStats) -> CanarySnapshot {
+        CanarySnapshot {
+            candidate_version: 2,
+            incumbent_version: 1,
+            candidate,
+            incumbent,
+        }
+    }
+
+    #[test]
+    fn equal_arms_promote() {
+        let s = snap(arm(50, 40, 10, 2, 3), arm(50, 40, 10, 2, 3));
+        assert_eq!(decide(&CanaryPolicy::default(), &s), Ok(()));
+    }
+
+    #[test]
+    fn gates_fire_in_severity_order() {
+        let pol = CanaryPolicy::default();
+
+        // A single degraded answer outweighs a better accuracy.
+        let mut c = arm(50, 50, 10, 0, 0);
+        c.degraded = 1;
+        let s = snap(c, arm(50, 30, 10, 2, 3));
+        assert_eq!(decide(&pol, &s), Err(RollbackCause::CandidateFaults));
+
+        // Accuracy before rationale-F1.
+        let s = snap(arm(50, 30, 0, 50, 50), arm(50, 45, 10, 0, 0));
+        assert_eq!(decide(&pol, &s), Err(RollbackCause::AccuracyRegressed));
+
+        // Rationale-F1 alone.
+        let s = snap(arm(50, 45, 0, 50, 50), arm(50, 45, 10, 0, 0));
+        assert_eq!(decide(&pol, &s), Err(RollbackCause::RationaleRegressed));
+    }
+
+    #[test]
+    fn accuracy_tolerance_is_respected() {
+        let pol = CanaryPolicy::default(); // max_acc_drop 0.02
+        let s = snap(arm(100, 79, 10, 1, 1), arm(100, 80, 10, 1, 1));
+        assert_eq!(decide(&pol, &s), Ok(()), "1% drop is inside tolerance");
+        let s = snap(arm(100, 70, 10, 1, 1), arm(100, 80, 10, 1, 1));
+        assert_eq!(decide(&pol, &s), Err(RollbackCause::AccuracyRegressed));
+    }
+
+    #[test]
+    fn latency_gate_is_opt_in() {
+        let mut c = arm(50, 40, 10, 2, 3);
+        c.latencies_us = vec![10_000; 50];
+        let mut i = arm(50, 40, 10, 2, 3);
+        i.latencies_us = vec![100; 50];
+        let s = snap(c, i);
+        assert_eq!(
+            decide(&CanaryPolicy::default(), &s),
+            Ok(()),
+            "default policy never reads wall-clock"
+        );
+        let pol = CanaryPolicy {
+            max_p99_inflation: Some(10.0),
+            ..CanaryPolicy::default()
+        };
+        assert_eq!(decide(&pol, &s), Err(RollbackCause::LatencyInflated));
+    }
+
+    #[test]
+    fn f1_counts_match_the_usual_definition() {
+        let a = arm(1, 1, 6, 2, 2);
+        assert!((a.rationale_f1() - 0.75).abs() < 1e-6);
+        assert_eq!(ArmStats::default().rationale_f1(), 0.0);
+        assert_eq!(ArmStats::default().accuracy(), 0.0);
+    }
+}

@@ -31,6 +31,38 @@ pub struct ServeConfig {
     /// thread dies for real (exercising supervisor respawn) instead of
     /// recovering in place. Chaos-test hook; leave `None` in production.
     pub lethal_panic_marker: Option<String>,
+    /// Supervisor respawn pacing: bounded exponential backoff with
+    /// seeded jitter instead of immediate retry, so a crash-looping
+    /// replica cannot monopolize a core.
+    pub respawn: RespawnBackoff,
+}
+
+/// Backoff schedule for supervisor worker respawn. The delay for attempt
+/// `n` (1-based, reset after a quiet period) is
+/// `min(base · 2^(n-1), cap)` plus up to +25% deterministic jitter drawn
+/// from `jitter_seed`, the slot, and the attempt — seeded so chaos
+/// replays see identical schedules.
+#[derive(Debug, Clone)]
+pub struct RespawnBackoff {
+    /// First-attempt delay.
+    pub base: Duration,
+    /// Delay ceiling (before jitter).
+    pub cap: Duration,
+    /// A worker surviving this long resets its slot's attempt counter.
+    pub reset_after: Duration,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for RespawnBackoff {
+    fn default() -> Self {
+        RespawnBackoff {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            reset_after: Duration::from_secs(5),
+            jitter_seed: 0xDA2_B0FF,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -45,6 +77,7 @@ impl Default for ServeConfig {
             max_len: 512,
             breaker: BreakerPolicy::default(),
             lethal_panic_marker: None,
+            respawn: RespawnBackoff::default(),
         }
     }
 }

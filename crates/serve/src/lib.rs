@@ -26,7 +26,9 @@
 //! ```
 
 pub mod breaker;
+pub mod canary;
 pub mod config;
+pub mod online;
 pub mod request;
 pub mod server;
 pub mod weights;
@@ -34,7 +36,12 @@ pub mod weights;
 pub use breaker::{
     BatchPlan, BreakerEvent, BreakerPolicy, BreakerState, CircuitBreaker, TransitionCause,
 };
-pub use config::ServeConfig;
+pub use canary::{
+    decide, routes_to_canary, ArmStats, CanaryOutcome, CanaryPolicy, CanarySnapshot,
+    PromotionPhase, RollbackCause,
+};
+pub use config::{RespawnBackoff, ServeConfig};
+pub use online::{run_online_loop, LoopReport, OnlineLoopConfig, RoundReport};
 pub use request::{ServeError, ServeOutput, ServeResult, Ticket};
 pub use server::{ModelFactory, Server, StatsSnapshot};
 pub use weights::{WeightSet, WeightStore};

@@ -1,0 +1,171 @@
+//! The closed-loop controller: wire a background trainer's candidate
+//! stream into canary evaluation.
+//!
+//! [`run_online_loop`] is the single-threaded controller the `dar-loop`
+//! binary and the chaos suite share. It drains
+//! [`CandidateMsg`](dar_core::stream::CandidateMsg)s from the trainer,
+//! begins a canary for each candidate checkpoint, drives traffic until
+//! both arms fill the verdict window, and records the outcome. Because
+//! one thread submits all traffic and emits all promotion events, the
+//! promotion event sequence in the deterministic obs section is a pure
+//! function of the inputs — byte-identical across thread budgets.
+//!
+//! Trainer failures are *messages*, not faults: a `Skipped` round or a
+//! `TrainerDied` leaves serving untouched (the loop still drives a wave
+//! of traffic to prove liveness).
+
+use std::sync::mpsc::Receiver;
+
+use dar_core::stream::CandidateMsg;
+use dar_data::Review;
+
+use crate::canary::{CanaryOutcome, CanaryPolicy, PromotionPhase};
+use crate::server::Server;
+
+/// Knobs for [`run_online_loop`].
+#[derive(Debug, Clone)]
+pub struct OnlineLoopConfig {
+    /// Verdict thresholds for every canary this loop runs.
+    pub policy: CanaryPolicy,
+    /// Requests submitted (sequentially) between verdict checks.
+    pub wave: usize,
+    /// Safety cap: waves per canary before a forced abort — guards
+    /// against a window that cannot fill (e.g. all workers gone).
+    pub max_waves: usize,
+}
+
+impl Default for OnlineLoopConfig {
+    fn default() -> Self {
+        OnlineLoopConfig {
+            policy: CanaryPolicy::default(),
+            wave: 16,
+            max_waves: 256,
+        }
+    }
+}
+
+/// What happened to one trainer round.
+#[derive(Debug)]
+pub struct RoundReport {
+    pub round: usize,
+    /// The canary verdict, if a candidate reached evaluation.
+    pub outcome: Option<CanaryOutcome>,
+    /// Offer/trainer-side failure text (rejected checkpoint, skipped
+    /// round, trainer death), if any.
+    pub note: Option<String>,
+    /// Requests answered / failed while this round was evaluated.
+    pub served_ok: u64,
+    pub failed: u64,
+}
+
+/// Aggregate of one [`run_online_loop`] call.
+#[derive(Debug, Default)]
+pub struct LoopReport {
+    pub rounds: Vec<RoundReport>,
+    pub promoted: u64,
+    pub rolled_back: u64,
+    pub offers_rejected: u64,
+    pub trainer_died: bool,
+    pub final_version: u64,
+}
+
+/// Submit `n` reviews from `traffic` (cycling, strictly sequentially —
+/// submit, wait, next), so batch composition and canary routing are
+/// reproducible. Returns (ok, failed).
+fn drive(server: &Server, traffic: &[Review], cursor: &mut usize, n: usize) -> (u64, u64) {
+    let mut ok = 0;
+    let mut failed = 0;
+    for _ in 0..n {
+        let review = traffic[*cursor % traffic.len()].clone();
+        *cursor += 1;
+        match server.submit(review).wait() {
+            Ok(_) => ok += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    (ok, failed)
+}
+
+/// Run the promotion side of the closed loop until the trainer's channel
+/// closes (or sends `Finished`). See the module docs.
+pub fn run_online_loop(
+    server: &Server,
+    candidates: &Receiver<CandidateMsg>,
+    traffic: &[Review],
+    cfg: &OnlineLoopConfig,
+) -> LoopReport {
+    assert!(!traffic.is_empty(), "online loop needs traffic to canary");
+    let mut report = LoopReport::default();
+    let mut cursor = 0usize;
+
+    for msg in candidates.iter() {
+        match msg {
+            CandidateMsg::Candidate { round, path, .. } => {
+                let mut rr = RoundReport {
+                    round,
+                    outcome: None,
+                    note: None,
+                    served_ok: 0,
+                    failed: 0,
+                };
+                match server.begin_canary(&path, cfg.policy.clone()) {
+                    Ok(_) => {
+                        let mut waves = 0usize;
+                        let outcome = loop {
+                            let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
+                            rr.served_ok += ok;
+                            rr.failed += failed;
+                            if let Some(outcome) = server.try_conclude_canary() {
+                                break Some(outcome);
+                            }
+                            waves += 1;
+                            if waves >= cfg.max_waves {
+                                break server.abort_canary();
+                            }
+                        };
+                        match &outcome {
+                            Some(o) if o.phase == PromotionPhase::Promoted => report.promoted += 1,
+                            Some(_) => report.rolled_back += 1,
+                            None => {}
+                        }
+                        rr.outcome = outcome;
+                    }
+                    Err(e) => {
+                        // Rejected offer (journaled as `offer_rejected`):
+                        // the incumbent serves on; prove it with a wave.
+                        report.offers_rejected += 1;
+                        rr.note = Some(format!("offer rejected: {e}"));
+                        let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
+                        rr.served_ok += ok;
+                        rr.failed += failed;
+                    }
+                }
+                report.rounds.push(rr);
+            }
+            CandidateMsg::Skipped { round, cause } => {
+                let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
+                report.rounds.push(RoundReport {
+                    round,
+                    outcome: None,
+                    note: Some(format!("skipped: {cause}")),
+                    served_ok: ok,
+                    failed,
+                });
+            }
+            CandidateMsg::TrainerDied { msg } => {
+                report.trainer_died = true;
+                let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
+                report.rounds.push(RoundReport {
+                    round: usize::MAX,
+                    outcome: None,
+                    note: Some(format!("trainer died: {msg}")),
+                    served_ok: ok,
+                    failed,
+                });
+            }
+            CandidateMsg::Finished => break,
+        }
+    }
+    report.final_version = server.weights_version();
+    report
+}

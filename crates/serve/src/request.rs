@@ -67,6 +67,9 @@ pub type ServeResult = Result<ServeOutput, ServeError>;
 pub(crate) struct Pending {
     pub review: Review,
     pub deadline: Instant,
+    /// Submission sequence number — the deterministic canary routing key
+    /// (`seq % slice_modulus` picks the arm; DESIGN.md §13).
+    pub seq: u64,
     /// When the request entered the runtime — the start of its queue wait
     /// in the observability timings.
     pub submitted: Instant,
@@ -74,12 +77,13 @@ pub(crate) struct Pending {
 }
 
 impl Pending {
-    pub fn new(review: Review, deadline: Instant) -> (Self, Ticket) {
+    pub fn new(review: Review, deadline: Instant, seq: u64) -> (Self, Ticket) {
         let (tx, rx) = mpsc::channel();
         (
             Pending {
                 review,
                 deadline,
+                seq,
                 submitted: Instant::now(),
                 tx,
             },

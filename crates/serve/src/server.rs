@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -33,10 +33,15 @@ use std::time::{Duration, Instant};
 
 use dar_core::models::RationaleModel;
 use dar_data::{Batch, Review};
+use dar_obs::ObsEvent;
 use dar_tensor::no_grad;
 
 use crate::breaker::{BatchPlan, BreakerEvent, BreakerState, CircuitBreaker};
-use crate::config::ServeConfig;
+use crate::canary::{
+    decide, routes_to_canary, splitmix64, ArmStats, CanaryOutcome, CanaryPolicy, CanarySnapshot,
+    PromotionPhase, RollbackCause,
+};
+use crate::config::{RespawnBackoff, ServeConfig};
 use crate::request::{Pending, ServeError, ServeOutput, Ticket};
 use crate::weights::{WeightSet, WeightStore};
 
@@ -81,6 +86,15 @@ pub struct StatsSnapshot {
     pub weights_version: u64,
 }
 
+/// One in-progress canary evaluation (promotion phase `Canary`).
+struct CanaryRun {
+    policy: CanaryPolicy,
+    candidate_version: u64,
+    incumbent_version: u64,
+    candidate: ArmStats,
+    incumbent: ArmStats,
+}
+
 struct Shared {
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
@@ -91,6 +105,11 @@ struct Shared {
     /// while inference runs, so a dying worker cannot take them along.
     inflight: Mutex<Vec<Vec<(Pending, Instant)>>>,
     stats: Mutex<StatsInner>,
+    /// Submission sequence numbers — the deterministic canary routing key.
+    next_seq: AtomicU64,
+    /// Cheap hot-path check before touching the `canary` mutex.
+    canary_active: AtomicBool,
+    canary: Mutex<Option<CanaryRun>>,
     shutdown: AtomicBool,
 }
 
@@ -158,6 +177,9 @@ impl Server {
             weights: WeightStore::new(initial),
             inflight: Mutex::new((0..workers).map(|_| Vec::new()).collect()),
             stats: Mutex::new(StatsInner::default()),
+            next_seq: AtomicU64::new(0),
+            canary_active: AtomicBool::new(false),
+            canary: Mutex::new(None),
             shutdown: AtomicBool::new(false),
         });
 
@@ -196,7 +218,8 @@ impl Server {
     /// decided here on the caller's thread.
     pub fn submit_with_deadline(&self, review: Review, deadline: Duration) -> Ticket {
         let shared = &self.shared;
-        let (pending, ticket) = Pending::new(review, Instant::now() + deadline);
+        let seq = shared.next_seq.fetch_add(1, Ordering::SeqCst);
+        let (pending, ticket) = Pending::new(review, Instant::now() + deadline, seq);
         dar_obs::inc("serve.submitted");
 
         // Admission: cheap structural checks before anything is queued.
@@ -258,6 +281,136 @@ impl Server {
     /// Published weight generation.
     pub fn weights_version(&self) -> u64 {
         self.shared.weights.version()
+    }
+
+    /// Begin a canary evaluation: validate `path` into the canary slot
+    /// (same CRC/count/shape contract as [`offer_checkpoint`]) and start
+    /// routing the deterministic traffic slice to it. Fails if a canary
+    /// is already active or validation rejects the checkpoint (the
+    /// rejection is journaled as a typed `offer_rejected` event either
+    /// way). Returns the candidate's version.
+    ///
+    /// [`offer_checkpoint`]: Server::offer_checkpoint
+    pub fn begin_canary(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        policy: CanaryPolicy,
+    ) -> dar_tensor::DarResult<u64> {
+        let mut guard = self.shared.canary.lock().unwrap();
+        if guard.is_some() {
+            return Err(dar_tensor::DarError::InvalidData(
+                "a canary evaluation is already active".into(),
+            ));
+        }
+        let version = self.shared.weights.offer_canary(path)?;
+        let policy = CanaryPolicy {
+            slice_modulus: policy.slice_modulus.max(2),
+            ..policy
+        };
+        *guard = Some(CanaryRun {
+            policy,
+            candidate_version: version,
+            incumbent_version: self.shared.weights.version(),
+            candidate: ArmStats::default(),
+            incumbent: ArmStats::default(),
+        });
+        self.shared.canary_active.store(true, Ordering::SeqCst);
+        drop(guard);
+        dar_obs::event(ObsEvent::CanaryStarted { version });
+        dar_obs::inc("serve.canaries_started");
+        Ok(version)
+    }
+
+    /// Both arms' stats so far, or `None` when no canary is active.
+    pub fn canary_snapshot(&self) -> Option<CanarySnapshot> {
+        let guard = self.shared.canary.lock().unwrap();
+        guard.as_ref().map(|run| CanarySnapshot {
+            candidate_version: run.candidate_version,
+            incumbent_version: run.incumbent_version,
+            candidate: run.candidate.clone(),
+            incumbent: run.incumbent.clone(),
+        })
+    }
+
+    /// Conclude the canary if both arms have filled the policy window:
+    /// promote the candidate atomically or roll it back, journaling the
+    /// verdict. `None` means not enough traffic yet (or no canary).
+    ///
+    /// The verdict and its journal entry are emitted from the calling
+    /// thread, so a single controller thread observes a deterministic
+    /// promotion event sequence whatever the worker interleaving.
+    pub fn try_conclude_canary(&self) -> Option<CanaryOutcome> {
+        let mut guard = self.shared.canary.lock().unwrap();
+        let run = guard.as_ref()?;
+        if run.candidate.outcomes() < run.policy.window
+            || run.incumbent.outcomes() < run.policy.window
+        {
+            return None;
+        }
+        // Stop routing *before* the weights settle: batches claimed from
+        // here on go to the incumbent, and any canary batch already
+        // claimed still resolves normally (it just stops being counted).
+        let run = guard.take().expect("guarded above");
+        self.shared.canary_active.store(false, Ordering::SeqCst);
+        drop(guard);
+        Some(self.settle_canary(run, None))
+    }
+
+    /// Abort an active canary without a verdict: clear the slot, keep
+    /// the incumbent, journal a rollback with cause `aborted`.
+    pub fn abort_canary(&self) -> Option<CanaryOutcome> {
+        let mut guard = self.shared.canary.lock().unwrap();
+        let run = guard.take()?;
+        self.shared.canary_active.store(false, Ordering::SeqCst);
+        drop(guard);
+        Some(self.settle_canary(run, Some(RollbackCause::Aborted)))
+    }
+
+    /// Apply the verdict (or a forced cause) to a detached run.
+    fn settle_canary(&self, run: CanaryRun, forced: Option<RollbackCause>) -> CanaryOutcome {
+        let snapshot = CanarySnapshot {
+            candidate_version: run.candidate_version,
+            incumbent_version: run.incumbent_version,
+            candidate: run.candidate,
+            incumbent: run.incumbent,
+        };
+        let verdict = match forced {
+            Some(cause) => Err(cause),
+            None => decide(&run.policy, &snapshot),
+        };
+        match verdict {
+            Ok(()) => {
+                let version = self
+                    .shared
+                    .weights
+                    .promote_canary()
+                    .unwrap_or(run.candidate_version);
+                dar_obs::event(ObsEvent::CandidatePromoted { version });
+                dar_obs::inc("serve.promotions");
+                CanaryOutcome {
+                    version,
+                    phase: PromotionPhase::Promoted,
+                    cause: None,
+                    snapshot,
+                }
+            }
+            Err(cause) => {
+                // Rollback is the *absence* of a swap: drop the slot and
+                // the incumbent keeps serving, never displaced.
+                self.shared.weights.clear_canary();
+                dar_obs::event(ObsEvent::CandidateRolledBack {
+                    version: run.candidate_version,
+                    cause: cause.as_str().to_owned(),
+                });
+                dar_obs::inc("serve.canary_rollbacks");
+                CanaryOutcome {
+                    version: run.candidate_version,
+                    phase: PromotionPhase::RolledBack,
+                    cause: Some(cause),
+                    snapshot,
+                }
+            }
+        }
     }
 
     pub fn breaker_state(&self) -> BreakerState {
@@ -332,8 +485,12 @@ fn spawn_worker(
 }
 
 /// Pop expired requests off the queue front-to-back, answering them.
-/// Returns the requests claimed for this batch (≤ `cap`).
-fn claim_batch(shared: &Shared, cap: usize) -> Option<Vec<Pending>> {
+/// Returns the requests claimed for this batch (≤ `cap`) plus whether
+/// they were claimed for the canary arm. While a canary is active a
+/// batch is *pure-route*: it takes the front request's arm and claims
+/// only same-arm requests (preserving queue order of the rest), so one
+/// batch never mixes weight generations.
+fn claim_batch(shared: &Shared, cap: usize) -> Option<(Vec<Pending>, bool)> {
     let cfg = &shared.cfg;
     let mut q = shared.queue.lock().unwrap();
     loop {
@@ -395,9 +552,79 @@ fn claim_batch(shared: &Shared, cap: usize) -> Option<Vec<Pending>> {
             }
         }
 
+        // The linger wait releases the lock, so another worker may have
+        // drained the queue; an empty claim just loops in the caller.
         let n = q.items.len().min(cap);
-        let claimed: Vec<Pending> = q.items.drain(..n).collect();
-        return Some(claimed);
+        if n == 0 {
+            return Some((Vec::new(), false));
+        }
+        let modulus = if shared.canary_active.load(Ordering::SeqCst) {
+            shared
+                .canary
+                .lock()
+                .unwrap()
+                .as_ref()
+                .map(|run| run.policy.slice_modulus)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        if modulus < 2 {
+            let claimed: Vec<Pending> = q.items.drain(..n).collect();
+            return Some((claimed, false));
+        }
+        let to_canary = routes_to_canary(q.items[0].seq, modulus);
+        let mut claimed = Vec::with_capacity(n);
+        let mut rest = VecDeque::with_capacity(q.items.len());
+        for p in q.items.drain(..) {
+            if claimed.len() < n && routes_to_canary(p.seq, modulus) == to_canary {
+                claimed.push(p);
+            } else {
+                rest.push_back(p);
+            }
+        }
+        q.items = rest;
+        return Some((claimed, to_canary));
+    }
+}
+
+/// Record one answered canary-era request into its arm. A no-op when no
+/// canary is active (the clean serve path stays byte-identical in the
+/// deterministic obs section).
+fn record_canary_output(
+    shared: &Shared,
+    to_canary: bool,
+    review: &Review,
+    out: &ServeOutput,
+    tainted: bool,
+    latency_us: u64,
+) {
+    if !shared.canary_active.load(Ordering::SeqCst) {
+        return;
+    }
+    if let Some(run) = shared.canary.lock().unwrap().as_mut() {
+        let arm = if to_canary {
+            &mut run.candidate
+        } else {
+            &mut run.incumbent
+        };
+        arm.record_output(review, out, tainted, latency_us);
+    }
+}
+
+/// Record a batch of typed failures / panic victims into an arm, so a
+/// candidate that only ever errors still fills its verdict window.
+fn record_canary_errors(shared: &Shared, to_canary: bool, n: u64, tainted: bool) {
+    if n == 0 || !shared.canary_active.load(Ordering::SeqCst) {
+        return;
+    }
+    if let Some(run) = shared.canary.lock().unwrap().as_mut() {
+        let arm = if to_canary {
+            &mut run.candidate
+        } else {
+            &mut run.incumbent
+        };
+        arm.record_error(n, tainted);
     }
 }
 
@@ -518,7 +745,7 @@ fn worker_loop(
             .lock()
             .unwrap()
             .batch_cap(shared.cfg.max_batch);
-        let Some(claimed) = claim_batch(&shared, cap) else {
+        let Some((claimed, to_canary)) = claim_batch(&shared, cap) else {
             return; // shutdown
         };
         if claimed.is_empty() {
@@ -566,10 +793,20 @@ fn worker_loop(
         };
 
         // Between-batch weight sync: the only place a swap is observed.
-        // An apply failure leaves the replica on its old weights; the
-        // store never publishes a shape-mismatched set for a healthy
-        // factory, so that branch is unreachable in practice.
-        let w = shared.weights.current();
+        // A canary batch targets the canary slot (falling back to the
+        // incumbent if the slot was cleared after the claim — the
+        // request still resolves, just on the incumbent). An apply
+        // failure leaves the replica on its old weights; the store never
+        // publishes a shape-mismatched set for a healthy factory, so
+        // that branch is unreachable in practice.
+        let w = if to_canary {
+            shared
+                .weights
+                .canary()
+                .unwrap_or_else(|| shared.weights.current())
+        } else {
+            shared.weights.current()
+        };
         if w.version != version && w.apply(&model.params()).is_ok() {
             version = w.version;
         }
@@ -615,6 +852,14 @@ fn worker_loop(
                 }
                 for ((p, born), out) in inflight.into_iter().zip(outs) {
                     shared.record_success(born, out.degraded);
+                    record_canary_output(
+                        &shared,
+                        to_canary,
+                        &p.review,
+                        &out,
+                        origin.is_some(),
+                        p.submitted.elapsed().as_micros() as u64,
+                    );
                     p.respond(Ok(out));
                 }
             }
@@ -622,6 +867,7 @@ fn worker_loop(
                 // Typed failure (no full-text path): the whole batch gets
                 // the same verdict and the breaker hears about it.
                 let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                record_canary_errors(&shared, to_canary, inflight.len() as u64, origin.is_some());
                 {
                     let mut b = shared.breaker.lock().unwrap();
                     match plan {
@@ -666,6 +912,7 @@ fn worker_loop(
                 // Soft recovery: answer the victims, rebuild the replica
                 // in place (the model may be mid-panic inconsistent).
                 let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                record_canary_errors(&shared, to_canary, inflight.len() as u64, origin.is_some());
                 for (p, _) in inflight {
                     p.respond(Err(ServeError::WorkerPanicked));
                 }
@@ -690,6 +937,12 @@ fn supervisor_loop(
         }
     };
 
+    // Respawn pacing (per slot): attempts since the last quiet period
+    // drive a bounded exponential backoff, so a crash-looping replica
+    // cannot spin the supervisor while healthy slots keep serving.
+    let mut attempts: Vec<u32> = vec![0; handles.len()];
+    let mut last_death: Vec<Option<Instant>> = vec![None; handles.len()];
+
     loop {
         match death_rx.recv_timeout(Duration::from_millis(20)) {
             Ok(slot) => {
@@ -698,12 +951,44 @@ fn supervisor_loop(
                 }
                 drain_slot(slot);
                 if !shared.shutdown.load(Ordering::SeqCst) {
-                    handles[slot] = Some(spawn_worker(
-                        Arc::clone(&shared),
-                        Arc::clone(&factory),
-                        slot,
-                        death_tx.clone(),
-                    ));
+                    let now = Instant::now();
+                    let pol = &shared.cfg.respawn;
+                    if last_death[slot]
+                        .is_some_and(|prev| now.duration_since(prev) > pol.reset_after)
+                    {
+                        attempts[slot] = 0;
+                    }
+                    last_death[slot] = Some(now);
+                    attempts[slot] += 1;
+                    let delay = respawn_delay(pol, slot, attempts[slot]);
+                    dar_obs::event(ObsEvent::RespawnBackoff {
+                        slot: slot as u64,
+                        attempt: attempts[slot] as u64,
+                        delay_ms: delay.as_millis() as u64,
+                    });
+                    dar_obs::inc("serve.respawn_backoffs");
+                    // Sleep in slices so shutdown stays responsive; if it
+                    // arrives mid-backoff the slot stays down and the
+                    // final sweep below answers whatever is left.
+                    let until = now + delay;
+                    loop {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let now = Instant::now();
+                        if now >= until {
+                            break;
+                        }
+                        std::thread::sleep((until - now).min(Duration::from_millis(2)));
+                    }
+                    if !shared.shutdown.load(Ordering::SeqCst) {
+                        handles[slot] = Some(spawn_worker(
+                            Arc::clone(&shared),
+                            Arc::clone(&factory),
+                            slot,
+                            death_tx.clone(),
+                        ));
+                    }
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -734,5 +1019,46 @@ fn supervisor_loop(
     let leftovers: Vec<Pending> = shared.queue.lock().unwrap().items.drain(..).collect();
     for p in leftovers {
         p.respond(Err(ServeError::Shutdown));
+    }
+}
+
+/// Backoff for respawn `attempt` (1-based) of `slot`:
+/// `min(base · 2^(attempt-1), cap)` plus up to +25% jitter from a
+/// splitmix64 of `(jitter_seed, slot, attempt)` — deterministic, so a
+/// chaos replay sees the identical schedule.
+fn respawn_delay(pol: &RespawnBackoff, slot: usize, attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    let base = pol.base.saturating_mul(1u32 << exp).min(pol.cap);
+    let x = splitmix64(
+        pol.jitter_seed
+            .wrapping_add((slot as u64) << 32)
+            .wrapping_add(attempt as u64),
+    );
+    let span = base.as_micros() as u64 / 4;
+    let jitter = if span == 0 { 0 } else { x % (span + 1) };
+    base + Duration::from_micros(jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respawn_backoff_is_bounded_exponential_and_deterministic() {
+        let pol = RespawnBackoff::default();
+        let d1 = respawn_delay(&pol, 0, 1);
+        let d2 = respawn_delay(&pol, 0, 2);
+        let d8 = respawn_delay(&pol, 0, 8);
+        assert!(d1 >= pol.base && d1 <= pol.base + pol.base / 4);
+        assert!(d2 > d1, "second attempt backs off further");
+        assert!(
+            d8 <= pol.cap + pol.cap / 4,
+            "cap bounds the schedule: {d8:?}"
+        );
+        // Seeded jitter: same inputs, same delay; different slot differs.
+        assert_eq!(respawn_delay(&pol, 0, 3), respawn_delay(&pol, 0, 3));
+        assert_ne!(respawn_delay(&pol, 0, 3), respawn_delay(&pol, 1, 3));
+        // Attempt counts far past the cap do not overflow.
+        assert!(respawn_delay(&pol, 2, 1_000) <= pol.cap + pol.cap / 4);
     }
 }

@@ -1,4 +1,4 @@
-//! Atomic hot checkpoint swap.
+//! Atomic hot checkpoint swap, with a canary slot for the online loop.
 //!
 //! Workers never read weight files. A background loader validates a
 //! checkpoint **off the hot path** — CRC-32 footer via
@@ -9,8 +9,24 @@
 //! that started on version `n` finishes on version `n`, so a request
 //! never sees torn weights, and a corrupted or mismatched offer leaves
 //! the runtime serving the old version untouched.
+//!
+//! The store holds **two** slots. `current` is what every request is
+//! served from by default. `canary` holds a candidate generation that is
+//! only reachable through canary-routed batches (DESIGN.md §13); it
+//! becomes `current` atomically on [`promote_canary`] or vanishes on
+//! [`clear_canary`] — the incumbent pointer is untouched either way, so
+//! a rollback is the *absence* of a swap, never a second swap.
+//!
+//! Every rejected offer is journaled as a typed
+//! [`ObsEvent::OfferRejected`] with a stable snake_case cause
+//! (`crc_mismatch`, `shape_mismatch`, `tensor_count_mismatch`, `io`), so
+//! a silent `Err` return can no longer hide a corrupted producer.
+//!
+//! [`promote_canary`]: WeightStore::promote_canary
+//! [`clear_canary`]: WeightStore::clear_canary
+//! [`ObsEvent::OfferRejected`]: dar_obs::ObsEvent::OfferRejected
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use dar_tensor::{serial, DarError, DarResult, Tensor};
 
@@ -63,34 +79,67 @@ impl WeightSet {
     }
 }
 
-/// The published weight generation plus swap bookkeeping.
+struct StoreInner {
+    current: Arc<WeightSet>,
+    canary: Option<Arc<WeightSet>>,
+    /// Version the *next* accepted offer gets — monotonic across both
+    /// slots, so a rolled-back candidate's number is never reused.
+    next_version: u64,
+}
+
+/// The published weight generations plus swap bookkeeping.
 pub struct WeightStore {
-    current: Mutex<Arc<WeightSet>>,
+    inner: Mutex<StoreInner>,
 }
 
 impl WeightStore {
     /// Seed the store with the weights the factory model was built with.
     pub fn new(initial: WeightSet) -> Self {
+        let next_version = initial.version + 1;
         WeightStore {
-            current: Mutex::new(Arc::new(initial)),
+            inner: Mutex::new(StoreInner {
+                current: Arc::new(initial),
+                canary: None,
+                next_version,
+            }),
         }
     }
 
-    /// The newest validated generation (cheap: one lock, one Arc clone).
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap()
+    }
+
+    /// The newest validated incumbent generation (cheap: one lock, one
+    /// Arc clone).
     pub fn current(&self) -> Arc<WeightSet> {
-        Arc::clone(&self.current.lock().unwrap())
+        Arc::clone(&self.lock().current)
+    }
+
+    /// The candidate generation under canary evaluation, if any.
+    pub fn canary(&self) -> Option<Arc<WeightSet>> {
+        self.lock().canary.as_ref().map(Arc::clone)
     }
 
     pub fn version(&self) -> u64 {
-        self.current.lock().unwrap().version
+        self.lock().current.version
     }
 
-    /// Offer a checkpoint file as the next generation. All validation
-    /// happens here, on the offering thread: the CRC-verified load, the
-    /// tensor count, and every shape (against the currently-published
-    /// set). On any error the published set is left untouched. Returns
-    /// the new version on success.
-    pub fn offer_checkpoint(&self, path: impl AsRef<std::path::Path>) -> DarResult<u64> {
+    /// Validate a checkpoint file against the currently-published set:
+    /// CRC-verified load, tensor count, every shape. On failure the typed
+    /// rejection is journaled and classified; no slot changes.
+    fn validate(&self, path: impl AsRef<std::path::Path>) -> DarResult<WeightSet> {
+        let verdict = self.validate_inner(path);
+        if let Err(e) = &verdict {
+            dar_obs::event(dar_obs::ObsEvent::OfferRejected {
+                cause: rejection_cause(e).to_owned(),
+                detail: e.to_string(),
+            });
+            dar_obs::inc("serve.offers_rejected");
+        }
+        verdict
+    }
+
+    fn validate_inner(&self, path: impl AsRef<std::path::Path>) -> DarResult<WeightSet> {
         let loaded = serial::load_checkpoint_path(path)?;
         let cur = self.current();
         if loaded.tensors.len() != cur.values.len() {
@@ -108,16 +157,73 @@ impl WeightStore {
                 )));
             }
         }
-        let next = WeightSet {
-            version: cur.version + 1,
+        Ok(WeightSet {
+            version: 0, // assigned under the lock by the caller
             values: loaded.tensors.iter().map(|t| t.to_vec()).collect(),
             shapes: cur.shapes.clone(),
-        };
+        })
+    }
+
+    /// Offer a checkpoint file as the next incumbent generation. All
+    /// validation happens here, on the offering thread. On any error the
+    /// published set is left untouched (and the rejection is journaled).
+    /// Returns the new version on success.
+    pub fn offer_checkpoint(&self, path: impl AsRef<std::path::Path>) -> DarResult<u64> {
+        let mut next = self.validate(path)?;
+        let mut inner = self.lock();
+        next.version = inner.next_version;
+        inner.next_version += 1;
         let version = next.version;
-        *self.current.lock().unwrap() = Arc::new(next);
+        inner.current = Arc::new(next);
+        drop(inner);
         dar_obs::event(dar_obs::ObsEvent::WeightsSwapped { version });
         dar_obs::inc("serve.weight_swaps");
         Ok(version)
+    }
+
+    /// Offer a checkpoint file as a **candidate**: validated exactly like
+    /// [`offer_checkpoint`](Self::offer_checkpoint) but installed into
+    /// the canary slot, leaving `current` serving. Returns the
+    /// candidate's version.
+    pub fn offer_canary(&self, path: impl AsRef<std::path::Path>) -> DarResult<u64> {
+        let mut next = self.validate(path)?;
+        let mut inner = self.lock();
+        next.version = inner.next_version;
+        inner.next_version += 1;
+        let version = next.version;
+        inner.canary = Some(Arc::new(next));
+        Ok(version)
+    }
+
+    /// Atomically make the canary the incumbent. Returns its version, or
+    /// `None` if no canary was installed.
+    pub fn promote_canary(&self) -> Option<u64> {
+        let mut inner = self.lock();
+        let cand = inner.canary.take()?;
+        let version = cand.version;
+        inner.current = cand;
+        drop(inner);
+        dar_obs::event(dar_obs::ObsEvent::WeightsSwapped { version });
+        dar_obs::inc("serve.weight_swaps");
+        Some(version)
+    }
+
+    /// Drop the canary, leaving the incumbent untouched (the rollback
+    /// path). Returns the discarded version, if any.
+    pub fn clear_canary(&self) -> Option<u64> {
+        self.lock().canary.take().map(|c| c.version)
+    }
+}
+
+/// Stable snake_case classifier for a rejected offer, written into the
+/// [`OfferRejected`](dar_obs::ObsEvent::OfferRejected) event.
+fn rejection_cause(e: &DarError) -> &'static str {
+    match e {
+        DarError::Corrupt(_) => "crc_mismatch",
+        DarError::Io(_) => "io",
+        DarError::InvalidData(m) if m.contains("tensors") => "tensor_count_mismatch",
+        DarError::InvalidData(_) => "shape_mismatch",
+        _ => "invalid",
     }
 }
 
@@ -185,5 +291,53 @@ mod tests {
 
         let wrong = vec![Tensor::param(vec![0.0; 6], &[6])];
         assert!(set.apply(&wrong).is_err());
+    }
+
+    #[test]
+    fn canary_slot_promotes_or_rolls_back_without_touching_incumbent() {
+        let p = params();
+        let store = WeightStore::new(WeightSet::from_params(&p, 1));
+        let path = tmpfile("canary");
+        let cand = vec![
+            Tensor::param(vec![7.0; 6], &[2, 3]),
+            Tensor::param(vec![6.0; 4], &[4]),
+        ];
+        serial::save_checkpoint_path(&path, &Checkpoint::new(cand, Vec::new())).unwrap();
+
+        // Install: candidate visible only through the canary slot.
+        assert_eq!(store.offer_canary(&path).unwrap(), 2);
+        assert_eq!(store.version(), 1, "incumbent untouched by the offer");
+        assert_eq!(store.canary().unwrap().version, 2);
+
+        // Rollback is the absence of a swap.
+        assert_eq!(store.clear_canary(), Some(2));
+        assert!(store.canary().is_none());
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.current().values[0], vec![1.0; 6]);
+
+        // Versions are never reused: the next candidate is v3, and
+        // promotion makes it the incumbent atomically.
+        assert_eq!(store.offer_canary(&path).unwrap(), 3);
+        assert_eq!(store.promote_canary(), Some(3));
+        assert!(store.canary().is_none());
+        assert_eq!(store.version(), 3);
+        assert_eq!(store.current().values[0], vec![7.0; 6]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejection_causes_are_classified() {
+        assert_eq!(
+            rejection_cause(&DarError::Corrupt("crc".into())),
+            "crc_mismatch"
+        );
+        assert_eq!(
+            rejection_cause(&DarError::InvalidData("has 3 tensors, model has 2".into())),
+            "tensor_count_mismatch"
+        );
+        assert_eq!(
+            rejection_cause(&DarError::InvalidData("tensor 0 is [3, 2]".into())),
+            "shape_mismatch"
+        );
     }
 }

@@ -29,11 +29,15 @@ const THROUGHPUT_METRICS: &[(&str, &str)] = &[
     ("BENCH_numeric.json", "raw_examples_per_s"),
     ("BENCH_numeric.json", "guarded_examples_per_s"),
     ("BENCH_obs.json", "on_examples_per_s"),
+    ("BENCH_online.json", "throughput_rps"),
 ];
 
 /// Lower-is-better metrics: fresh must stay below
 /// `(1 + MAX_LATENCY_INFLATION)` × baseline.
-const LATENCY_METRICS: &[(&str, &str)] = &[("BENCH_serve.json", "p99_us")];
+const LATENCY_METRICS: &[(&str, &str)] = &[
+    ("BENCH_serve.json", "p99_us"),
+    ("BENCH_online.json", "p99_us"),
+];
 
 const MAX_THROUGHPUT_DROP: f64 = 0.10;
 const MAX_LATENCY_INFLATION: f64 = 0.15;
@@ -134,31 +138,40 @@ fn self_test() {
     let serve_base = r#"{"throughput_rps": 1000.0, "p99_us": 10000}"#;
     let numeric = r#"{"raw_examples_per_s": 500.0, "guarded_examples_per_s": 490.0}"#;
     let obs = r#"{"on_examples_per_s": 480.0}"#;
+    let online = r#"{"throughput_rps": 200.0, "p99_us": 8000}"#;
     std::fs::write(base.join("BENCH_serve.json"), serve_base).expect("writing baseline");
     std::fs::write(base.join("BENCH_numeric.json"), numeric).expect("writing baseline");
     std::fs::write(base.join("BENCH_obs.json"), obs).expect("writing baseline");
+    std::fs::write(base.join("BENCH_online.json"), online).expect("writing baseline");
 
     // Identical fresh point: must pass.
     std::fs::write(fresh.join("BENCH_serve.json"), serve_base).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_numeric.json"), numeric).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_obs.json"), obs).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_online.json"), online).expect("writing fresh");
     let failures = run_gate(&base, &fresh).expect("self-test gate errored");
     assert!(
         failures.is_empty(),
         "identical point must pass, got {failures:?}"
     );
 
-    // Regressed fresh point (-20% throughput, +30% p99): must fail both.
+    // Regressed fresh points (-20% throughput, +30% p99): must fail all
+    // four — both files' throughput and latency gates.
     std::fs::write(
         fresh.join("BENCH_serve.json"),
         r#"{"throughput_rps": 800.0, "p99_us": 13000}"#,
     )
     .expect("writing regressed fresh");
+    std::fs::write(
+        fresh.join("BENCH_online.json"),
+        r#"{"throughput_rps": 160.0, "p99_us": 10400}"#,
+    )
+    .expect("writing regressed fresh");
     let failures = run_gate(&base, &fresh).expect("self-test gate errored");
     assert_eq!(
         failures.len(),
-        2,
-        "regressed point must fail throughput and p99, got {failures:?}"
+        4,
+        "regressed points must fail both files' throughput and p99, got {failures:?}"
     );
 
     std::fs::remove_dir_all(&dir).ok();

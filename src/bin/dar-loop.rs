@@ -1,0 +1,239 @@
+//! `dar-loop` — demo + benchmark driver for the closed online loop:
+//! train-while-serve with canary evaluation and auto-rollback.
+//!
+//! Topology (DESIGN.md §13): a background trainer consumes a streaming
+//! synthetic review feed (with a poison hook exercising feed admission)
+//! and writes one candidate checkpoint per round; the controller canaries
+//! each candidate on a deterministic traffic slice against the incumbent
+//! and promotes or rolls back. Results land in `results/BENCH_online.json`
+//! and the obs snapshot in `results/obs_online.json`.
+//!
+//! ```sh
+//! dar-loop                           # defaults: 3 rounds, auto workers
+//! dar-loop --rounds 5 --seed 7 --wave 24 --out results
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dar::core::stream::{spawn_online_trainer, FeedConfig, OnlineTrainerConfig};
+use dar::data::Review;
+use dar::prelude::*;
+use dar::serve::{
+    run_online_loop, CanaryPolicy, OnlineLoopConfig, PromotionPhase, ServeConfig, Server,
+};
+use dar::tensor::serial::{self, Checkpoint};
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: dar-loop [--rounds N] [--wave N] [--seed N] [--out DIR]");
+        std::process::exit(2);
+    }
+    let rounds = flag(&args, "--rounds").unwrap_or(3) as usize;
+    let wave = flag(&args, "--wave").unwrap_or(16) as usize;
+    let seed = flag(&args, "--seed").unwrap_or(42);
+    let out_dir = PathBuf::from(str_flag(&args, "--out").unwrap_or_else(|| "results".into()));
+    std::fs::create_dir_all(&out_dir).expect("creating output dir");
+
+    // Base dataset: serving traffic + the incumbent's training set.
+    let synth = SynthConfig {
+        n_train: 128,
+        n_dev: 32,
+        n_test: 64,
+        ..SynthConfig::beer(Aspect::Aroma)
+    };
+    let data = SynBeer::generate(&synth, &mut dar::rng(seed));
+    let cfg = RationaleConfig {
+        emb_dim: 16,
+        hidden: 24,
+        sparsity: 0.16,
+        ..Default::default()
+    };
+    let ml = pretrain::max_len(&data);
+    let vocab = data.vocab.len();
+
+    // Incumbent: one trained epoch, hot-swapped in before the loop runs,
+    // so candidates have a real bar to clear.
+    eprintln!("[dar-loop] training the incumbent...");
+    let incumbent_path = out_dir.join("loop_incumbent.ckpt");
+    {
+        let mut rng = dar::rng(seed + 1);
+        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+        let mut model = Rnp::new(&cfg, &emb, ml, &mut rng);
+        let mut rng = dar::rng(seed + 2);
+        let report = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            patience: None,
+            ..Default::default()
+        })
+        .fit(&mut model, &data, &mut rng);
+        eprintln!(
+            "[dar-loop] incumbent: acc {:.1}%  rationale F1 {:.1}%",
+            report.test.acc.unwrap_or(0.0) * 100.0,
+            report.test.f1 * 100.0
+        );
+        serial::save_checkpoint_path(
+            &incumbent_path,
+            &Checkpoint::new(model.params(), Vec::new()),
+        )
+        .expect("saving incumbent checkpoint");
+    }
+
+    let factory: dar::serve::ModelFactory = Arc::new(move || {
+        let mut rng = dar::rng(seed + 1);
+        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+        Box::new(Rnp::new(&cfg, &emb, ml, &mut rng))
+    });
+    let serve_cfg = ServeConfig {
+        vocab_size: vocab,
+        max_len: ml,
+        ..ServeConfig::default()
+    };
+    let n_workers = serve_cfg.effective_workers();
+    let server = Server::start(serve_cfg, Arc::clone(&factory));
+    let incumbent_version = server
+        .offer_checkpoint(&incumbent_path)
+        .expect("incumbent checkpoint accepted");
+    eprintln!(
+        "[dar-loop] serving with {n_workers} workers, incumbent v{incumbent_version} \
+         (DAR_THREADS budget {})",
+        dar_par::max_threads()
+    );
+
+    // Background trainer on a fresh streaming feed, poison every 9th
+    // review to exercise feed admission.
+    let trainer_cfg = OnlineTrainerConfig {
+        rounds,
+        epochs_per_round: 2,
+        batch_size: 32,
+        vocab_size: vocab,
+        max_len: ml,
+        candidate_dir: out_dir.clone(),
+        seed: seed + 3,
+        panic_at_round: None,
+    };
+    let feed = FeedConfig {
+        synth: SynthConfig {
+            n_train: 96,
+            ..synth
+        },
+        seed: seed + 4,
+        poison_every: Some(9),
+    };
+    let (trainer, candidates) = spawn_online_trainer(trainer_cfg, Arc::clone(&factory), feed);
+
+    let loop_cfg = OnlineLoopConfig {
+        policy: CanaryPolicy {
+            window: 40,
+            ..CanaryPolicy::default()
+        },
+        wave,
+        max_waves: 64,
+    };
+    let traffic: Vec<Review> = data.test.clone();
+    let started = Instant::now();
+    let report = run_online_loop(&server, &candidates, &traffic, &loop_cfg);
+    let elapsed = started.elapsed();
+    trainer.join().expect("joining the trainer thread");
+
+    let served: u64 = report.rounds.iter().map(|r| r.served_ok).sum();
+    let failed: u64 = report.rounds.iter().map(|r| r.failed).sum();
+    for r in &report.rounds {
+        match (&r.outcome, &r.note) {
+            (Some(o), _) => eprintln!(
+                "[dar-loop] round {}: v{} {:?} (cand acc {:.1}% vs inc {:.1}%)",
+                r.round,
+                o.version,
+                o.phase,
+                o.snapshot.candidate.accuracy() * 100.0,
+                o.snapshot.incumbent.accuracy() * 100.0,
+            ),
+            (None, Some(note)) => eprintln!("[dar-loop] round {}: {note}", r.round),
+            _ => {}
+        }
+    }
+    let candidates_seen = report.rounds.iter().filter(|r| r.outcome.is_some()).count();
+    let stats = server.shutdown();
+
+    let throughput = served as f64 / elapsed.as_secs_f64().max(1e-9);
+    let summary = format!(
+        "dar-loop bench — {rounds} rounds, {n_workers} workers, seed {seed}\n\
+         candidates canaried:    {candidates_seen}\n\
+         promoted:               {p}\n\
+         rolled back:            {rb}\n\
+         offers rejected:        {orej}\n\
+         served / failed:        {served} / {failed}\n\
+         final weights version:  v{fv}\n\
+         throughput:             {tp:.1} req/s\n\
+         latency p50 / p99:      {p50} / {p99} us\n",
+        p = report.promoted,
+        rb = report.rolled_back,
+        orej = report.offers_rejected,
+        fv = report.final_version,
+        tp = throughput,
+        p50 = stats.p50_us,
+        p99 = stats.p99_us,
+    );
+    print!("{summary}");
+    std::fs::write(out_dir.join("loop_bench.txt"), &summary).expect("writing loop_bench.txt");
+
+    let json = format!(
+        "{{\"rounds\": {rounds}, \"workers\": {n_workers}, \"seed\": {seed}, \
+          \"candidates\": {candidates_seen}, \"promoted\": {}, \"rolled_back\": {}, \
+          \"offers_rejected\": {}, \"served\": {served}, \"failed\": {failed}, \
+          \"final_version\": {}, \"trainer_died\": {}, \
+          \"throughput_rps\": {throughput:.2}, \"p50_us\": {}, \"p99_us\": {}}}\n",
+        report.promoted,
+        report.rolled_back,
+        report.offers_rejected,
+        report.final_version,
+        report.trainer_died,
+        stats.p50_us,
+        stats.p99_us,
+    );
+    std::fs::write(out_dir.join("BENCH_online.json"), json).expect("writing BENCH_online.json");
+
+    match dar::obs::write_snapshot(&out_dir, "online") {
+        Ok(p) => eprintln!("[dar-loop] obs snapshot: {}", p.display()),
+        Err(e) => eprintln!("[dar-loop] obs snapshot failed: {e}"),
+    }
+
+    // Healthy: every request resolved, the trainer survived, every round
+    // reached a verdict, and no verdict displaced the incumbent with a
+    // worse model (a promotion must have cleared the accuracy bar).
+    let verdicts_sound = report.rounds.iter().all(|r| match &r.outcome {
+        Some(o) if o.phase == PromotionPhase::Promoted => {
+            o.snapshot.candidate.accuracy() + loop_cfg.policy.max_acc_drop
+                >= o.snapshot.incumbent.accuracy()
+        }
+        _ => true,
+    });
+    let healthy = failed == 0
+        && !report.trainer_died
+        && candidates_seen == rounds
+        && verdicts_sound
+        && stats.panics == 0;
+    std::fs::remove_file(&incumbent_path).ok();
+    if !healthy {
+        eprintln!("[dar-loop] UNHEALTHY run — see counters above");
+        std::process::exit(1);
+    }
+    eprintln!("[dar-loop] ok");
+}

@@ -438,6 +438,87 @@ fn supervisor_respawns_dead_workers() {
     assert!(stats.served_full + stats.served_degraded >= 2);
 }
 
+/// A weight swap racing breaker recovery: the checkpoint lands while the
+/// breaker is Open (worker idle), so the HalfOpen probe batch is the
+/// first to run on the new generation. The probe must both recover the
+/// breaker *and* pick up the swapped weights — neither state machine may
+/// clobber the other.
+#[test]
+fn half_open_probe_recovers_across_a_concurrent_swap() {
+    let fx = Fixture::new(570);
+    let panic_tok = fx.trigger(0);
+    let full_panic_tok = fx.trigger(1);
+    let factory = fx.factory(ChaosPlan {
+        panic_token: Some(panic_tok),
+        full_panic_token: Some(full_panic_tok),
+        ..Default::default()
+    });
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        linger: Duration::ZERO,
+        breaker: BreakerPolicy {
+            failure_threshold: 2,
+            degraded_threshold: 2,
+            probe_after_degraded: 100,
+            probe_after_sheds: 3,
+            ..BreakerPolicy::default()
+        },
+        ..fx.serve_cfg()
+    };
+    let server = Server::start(cfg, factory.clone());
+    assert_eq!(server.weights_version(), 1);
+
+    // Walk the breaker down: Closed → Degraded → Open.
+    for i in 0..2 {
+        let err = server
+            .submit(fx.triggered(i, panic_tok))
+            .wait()
+            .expect_err("panic batch fails");
+        assert!(matches!(err, ServeError::WorkerPanicked));
+    }
+    for i in 0..2 {
+        let err = server
+            .submit(fx.triggered(i, full_panic_tok))
+            .wait()
+            .expect_err("full-panic batch fails");
+        assert!(matches!(err, ServeError::WorkerPanicked));
+    }
+    assert_eq!(server.breaker_state(), BreakerState::Open);
+
+    // Swap while Open: same weights as the factory replica (identical
+    // behavior, new generation), accepted with the worker idle.
+    let tmp = std::env::temp_dir().join(format!("dar_chaos_probe_swap_{}", std::process::id()));
+    serial::save_checkpoint_path(&tmp, &Checkpoint::new(factory().params(), Vec::new())).unwrap();
+    assert_eq!(server.offer_checkpoint(&tmp).unwrap(), 2);
+
+    // Spend the shed budget to earn the probe slot…
+    for _ in 0..3 {
+        let err = server.submit(fx.clean(0)).wait().expect_err("open sheds");
+        assert!(matches!(err, ServeError::Shed));
+    }
+    assert_eq!(server.breaker_state(), BreakerState::HalfOpen);
+
+    // …and the probe serves full-path on the *new* generation.
+    let out = server.submit(fx.clean(1)).wait().expect("probe serves");
+    assert!(!out.degraded);
+    assert_eq!(out.weights_version, 2, "probe ran on the swapped weights");
+    assert_eq!(server.breaker_state(), BreakerState::Closed);
+
+    let causes: Vec<TransitionCause> = server.breaker_events().iter().map(|e| e.cause).collect();
+    assert_eq!(
+        causes,
+        vec![
+            TransitionCause::GeneratorFailures { origin: None },
+            TransitionCause::DegradedFailures,
+            TransitionCause::ShedBudget,
+            TransitionCause::ProbeRecovered,
+        ]
+    );
+    std::fs::remove_file(&tmp).ok();
+    server.shutdown();
+}
+
 /// Deadlines and the bounded queue produce typed verdicts, not hangs:
 /// a slow worker lets queued requests expire, and submissions beyond the
 /// queue cap bounce immediately.
