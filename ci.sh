@@ -48,10 +48,24 @@ st_chaos_t4() { DAR_THREADS=4 cargo test --release -q --test serving_chaos; }
 st_online_t1() { DAR_THREADS=1 cargo test --release -q --test online_loop; }
 st_online_t4() { DAR_THREADS=4 cargo test --release -q --test online_loop; }
 
+# The scale-out chaos + saturation suite (DESIGN.md §14) under both
+# budgets: replica sweeps, exactly-one-outcome under stealing, atomic
+# weight publication, tenant fairness, and the replica-count-invariant
+# obs golden.
+st_scale_out_t1() { DAR_THREADS=1 cargo test --release -q --test scale_out; }
+st_scale_out_t4() { DAR_THREADS=4 cargo test --release -q --test scale_out; }
+
 # Record sustained throughput + tail latency of the serving demo into
-# results/serve_bench.txt, the BENCH_serve.json trajectory point, and the
-# obs_serve.json observability snapshot.
+# results/serve_bench.txt and the obs_serve.json observability snapshot.
 st_serve_bench() { cargo run --release --bin dar-serve -- --requests 400 --out results; }
+
+# Saturation sweep across 1/2/4/8 replica pools on the light workload;
+# writes the BENCH_serve.json trajectory point (aggregate rps at 8
+# replicas plus per-width rps/p99/steal columns). The binary exits
+# non-zero if any request fails or any worker panics.
+st_serve_saturation() {
+    cargo run --release --bin dar-serve -- --saturate --requests 1024 --out results
+}
 
 # Closed online loop demo: train-while-serve with canary promotion and
 # auto-rollback, recorded into results/BENCH_online.json and the
@@ -99,8 +113,9 @@ st_benchgate() {
 # ---- stage driver -------------------------------------------------------
 
 STAGE_NAMES=(fmt clippy build par-tests test-t1 test-t4 chaos-t1 chaos-t4
-    online-t1 online-t4 serve-bench loop-bench ops-deny fuzz-t1 fuzz-t4
-    numbench obsbench benchgate)
+    online-t1 online-t4 scale-out-t1 scale-out-t4 serve-bench
+    serve-saturation loop-bench ops-deny fuzz-t1 fuzz-t4 numbench obsbench
+    benchgate)
 
 RAN_NAMES=()
 RAN_STATUS=()
@@ -129,10 +144,10 @@ summary() {
     write_report
     echo
     echo "ci.sh summary (results/ci_report.json):"
-    printf '  %-12s %-6s %8s\n' stage status seconds
+    printf '  %-16s %-6s %8s\n' stage status seconds
     local i
     for i in "${!RAN_NAMES[@]}"; do
-        printf '  %-12s %-6s %8s\n' \
+        printf '  %-16s %-6s %8s\n' \
             "${RAN_NAMES[$i]}" "${RAN_STATUS[$i]}" "${RAN_SECS[$i]}"
     done
 }

@@ -70,6 +70,11 @@ pub enum ObsEvent {
         attempt: u64,
         delay_ms: u64,
     },
+    /// An idle replica stole a micro-batch of `n` requests from the
+    /// longest sibling queue (work stealing; DESIGN.md §14). Emitted
+    /// only when a steal actually happens, so sequential traffic leaves
+    /// the deterministic section untouched.
+    ReplicaSteal { thief: u64, victim: u64, n: u64 },
     /// Escape hatch for one-off signals; keep `kind` snake_case.
     Custom { kind: String, detail: String },
 }
@@ -92,6 +97,7 @@ impl ObsEvent {
             ObsEvent::CandidateRolledBack { .. } => "candidate_rolled_back",
             ObsEvent::OfferRejected { .. } => "offer_rejected",
             ObsEvent::RespawnBackoff { .. } => "respawn_backoff",
+            ObsEvent::ReplicaSteal { .. } => "replica_steal",
             ObsEvent::Custom { .. } => "custom",
         }
     }
@@ -177,6 +183,9 @@ impl ObsEvent {
                     ",\"slot\":{slot},\"attempt\":{attempt},\"delay_ms\":{delay_ms}"
                 ));
             }
+            ObsEvent::ReplicaSteal { thief, victim, n } => {
+                out.push_str(&format!(",\"thief\":{thief},\"victim\":{victim},\"n\":{n}"));
+            }
             ObsEvent::Custom { kind, detail } => {
                 out.push_str(",\"custom_kind\":");
                 json::push_str(out, kind);
@@ -239,6 +248,30 @@ mod tests {
             }
             .kind(),
             "respawn_backoff"
+        );
+        assert_eq!(
+            ObsEvent::ReplicaSteal {
+                thief: 2,
+                victim: 0,
+                n: 4
+            }
+            .kind(),
+            "replica_steal"
+        );
+    }
+
+    #[test]
+    fn replica_steal_serializes_stably() {
+        let mut out = String::new();
+        ObsEvent::ReplicaSteal {
+            thief: 3,
+            victim: 1,
+            n: 8,
+        }
+        .push_json(&mut out, 5);
+        assert_eq!(
+            out,
+            r#"{"seq":5,"kind":"replica_steal","thief":3,"victim":1,"n":8}"#
         );
     }
 

@@ -7,17 +7,23 @@ use crate::breaker::BreakerPolicy;
 /// Configuration for [`Server::start`](crate::Server::start).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker replicas. `0` derives a budget from the `dar-par` thread
-    /// policy (`DAR_THREADS`, clamped to 4) — each worker owns a full
-    /// model replica, so this is a memory knob as much as a CPU one.
-    pub workers: usize,
-    /// Bounded queue depth; submissions beyond it get `QueueFull`.
+    /// Replica pools. Each replica owns a full model copy, one bounded
+    /// queue shard, and one micro-batcher thread; tenants are hashed
+    /// onto shards by [`route_tenant`](crate::router::route_tenant).
+    /// `0` derives a budget from the `dar-par` thread policy
+    /// (`DAR_THREADS`, clamped to 4) — this is a memory knob as much as
+    /// a CPU one.
+    pub replicas: usize,
+    /// Bounded queue depth *per shard*; submissions beyond it get
+    /// `QueueFull` on their home shard (sharded admission — a hot shard
+    /// pushes back without starving siblings).
     pub queue_cap: usize,
     /// Requests per micro-batch.
     pub max_batch: usize,
-    /// How long a worker lingers for more requests after the first one,
+    /// How long a replica lingers for more requests after the first one,
     /// trading latency for batch occupancy. Never lingers past a queued
-    /// request's deadline.
+    /// request's deadline, and never applies to stolen batches (steals
+    /// exist to relieve backlog, not to wait for more of it).
     pub linger: Duration,
     /// Deadline for [`submit`](crate::Server::submit).
     pub default_deadline: Duration,
@@ -35,6 +41,39 @@ pub struct ServeConfig {
     /// seeded jitter instead of immediate retry, so a crash-looping
     /// replica cannot monopolize a core.
     pub respawn: RespawnBackoff,
+    /// Work stealing between replica queues.
+    pub steal: StealPolicy,
+    /// Per-tenant fair-share admission, as a fraction of `queue_cap` a
+    /// single tenant may occupy in its home shard. `None` disables the
+    /// check (the default — single-tenant traffic is the common case).
+    /// Submissions past the cap get `TenantThrottled`.
+    pub tenant_fair_share: Option<f32>,
+}
+
+/// Work-stealing policy for idle replicas (DESIGN.md §14). An idle
+/// replica scans sibling shards and claims one whole micro-batch from
+/// the longest queue — preserving exactly-one-outcome (the stolen batch
+/// moves into the thief's in-flight slot like any claim) and deadline
+/// semantics (expired requests are swept before stealing).
+#[derive(Debug, Clone)]
+pub struct StealPolicy {
+    /// Master switch; `false` pins every request to its home replica.
+    pub enabled: bool,
+    /// Only steal from a sibling holding at least this many requests.
+    /// `None` derives `max_batch + 1`: a victim with at most one full
+    /// batch queued is left alone, so strictly sequential traffic
+    /// (submit → wait → submit) never experiences a steal and stays
+    /// byte-deterministic in the obs journal.
+    pub min_victim_backlog: Option<usize>,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        StealPolicy {
+            enabled: true,
+            min_victim_backlog: None,
+        }
+    }
 }
 
 /// Backoff schedule for supervisor worker respawn. The delay for attempt
@@ -68,7 +107,7 @@ impl Default for RespawnBackoff {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 0,
+            replicas: 0,
             queue_cap: 256,
             max_batch: 16,
             linger: Duration::from_millis(2),
@@ -78,17 +117,75 @@ impl Default for ServeConfig {
             breaker: BreakerPolicy::default(),
             lethal_panic_marker: None,
             respawn: RespawnBackoff::default(),
+            steal: StealPolicy::default(),
+            tenant_fair_share: None,
         }
     }
 }
 
 impl ServeConfig {
-    /// Effective worker count.
-    pub fn effective_workers(&self) -> usize {
-        if self.workers > 0 {
-            self.workers
+    /// Effective replica count.
+    pub fn effective_replicas(&self) -> usize {
+        if self.replicas > 0 {
+            self.replicas
         } else {
             dar_par::max_threads().clamp(1, 4)
         }
+    }
+
+    /// Backlog a sibling must hold before it can be stolen from.
+    pub fn steal_threshold(&self) -> usize {
+        self.steal
+            .min_victim_backlog
+            .unwrap_or(self.max_batch.max(1) + 1)
+    }
+
+    /// Queued requests one tenant may hold in its home shard, when
+    /// fair-share admission is configured.
+    pub fn tenant_queue_cap(&self) -> Option<usize> {
+        self.tenant_fair_share.map(|share| {
+            let cap = (self.queue_cap as f32 * share.clamp(0.0, 1.0)).ceil() as usize;
+            cap.max(1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_threshold_defaults_to_one_past_a_full_batch() {
+        let cfg = ServeConfig {
+            max_batch: 8,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.steal_threshold(), 9);
+        let pinned = ServeConfig {
+            steal: StealPolicy {
+                enabled: true,
+                min_victim_backlog: Some(3),
+            },
+            ..cfg
+        };
+        assert_eq!(pinned.steal_threshold(), 3);
+    }
+
+    #[test]
+    fn tenant_queue_cap_is_a_clamped_ceil_share() {
+        let cfg = ServeConfig {
+            queue_cap: 16,
+            tenant_fair_share: Some(0.25),
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.tenant_queue_cap(), Some(4));
+        let tiny = ServeConfig {
+            queue_cap: 16,
+            tenant_fair_share: Some(0.0001),
+            ..ServeConfig::default()
+        };
+        assert_eq!(tiny.tenant_queue_cap(), Some(1), "never caps below 1");
+        let off = ServeConfig::default();
+        assert_eq!(off.tenant_queue_cap(), None);
     }
 }

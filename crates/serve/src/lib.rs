@@ -1,12 +1,15 @@
 //! # dar-serve — resilient inference serving for rationalization models
 //!
-//! A serving runtime layered on the workspace's building blocks: worker
-//! replicas batching requests into [`dar_data::Batch`] tensors, the
+//! A serving runtime layered on the workspace's building blocks: replica
+//! pools batching requests into [`dar_data::Batch`] tensors, the
 //! checkpoint format (CRC-validated hot swap), the training guards'
 //! collapse band (breaker signal), and the `dar-par` thread policy
-//! (compute budget). DESIGN.md §10 documents the architecture; the
-//! chaos harness in `tests/serving_chaos.rs` (workspace root) holds the
-//! runtime to its invariants under injected faults:
+//! (compute budget). Requests are routed to per-replica queue shards by
+//! tenant hash and rebalanced by work stealing. DESIGN.md §10 documents
+//! the single-replica architecture and §14 the scale-out layer; the
+//! chaos harnesses in `tests/serving_chaos.rs` and `tests/scale_out.rs`
+//! (workspace root) hold the runtime to its invariants under injected
+//! faults:
 //!
 //! * **Exactly one outcome per request** — admission rejection, typed
 //!   failure, or an answer; never silence, never two verdicts.
@@ -30,6 +33,7 @@ pub mod canary;
 pub mod config;
 pub mod online;
 pub mod request;
+pub mod router;
 pub mod server;
 pub mod weights;
 
@@ -40,8 +44,9 @@ pub use canary::{
     decide, routes_to_canary, ArmStats, CanaryOutcome, CanaryPolicy, CanarySnapshot,
     PromotionPhase, RollbackCause,
 };
-pub use config::{RespawnBackoff, ServeConfig};
+pub use config::{RespawnBackoff, ServeConfig, StealPolicy};
 pub use online::{run_online_loop, LoopReport, OnlineLoopConfig, RoundReport};
 pub use request::{ServeError, ServeOutput, ServeResult, Ticket};
-pub use server::{ModelFactory, Server, StatsSnapshot};
+pub use router::route_tenant;
+pub use server::{ModelFactory, ReplicaStats, Server, StatsSnapshot};
 pub use weights::{WeightSet, WeightStore};

@@ -34,6 +34,10 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The breaker is Open; nothing is being computed.
     Shed,
+    /// The tenant already occupies its fair share of its home shard's
+    /// queue (`ServeConfig::tenant_fair_share`) — per-tenant
+    /// backpressure, so one hot tenant cannot starve its shard-mates.
+    TenantThrottled,
     /// The worker processing this request panicked.
     WorkerPanicked,
     /// Degraded mode was needed but the model has no full-text path.
@@ -52,6 +56,7 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "queue full"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::Shed => write!(f, "shed: breaker open"),
+            ServeError::TenantThrottled => write!(f, "tenant over its fair queue share"),
             ServeError::WorkerPanicked => write!(f, "worker panicked"),
             ServeError::DegradedUnavailable => write!(f, "no degraded path"),
             ServeError::Shutdown => write!(f, "server shut down"),
@@ -70,6 +75,9 @@ pub(crate) struct Pending {
     /// Submission sequence number — the deterministic canary routing key
     /// (`seq % slice_modulus` picks the arm; DESIGN.md §13).
     pub seq: u64,
+    /// Tenant id — the sharded-routing key (`route_tenant` picks the
+    /// home shard; DESIGN.md §14) and the fair-share admission key.
+    pub tenant: u64,
     /// When the request entered the runtime — the start of its queue wait
     /// in the observability timings.
     pub submitted: Instant,
@@ -77,13 +85,14 @@ pub(crate) struct Pending {
 }
 
 impl Pending {
-    pub fn new(review: Review, deadline: Instant, seq: u64) -> (Self, Ticket) {
+    pub fn new(review: Review, deadline: Instant, seq: u64, tenant: u64) -> (Self, Ticket) {
         let (tx, rx) = mpsc::channel();
         (
             Pending {
                 review,
                 deadline,
                 seq,
+                tenant,
                 submitted: Instant::now(),
                 tx,
             },

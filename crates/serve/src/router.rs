@@ -1,0 +1,61 @@
+//! Sharded request routing: tenant → home replica shard.
+//!
+//! Routing is a pure hash — `splitmix64(tenant ^ SALT) % replicas` — so
+//! the assignment is stable across restarts and across processes (no
+//! in-memory state to lose), uniform enough that 64 synthetic tenants
+//! land within 2× of an even spread on 2/4/8 shards (enforced by
+//! `tests/prop_invariants.rs`), and independent of the `dar-par` thread
+//! budget (the hash never consults it). A sticky home shard is what
+//! makes per-tenant admission meaningful: a tenant's fair-share count
+//! lives entirely in one shard's queue, so the check needs no
+//! cross-shard coordination.
+
+use crate::canary::splitmix64;
+
+/// Domain-separation salt: keeps the router's hash stream disjoint from
+/// the canary slice hash (which also feeds seqs through `splitmix64`),
+/// so tenant ids and sequence numbers can never alias into correlated
+/// routing decisions.
+const ROUTER_SALT: u64 = 0xDA2_517EA;
+
+/// Home shard for `tenant` among `replicas` shards. Pure, stable,
+/// thread-budget-independent. `replicas = 0` is treated as 1.
+pub fn route_tenant(tenant: u64, replicas: usize) -> usize {
+    let n = replicas.max(1) as u64;
+    (splitmix64(tenant ^ ROUTER_SALT) % n) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for t in 0..256u64 {
+            for r in 1..=8usize {
+                let shard = route_tenant(t, r);
+                assert!(shard < r);
+                assert_eq!(shard, route_tenant(t, r), "routing must be pure");
+            }
+        }
+        assert_eq!(route_tenant(7, 0), 0, "zero shards degrades to one");
+    }
+
+    #[test]
+    fn sixty_four_tenants_spread_within_two_x() {
+        for r in [2usize, 4, 8] {
+            let mut counts = vec![0usize; r];
+            for t in 0..64u64 {
+                counts[route_tenant(t, r)] += 1;
+            }
+            let even = 64 / r;
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(
+                max <= 2 * even,
+                "{r} shards: max load {max} exceeds 2x even share {even} ({counts:?})"
+            );
+            assert!(min >= 1, "{r} shards: a shard got no tenants ({counts:?})");
+        }
+    }
+}

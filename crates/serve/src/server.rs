@@ -1,27 +1,47 @@
-//! The serving runtime: bounded queue → adaptive micro-batcher → worker
-//! replicas → circuit breaker, with supervisor respawn and atomic weight
-//! swap.
+//! The serving runtime: sharded bounded queues → per-replica adaptive
+//! micro-batchers with work stealing → worker replicas → circuit
+//! breaker, with supervisor respawn and atomic weight swap.
 //!
 //! ## Why replicas
 //!
 //! `Tensor` is `Rc`-based and deliberately not `Send`, so model state can
-//! never be shared across threads. Each worker therefore *builds its own
-//! replica* in-thread from a [`ModelFactory`] (which captures only plain
-//! `Send` data) and keeps it aligned with the published [`WeightStore`]
-//! generation by re-applying weights **between batches**. Inside a batch
-//! the replica is untouched by swaps — that is the no-torn-read
-//! guarantee. Tensor ops inside each worker still fork-join onto the
-//! shared `dar-par` pool, so `DAR_THREADS` bounds total compute.
+//! never be shared across threads. Each replica therefore *builds its own
+//! model copy* in-thread from a [`ModelFactory`] (which captures only
+//! plain `Send` data) and keeps it aligned with the published
+//! [`WeightStore`] generation by re-applying weights **between batches**.
+//! Inside a batch the replica is untouched by swaps — that is the
+//! no-torn-read guarantee. The weight *values* are shared: one
+//! `Arc<WeightSet>` per generation, published once, with a lock-free
+//! version hint so the steady-state sync is a single atomic load
+//! (O(1) publication whatever the replica count). Tensor ops inside
+//! each worker still fork-join onto the shared `dar-par` pool, so
+//! `DAR_THREADS` bounds total compute.
+//!
+//! ## Sharded routing and work stealing (DESIGN.md §14)
+//!
+//! Each replica owns one bounded queue shard. A request's tenant id is
+//! hashed onto its *home shard* by [`route_tenant`] — stable across
+//! restarts and thread budgets — so per-tenant admission (fair-share
+//! throttling) is a single-shard check. An idle replica whose own shard
+//! is empty scans its siblings and steals one whole micro-batch from the
+//! longest queue, but only past a backlog threshold
+//! ([`StealPolicy`](crate::config::StealPolicy)): strictly sequential
+//! traffic never experiences a steal, which keeps the deterministic obs
+//! section byte-identical to a single-replica run.
 //!
 //! ## Exactly one outcome
 //!
-//! A request is owned by exactly one place at any time: the bounded
-//! queue, a worker's in-flight slot, or (transiently) the stack of the
-//! code about to respond. Whoever owns it when a verdict is known calls
-//! [`Pending::respond`], which consumes it. If a worker thread dies
-//! mid-batch, the supervisor drains its in-flight slot and answers those
-//! requests with `WorkerPanicked`; at shutdown the queue is drained with
-//! `Shutdown`. The chaos harness asserts `Lost` is never observed.
+//! A request is owned by exactly one place at any time: its home shard's
+//! queue, a replica's in-flight slot, or (transiently) the stack of the
+//! code about to respond. Stealing preserves this: a steal moves
+//! requests from the victim's queue straight into the thief's in-flight
+//! slot under the victim's queue lock — there is no instant where a
+//! request is owned by both or neither. Whoever owns it when a verdict
+//! is known calls [`Pending::respond`], which consumes it. If a worker
+//! thread dies mid-batch, the supervisor drains its in-flight slot and
+//! answers those requests with `WorkerPanicked`; at shutdown every shard
+//! is drained with `Shutdown`. The chaos harness asserts `Lost` is never
+//! observed.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -43,6 +63,7 @@ use crate::canary::{
 };
 use crate::config::{RespawnBackoff, ServeConfig};
 use crate::request::{Pending, ServeError, ServeOutput, Ticket};
+use crate::router::route_tenant;
 use crate::weights::{WeightSet, WeightStore};
 
 /// Builds one model replica. Called on each worker thread (replicas are
@@ -57,6 +78,24 @@ struct QueueState {
     accepting: bool,
 }
 
+/// One replica's bounded queue plus its wakeup signal.
+struct Shard {
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                accepting: true,
+            }),
+            notify: Condvar::new(),
+        }
+    }
+}
+
 #[derive(Default)]
 struct StatsInner {
     served_full: u64,
@@ -65,8 +104,22 @@ struct StatsInner {
     queue_full: u64,
     shed: u64,
     deadline_exceeded: u64,
+    throttled: u64,
+    steals: u64,
+    stolen_requests: u64,
     panics: u64,
     latencies_us: Vec<u64>,
+}
+
+/// Per-replica counters inside a [`StatsSnapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaStats {
+    /// Requests this replica answered successfully (full or degraded).
+    pub served: u64,
+    /// Micro-batches this replica stole from siblings.
+    pub steals: u64,
+    /// Requests carried by those stolen batches.
+    pub stolen_requests: u64,
 }
 
 /// Point-in-time counters plus latency percentiles (microseconds, over
@@ -79,11 +132,19 @@ pub struct StatsSnapshot {
     pub queue_full: u64,
     pub shed: u64,
     pub deadline_exceeded: u64,
+    /// Submissions refused by per-tenant fair-share admission.
+    pub throttled: u64,
+    /// Total micro-batches stolen between replicas.
+    pub steals: u64,
+    /// Total requests carried by stolen batches.
+    pub stolen_requests: u64,
     pub panics: u64,
     pub p50_us: u64,
     pub p99_us: u64,
     pub max_us: u64,
     pub weights_version: u64,
+    /// One entry per replica slot.
+    pub replicas: Vec<ReplicaStats>,
 }
 
 /// One in-progress canary evaluation (promotion phase `Canary`).
@@ -97,14 +158,16 @@ struct CanaryRun {
 
 struct Shared {
     cfg: ServeConfig,
-    queue: Mutex<QueueState>,
-    notify: Condvar,
+    /// One queue shard per replica; a tenant's home shard is
+    /// `route_tenant(tenant, shards.len())`.
+    shards: Vec<Shard>,
     breaker: Mutex<CircuitBreaker>,
     weights: WeightStore,
-    /// One slot per worker: requests claimed from the queue live here
+    /// One slot per replica: requests claimed from any shard live here
     /// while inference runs, so a dying worker cannot take them along.
     inflight: Mutex<Vec<Vec<(Pending, Instant)>>>,
     stats: Mutex<StatsInner>,
+    replica_stats: Mutex<Vec<ReplicaStats>>,
     /// Submission sequence numbers — the deterministic canary routing key.
     next_seq: AtomicU64,
     /// Cheap hot-path check before touching the `canary` mutex.
@@ -114,7 +177,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn record_success(&self, born: Instant, degraded: bool) {
+    fn record_success(&self, slot: usize, born: Instant, degraded: bool) {
         let us = born.elapsed().as_micros() as u64;
         if degraded {
             dar_obs::inc("serve.served_degraded");
@@ -132,6 +195,8 @@ impl Shared {
         if s.latencies_us.len() < 1_000_000 {
             s.latencies_us.push(us);
         }
+        drop(s);
+        self.replica_stats.lock().unwrap()[slot].served += 1;
     }
 }
 
@@ -150,6 +215,26 @@ impl Drop for DeathNotice {
     }
 }
 
+/// Static span names so per-replica timings stay `&'static str` (the
+/// obs registry interns nothing).
+const REPLICA_SPANS: [&str; 8] = [
+    "serve_replica/0",
+    "serve_replica/1",
+    "serve_replica/2",
+    "serve_replica/3",
+    "serve_replica/4",
+    "serve_replica/5",
+    "serve_replica/6",
+    "serve_replica/7",
+];
+
+fn replica_span(slot: usize) -> &'static str {
+    REPLICA_SPANS
+        .get(slot)
+        .copied()
+        .unwrap_or("serve_replica/overflow")
+}
+
 /// The serving runtime. Dropping without [`shutdown`](Server::shutdown)
 /// shuts down implicitly.
 pub struct Server {
@@ -159,24 +244,22 @@ pub struct Server {
 
 impl Server {
     /// Build the initial weight generation from one factory call, spawn
-    /// workers and the supervisor, and start serving.
+    /// one worker per replica shard and the supervisor, and start
+    /// serving.
     pub fn start(cfg: ServeConfig, factory: ModelFactory) -> Self {
         let initial = {
             let model = factory();
             WeightSet::from_params(&model.params(), 1)
         };
-        let workers = cfg.effective_workers();
+        let replicas = cfg.effective_replicas();
         let shared = Arc::new(Shared {
             breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
             cfg,
-            queue: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                accepting: true,
-            }),
-            notify: Condvar::new(),
+            shards: (0..replicas).map(|_| Shard::new()).collect(),
             weights: WeightStore::new(initial),
-            inflight: Mutex::new((0..workers).map(|_| Vec::new()).collect()),
+            inflight: Mutex::new((0..replicas).map(|_| Vec::new()).collect()),
             stats: Mutex::new(StatsInner::default()),
+            replica_stats: Mutex::new(vec![ReplicaStats::default(); replicas]),
             next_seq: AtomicU64::new(0),
             canary_active: AtomicBool::new(false),
             canary: Mutex::new(None),
@@ -184,7 +267,7 @@ impl Server {
         });
 
         let (death_tx, death_rx) = mpsc::channel::<usize>();
-        let handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+        let handles: Vec<Option<JoinHandle<()>>> = (0..replicas)
             .map(|slot| {
                 Some(spawn_worker(
                     Arc::clone(&shared),
@@ -208,18 +291,27 @@ impl Server {
         }
     }
 
-    /// Submit with the configured default deadline.
+    /// Submit with the configured default deadline (tenant 0).
     pub fn submit(&self, review: Review) -> Ticket {
-        self.submit_with_deadline(review, self.shared.cfg.default_deadline)
+        self.submit_for_tenant(review, 0, self.shared.cfg.default_deadline)
     }
 
-    /// Submit one review. The returned ticket resolves to exactly one
-    /// [`ServeResult`] — including for immediate rejections, which are
-    /// decided here on the caller's thread.
+    /// Submit with an explicit deadline (tenant 0).
     pub fn submit_with_deadline(&self, review: Review, deadline: Duration) -> Ticket {
+        self.submit_for_tenant(review, 0, deadline)
+    }
+
+    /// Submit one review for a tenant. The tenant id picks the home
+    /// shard ([`route_tenant`]) and is the fair-share admission key. The
+    /// returned ticket resolves to exactly one [`ServeResult`] —
+    /// including for immediate rejections, which are decided here on the
+    /// caller's thread.
+    ///
+    /// [`ServeResult`]: crate::request::ServeResult
+    pub fn submit_for_tenant(&self, review: Review, tenant: u64, deadline: Duration) -> Ticket {
         let shared = &self.shared;
         let seq = shared.next_seq.fetch_add(1, Ordering::SeqCst);
-        let (pending, ticket) = Pending::new(review, Instant::now() + deadline, seq);
+        let (pending, ticket) = Pending::new(review, Instant::now() + deadline, seq, tenant);
         dar_obs::inc("serve.submitted");
 
         // Admission: cheap structural checks before anything is queued.
@@ -247,9 +339,12 @@ impl Server {
             }
         }
 
-        // Bounded queue: full means backpressure, not waiting.
+        // Home shard: bounded queue (full means backpressure, not
+        // waiting) plus the per-tenant fair-share check — both are
+        // single-shard decisions thanks to sticky routing.
+        let shard = &shared.shards[route_tenant(tenant, shared.shards.len())];
         {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = shard.queue.lock().unwrap();
             if !q.accepting {
                 drop(q);
                 pending.respond(Err(ServeError::Shutdown));
@@ -262,9 +357,22 @@ impl Server {
                 pending.respond(Err(ServeError::QueueFull));
                 return ticket;
             }
+            if let Some(cap) = shared.cfg.tenant_queue_cap() {
+                // O(queue_cap) scan, only when fairness is configured:
+                // cheaper and less invasive than per-tenant counters
+                // threaded through every claim/steal/drain path.
+                let held = q.items.iter().filter(|p| p.tenant == tenant).count();
+                if held >= cap {
+                    drop(q);
+                    shared.stats.lock().unwrap().throttled += 1;
+                    dar_obs::inc("serve.tenant_throttled");
+                    pending.respond(Err(ServeError::TenantThrottled));
+                    return ticket;
+                }
+            }
             q.items.push_back(pending);
         }
-        shared.notify.notify_one();
+        shard.notify.notify_one();
         ticket
     }
 
@@ -441,11 +549,15 @@ impl Server {
             queue_full: s.queue_full,
             shed: s.shed,
             deadline_exceeded: s.deadline_exceeded,
+            throttled: s.throttled,
+            steals: s.steals,
+            stolen_requests: s.stolen_requests,
             panics: s.panics,
             p50_us: pct(0.5),
             p99_us: pct(0.99),
             max_us: lat.last().copied().unwrap_or(0),
             weights_version: self.shared.weights.version(),
+            replicas: self.shared.replica_stats.lock().unwrap().clone(),
         }
     }
 
@@ -457,9 +569,13 @@ impl Server {
     }
 
     fn shutdown_inner(&mut self) {
-        self.shared.queue.lock().unwrap().accepting = false;
+        for shard in &self.shared.shards {
+            shard.queue.lock().unwrap().accepting = false;
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.notify.notify_all();
+        for shard in &self.shared.shards {
+            shard.notify.notify_all();
+        }
         if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
@@ -484,18 +600,153 @@ fn spawn_worker(
         .expect("spawning dar-serve worker")
 }
 
-/// Pop expired requests off the queue front-to-back, answering them.
-/// Returns the requests claimed for this batch (≤ `cap`) plus whether
-/// they were claimed for the canary arm. While a canary is active a
-/// batch is *pure-route*: it takes the front request's arm and claims
-/// only same-arm requests (preserving queue order of the rest), so one
-/// batch never mixes weight generations.
-fn claim_batch(shared: &Shared, cap: usize) -> Option<(Vec<Pending>, bool)> {
+/// One claimed micro-batch, with its canary arm and (if stolen) the
+/// shard it came from.
+struct Claim {
+    claimed: Vec<Pending>,
+    to_canary: bool,
+}
+
+/// Pop every expired request out of `q`, preserving the order of the
+/// rest. Respond outside the queue lock via [`respond_expired`].
+fn take_expired(q: &mut QueueState) -> Vec<Pending> {
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    let items = std::mem::take(&mut q.items);
+    for p in items {
+        if p.expired(now) {
+            expired.push(p);
+        } else {
+            q.items.push_back(p);
+        }
+    }
+    expired
+}
+
+/// Expired requests get their verdict without costing inference.
+fn respond_expired(shared: &Shared, expired: Vec<Pending>) {
+    if expired.is_empty() {
+        return;
+    }
+    let mut s = shared.stats.lock().unwrap();
+    s.deadline_exceeded += expired.len() as u64;
+    drop(s);
+    dar_obs::add("serve.deadline_exceeded", expired.len() as u64);
+    for p in expired {
+        p.respond(Err(ServeError::DeadlineExceeded));
+    }
+}
+
+/// The active canary's slice modulus (0 when no canary is routing).
+fn canary_modulus(shared: &Shared) -> u64 {
+    if shared.canary_active.load(Ordering::SeqCst) {
+        shared
+            .canary
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|run| run.policy.slice_modulus)
+            .unwrap_or(0)
+    } else {
+        0
+    }
+}
+
+/// Claim up to `n` requests from the queue front. While a canary is
+/// active a batch is *pure-route*: it takes the front request's arm and
+/// claims only same-arm requests (preserving queue order of the rest),
+/// so one batch never mixes weight generations — including batches
+/// claimed by a thief from a sibling shard.
+fn claim_arm_pure(q: &mut QueueState, n: usize, modulus: u64) -> (Vec<Pending>, bool) {
+    if modulus < 2 {
+        return (q.items.drain(..n).collect(), false);
+    }
+    let to_canary = routes_to_canary(q.items[0].seq, modulus);
+    let mut claimed = Vec::with_capacity(n);
+    let mut rest = VecDeque::with_capacity(q.items.len());
+    for p in q.items.drain(..) {
+        if claimed.len() < n && routes_to_canary(p.seq, modulus) == to_canary {
+            claimed.push(p);
+        } else {
+            rest.push_back(p);
+        }
+    }
+    q.items = rest;
+    (claimed, to_canary)
+}
+
+/// Steal one whole micro-batch from the longest sibling shard whose
+/// backlog clears the policy threshold. Locks one queue at a time (never
+/// two), so stealing cannot deadlock with submits or other thieves.
+/// While scanning, expired requests found in *any* sibling are answered
+/// — a shard whose home replica is down (dead, mid-backoff) still
+/// resolves its deadline storms through its idle siblings.
+fn try_steal(shared: &Shared, thief: usize, cap: usize) -> Option<Claim> {
+    if !shared.cfg.steal.enabled || shared.shards.len() < 2 {
+        return None;
+    }
+    let threshold = shared.cfg.steal_threshold();
+    let mut best: Option<(usize, usize)> = None;
+    for victim in 0..shared.shards.len() {
+        if victim == thief {
+            continue;
+        }
+        let mut q = shared.shards[victim].queue.lock().unwrap();
+        let expired = take_expired(&mut q);
+        let len = q.items.len();
+        drop(q);
+        respond_expired(shared, expired);
+        if len >= threshold && best.is_none_or(|(_, l)| len > l) {
+            best = Some((victim, len));
+        }
+    }
+    let (victim, _) = best?;
+    let mut q = shared.shards[victim].queue.lock().unwrap();
+    if q.items.len() < threshold {
+        return None; // raced: the home replica (or another thief) got there first
+    }
+    let n = q.items.len().min(cap.max(1));
+    let modulus = canary_modulus(shared);
+    let (claimed, to_canary) = claim_arm_pure(&mut q, n, modulus);
+    drop(q);
+    if claimed.is_empty() {
+        return None;
+    }
+    let n = claimed.len() as u64;
+    {
+        let mut s = shared.stats.lock().unwrap();
+        s.steals += 1;
+        s.stolen_requests += n;
+    }
+    {
+        let mut rs = shared.replica_stats.lock().unwrap();
+        rs[thief].steals += 1;
+        rs[thief].stolen_requests += n;
+    }
+    dar_obs::inc("serve.steals");
+    dar_obs::add("serve.stolen_requests", n);
+    dar_obs::event(ObsEvent::ReplicaSteal {
+        thief: thief as u64,
+        victim: victim as u64,
+        n,
+    });
+    Some(Claim { claimed, to_canary })
+}
+
+/// Claim the next micro-batch for replica `slot`: from its own shard
+/// (after sweeping expired requests, lingering for occupancy), or stolen
+/// from the longest sibling backlog when its own shard is empty. Stolen
+/// batches skip the linger — they exist to relieve backlog, not to wait
+/// for more of it. `None` means shutdown.
+fn claim_batch(shared: &Shared, slot: usize, cap: usize) -> Option<Claim> {
     let cfg = &shared.cfg;
-    let mut q = shared.queue.lock().unwrap();
+    let shard = &shared.shards[slot];
+    let mut q = shard.queue.lock().unwrap();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            // Drain everything left with a terminal verdict.
+            // Drain this replica's own shard with a terminal verdict;
+            // the supervisor's final sweep covers shards whose replica
+            // is already gone.
             let leftovers: Vec<Pending> = q.items.drain(..).collect();
             drop(q);
             for p in leftovers {
@@ -504,36 +755,27 @@ fn claim_batch(shared: &Shared, cap: usize) -> Option<(Vec<Pending>, bool)> {
             return None;
         }
 
-        // Expired requests get their verdict without costing inference.
-        let now = Instant::now();
-        let mut expired = Vec::new();
-        let items = std::mem::take(&mut q.items);
-        for p in items {
-            if p.expired(now) {
-                expired.push(p);
-            } else {
-                q.items.push_back(p);
-            }
-        }
+        let expired = take_expired(&mut q);
         if !expired.is_empty() {
             drop(q);
-            let mut s = shared.stats.lock().unwrap();
-            s.deadline_exceeded += expired.len() as u64;
-            drop(s);
-            dar_obs::add("serve.deadline_exceeded", expired.len() as u64);
-            for p in expired {
-                p.respond(Err(ServeError::DeadlineExceeded));
-            }
-            q = shared.queue.lock().unwrap();
+            respond_expired(shared, expired);
+            q = shard.queue.lock().unwrap();
             continue;
         }
 
         if q.items.is_empty() {
-            let (qq, _) = shared
-                .notify
-                .wait_timeout(q, Duration::from_millis(20))
-                .unwrap();
-            q = qq;
+            drop(q);
+            if let Some(claim) = try_steal(shared, slot, cap) {
+                return Some(claim);
+            }
+            q = shard.queue.lock().unwrap();
+            if q.items.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                let (qq, _) = shard
+                    .notify
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap();
+                q = qq;
+            }
             continue;
         }
 
@@ -547,44 +789,23 @@ fn claim_batch(shared: &Shared, cap: usize) -> Option<(Vec<Pending>, bool)> {
                 if now >= stop || shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                let (qq, _) = shared.notify.wait_timeout(q, stop - now).unwrap();
+                let (qq, _) = shard.notify.wait_timeout(q, stop - now).unwrap();
                 q = qq;
             }
         }
 
-        // The linger wait releases the lock, so another worker may have
-        // drained the queue; an empty claim just loops in the caller.
+        // The linger wait releases the lock, so a thief may have drained
+        // the shard; an empty claim just loops in the caller.
         let n = q.items.len().min(cap);
         if n == 0 {
-            return Some((Vec::new(), false));
+            return Some(Claim {
+                claimed: Vec::new(),
+                to_canary: false,
+            });
         }
-        let modulus = if shared.canary_active.load(Ordering::SeqCst) {
-            shared
-                .canary
-                .lock()
-                .unwrap()
-                .as_ref()
-                .map(|run| run.policy.slice_modulus)
-                .unwrap_or(0)
-        } else {
-            0
-        };
-        if modulus < 2 {
-            let claimed: Vec<Pending> = q.items.drain(..n).collect();
-            return Some((claimed, false));
-        }
-        let to_canary = routes_to_canary(q.items[0].seq, modulus);
-        let mut claimed = Vec::with_capacity(n);
-        let mut rest = VecDeque::with_capacity(q.items.len());
-        for p in q.items.drain(..) {
-            if claimed.len() < n && routes_to_canary(p.seq, modulus) == to_canary {
-                claimed.push(p);
-            } else {
-                rest.push_back(p);
-            }
-        }
-        q.items = rest;
-        return Some((claimed, to_canary));
+        let modulus = canary_modulus(shared);
+        let (claimed, to_canary) = claim_arm_pure(&mut q, n, modulus);
+        return Some(Claim { claimed, to_canary });
     }
 }
 
@@ -745,7 +966,7 @@ fn worker_loop(
             .lock()
             .unwrap()
             .batch_cap(shared.cfg.max_batch);
-        let Some((claimed, to_canary)) = claim_batch(&shared, cap) else {
+        let Some(Claim { claimed, to_canary }) = claim_batch(&shared, slot, cap) else {
             return; // shutdown
         };
         if claimed.is_empty() {
@@ -772,6 +993,10 @@ fn worker_loop(
             continue;
         }
 
+        // Per-replica span around the whole batch (timing section only —
+        // never part of the byte-compared deterministic section).
+        let _rspan = dar_obs::span(replica_span(slot));
+
         // The queue wait spans two threads (submit → claim), so it is
         // recorded as an external duration rather than a scoped span.
         let claim_time = Instant::now();
@@ -793,22 +1018,27 @@ fn worker_loop(
         };
 
         // Between-batch weight sync: the only place a swap is observed.
-        // A canary batch targets the canary slot (falling back to the
-        // incumbent if the slot was cleared after the claim — the
-        // request still resolves, just on the incumbent). An apply
+        // The steady state is a single lock-free version-hint check
+        // (`refresh`). A canary batch targets the canary slot (falling
+        // back to the incumbent if the slot was cleared after the claim
+        // — the request still resolves, just on the incumbent). An apply
         // failure leaves the replica on its old weights; the store never
         // publishes a shape-mismatched set for a healthy factory, so
         // that branch is unreachable in practice.
-        let w = if to_canary {
-            shared
-                .weights
-                .canary()
-                .unwrap_or_else(|| shared.weights.current())
+        let sync = if to_canary {
+            Some(
+                shared
+                    .weights
+                    .canary()
+                    .unwrap_or_else(|| shared.weights.current()),
+            )
         } else {
-            shared.weights.current()
+            shared.weights.refresh(version)
         };
-        if w.version != version && w.apply(&model.params()).is_ok() {
-            version = w.version;
+        if let Some(w) = sync {
+            if w.version != version && w.apply(&model.params()).is_ok() {
+                version = w.version;
+            }
         }
 
         // Park the requests where the supervisor can reach them if this
@@ -851,7 +1081,7 @@ fn worker_loop(
                     }
                 }
                 for ((p, born), out) in inflight.into_iter().zip(outs) {
-                    shared.record_success(born, out.degraded);
+                    shared.record_success(slot, born, out.degraded);
                     record_canary_output(
                         &shared,
                         to_canary,
@@ -999,14 +1229,15 @@ fn supervisor_loop(
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
-    // Shutdown: join workers (they drain the queue with `Shutdown`).
+    // Shutdown: join workers (each drains its own shard with `Shutdown`).
     for h in handles.iter_mut() {
         if let Some(h) = h.take() {
             let _ = h.join();
         }
     }
     // Late deaths and leftovers: one final sweep so nothing resolves as
-    // `Lost`. NB: the slot count is read *before* the loop — a `for`
+    // `Lost` — including shards whose home replica died and was never
+    // respawned. NB: the slot count is read *before* the loop — a `for`
     // over `0..lock().len()` would hold the guard across `drain_slot`'s
     // own lock and self-deadlock.
     while let Ok(slot) = death_rx.try_recv() {
@@ -1016,9 +1247,11 @@ fn supervisor_loop(
     for slot in 0..slots {
         drain_slot(slot);
     }
-    let leftovers: Vec<Pending> = shared.queue.lock().unwrap().items.drain(..).collect();
-    for p in leftovers {
-        p.respond(Err(ServeError::Shutdown));
+    for shard in &shared.shards {
+        let leftovers: Vec<Pending> = shard.queue.lock().unwrap().items.drain(..).collect();
+        for p in leftovers {
+            p.respond(Err(ServeError::Shutdown));
+        }
     }
 }
 
@@ -1060,5 +1293,12 @@ mod tests {
         assert_ne!(respawn_delay(&pol, 0, 3), respawn_delay(&pol, 1, 3));
         // Attempt counts far past the cap do not overflow.
         assert!(respawn_delay(&pol, 2, 1_000) <= pol.cap + pol.cap / 4);
+    }
+
+    #[test]
+    fn replica_spans_are_static_and_bounded() {
+        assert_eq!(replica_span(0), "serve_replica/0");
+        assert_eq!(replica_span(7), "serve_replica/7");
+        assert_eq!(replica_span(64), "serve_replica/overflow");
     }
 }

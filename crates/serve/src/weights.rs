@@ -26,6 +26,7 @@
 //! [`clear_canary`]: WeightStore::clear_canary
 //! [`ObsEvent::OfferRejected`]: dar_obs::ObsEvent::OfferRejected
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use dar_tensor::{serial, DarError, DarResult, Tensor};
@@ -88,8 +89,20 @@ struct StoreInner {
 }
 
 /// The published weight generations plus swap bookkeeping.
+///
+/// The store holds exactly **one** copy of each generation's values —
+/// replicas share it through `Arc`, never clone the floats. A lock-free
+/// `published` version hint lets every replica's between-batch sync be
+/// one relaxed atomic load in the steady state (see
+/// [`refresh`](Self::refresh)), so publication cost is O(1) in the
+/// replica count: `offer_checkpoint` / `promote_canary` swap one `Arc`
+/// pointer and bump one atomic, and all N replicas observe the new
+/// generation on their next batch boundary.
 pub struct WeightStore {
     inner: Mutex<StoreInner>,
+    /// Version of `current`, readable without the lock. Written only
+    /// while holding `inner`, so it can never run ahead of the slot.
+    published: AtomicU64,
 }
 
 impl WeightStore {
@@ -97,6 +110,7 @@ impl WeightStore {
     pub fn new(initial: WeightSet) -> Self {
         let next_version = initial.version + 1;
         WeightStore {
+            published: AtomicU64::new(initial.version),
             inner: Mutex::new(StoreInner {
                 current: Arc::new(initial),
                 canary: None,
@@ -122,6 +136,26 @@ impl WeightStore {
 
     pub fn version(&self) -> u64 {
         self.lock().current.version
+    }
+
+    /// The published incumbent version, without taking the lock — the
+    /// replica hot-path check.
+    pub fn version_hint(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Between-batch sync for a replica already holding version `have`:
+    /// `None` when `have` is still the published incumbent (the steady
+    /// state — one atomic load, no lock, no `Arc` clone), otherwise the
+    /// incumbent set to apply. Equality, not ordering: a replica coming
+    /// off a canary batch holds a *newer* version than the incumbent
+    /// and must still be steered back.
+    pub fn refresh(&self, have: u64) -> Option<Arc<WeightSet>> {
+        if self.version_hint() == have {
+            None
+        } else {
+            Some(self.current())
+        }
     }
 
     /// Validate a checkpoint file against the currently-published set:
@@ -175,6 +209,7 @@ impl WeightStore {
         inner.next_version += 1;
         let version = next.version;
         inner.current = Arc::new(next);
+        self.published.store(version, Ordering::Release);
         drop(inner);
         dar_obs::event(dar_obs::ObsEvent::WeightsSwapped { version });
         dar_obs::inc("serve.weight_swaps");
@@ -202,6 +237,7 @@ impl WeightStore {
         let cand = inner.canary.take()?;
         let version = cand.version;
         inner.current = cand;
+        self.published.store(version, Ordering::Release);
         drop(inner);
         dar_obs::event(dar_obs::ObsEvent::WeightsSwapped { version });
         dar_obs::inc("serve.weight_swaps");
@@ -322,6 +358,38 @@ mod tests {
         assert!(store.canary().is_none());
         assert_eq!(store.version(), 3);
         assert_eq!(store.current().values[0], vec![7.0; 6]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn version_hint_tracks_publication_without_the_lock() {
+        let p = params();
+        let store = WeightStore::new(WeightSet::from_params(&p, 1));
+        assert_eq!(store.version_hint(), 1);
+        assert!(
+            store.refresh(1).is_none(),
+            "steady state: hint matches, no set returned"
+        );
+
+        let path = tmpfile("hint");
+        let next = vec![
+            Tensor::param(vec![3.0; 6], &[2, 3]),
+            Tensor::param(vec![4.0; 4], &[4]),
+        ];
+        serial::save_checkpoint_path(&path, &Checkpoint::new(next, Vec::new())).unwrap();
+        assert_eq!(store.offer_checkpoint(&path).unwrap(), 2);
+        assert_eq!(store.version_hint(), 2);
+        assert_eq!(store.refresh(1).unwrap().version, 2, "stale replica syncs");
+
+        // A canary offer does NOT move the hint (incumbent unchanged)…
+        assert_eq!(store.offer_canary(&path).unwrap(), 3);
+        assert_eq!(store.version_hint(), 2);
+        // …a replica holding the canary version is steered back…
+        assert_eq!(store.refresh(3).unwrap().version, 2);
+        // …and promotion moves the hint atomically with the slot.
+        assert_eq!(store.promote_canary(), Some(3));
+        assert_eq!(store.version_hint(), 3);
+        assert!(store.refresh(3).is_none());
         std::fs::remove_file(path).ok();
     }
 

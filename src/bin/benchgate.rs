@@ -39,6 +39,14 @@ const LATENCY_METRICS: &[(&str, &str)] = &[
     ("BENCH_online.json", "p99_us"),
 ];
 
+/// Scale-context keys per file: when both sides carry the key and the
+/// values differ, that file's points were measured at different scales
+/// (e.g. a 1-worker baseline against an 8-replica saturation sweep) and
+/// comparing them is meaningless — every metric in the file is skipped
+/// with a note instead of gating. A side *missing* the key still gates:
+/// only a known mismatch disarms the comparison.
+const CONTEXT_KEYS: &[(&str, &str)] = &[("BENCH_serve.json", "workers")];
+
 const MAX_THROUGHPUT_DROP: f64 = 0.10;
 const MAX_LATENCY_INFLATION: f64 = 0.15;
 
@@ -81,6 +89,26 @@ fn metric(dir: &Path, file: &str, key: &str) -> Result<Option<f64>, String> {
     }
 }
 
+/// The file's scale contexts on both sides, when they disagree.
+fn context_mismatch(
+    baseline: &Path,
+    fresh: &Path,
+    file: &str,
+) -> Result<Option<(f64, f64)>, String> {
+    for &(f, key) in CONTEXT_KEYS {
+        if f != file {
+            continue;
+        }
+        let (Some(b), Some(n)) = (metric(baseline, file, key)?, metric(fresh, file, key)?) else {
+            continue;
+        };
+        if b != n {
+            return Ok(Some((b, n)));
+        }
+    }
+    Ok(None)
+}
+
 /// Run every gate over `baseline` vs `fresh`. Returns the failures; an
 /// empty vec is a pass. A file or key missing on the *baseline* side is
 /// skipped with a note (a brand-new bench has no history to regress
@@ -97,6 +125,13 @@ fn run_gate(baseline: &Path, fresh: &Path) -> Result<Vec<String>, String> {
             println!("benchgate: {file}:{key} has no baseline yet — skipping");
             continue;
         };
+        if let Some((bw, nw)) = context_mismatch(baseline, fresh, file)? {
+            println!(
+                "benchgate: {file}:{key} baseline measured at workers={bw}, fresh at \
+                 workers={nw} — incomparable scales, skipping"
+            );
+            continue;
+        }
         let Some(new) = metric(fresh, file, key)? else {
             return Err(format!(
                 "benchgate: {file}:{key} missing from fresh results — did the bench run?"
@@ -172,6 +207,40 @@ fn self_test() {
         failures.len(),
         4,
         "regressed points must fail both files' throughput and p99, got {failures:?}"
+    );
+
+    // Scale-context mismatch: a 1-worker baseline must never gate an
+    // 8-replica sweep (or vice versa) — the serve file's metrics skip,
+    // so only the online regression remains.
+    std::fs::write(
+        base.join("BENCH_serve.json"),
+        r#"{"workers": 1, "throughput_rps": 1000.0, "p99_us": 10000}"#,
+    )
+    .expect("writing baseline");
+    std::fs::write(
+        fresh.join("BENCH_serve.json"),
+        r#"{"workers": 8, "throughput_rps": 100.0, "p99_us": 99000}"#,
+    )
+    .expect("writing regressed fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert_eq!(
+        failures.len(),
+        2,
+        "mismatched worker counts must skip the serve file, got {failures:?}"
+    );
+
+    // Matching scale context: the same regression at the same worker
+    // count must gate as usual.
+    std::fs::write(
+        fresh.join("BENCH_serve.json"),
+        r#"{"workers": 1, "throughput_rps": 100.0, "p99_us": 99000}"#,
+    )
+    .expect("writing regressed fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert_eq!(
+        failures.len(),
+        4,
+        "matching worker counts must still gate the serve file, got {failures:?}"
     );
 
     std::fs::remove_dir_all(&dir).ok();

@@ -9,7 +9,7 @@
 //! and the obs snapshot in `results/obs_online.json`.
 //!
 //! ```sh
-//! dar-loop                           # defaults: 3 rounds, auto workers
+//! dar-loop                           # defaults: 3 rounds, auto replicas
 //! dar-loop --rounds 5 --seed 7 --wave 24 --out results
 //! ```
 
@@ -106,13 +106,13 @@ fn main() {
         max_len: ml,
         ..ServeConfig::default()
     };
-    let n_workers = serve_cfg.effective_workers();
+    let n_replicas = serve_cfg.effective_replicas();
     let server = Server::start(serve_cfg, Arc::clone(&factory));
     let incumbent_version = server
         .offer_checkpoint(&incumbent_path)
         .expect("incumbent checkpoint accepted");
     eprintln!(
-        "[dar-loop] serving with {n_workers} workers, incumbent v{incumbent_version} \
+        "[dar-loop] serving with {n_replicas} replicas, incumbent v{incumbent_version} \
          (DAR_THREADS budget {})",
         dar_par::max_threads()
     );
@@ -174,7 +174,7 @@ fn main() {
 
     let throughput = served as f64 / elapsed.as_secs_f64().max(1e-9);
     let summary = format!(
-        "dar-loop bench — {rounds} rounds, {n_workers} workers, seed {seed}\n\
+        "dar-loop bench — {rounds} rounds, {n_replicas} replicas, seed {seed}\n\
          candidates canaried:    {candidates_seen}\n\
          promoted:               {p}\n\
          rolled back:            {rb}\n\
@@ -195,7 +195,7 @@ fn main() {
     std::fs::write(out_dir.join("loop_bench.txt"), &summary).expect("writing loop_bench.txt");
 
     let json = format!(
-        "{{\"rounds\": {rounds}, \"workers\": {n_workers}, \"seed\": {seed}, \
+        "{{\"rounds\": {rounds}, \"workers\": {n_replicas}, \"seed\": {seed}, \
           \"candidates\": {candidates_seen}, \"promoted\": {}, \"rolled_back\": {}, \
           \"offers_rejected\": {}, \"served\": {served}, \"failed\": {failed}, \
           \"final_version\": {}, \"trainer_died\": {}, \

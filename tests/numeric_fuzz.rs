@@ -306,7 +306,7 @@ fn breaker_cause_names_the_tainting_op() {
     };
     let server = Server::start(
         ServeConfig {
-            workers: 1,
+            replicas: 1,
             max_batch: 1,
             linger: Duration::ZERO,
             vocab_size: vocab_rows,

@@ -132,7 +132,7 @@ fn serve_run_matches_golden_deterministic_section() {
         Box::new(Rnp::new(&cfg, &emb, ml, &mut rng))
     });
     let serve_cfg = ServeConfig {
-        workers: 1,
+        replicas: 1,
         vocab_size: vocab,
         max_len: ml,
         breaker: BreakerPolicy {

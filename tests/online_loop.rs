@@ -100,12 +100,12 @@ impl Fixture {
         })
     }
 
-    /// One worker, open collapse band, generous queue: clean traffic is
-    /// never degraded, shed, or bounced, so canary verdicts only reflect
-    /// the models under comparison.
-    fn serve_cfg(&self) -> ServeConfig {
+    /// Open collapse band, generous queue: clean traffic is never
+    /// degraded, shed, or bounced, so canary verdicts only reflect the
+    /// models under comparison.
+    fn serve_cfg(&self, replicas: usize) -> ServeConfig {
         ServeConfig {
-            workers: 1,
+            replicas,
             queue_cap: 256,
             vocab_size: self.vocab,
             max_len: self.ml,
@@ -214,7 +214,7 @@ fn better_candidate_is_promoted_with_golden_journal() {
     dar::obs::reset();
     dar::obs::set_enabled(true);
 
-    let server = Server::start(fx.serve_cfg(), fx.factory());
+    let server = Server::start(fx.serve_cfg(1), fx.factory());
     assert_eq!(server.weights_version(), 1);
     let policy = CanaryPolicy {
         window: 20,
@@ -271,7 +271,7 @@ fn regressing_candidate_is_rolled_back_with_golden_journal() {
     dar::obs::reset();
     dar::obs::set_enabled(true);
 
-    let server = Server::start(fx.serve_cfg(), fx.factory());
+    let server = Server::start(fx.serve_cfg(1), fx.factory());
     // Install the exact model the plain way first, so the incumbent has
     // a structural margin over the constant candidate.
     assert_eq!(server.offer_checkpoint(&good).expect("good offer"), 2);
@@ -333,7 +333,7 @@ fn nan_candidate_is_rolled_back_for_faults() {
             collapse: open_policy(),
             ..BreakerPolicy::default()
         },
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(1)
     };
     let server = Server::start(cfg, fx.factory());
     let policy = CanaryPolicy {
@@ -387,7 +387,7 @@ fn corrupt_candidate_is_rejected_at_the_door() {
     dar::obs::reset();
     dar::obs::set_enabled(true);
 
-    let server = Server::start(fx.serve_cfg(), fx.factory());
+    let server = Server::start(fx.serve_cfg(1), fx.factory());
     let policy = CanaryPolicy {
         window: 8,
         max_acc_drop: 1.0,
@@ -431,10 +431,9 @@ fn burst_spanning_rollback_drops_nothing() {
     dar::obs::set_enabled(true);
 
     let cfg = ServeConfig {
-        workers: 2,
         max_batch: 4,
         linger: Duration::from_millis(1),
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(2)
     };
     let server = Server::start(cfg, fx.factory());
     assert_eq!(server.offer_checkpoint(&good).expect("good offer"), 2);
@@ -487,6 +486,51 @@ fn burst_spanning_rollback_drops_nothing() {
     std::fs::remove_file(bad).ok();
 }
 
+/// The promotion verdict journal is a pure function of the traffic and
+/// the candidate — not of the replica count. A full promotion round at 4
+/// replicas must produce byte-identical journal events to the 1-replica
+/// golden run: sequential traffic all routes to tenant 0's home shard,
+/// never crosses the steal threshold, and verdict events are emitted
+/// from the driving thread.
+#[test]
+fn promotion_journal_is_replica_count_invariant() {
+    let _g = obs_lock();
+    let fx = Fixture::new(670);
+    let ckpt = fx.biased_checkpoint("inv", 1);
+    let traffic = fx.ones();
+
+    let run = |replicas: usize| -> String {
+        dar::obs::reset();
+        dar::obs::set_enabled(true);
+        let server = Server::start(fx.serve_cfg(replicas), fx.factory());
+        let policy = CanaryPolicy {
+            window: 20,
+            max_f1_drop: 1.0,
+            ..CanaryPolicy::default()
+        };
+        assert_eq!(server.begin_canary(&ckpt, policy).expect("begins"), 2);
+        let mut cursor = 0;
+        let outcome = drive_until_verdict(&server, &traffic, &mut cursor);
+        assert_eq!(outcome.phase, PromotionPhase::Promoted);
+        let stats = server.shutdown();
+        assert_eq!(stats.steals, 0, "sequential traffic must never steal");
+        let det = dar::obs::snapshot("loop").deterministic_json();
+        events_section(&det).to_owned()
+    };
+
+    let golden = run(1);
+    let scaled = run(4);
+    assert_eq!(
+        golden, scaled,
+        "the promotion journal diverged across replica counts"
+    );
+    assert!(
+        golden.contains("\"kind\":\"candidate_promoted\",\"version\":2"),
+        "journal: {golden}"
+    );
+    std::fs::remove_file(ckpt).ok();
+}
+
 /// A trainer panic mid-epoch surfaces as a `TrainerDied` message through
 /// the candidate channel; the serving side records it and keeps serving.
 #[test]
@@ -518,7 +562,7 @@ fn trainer_panic_leaves_serving_untouched() {
     };
     let (trainer, candidates) = spawn_online_trainer(trainer_cfg, fx.factory(), feed);
 
-    let server = Server::start(fx.serve_cfg(), fx.factory());
+    let server = Server::start(fx.serve_cfg(1), fx.factory());
     let loop_cfg = OnlineLoopConfig {
         policy: CanaryPolicy {
             window: 8,
@@ -582,7 +626,7 @@ fn closed_loop_survives_a_poisoned_feed() {
     };
     let (trainer, candidates) = spawn_online_trainer(trainer_cfg, fx.factory(), feed);
 
-    let server = Server::start(fx.serve_cfg(), fx.factory());
+    let server = Server::start(fx.serve_cfg(1), fx.factory());
     let loop_cfg = OnlineLoopConfig {
         policy: CanaryPolicy {
             window: 12,

@@ -15,109 +15,37 @@
 //!   depend on which micro-batch it landed in.
 //! * **Supervisor respawn** — a worker thread dying for real is replaced
 //!   and service continues.
+//!
+//! Replica-invariant scenarios run both single-replica and at 4 replicas
+//! (sharded queues + work stealing in play); the scripted breaker walks
+//! stay at 1 replica, where the fault schedule is exact.
+//! `tests/scale_out.rs` holds the scale-out layer to its own invariants.
 
-use std::sync::Arc;
+mod common;
+
 use std::time::Duration;
 
+use common::ServeFixture;
 use dar::data::Review;
 use dar::prelude::*;
 use dar::serve::{BreakerPolicy, BreakerState, ServeConfig, ServeError, Server, TransitionCause};
 use dar::tensor::serial::{self, Checkpoint};
 use dar::Tensor;
 
-/// Trigger token ids live in embedding rows past the dataset vocabulary,
-/// so no organic review ever contains one.
-const N_TRIGGERS: usize = 8;
-
-struct Fixture {
-    data: AspectDataset,
-    cfg: RationaleConfig,
-    /// Embedding rows = vocab + trigger space; also the admission cap.
-    vocab_rows: usize,
-    ml: usize,
-}
-
-impl Fixture {
-    fn new(seed: u64) -> Self {
-        let synth = SynthConfig {
-            n_train: 64,
-            n_dev: 24,
-            n_test: 24,
-            ..SynthConfig::beer(Aspect::Aroma)
-        };
-        let data = SynBeer::generate(&synth, &mut dar::rng(seed));
-        let cfg = RationaleConfig {
-            emb_dim: 12,
-            hidden: 12,
-            sparsity: 0.16,
-            ..Default::default()
-        };
-        let vocab_rows = data.vocab.len() + N_TRIGGERS;
-        let ml = pretrain::max_len(&data);
-        Fixture {
-            data,
-            cfg,
-            vocab_rows,
-            ml,
-        }
-    }
-
-    /// Trigger token `i` (guaranteed absent from every organic review).
-    fn trigger(&self, i: usize) -> usize {
-        assert!(i < N_TRIGGERS);
-        self.data.vocab.len() + i
-    }
-
-    /// A deterministic model factory: every call (on any thread) builds
-    /// the same replica, wrapped in the given chaos plan.
-    fn factory(&self, plan: ChaosPlan) -> dar::serve::ModelFactory {
-        let cfg = self.cfg;
-        let vocab_rows = self.vocab_rows;
-        let ml = self.ml;
-        Arc::new(move || {
-            let mut rng = dar::rng(77);
-            let emb = SharedEmbedding::random(vocab_rows, cfg.emb_dim, &mut rng);
-            let rnp = Rnp::new(&cfg, &emb, ml, &mut rng);
-            Box::new(ChaosModel::new(rnp, plan))
-        })
-    }
-
-    fn serve_cfg(&self) -> ServeConfig {
-        ServeConfig {
-            vocab_size: self.vocab_rows,
-            max_len: self.ml,
-            ..ServeConfig::default()
-        }
-    }
-
-    fn clean(&self, i: usize) -> Review {
-        self.data.test[i % self.data.test.len()].clone()
-    }
-
-    /// A review carrying a trigger token in its first position.
-    fn triggered(&self, i: usize, trigger: usize) -> Review {
-        let mut r = self.clean(i);
-        r.ids[0] = trigger;
-        r
-    }
-}
-
 /// Every request gets exactly one terminal outcome — under worker
 /// panics, malformed inputs, oversized inputs, and tight deadlines, with
-/// multiple workers racing.
-#[test]
-fn every_request_gets_exactly_one_outcome() {
-    let fx = Fixture::new(500);
+/// multiple replicas racing.
+fn exactly_one_outcome_at(replicas: usize) {
+    let fx = ServeFixture::new(500);
     let panic_tok = fx.trigger(0);
     let factory = fx.factory(ChaosPlan {
         panic_token: Some(panic_tok),
         ..Default::default()
     });
     let cfg = ServeConfig {
-        workers: 2,
         max_batch: 4,
         linger: Duration::from_millis(1),
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(replicas)
     };
     let server = Server::start(cfg, factory);
 
@@ -174,11 +102,24 @@ fn every_request_gets_exactly_one_outcome() {
     assert!(stats.panics >= 1);
 }
 
+#[test]
+fn every_request_gets_exactly_one_outcome() {
+    exactly_one_outcome_at(2);
+}
+
+/// The same chaos mix with 4 replica shards: the burst all routes to
+/// tenant 0's home shard and idle siblings steal it down, so outcomes
+/// flow through the steal path too.
+#[test]
+fn every_request_gets_exactly_one_outcome_scaled_out() {
+    exactly_one_outcome_at(4);
+}
+
 /// The breaker walks the scripted ladder with the exact transition
 /// causes, and outputs reflect the mode that produced them.
 #[test]
 fn breaker_walks_closed_degraded_open_halfopen_closed() {
-    let fx = Fixture::new(510);
+    let fx = ServeFixture::new(510);
     let panic_tok = fx.trigger(0);
     let full_panic_tok = fx.trigger(1);
     let factory = fx.factory(ChaosPlan {
@@ -187,7 +128,6 @@ fn breaker_walks_closed_degraded_open_halfopen_closed() {
         ..Default::default()
     });
     let cfg = ServeConfig {
-        workers: 1,
         max_batch: 1,
         linger: Duration::ZERO,
         breaker: BreakerPolicy {
@@ -197,7 +137,7 @@ fn breaker_walks_closed_degraded_open_halfopen_closed() {
             probe_after_sheds: 3,
             ..BreakerPolicy::default()
         },
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(1)
     };
     let server = Server::start(cfg, factory);
 
@@ -261,21 +201,20 @@ fn breaker_walks_closed_degraded_open_halfopen_closed() {
 /// path instead of shipping an empty rationale.
 #[test]
 fn rationale_collapse_degrades_with_predictor_fallback() {
-    let fx = Fixture::new(520);
+    let fx = ServeFixture::new(520);
     let collapse_tok = fx.trigger(2);
     let factory = fx.factory(ChaosPlan {
         collapse_token: Some(collapse_tok),
         ..Default::default()
     });
     let cfg = ServeConfig {
-        workers: 1,
         max_batch: 1,
         linger: Duration::ZERO,
         breaker: BreakerPolicy {
             failure_threshold: 1,
             ..BreakerPolicy::default()
         },
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(1)
     };
     let server = Server::start(cfg, factory);
 
@@ -300,12 +239,11 @@ fn rationale_collapse_degrades_with_predictor_fallback() {
 /// serving continues on the old weights.
 #[test]
 fn hot_swap_is_atomic_and_rejects_corruption() {
-    let fx = Fixture::new(530);
+    let fx = ServeFixture::new(530);
     let factory = fx.factory(ChaosPlan::default());
     let cfg = ServeConfig {
-        workers: 1,
         max_batch: 2,
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(1)
     };
     let server = Server::start(cfg, factory.clone());
     assert_eq!(server.weights_version(), 1);
@@ -349,19 +287,17 @@ fn hot_swap_is_atomic_and_rejects_corruption() {
 }
 
 /// A review's verdict must not depend on micro-batch composition: a
-/// one-request-per-batch server and a batching multi-worker server give
+/// one-request-per-batch server and a batching multi-replica server give
 /// identical labels and rationales for identical inputs.
-#[test]
-fn outputs_are_invariant_to_batching() {
-    let fx = Fixture::new(540);
+fn batching_invariance_at(replicas: usize) {
+    let fx = ServeFixture::new(540);
     let reviews: Vec<Review> = (0..10).map(|i| fx.clean(i)).collect();
 
     let solo = Server::start(
         ServeConfig {
-            workers: 1,
             max_batch: 1,
             linger: Duration::ZERO,
-            ..fx.serve_cfg()
+            ..fx.serve_cfg(1)
         },
         fx.factory(ChaosPlan::default()),
     );
@@ -373,10 +309,9 @@ fn outputs_are_invariant_to_batching() {
 
     let batched = Server::start(
         ServeConfig {
-            workers: 2,
             max_batch: 8,
             linger: Duration::from_millis(10),
-            ..fx.serve_cfg()
+            ..fx.serve_cfg(replicas)
         },
         fx.factory(ChaosPlan::default()),
     );
@@ -398,27 +333,38 @@ fn outputs_are_invariant_to_batching() {
     }
 }
 
+#[test]
+fn outputs_are_invariant_to_batching() {
+    batching_invariance_at(2);
+}
+
+/// Batching invariance must survive stealing too: whichever replica ends
+/// up running a stolen batch, the verdicts are the solo verdicts.
+#[test]
+fn outputs_are_invariant_to_batching_scaled_out() {
+    batching_invariance_at(4);
+}
+
 /// A worker thread dying for real (panic re-raised past the recovery
 /// layer) is respawned by the supervisor; its in-flight requests get
 /// typed errors and service continues.
-#[test]
-fn supervisor_respawns_dead_workers() {
-    let fx = Fixture::new(550);
+fn supervisor_respawn_at(replicas: usize) {
+    let fx = ServeFixture::new(550);
     let panic_tok = fx.trigger(3);
     let factory = fx.factory(ChaosPlan {
         panic_token: Some(panic_tok),
         ..Default::default()
     });
     let cfg = ServeConfig {
-        workers: 1,
         max_batch: 1,
         linger: Duration::ZERO,
         lethal_panic_marker: Some("chaos: panic token".to_owned()),
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(replicas)
     };
     let server = Server::start(cfg, factory);
 
-    // Kill the only worker, twice — each death must be survivable.
+    // Kill the lethal requests' home replica, twice — each death must be
+    // survivable (and with siblings present, must not take them along).
     for i in 0..2 {
         let err = server
             .submit(fx.triggered(i, panic_tok))
@@ -438,6 +384,16 @@ fn supervisor_respawns_dead_workers() {
     assert!(stats.served_full + stats.served_degraded >= 2);
 }
 
+#[test]
+fn supervisor_respawns_dead_workers() {
+    supervisor_respawn_at(1);
+}
+
+#[test]
+fn supervisor_respawns_dead_workers_scaled_out() {
+    supervisor_respawn_at(4);
+}
+
 /// A weight swap racing breaker recovery: the checkpoint lands while the
 /// breaker is Open (worker idle), so the HalfOpen probe batch is the
 /// first to run on the new generation. The probe must both recover the
@@ -445,7 +401,7 @@ fn supervisor_respawns_dead_workers() {
 /// clobber the other.
 #[test]
 fn half_open_probe_recovers_across_a_concurrent_swap() {
-    let fx = Fixture::new(570);
+    let fx = ServeFixture::new(570);
     let panic_tok = fx.trigger(0);
     let full_panic_tok = fx.trigger(1);
     let factory = fx.factory(ChaosPlan {
@@ -454,7 +410,6 @@ fn half_open_probe_recovers_across_a_concurrent_swap() {
         ..Default::default()
     });
     let cfg = ServeConfig {
-        workers: 1,
         max_batch: 1,
         linger: Duration::ZERO,
         breaker: BreakerPolicy {
@@ -464,7 +419,7 @@ fn half_open_probe_recovers_across_a_concurrent_swap() {
             probe_after_sheds: 3,
             ..BreakerPolicy::default()
         },
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(1)
     };
     let server = Server::start(cfg, factory.clone());
     assert_eq!(server.weights_version(), 1);
@@ -524,18 +479,17 @@ fn half_open_probe_recovers_across_a_concurrent_swap() {
 /// queue cap bounce immediately.
 #[test]
 fn deadlines_and_backpressure_resolve_typed() {
-    let fx = Fixture::new(560);
+    let fx = ServeFixture::new(560);
     let slow_tok = fx.trigger(4);
     let factory = fx.factory(ChaosPlan {
         slow_token: Some((slow_tok, 400)),
         ..Default::default()
     });
     let cfg = ServeConfig {
-        workers: 1,
         max_batch: 1,
         linger: Duration::ZERO,
         queue_cap: 2,
-        ..fx.serve_cfg()
+        ..fx.serve_cfg(1)
     };
     let server = Server::start(cfg, factory);
 
