@@ -73,6 +73,22 @@ st_serve_saturation() {
 # request, trainer death, or a promotion that failed its accuracy bar.
 st_loop_bench() { cargo run --release --bin dar-loop -- --rounds 3 --out results; }
 
+# Crash-safety chaos harness (DESIGN.md §15) under both budgets: the
+# WAL byte-offset sweeps, the abort-at-every-op sweep, and the real
+# SIGKILL-and-recover drill against the dar-loop drill fixture.
+st_crash_recovery_t1() { DAR_THREADS=1 cargo test --release -q --test crash_recovery; }
+st_crash_recovery_t4() { DAR_THREADS=4 cargo test --release -q --test crash_recovery; }
+
+# Kill-and-recover drill fixture end-to-end (fresh run then a --recover
+# resume over the same journal), plus the WAL replay-latency trajectory
+# point written to results/BENCH_recovery.json for the benchgate stage.
+st_recovery_drill() {
+    cargo run --release --bin dar-loop -- \
+        --drill --rounds 4 --state-dir target/drill-ci --wal-pad 20000 --out results &&
+        cargo run --release --bin dar-loop -- \
+            --drill --rounds 4 --state-dir target/drill-ci --recover
+}
+
 # Numeric containment (DESIGN.md §11): the op kernels must stay free of
 # unwrap/expect — the module-level deny makes the clippy stage fail on
 # any new site, so CI only has to assert the attribute is still there.
@@ -104,7 +120,8 @@ st_benchgate() {
     local bl=target/benchgate/baseline
     rm -rf "$bl" && mkdir -p "$bl"
     local f
-    for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json BENCH_online.json; do
+    for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json BENCH_online.json \
+        BENCH_recovery.json; do
         git show "HEAD:results/$f" > "$bl/$f" 2>/dev/null || rm -f "$bl/$f"
     done
     cargo run --release --bin benchgate -- --baseline "$bl" --fresh results
@@ -114,8 +131,8 @@ st_benchgate() {
 
 STAGE_NAMES=(fmt clippy build par-tests test-t1 test-t4 chaos-t1 chaos-t4
     online-t1 online-t4 scale-out-t1 scale-out-t4 serve-bench
-    serve-saturation loop-bench ops-deny fuzz-t1 fuzz-t4 numbench obsbench
-    benchgate)
+    serve-saturation loop-bench crash-recovery-t1 crash-recovery-t4
+    recovery-drill ops-deny fuzz-t1 fuzz-t4 numbench obsbench benchgate)
 
 RAN_NAMES=()
 RAN_STATUS=()

@@ -19,6 +19,12 @@ use rand::Rng as _;
 
 use crate::models::{Inference, RationaleModel};
 
+// The storage-level fault substrate lives in `dar-store` (seeded short
+// writes, torn tails, bit flips, ENOSPC, failed renames, and the
+// abort-at-Nth-write crash valve); re-exported here so fault-injection
+// users have one front door.
+pub use dar_store::{FaultyStorage, RealStorage, Storage, StorageFaultPlan};
+
 /// One-shot fault schedule, counted in train steps of the wrapped model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultPlan {
@@ -315,6 +321,23 @@ pub fn corrupt_truncate(path: impl AsRef<Path>, seed: u64) -> DarResult<u64> {
     let file = std::fs::OpenOptions::new().write(true).open(path)?;
     file.set_len(keep)?;
     Ok(keep)
+}
+
+/// Append seeded garbage bytes (a torn half-frame) to a file — what a
+/// crash mid-append leaves at the tail of a write-ahead log. Returns how
+/// many bytes were appended. WAL replay must absorb exactly this damage
+/// by truncating at the first bad frame.
+pub fn corrupt_torn_tail(path: impl AsRef<Path>, seed: u64) -> DarResult<u64> {
+    let mut rng = dar_tensor::rng(seed);
+    let n = rng.gen_range(1usize..24);
+    let garbage: Vec<u8> = (0..n).map(|_| rng.gen_range(0u32..256) as u8).collect();
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path.as_ref())?;
+    f.write_all(&garbage)?;
+    f.sync_all()?;
+    Ok(n as u64)
 }
 
 /// Flip one seeded random bit in the file — a disk/transfer error. Returns

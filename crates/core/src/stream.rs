@@ -89,6 +89,17 @@ impl ReviewFeed {
         ReviewFeed { cfg, next_round: 0 }
     }
 
+    /// A feed positioned at `round` — after crash recovery the cursor
+    /// resumes where the durable journal says completed rounds end, and
+    /// because every chunk is drawn from a per-round seed, the resumed
+    /// stream is byte-identical to an uninterrupted one.
+    pub fn starting_at(cfg: FeedConfig, round: u64) -> Self {
+        ReviewFeed {
+            cfg,
+            next_round: round,
+        }
+    }
+
     pub fn next_chunk(&mut self) -> FeedChunk {
         let round = self.next_round;
         self.next_round += 1;
@@ -125,6 +136,10 @@ impl ReviewFeed {
 pub struct OnlineTrainerConfig {
     /// Candidate rounds to produce before `Finished`.
     pub rounds: usize,
+    /// First round number to train (0 for a fresh loop). After crash
+    /// recovery this is the durable journal's resume round, so completed
+    /// rounds are never re-trained or re-offered.
+    pub first_round: usize,
     /// Passes over each chunk.
     pub epochs_per_round: usize,
     pub batch_size: usize,
@@ -133,8 +148,15 @@ pub struct OnlineTrainerConfig {
     pub max_len: usize,
     /// Where candidate checkpoints land (`candidate_r<round>.ckpt`).
     pub candidate_dir: PathBuf,
-    /// Trainer RNG seed (batch shuffles, Gumbel noise).
+    /// Trainer RNG seed (batch shuffles, Gumbel noise). Each round uses
+    /// `seed ^ (round · φ64)`, so a resumed trainer draws the same
+    /// per-round randomness an uninterrupted one would.
     pub seed: u64,
+    /// Warm-start the model from this checkpoint before the first round
+    /// (recovery: the last durable incumbent or candidate). A load
+    /// failure is journaled and training continues from fresh init —
+    /// a stale checkpoint must not wedge the loop.
+    pub resume_from: Option<PathBuf>,
     /// Chaos hook: panic at the start of this round, mid-"epoch" from
     /// the loop's perspective. Leave `None` in production.
     pub panic_at_round: Option<usize>,
@@ -168,7 +190,6 @@ pub struct OnlineTrainer {
     cfg: OnlineTrainerConfig,
     feed: ReviewFeed,
     model: Box<dyn RationaleModel>,
-    rng: Rng,
 }
 
 impl OnlineTrainer {
@@ -178,13 +199,23 @@ impl OnlineTrainer {
         feed: ReviewFeed,
     ) -> Self {
         let model = factory();
-        let rng = dar_tensor::rng(cfg.seed);
-        OnlineTrainer {
-            cfg,
-            feed,
-            model,
-            rng,
+        if let Some(path) = &cfg.resume_from {
+            if let Err(e) = serial::load_into(path, &model.params()) {
+                dar_obs::event(ObsEvent::Custom {
+                    kind: "trainer_resume_failed".into(),
+                    detail: format!("{}: {e}", path.display()),
+                });
+            }
         }
+        OnlineTrainer { cfg, feed, model }
+    }
+
+    /// Round-scoped RNG: `seed ^ (round · φ64)`, the same derivation the
+    /// feed uses. Making the randomness a pure function of (seed, round)
+    /// — instead of one RNG threaded across rounds — is what lets a
+    /// recovered trainer resume mid-stream bit-identically.
+    fn round_rng(&self, round: usize) -> Rng {
+        dar_tensor::rng(self.cfg.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Consume one chunk, train on it, and either write a candidate
@@ -207,9 +238,10 @@ impl OnlineTrainer {
         if self.cfg.panic_at_round == Some(round) {
             panic!("online trainer chaos panic (round {round})");
         }
+        let mut rng = self.round_rng(round);
         for _ in 0..self.cfg.epochs_per_round.max(1) {
-            for batch in BatchIter::shuffled(&clean, self.cfg.batch_size, &mut self.rng) {
-                let loss = self.model.train_step(&batch, &mut self.rng);
+            for batch in BatchIter::shuffled(&clean, self.cfg.batch_size, &mut rng) {
+                let loss = self.model.train_step(&batch, &mut rng);
                 if !loss.is_finite() {
                     self.model.restore(&snap);
                     dar_obs::event(ObsEvent::GuardTripped {
@@ -277,9 +309,14 @@ pub fn spawn_online_trainer(
         .name("dar-loop-trainer".into())
         .spawn(move || {
             let rounds = cfg.rounds;
+            let first = cfg.first_round;
             let verdict = catch_unwind(AssertUnwindSafe(|| {
-                let mut trainer = OnlineTrainer::new(cfg, factory.as_ref(), ReviewFeed::new(feed));
-                for round in 0..rounds {
+                let mut trainer = OnlineTrainer::new(
+                    cfg,
+                    factory.as_ref(),
+                    ReviewFeed::starting_at(feed, first as u64),
+                );
+                for round in first..first + rounds {
                     let msg = trainer.train_round(round);
                     if tx.send(msg).is_err() {
                         return; // controller gone; stop quietly

@@ -75,6 +75,18 @@ pub enum ObsEvent {
     /// only when a steal actually happens, so sequential traffic leaves
     /// the deterministic section untouched.
     ReplicaSteal { thief: u64, victim: u64, n: u64 },
+    /// One record was committed to the durable write-ahead state
+    /// journal; `record` is the stable record kind (`promoted`,
+    /// `rolled_back`, `feed_cursor`, …) (DESIGN.md §15).
+    WalAppend { record: &'static str },
+    /// WAL replay found a torn tail and truncated `lost_bytes` of
+    /// uncommitted garbage at the end of the log.
+    WalTruncatedTail { lost_bytes: u64 },
+    /// Crash recovery began: the durable state dir is being replayed.
+    RecoveryStarted,
+    /// Crash recovery finished: `records` journal entries replayed, the
+    /// incumbent is generation `generation`.
+    RecoveryComplete { records: u64, generation: u64 },
     /// Escape hatch for one-off signals; keep `kind` snake_case.
     Custom { kind: String, detail: String },
 }
@@ -98,6 +110,10 @@ impl ObsEvent {
             ObsEvent::OfferRejected { .. } => "offer_rejected",
             ObsEvent::RespawnBackoff { .. } => "respawn_backoff",
             ObsEvent::ReplicaSteal { .. } => "replica_steal",
+            ObsEvent::WalAppend { .. } => "wal_append",
+            ObsEvent::WalTruncatedTail { .. } => "wal_truncated_tail",
+            ObsEvent::RecoveryStarted => "recovery_started",
+            ObsEvent::RecoveryComplete { .. } => "recovery_complete",
             ObsEvent::Custom { .. } => "custom",
         }
     }
@@ -186,6 +202,22 @@ impl ObsEvent {
             ObsEvent::ReplicaSteal { thief, victim, n } => {
                 out.push_str(&format!(",\"thief\":{thief},\"victim\":{victim},\"n\":{n}"));
             }
+            ObsEvent::WalAppend { record } => {
+                out.push_str(",\"record\":");
+                json::push_str(out, record);
+            }
+            ObsEvent::WalTruncatedTail { lost_bytes } => {
+                out.push_str(&format!(",\"lost_bytes\":{lost_bytes}"));
+            }
+            ObsEvent::RecoveryStarted => {}
+            ObsEvent::RecoveryComplete {
+                records,
+                generation,
+            } => {
+                out.push_str(&format!(
+                    ",\"records\":{records},\"generation\":{generation}"
+                ));
+            }
             ObsEvent::Custom { kind, detail } => {
                 out.push_str(",\"custom_kind\":");
                 json::push_str(out, kind);
@@ -257,6 +289,49 @@ mod tests {
             }
             .kind(),
             "replica_steal"
+        );
+        assert_eq!(
+            ObsEvent::WalAppend { record: "promoted" }.kind(),
+            "wal_append"
+        );
+        assert_eq!(
+            ObsEvent::WalTruncatedTail { lost_bytes: 6 }.kind(),
+            "wal_truncated_tail"
+        );
+        assert_eq!(ObsEvent::RecoveryStarted.kind(), "recovery_started");
+        assert_eq!(
+            ObsEvent::RecoveryComplete {
+                records: 4,
+                generation: 2
+            }
+            .kind(),
+            "recovery_complete"
+        );
+    }
+
+    #[test]
+    fn durability_events_serialize_stably() {
+        let mut out = String::new();
+        ObsEvent::RecoveryStarted.push_json(&mut out, 0);
+        assert_eq!(out, r#"{"seq":0,"kind":"recovery_started"}"#);
+        let mut out = String::new();
+        ObsEvent::WalAppend { record: "promoted" }.push_json(&mut out, 1);
+        assert_eq!(out, r#"{"seq":1,"kind":"wal_append","record":"promoted"}"#);
+        let mut out = String::new();
+        ObsEvent::WalTruncatedTail { lost_bytes: 13 }.push_json(&mut out, 2);
+        assert_eq!(
+            out,
+            r#"{"seq":2,"kind":"wal_truncated_tail","lost_bytes":13}"#
+        );
+        let mut out = String::new();
+        ObsEvent::RecoveryComplete {
+            records: 9,
+            generation: 3,
+        }
+        .push_json(&mut out, 3);
+        assert_eq!(
+            out,
+            r#"{"seq":3,"kind":"recovery_complete","records":9,"generation":3}"#
         );
     }
 

@@ -68,6 +68,10 @@ pub enum RollbackCause {
     LatencyInflated,
     /// The canary was aborted before a verdict (operator or safety cap).
     Aborted,
+    /// The verdict said promote, but the durable journal could not
+    /// commit the promotion record — without a durable record the
+    /// promotion must not take effect (DESIGN.md §15).
+    DurabilityFailed,
 }
 
 impl RollbackCause {
@@ -78,8 +82,22 @@ impl RollbackCause {
             RollbackCause::CandidateFaults => "candidate_faults",
             RollbackCause::LatencyInflated => "latency_inflated",
             RollbackCause::Aborted => "aborted",
+            RollbackCause::DurabilityFailed => "durability_failed",
         }
     }
+}
+
+/// The settled outcome of one canary, handed to the durability
+/// pre-commit hook *before* it takes effect in memory: the hook gets to
+/// journal the decision (or veto a promotion by failing).
+#[derive(Debug, Clone)]
+pub struct CanaryDecision {
+    /// WeightStore version of the candidate under evaluation.
+    pub candidate_version: u64,
+    /// True when the verdict is promotion.
+    pub promote: bool,
+    /// The rollback cause when `promote` is false.
+    pub cause: Option<RollbackCause>,
 }
 
 impl std::fmt::Display for RollbackCause {

@@ -41,11 +41,13 @@ pub use breaker::{
     BatchPlan, BreakerEvent, BreakerPolicy, BreakerState, CircuitBreaker, TransitionCause,
 };
 pub use canary::{
-    decide, routes_to_canary, ArmStats, CanaryOutcome, CanaryPolicy, CanarySnapshot,
-    PromotionPhase, RollbackCause,
+    decide, routes_to_canary, ArmStats, CanaryDecision, CanaryOutcome, CanaryPolicy,
+    CanarySnapshot, PromotionPhase, RollbackCause,
 };
 pub use config::{RespawnBackoff, ServeConfig, StealPolicy};
-pub use online::{run_online_loop, LoopReport, OnlineLoopConfig, RoundReport};
+pub use online::{
+    run_online_loop, run_online_loop_durable, LoopReport, OnlineLoopConfig, RoundReport,
+};
 pub use request::{ServeError, ServeOutput, ServeResult, Ticket};
 pub use router::route_tenant;
 pub use server::{ModelFactory, ReplicaStats, Server, StatsSnapshot};

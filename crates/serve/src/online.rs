@@ -14,12 +14,15 @@
 //! `TrainerDied` leaves serving untouched (the loop still drives a wave
 //! of traffic to prove liveness).
 
+use std::path::Path;
 use std::sync::mpsc::Receiver;
 
 use dar_core::stream::CandidateMsg;
 use dar_data::Review;
+use dar_store::DurableState;
+use dar_tensor::DarResult;
 
-use crate::canary::{CanaryOutcome, CanaryPolicy, PromotionPhase};
+use crate::canary::{CanaryDecision, CanaryOutcome, CanaryPolicy, PromotionPhase};
 use crate::server::Server;
 
 /// Knobs for [`run_online_loop`].
@@ -86,13 +89,37 @@ fn drive(server: &Server, traffic: &[Review], cursor: &mut usize, n: usize) -> (
     (ok, failed)
 }
 
-/// Run the promotion side of the closed loop until the trainer's channel
-/// closes (or sends `Finished`). See the module docs.
-pub fn run_online_loop(
+/// Journal a settled canary decision into the durable state: a
+/// promotion lands the incumbent copy + WAL record + manifest swap
+/// (the WAL append is the commit point — see `dar_store`); a rollback
+/// appends its terminal record. Called from the server's pre-commit
+/// hook, *before* the decision takes effect in memory.
+fn journal_decision(
+    state: &mut DurableState,
+    round: usize,
+    candidate: &Path,
+    decision: &CanaryDecision,
+) -> DarResult<()> {
+    if decision.promote {
+        state.log_promoted(round, candidate).map(|_| ())
+    } else if let Some(cause) = decision.cause {
+        state.log_rolled_back(round, cause.as_str())
+    } else {
+        Ok(())
+    }
+}
+
+/// The controller shared by [`run_online_loop`] (ephemeral) and
+/// [`run_online_loop_durable`] (journaled). With `state`, every round's
+/// verdict is WAL-committed before it takes effect, already-terminal
+/// rounds are skipped (exactly-once across restarts), and the feed
+/// cursor advances only after a terminal record is durable.
+fn run_loop_inner(
     server: &Server,
     candidates: &Receiver<CandidateMsg>,
     traffic: &[Review],
     cfg: &OnlineLoopConfig,
+    mut state: Option<&mut DurableState>,
 ) -> LoopReport {
     assert!(!traffic.is_empty(), "online loop needs traffic to canary");
     let mut report = LoopReport::default();
@@ -101,6 +128,23 @@ pub fn run_online_loop(
     for msg in candidates.iter() {
         match msg {
             CandidateMsg::Candidate { round, path, .. } => {
+                if let Some(st) = state.as_deref_mut() {
+                    if st.is_terminal(round) {
+                        // This round already has a durable verdict (we
+                        // are replaying after a crash): never re-canary.
+                        report.rounds.push(RoundReport {
+                            round,
+                            outcome: None,
+                            note: Some("already settled in the durable journal".into()),
+                            served_ok: 0,
+                            failed: 0,
+                        });
+                        continue;
+                    }
+                    // Best-effort intent record; the terminal record is
+                    // the one that must commit.
+                    st.log_canary_started(round).ok();
+                }
                 let mut rr = RoundReport {
                     round,
                     outcome: None,
@@ -111,22 +155,45 @@ pub fn run_online_loop(
                 match server.begin_canary(&path, cfg.policy.clone()) {
                     Ok(_) => {
                         let mut waves = 0usize;
+                        // Without durable state there is nothing to
+                        // journal, so the cursor logic below is moot.
+                        let mut journaled = state.is_none();
                         let outcome = loop {
                             let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
                             rr.served_ok += ok;
                             rr.failed += failed;
-                            if let Some(outcome) = server.try_conclude_canary() {
+                            let concluded = match state.as_deref_mut() {
+                                Some(st) => server.try_conclude_canary_with(|d| {
+                                    let r = journal_decision(st, round, &path, d);
+                                    journaled = r.is_ok();
+                                    r
+                                }),
+                                None => server.try_conclude_canary(),
+                            };
+                            if let Some(outcome) = concluded {
                                 break Some(outcome);
                             }
                             waves += 1;
                             if waves >= cfg.max_waves {
-                                break server.abort_canary();
+                                break match state.as_deref_mut() {
+                                    Some(st) => server.abort_canary_with(|d| {
+                                        let r = journal_decision(st, round, &path, d);
+                                        journaled = r.is_ok();
+                                        r
+                                    }),
+                                    None => server.abort_canary(),
+                                };
                             }
                         };
                         match &outcome {
                             Some(o) if o.phase == PromotionPhase::Promoted => report.promoted += 1,
                             Some(_) => report.rolled_back += 1,
                             None => {}
+                        }
+                        if outcome.is_some() && journaled {
+                            if let Some(st) = state.as_deref_mut() {
+                                st.log_feed_cursor(round + 1).ok();
+                            }
                         }
                         rr.outcome = outcome;
                     }
@@ -135,6 +202,11 @@ pub fn run_online_loop(
                         // the incumbent serves on; prove it with a wave.
                         report.offers_rejected += 1;
                         rr.note = Some(format!("offer rejected: {e}"));
+                        if let Some(st) = state.as_deref_mut() {
+                            if st.log_round_skipped(round, "offer_rejected").is_ok() {
+                                st.log_feed_cursor(round + 1).ok();
+                            }
+                        }
                         let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
                         rr.served_ok += ok;
                         rr.failed += failed;
@@ -143,6 +215,11 @@ pub fn run_online_loop(
                 report.rounds.push(rr);
             }
             CandidateMsg::Skipped { round, cause } => {
+                if let Some(st) = state.as_deref_mut() {
+                    if !st.is_terminal(round) && st.log_round_skipped(round, &cause).is_ok() {
+                        st.log_feed_cursor(round + 1).ok();
+                    }
+                }
                 let (ok, failed) = drive(server, traffic, &mut cursor, cfg.wave.max(1));
                 report.rounds.push(RoundReport {
                     round,
@@ -168,4 +245,32 @@ pub fn run_online_loop(
     }
     report.final_version = server.weights_version();
     report
+}
+
+/// Run the promotion side of the closed loop until the trainer's channel
+/// closes (or sends `Finished`). See the module docs.
+pub fn run_online_loop(
+    server: &Server,
+    candidates: &Receiver<CandidateMsg>,
+    traffic: &[Review],
+    cfg: &OnlineLoopConfig,
+) -> LoopReport {
+    run_loop_inner(server, candidates, traffic, cfg, None)
+}
+
+/// [`run_online_loop`] threaded through a [`DurableState`]: every
+/// promotion/rollback verdict is committed to the write-ahead journal
+/// *before* it takes effect (a promotion whose record cannot commit is
+/// vetoed into a `durability_failed` rollback), rounds that already have
+/// a durable terminal verdict are skipped, and the feed cursor record
+/// advances only once a round is settled — together, exactly-once
+/// promotion across crash/restart (DESIGN.md §15).
+pub fn run_online_loop_durable(
+    server: &Server,
+    candidates: &Receiver<CandidateMsg>,
+    traffic: &[Review],
+    cfg: &OnlineLoopConfig,
+    state: &mut DurableState,
+) -> LoopReport {
+    run_loop_inner(server, candidates, traffic, cfg, Some(state))
 }

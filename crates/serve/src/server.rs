@@ -58,8 +58,8 @@ use dar_tensor::no_grad;
 
 use crate::breaker::{BatchPlan, BreakerEvent, BreakerState, CircuitBreaker};
 use crate::canary::{
-    decide, routes_to_canary, splitmix64, ArmStats, CanaryOutcome, CanaryPolicy, CanarySnapshot,
-    PromotionPhase, RollbackCause,
+    decide, routes_to_canary, splitmix64, ArmStats, CanaryDecision, CanaryOutcome, CanaryPolicy,
+    CanarySnapshot, PromotionPhase, RollbackCause,
 };
 use crate::config::{RespawnBackoff, ServeConfig};
 use crate::request::{Pending, ServeError, ServeOutput, Ticket};
@@ -448,6 +448,23 @@ impl Server {
     /// thread, so a single controller thread observes a deterministic
     /// promotion event sequence whatever the worker interleaving.
     pub fn try_conclude_canary(&self) -> Option<CanaryOutcome> {
+        self.try_conclude_canary_with(|_| Ok(()))
+    }
+
+    /// [`try_conclude_canary`] with a durability pre-commit hook: once
+    /// the verdict is computed, `pre_commit` gets the [`CanaryDecision`]
+    /// *before* it takes effect in memory. The hook's job is to make the
+    /// decision durable (WAL append); if it fails on a promotion verdict
+    /// the promotion is vetoed into a rollback with cause
+    /// `durability_failed` — no swap without a durable record. A failed
+    /// hook on a rollback verdict still rolls back (the conservative
+    /// outcome needs no record to be safe).
+    ///
+    /// [`try_conclude_canary`]: Server::try_conclude_canary
+    pub fn try_conclude_canary_with<F>(&self, pre_commit: F) -> Option<CanaryOutcome>
+    where
+        F: FnOnce(&CanaryDecision) -> dar_tensor::DarResult<()>,
+    {
         let mut guard = self.shared.canary.lock().unwrap();
         let run = guard.as_ref()?;
         if run.candidate.outcomes() < run.policy.window
@@ -461,31 +478,62 @@ impl Server {
         let run = guard.take().expect("guarded above");
         self.shared.canary_active.store(false, Ordering::SeqCst);
         drop(guard);
-        Some(self.settle_canary(run, None))
+        Some(self.settle_canary(run, None, pre_commit))
     }
 
     /// Abort an active canary without a verdict: clear the slot, keep
     /// the incumbent, journal a rollback with cause `aborted`.
     pub fn abort_canary(&self) -> Option<CanaryOutcome> {
+        self.abort_canary_with(|_| Ok(()))
+    }
+
+    /// [`abort_canary`] with a durability pre-commit hook (see
+    /// [`try_conclude_canary_with`]).
+    ///
+    /// [`abort_canary`]: Server::abort_canary
+    /// [`try_conclude_canary_with`]: Server::try_conclude_canary_with
+    pub fn abort_canary_with<F>(&self, pre_commit: F) -> Option<CanaryOutcome>
+    where
+        F: FnOnce(&CanaryDecision) -> dar_tensor::DarResult<()>,
+    {
         let mut guard = self.shared.canary.lock().unwrap();
         let run = guard.take()?;
         self.shared.canary_active.store(false, Ordering::SeqCst);
         drop(guard);
-        Some(self.settle_canary(run, Some(RollbackCause::Aborted)))
+        Some(self.settle_canary(run, Some(RollbackCause::Aborted), pre_commit))
     }
 
-    /// Apply the verdict (or a forced cause) to a detached run.
-    fn settle_canary(&self, run: CanaryRun, forced: Option<RollbackCause>) -> CanaryOutcome {
+    /// Apply the verdict (or a forced cause) to a detached run, giving
+    /// `pre_commit` the chance to journal — or veto — the decision.
+    fn settle_canary<F>(
+        &self,
+        run: CanaryRun,
+        forced: Option<RollbackCause>,
+        pre_commit: F,
+    ) -> CanaryOutcome
+    where
+        F: FnOnce(&CanaryDecision) -> dar_tensor::DarResult<()>,
+    {
         let snapshot = CanarySnapshot {
             candidate_version: run.candidate_version,
             incumbent_version: run.incumbent_version,
             candidate: run.candidate,
             incumbent: run.incumbent,
         };
-        let verdict = match forced {
+        let mut verdict = match forced {
             Some(cause) => Err(cause),
             None => decide(&run.policy, &snapshot),
         };
+        let decision = CanaryDecision {
+            candidate_version: run.candidate_version,
+            promote: verdict.is_ok(),
+            cause: verdict.as_ref().err().copied(),
+        };
+        if pre_commit(&decision).is_err() && verdict.is_ok() {
+            // The promotion record could not be made durable: without it
+            // a crash would forget the promotion, so it must not happen.
+            verdict = Err(RollbackCause::DurabilityFailed);
+        }
         match verdict {
             Ok(()) => {
                 let version = self

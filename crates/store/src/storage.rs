@@ -1,0 +1,499 @@
+//! The storage substrate: a small trait over the filesystem operations
+//! durability needs, a real implementation with full fsync discipline,
+//! and a seeded fault-injecting wrapper for the crash harness.
+//!
+//! Every mutating operation on [`RealStorage`] is durable when it
+//! returns: appends and whole-file writes `fsync` the file, renames are
+//! followed by a parent-directory `fsync` by the callers that need the
+//! new name durable ([`write_atomic`]). [`FaultyStorage`] wraps the real
+//! thing and injects the failure modes crashed writers and sick disks
+//! produce — short writes, torn tails, bit flips, `ENOSPC`, failed
+//! renames — plus an abort-at-Nth-write crash valve: after `n` mutating
+//! operations every further mutation fails (and the `n`-th write may
+//! tear to a seeded prefix first), which is exactly what a process
+//! killed mid-write leaves behind.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dar_tensor::serial::{save_checkpoint, Checkpoint};
+use dar_tensor::{DarError, DarResult};
+
+/// The filesystem surface the durability layer is written against.
+/// Implementations must make every mutating call durable before
+/// returning `Ok` (or honestly fail); `FaultyStorage` is the one
+/// implementation allowed to lie, and only on purpose.
+pub trait Storage: Send + Sync {
+    /// Append `bytes` to the file at `path` (creating it if absent) and
+    /// fsync the file.
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> DarResult<()>;
+    /// Create/overwrite the file at `path` with `bytes` and fsync it.
+    /// The *name* is not durable until the parent directory is synced.
+    fn write_file_sync(&self, path: &Path, bytes: &[u8]) -> DarResult<()>;
+    fn read(&self, path: &Path) -> DarResult<Vec<u8>>;
+    fn rename(&self, from: &Path, to: &Path) -> DarResult<()>;
+    fn remove(&self, path: &Path) -> DarResult<()>;
+    fn truncate(&self, path: &Path, len: u64) -> DarResult<()>;
+    /// fsync a directory, making renames/creations inside it durable.
+    fn sync_dir(&self, dir: &Path) -> DarResult<()>;
+    fn create_dir_all(&self, dir: &Path) -> DarResult<()>;
+    fn exists(&self, path: &Path) -> bool;
+    /// File names (not full paths) inside `dir`.
+    fn list(&self, dir: &Path) -> DarResult<Vec<String>>;
+}
+
+/// `std::fs` with the fsync discipline the trait demands.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealStorage;
+
+impl Storage for RealStorage {
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> DarResult<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn write_file_sync(&self, path: &Path, bytes: &[u8]) -> DarResult<()> {
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> DarResult<Vec<u8>> {
+        Ok(std::fs::read(path)?)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> DarResult<()> {
+        Ok(std::fs::rename(from, to)?)
+    }
+
+    fn remove(&self, path: &Path) -> DarResult<()> {
+        Ok(std::fs::remove_file(path)?)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> DarResult<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> DarResult<()> {
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> DarResult<()> {
+        Ok(std::fs::create_dir_all(dir)?)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list(&self, dir: &Path) -> DarResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// Seeded schedule of storage faults, counted in *mutating operations*
+/// (append, write, rename, truncate, remove) since the wrapper was
+/// built. All randomness derives from `seed`, so every failure a test
+/// provokes is reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageFaultPlan {
+    pub seed: u64,
+    /// The op with this index fails `ENOSPC`-style: nothing written.
+    pub enospc_at: Option<u64>,
+    /// A write op with this index persists only a seeded prefix, then
+    /// fails — a short write the caller *sees*.
+    pub short_write_at: Option<u64>,
+    /// An append op with this index persists only a seeded prefix but
+    /// *reports success* — the lying-fsync tear that WAL replay must
+    /// absorb by truncating the tail.
+    pub torn_tail_at: Option<u64>,
+    /// A write op with this index lands with one seeded bit flipped.
+    pub bit_flip_at: Option<u64>,
+    /// The k-th *rename* (its own counter) fails, source left intact.
+    pub fail_rename_at: Option<u64>,
+    /// Crash valve: once this many mutating ops have completed, every
+    /// further mutation fails with an injected-crash error; the op at
+    /// the boundary, if a write, tears to a seeded prefix first. This is
+    /// the abort-at-Nth-write sweep's knob.
+    pub crash_after_ops: Option<u64>,
+}
+
+impl StorageFaultPlan {
+    pub fn none() -> Self {
+        StorageFaultPlan::default()
+    }
+
+    pub fn crash_after(n: u64, seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            crash_after_ops: Some(n),
+            ..Default::default()
+        }
+    }
+}
+
+fn injected(kind: &str) -> DarError {
+    DarError::Io(std::io::Error::other(format!("{kind} (injected)")))
+}
+
+/// Deterministic value in `0..bound` derived from the plan seed and the
+/// op index (splitmix64 finalizer).
+fn seeded(seed: u64, op: u64, bound: usize) -> usize {
+    let mut x = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % bound.max(1) as u64) as usize
+}
+
+/// Wraps [`RealStorage`] and fires a [`StorageFaultPlan`]. Also keeps an
+/// ordered op log (`"append:wal.log:23"`, `"sync_dir:state"`, …) so
+/// tests can assert fsync *ordering*, not just outcomes.
+pub struct FaultyStorage {
+    inner: RealStorage,
+    plan: StorageFaultPlan,
+    ops: AtomicU64,
+    renames: AtomicU64,
+    log: Mutex<Vec<String>>,
+}
+
+impl FaultyStorage {
+    pub fn new(plan: StorageFaultPlan) -> Self {
+        FaultyStorage {
+            inner: RealStorage,
+            plan,
+            ops: AtomicU64::new(0),
+            renames: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Mutating ops completed or attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// The ordered operation log (op:name[:len]).
+    pub fn op_log(&self) -> Vec<String> {
+        self.log.lock().unwrap().clone()
+    }
+
+    fn note(&self, entry: String) {
+        self.log.lock().unwrap().push(entry);
+    }
+
+    fn name(path: &Path) -> String {
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string())
+    }
+
+    /// Claim the next mutating-op index, applying the crash valve.
+    /// Returns `Err` when the plan says this op (or any op after the
+    /// crash point) must die outright; `Ok((op, tear))` otherwise, where
+    /// `tear` asks a write op to persist only a seeded prefix and fail.
+    fn claim(&self, what: &str, path: &Path) -> DarResult<(u64, bool)> {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        self.note(format!("{what}:{}", Self::name(path)));
+        if let Some(crash) = self.plan.crash_after_ops {
+            if op > crash {
+                return Err(injected("crashed"));
+            }
+            if op == crash {
+                // The boundary op: a write tears, everything else dies.
+                return Ok((op, true));
+            }
+        }
+        if self.plan.enospc_at == Some(op) {
+            return Err(injected("no space left on device"));
+        }
+        Ok((op, false))
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> DarResult<()> {
+        let (op, crash_tear) = self.claim("append", path)?;
+        if crash_tear {
+            let keep = seeded(self.plan.seed, op, bytes.len());
+            self.inner.append_sync(path, &bytes[..keep]).ok();
+            return Err(injected("crashed"));
+        }
+        if self.plan.short_write_at == Some(op) {
+            let keep = seeded(self.plan.seed, op, bytes.len());
+            self.inner.append_sync(path, &bytes[..keep]).ok();
+            return Err(injected("short write"));
+        }
+        if self.plan.torn_tail_at == Some(op) {
+            let keep = seeded(self.plan.seed, op, bytes.len());
+            return self.inner.append_sync(path, &bytes[..keep]);
+        }
+        if self.plan.bit_flip_at == Some(op) && !bytes.is_empty() {
+            let mut flipped = bytes.to_vec();
+            let byte = seeded(self.plan.seed, op, flipped.len());
+            flipped[byte] ^= 1 << seeded(self.plan.seed ^ 0xB17, op, 8);
+            return self.inner.append_sync(path, &flipped);
+        }
+        self.inner.append_sync(path, bytes)
+    }
+
+    fn write_file_sync(&self, path: &Path, bytes: &[u8]) -> DarResult<()> {
+        let (op, crash_tear) = self.claim("write_file", path)?;
+        if crash_tear {
+            let keep = seeded(self.plan.seed, op, bytes.len());
+            self.inner.write_file_sync(path, &bytes[..keep]).ok();
+            return Err(injected("crashed"));
+        }
+        if self.plan.short_write_at == Some(op) {
+            let keep = seeded(self.plan.seed, op, bytes.len());
+            self.inner.write_file_sync(path, &bytes[..keep]).ok();
+            return Err(injected("short write"));
+        }
+        if self.plan.bit_flip_at == Some(op) && !bytes.is_empty() {
+            let mut flipped = bytes.to_vec();
+            let byte = seeded(self.plan.seed, op, flipped.len());
+            flipped[byte] ^= 1 << seeded(self.plan.seed ^ 0xB17, op, 8);
+            return self.inner.write_file_sync(path, &flipped);
+        }
+        self.inner.write_file_sync(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> DarResult<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> DarResult<()> {
+        let (_, crash) = self.claim("rename", to)?;
+        if crash {
+            return Err(injected("crashed"));
+        }
+        let k = self.renames.fetch_add(1, Ordering::SeqCst);
+        if self.plan.fail_rename_at == Some(k) {
+            return Err(injected("rename failed"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> DarResult<()> {
+        let (_, crash) = self.claim("remove", path)?;
+        if crash {
+            return Err(injected("crashed"));
+        }
+        self.inner.remove(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> DarResult<()> {
+        let (_, crash) = self.claim("truncate", path)?;
+        if crash {
+            return Err(injected("crashed"));
+        }
+        self.inner.truncate(path, len)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> DarResult<()> {
+        self.note(format!("sync_dir:{}", Self::name(dir)));
+        self.inner.sync_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> DarResult<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, dir: &Path) -> DarResult<Vec<String>> {
+        self.inner.list(dir)
+    }
+}
+
+/// Per-process unique temp-file counter: two threads writing the same
+/// destination must never share a temp name (pid alone is not enough).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A collision-free sibling temp path for `path`:
+/// `<stem>.tmp.<pid>.<counter>`.
+pub fn unique_tmp(path: &Path) -> PathBuf {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    path.with_extension(format!("tmp.{}.{n}", std::process::id()))
+}
+
+/// Atomically replace the file at `path` with `bytes`, with full fsync
+/// discipline: temp write (fsynced) → rename → parent-directory fsync.
+/// On any failure the destination is untouched and the temp file is
+/// cleaned up best-effort — a partial file is never visible at `path`.
+pub fn write_atomic(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> DarResult<()> {
+    let tmp = unique_tmp(path);
+    let result = (|| {
+        storage.write_file_sync(&tmp, bytes)?;
+        storage.rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            storage.sync_dir(dir)?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        storage.remove(&tmp).ok();
+    }
+    result
+}
+
+/// [`write_atomic`] for a checkpoint: serialize (format v2, CRC footer)
+/// in memory, then land it atomically. The storage-trait twin of
+/// `dar_tensor::serial::save_checkpoint_path`, so the crash harness can
+/// drive checkpoint saves through injected faults.
+pub fn save_checkpoint_atomic(
+    storage: &dyn Storage,
+    path: &Path,
+    ckpt: &Checkpoint,
+) -> DarResult<()> {
+    let mut buf = Vec::new();
+    save_checkpoint(&mut buf, ckpt)?;
+    write_atomic(storage, path, &buf)
+}
+
+/// Remove orphaned `*.tmp.*` files a crashed writer left in `dir`.
+/// Returns how many were swept. Called during recovery.
+pub fn sweep_orphan_tmps(storage: &dyn Storage, dir: &Path) -> DarResult<u64> {
+    let mut swept = 0;
+    for name in storage.list(dir)? {
+        if name.contains(".tmp.") {
+            storage.remove(&dir.join(&name)).ok();
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dar_store_s_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn real_storage_appends_and_truncates() {
+        let d = tmpdir("real");
+        let f = d.join("a.log");
+        let s = RealStorage;
+        s.append_sync(&f, b"hello").unwrap();
+        s.append_sync(&f, b" world").unwrap();
+        assert_eq!(s.read(&f).unwrap(), b"hello world");
+        s.truncate(&f, 5).unwrap();
+        assert_eq!(s.read(&f).unwrap(), b"hello");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn write_atomic_orders_sync_after_rename_and_leaves_no_tmp() {
+        let d = tmpdir("order");
+        let s = FaultyStorage::new(StorageFaultPlan::none());
+        write_atomic(&s, &d.join("m.bin"), b"payload").unwrap();
+        let log = s.op_log();
+        let wr = log
+            .iter()
+            .position(|e| e.starts_with("write_file:"))
+            .unwrap();
+        let rn = log.iter().position(|e| e.starts_with("rename:")).unwrap();
+        let sd = log.iter().position(|e| e.starts_with("sync_dir:")).unwrap();
+        assert!(wr < rn && rn < sd, "fsync discipline violated: {log:?}");
+        assert!(
+            !s.list(&d).unwrap().iter().any(|n| n.contains(".tmp.")),
+            "temp file left behind"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn enospc_and_rename_failures_never_touch_the_destination() {
+        let d = tmpdir("faults");
+        let dest = d.join("m.bin");
+        RealStorage.write_file_sync(&dest, b"old").unwrap();
+
+        let s = FaultyStorage::new(StorageFaultPlan {
+            enospc_at: Some(0),
+            ..Default::default()
+        });
+        assert!(matches!(
+            write_atomic(&s, &dest, b"new"),
+            Err(DarError::Io(_))
+        ));
+        assert_eq!(RealStorage.read(&dest).unwrap(), b"old");
+
+        let s = FaultyStorage::new(StorageFaultPlan {
+            fail_rename_at: Some(0),
+            ..Default::default()
+        });
+        assert!(matches!(
+            write_atomic(&s, &dest, b"new"),
+            Err(DarError::Io(_))
+        ));
+        assert_eq!(RealStorage.read(&dest).unwrap(), b"old");
+        assert!(
+            !RealStorage
+                .list(&d)
+                .unwrap()
+                .iter()
+                .any(|n| n.contains(".tmp.")),
+            "failed rename leaked its temp file"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn crash_valve_fails_everything_past_the_boundary() {
+        let d = tmpdir("crash");
+        let s = FaultyStorage::new(StorageFaultPlan::crash_after(1, 7));
+        let f = d.join("w.log");
+        s.append_sync(&f, b"first").unwrap();
+        assert!(s.append_sync(&f, b"second").is_err(), "boundary op dies");
+        assert!(s.append_sync(&f, b"third").is_err(), "post-crash op dies");
+        let len = RealStorage.read(&f).unwrap().len();
+        assert!(len >= 5 && len < 11, "boundary tear kept {len} bytes");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn orphan_sweep_removes_only_tmp_droppings() {
+        let d = tmpdir("sweep");
+        let s = RealStorage;
+        s.write_file_sync(&d.join("keep.ckpt"), b"k").unwrap();
+        s.write_file_sync(&d.join("a.tmp.123.0"), b"x").unwrap();
+        s.write_file_sync(&d.join("b.tmp.123.7"), b"y").unwrap();
+        assert_eq!(sweep_orphan_tmps(&s, &d).unwrap(), 2);
+        assert_eq!(s.list(&d).unwrap(), vec!["keep.ckpt".to_string()]);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn unique_tmp_never_collides_across_calls() {
+        let p = Path::new("/x/y/model.ckpt");
+        let a = unique_tmp(p);
+        let b = unique_tmp(p);
+        assert_ne!(a, b, "per-call suffix must be unique");
+        assert!(a.to_string_lossy().contains(".tmp."));
+    }
+}

@@ -394,12 +394,31 @@ pub fn load_tensors(r: &mut impl Read) -> DarResult<Vec<Tensor>> {
     Ok(load_checkpoint(r)?.tensors)
 }
 
+/// Per-process temp-file counter: concurrent saves targeting the same
+/// destination must never share a temp name (the pid alone is not enough).
+static TMP_SUFFIX: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// fsync the parent directory of `path`, making a rename into it durable.
+/// A rename is only crash-safe once the directory entry itself is synced;
+/// without this, "successfully saved" files can vanish on power loss.
+pub fn sync_parent_dir(path: impl AsRef<Path>) -> DarResult<()> {
+    let parent = match path.as_ref().parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
 /// Atomically save a checkpoint to a file path: the bytes are written to a
-/// sibling temp file, fsynced, and renamed over the destination, so readers
-/// never observe a partially written checkpoint at `path`.
+/// sibling temp file (per-call unique name), fsynced, renamed over the
+/// destination, and the parent directory is fsynced, so readers never
+/// observe a partially written checkpoint at `path` and a crash after
+/// return cannot lose the rename.
 pub fn save_checkpoint_path(path: impl AsRef<Path>, ckpt: &Checkpoint) -> DarResult<()> {
     let path = path.as_ref();
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let n = TMP_SUFFIX.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{n}", std::process::id()));
     let result = (|| {
         let file = File::create(&tmp)?;
         let mut w = BufWriter::new(file);
@@ -407,6 +426,7 @@ pub fn save_checkpoint_path(path: impl AsRef<Path>, ckpt: &Checkpoint) -> DarRes
         w.flush()?;
         w.get_ref().sync_all()?;
         std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
         Ok(())
     })();
     if result.is_err() {
@@ -627,6 +647,43 @@ mod tests {
     fn atomic_save_leaves_no_temp_droppings() {
         let path = tmpfile("atomic");
         save_path(&path, &[Tensor::zeros(&[3])]).unwrap();
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.starts_with(&stem) && n.contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_collide_on_temp_names() {
+        // Regression: the temp suffix used to be pid-only, so two threads
+        // saving to the same destination raced on one temp file and could
+        // rename each other's half-written bytes into place.
+        let path = tmpfile("concurrent");
+        let threads: Vec<_> = (0..8u32)
+            .map(|i| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let t = Tensor::new(vec![i as f32; 64], &[64]);
+                    save_path(&path, &[t]).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Whatever save won, the file must be whole and CRC-clean…
+        let loaded = load_checkpoint_path(&path).unwrap();
+        assert_eq!(loaded.tensors[0].shape(), &[64]);
+        // …and no temp droppings may remain.
         let dir = path.parent().unwrap();
         let stem = path.file_name().unwrap().to_string_lossy().to_string();
         let leftovers: Vec<_> = std::fs::read_dir(dir)

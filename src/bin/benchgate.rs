@@ -37,6 +37,7 @@ const THROUGHPUT_METRICS: &[(&str, &str)] = &[
 const LATENCY_METRICS: &[(&str, &str)] = &[
     ("BENCH_serve.json", "p99_us"),
     ("BENCH_online.json", "p99_us"),
+    ("BENCH_recovery.json", "replay_us"),
 ];
 
 /// Scale-context keys per file: when both sides carry the key and the
@@ -174,16 +175,19 @@ fn self_test() {
     let numeric = r#"{"raw_examples_per_s": 500.0, "guarded_examples_per_s": 490.0}"#;
     let obs = r#"{"on_examples_per_s": 480.0}"#;
     let online = r#"{"throughput_rps": 200.0, "p99_us": 8000}"#;
+    let recovery = r#"{"replay_records": 20000, "replay_us": 50000}"#;
     std::fs::write(base.join("BENCH_serve.json"), serve_base).expect("writing baseline");
     std::fs::write(base.join("BENCH_numeric.json"), numeric).expect("writing baseline");
     std::fs::write(base.join("BENCH_obs.json"), obs).expect("writing baseline");
     std::fs::write(base.join("BENCH_online.json"), online).expect("writing baseline");
+    std::fs::write(base.join("BENCH_recovery.json"), recovery).expect("writing baseline");
 
     // Identical fresh point: must pass.
     std::fs::write(fresh.join("BENCH_serve.json"), serve_base).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_numeric.json"), numeric).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_obs.json"), obs).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_online.json"), online).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_recovery.json"), recovery).expect("writing fresh");
     let failures = run_gate(&base, &fresh).expect("self-test gate errored");
     assert!(
         failures.is_empty(),
@@ -241,6 +245,27 @@ fn self_test() {
         failures.len(),
         4,
         "matching worker counts must still gate the serve file, got {failures:?}"
+    );
+
+    // WAL replay latency regression (+30% replay_us) with everything
+    // else back at baseline: exactly the recovery gate must fire.
+    std::fs::write(base.join("BENCH_serve.json"), serve_base).expect("writing baseline");
+    std::fs::write(fresh.join("BENCH_serve.json"), serve_base).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_online.json"), online).expect("writing fresh");
+    std::fs::write(
+        fresh.join("BENCH_recovery.json"),
+        r#"{"replay_records": 20000, "replay_us": 65000}"#,
+    )
+    .expect("writing regressed fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert_eq!(
+        failures.len(),
+        1,
+        "slower WAL replay must fail exactly the recovery gate, got {failures:?}"
+    );
+    assert!(
+        failures[0].contains("BENCH_recovery.json:replay_us"),
+        "wrong gate fired: {failures:?}"
     );
 
     std::fs::remove_dir_all(&dir).ok();

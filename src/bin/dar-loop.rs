@@ -8,22 +8,41 @@
 //! and promotes or rolls back. Results land in `results/BENCH_online.json`
 //! and the obs snapshot in `results/obs_online.json`.
 //!
+//! With `--state-dir` the loop becomes *durable* (DESIGN.md §15): every
+//! verdict is committed to a write-ahead journal before it takes effect,
+//! and `--recover` replays the journal, republishes the incumbent, and
+//! resumes the feed at the logged cursor.
+//!
+//! `--drill` runs the deterministic kill-and-recover fixture the chaos
+//! harness (`tests/crash_recovery.rs`) SIGKILLs at seeded points:
+//! structurally biased candidates alternate promote/rollback verdicts
+//! that are independent of traffic position, so a recovered run's
+//! journal must continue the uninterrupted golden exactly. `--wal-pad N`
+//! additionally times a synthetic N-record WAL replay into
+//! `results/BENCH_recovery.json` for benchgate.
+//!
 //! ```sh
 //! dar-loop                           # defaults: 3 rounds, auto replicas
 //! dar-loop --rounds 5 --seed 7 --wave 24 --out results
+//! dar-loop --state-dir target/loop-state --recover
+//! dar-loop --drill --rounds 4 --state-dir target/drill --wal-pad 20000
 //! ```
 
 use std::path::PathBuf;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dar::core::stream::{spawn_online_trainer, FeedConfig, OnlineTrainerConfig};
+use dar::core::stream::{spawn_online_trainer, CandidateMsg, FeedConfig, OnlineTrainerConfig};
 use dar::data::Review;
 use dar::prelude::*;
 use dar::serve::{
-    run_online_loop, CanaryPolicy, OnlineLoopConfig, PromotionPhase, ServeConfig, Server,
+    run_online_loop, run_online_loop_durable, CanaryPolicy, OnlineLoopConfig, PromotionPhase,
+    ServeConfig, Server,
 };
+use dar::store::{DurableState, RealStorage, StateRecord, Wal, WAL_FILE};
 use dar::tensor::serial::{self, Checkpoint};
+use dar::tensor::Tensor;
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
     args.iter()
@@ -39,17 +58,271 @@ fn str_flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+fn bool_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// A checkpoint that predicts `label` for *every* input: all parameters
+/// zeroed except 2-element tensors (the classifier bias), which get +8
+/// on the wanted logit. The verdict such a candidate earns on
+/// single-label traffic is structural — independent of traffic position,
+/// canary slice, or restart — which is what makes the drill's recovered
+/// journal byte-comparable to the uninterrupted golden.
+fn biased_checkpoint(factory: &dar::serve::ModelFactory, label: usize) -> Checkpoint {
+    let model = factory();
+    let tensors: Vec<Tensor> = model
+        .params()
+        .iter()
+        .map(|p| {
+            let shape = p.shape().to_vec();
+            if shape.iter().product::<usize>() == 2 {
+                let v = if label == 1 {
+                    vec![0.0, 8.0]
+                } else {
+                    vec![8.0, 0.0]
+                };
+                Tensor::new(v, &shape)
+            } else {
+                Tensor::zeros(&shape)
+            }
+        })
+        .collect();
+    Checkpoint::new(tensors, Vec::new())
+}
+
+/// The deterministic kill-and-recover fixture. Candidates alternate:
+/// even rounds predict label 1 (the traffic's label → accuracy 1.0 →
+/// promoted), odd rounds predict label 0 (accuracy 0.0 → rolled back).
+fn drill_main(args: &[String]) {
+    let rounds = flag(args, "--rounds").unwrap_or(4) as usize;
+    let state_dir =
+        PathBuf::from(str_flag(args, "--state-dir").expect("--drill requires --state-dir DIR"));
+    let recover = bool_flag(args, "--recover");
+    let delay_ms = flag(args, "--round-delay-ms").unwrap_or(0);
+    let wal_pad = flag(args, "--wal-pad");
+    let out_dir = str_flag(args, "--out").map(PathBuf::from);
+
+    if !recover {
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+    std::fs::create_dir_all(&state_dir).expect("creating state dir");
+
+    // Fixed fixture (seed 603): small synthetic beer corpus, tiny model.
+    let synth = SynthConfig {
+        n_train: 96,
+        n_dev: 24,
+        n_test: 32,
+        ..SynthConfig::beer(Aspect::Aroma)
+    };
+    let data = SynBeer::generate(&synth, &mut dar::rng(603));
+    let cfg = RationaleConfig {
+        emb_dim: 12,
+        hidden: 12,
+        sparsity: 0.16,
+        ..Default::default()
+    };
+    let ml = pretrain::max_len(&data);
+    let vocab = data.vocab.len();
+    let factory: dar::serve::ModelFactory = Arc::new(move || {
+        let mut rng = dar::rng(603);
+        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+        Box::new(Rnp::new(&cfg, &emb, ml, &mut rng))
+    });
+
+    // Single-label traffic: every request is label 1, so the label-1
+    // candidate scores 1.0 and the label-0 one 0.0 on any slice.
+    let traffic: Vec<Review> = data.test.iter().filter(|r| r.label == 1).cloned().collect();
+    assert!(!traffic.is_empty(), "drill fixture needs label-1 traffic");
+
+    let storage: Arc<dyn dar::store::Storage> = Arc::new(RealStorage);
+    let (mut state, recovery) =
+        DurableState::open(Arc::clone(&storage), &state_dir).expect("opening durable state");
+    eprintln!(
+        "[dar-loop] drill state: {} records, generation {}, resume round {}, \
+         torn {} bytes, {} orphans swept",
+        recovery.records.len(),
+        recovery.generation,
+        recovery.resume_round,
+        recovery.truncated_bytes,
+        recovery.orphans_swept,
+    );
+
+    // Candidate checkpoints for every remaining round, written up front
+    // so the feeder thread only paces message delivery.
+    let start_round = state.resume_round();
+    let mut cand_paths = Vec::new();
+    for r in start_round..rounds {
+        let path = state_dir.join(format!("drill_cand_r{r}.ckpt"));
+        let label = if r % 2 == 0 { 1 } else { 0 };
+        serial::save_checkpoint_path(&path, &biased_checkpoint(&factory, label))
+            .expect("saving drill candidate");
+        cand_paths.push((r, path));
+    }
+
+    let serve_cfg = ServeConfig {
+        vocab_size: vocab,
+        max_len: ml,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(serve_cfg, Arc::clone(&factory));
+
+    // Incumbent: the recovered generation when there is one, else the
+    // label-0 loser every even-round candidate beats.
+    let incumbent_path = match state.incumbent_path() {
+        Some(p) if recover => p,
+        _ => {
+            let p = state_dir.join("drill_incumbent.ckpt");
+            serial::save_checkpoint_path(&p, &biased_checkpoint(&factory, 0))
+                .expect("saving drill incumbent");
+            p
+        }
+    };
+    server
+        .offer_checkpoint(&incumbent_path)
+        .expect("publishing drill incumbent");
+
+    // Feeder thread: paced candidate delivery so the harness can SIGKILL
+    // the process between (and inside) rounds.
+    let (tx, rx) = mpsc::channel();
+    let feeder = std::thread::spawn(move || {
+        for (round, path) in cand_paths {
+            if delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            }
+            if tx
+                .send(CandidateMsg::Candidate {
+                    round,
+                    path,
+                    trained_on: 0,
+                    rejected: 0,
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+        let _ = tx.send(CandidateMsg::Finished);
+    });
+
+    let loop_cfg = OnlineLoopConfig {
+        // Verdicts must ride on accuracy alone: the biased drill
+        // checkpoints have all-zero generators (degraded answers trip
+        // the faults gate) and no meaningful rationales, so both of
+        // those gates are opened wide.
+        policy: CanaryPolicy {
+            window: 24,
+            max_f1_drop: 1.0,
+            max_candidate_faults: u64::MAX,
+            ..CanaryPolicy::default()
+        },
+        wave: 16,
+        max_waves: 64,
+    };
+    let report = run_online_loop_durable(&server, &rx, &traffic, &loop_cfg, &mut state);
+    feeder.join().expect("joining drill feeder");
+    let stats = server.shutdown();
+
+    for r in &report.rounds {
+        match (&r.outcome, &r.note) {
+            (Some(o), _) => eprintln!(
+                "[dar-loop] drill round {}: {:?} cause {:?} (cand acc {:.2} vs inc {:.2})",
+                r.round,
+                o.phase,
+                o.cause,
+                o.snapshot.candidate.accuracy(),
+                o.snapshot.incumbent.accuracy(),
+            ),
+            (None, Some(note)) => eprintln!("[dar-loop] drill round {}: {note}", r.round),
+            _ => {}
+        }
+    }
+
+    eprintln!(
+        "[dar-loop] drill done: {} promoted, {} rolled back, generation {}, \
+         served {} (panics {})",
+        report.promoted,
+        report.rolled_back,
+        state.generation(),
+        report.rounds.iter().map(|r| r.served_ok).sum::<u64>(),
+        stats.panics,
+    );
+
+    // Optional replay-latency bench: pad a scratch WAL with N cursor
+    // records and time a cold DurableState::open over it.
+    if let (Some(n), Some(out)) = (wal_pad, out_dir) {
+        let bench_dir = state_dir.with_file_name(format!(
+            "{}_walbench",
+            state_dir.file_name().unwrap_or_default().to_string_lossy()
+        ));
+        std::fs::remove_dir_all(&bench_dir).ok();
+        std::fs::create_dir_all(&bench_dir).expect("creating wal bench dir");
+        {
+            let (wal, _) = Wal::open(Arc::clone(&storage), bench_dir.join(WAL_FILE))
+                .expect("opening bench WAL");
+            wal.append_many((0..n).map(|i| {
+                StateRecord::FeedCursor {
+                    next_round: i as usize,
+                }
+                .encode()
+            }))
+            .expect("padding bench WAL");
+        }
+        let started = Instant::now();
+        let (_, r) =
+            DurableState::open(Arc::clone(&storage), &bench_dir).expect("replaying bench WAL");
+        let replay_us = started.elapsed().as_micros() as u64;
+        assert_eq!(r.records.len() as u64, n, "bench replay lost records");
+        let per_s = n as f64 / (replay_us as f64 / 1e6).max(1e-9);
+        std::fs::create_dir_all(&out).expect("creating output dir");
+        let json = format!(
+            "{{\"replay_records\": {n}, \"replay_us\": {replay_us}, \
+              \"replay_records_per_s\": {per_s:.1}}}\n"
+        );
+        std::fs::write(out.join("BENCH_recovery.json"), json).expect("writing BENCH_recovery.json");
+        eprintln!("[dar-loop] WAL replay bench: {n} records in {replay_us} us ({per_s:.0} rec/s)");
+        std::fs::remove_dir_all(&bench_dir).ok();
+    }
+    eprintln!("[dar-loop] ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: dar-loop [--rounds N] [--wave N] [--seed N] [--out DIR]");
+        eprintln!(
+            "usage: dar-loop [--rounds N] [--wave N] [--seed N] [--out DIR]\n\
+             \x20       [--state-dir DIR [--recover]]\n\
+             \x20       --drill --state-dir DIR [--rounds N] [--round-delay-ms D]\n\
+             \x20               [--recover] [--wal-pad N --out DIR]"
+        );
         std::process::exit(2);
+    }
+    if bool_flag(&args, "--drill") {
+        drill_main(&args);
+        return;
     }
     let rounds = flag(&args, "--rounds").unwrap_or(3) as usize;
     let wave = flag(&args, "--wave").unwrap_or(16) as usize;
     let seed = flag(&args, "--seed").unwrap_or(42);
     let out_dir = PathBuf::from(str_flag(&args, "--out").unwrap_or_else(|| "results".into()));
     std::fs::create_dir_all(&out_dir).expect("creating output dir");
+    let recover = bool_flag(&args, "--recover");
+
+    // Optional durable journal: verdicts WAL-committed before effect.
+    let mut durable = str_flag(&args, "--state-dir").map(|dir| {
+        let dir = PathBuf::from(dir);
+        if !recover {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        let (state, recovery) =
+            DurableState::open(Arc::new(RealStorage), &dir).expect("opening durable state dir");
+        eprintln!(
+            "[dar-loop] durable state: {} records, generation {}, resume round {}",
+            recovery.records.len(),
+            recovery.generation,
+            recovery.resume_round,
+        );
+        state
+    });
 
     // Base dataset: serving traffic + the incumbent's training set.
     let synth = SynthConfig {
@@ -68,33 +341,45 @@ fn main() {
     let ml = pretrain::max_len(&data);
     let vocab = data.vocab.len();
 
-    // Incumbent: one trained epoch, hot-swapped in before the loop runs,
-    // so candidates have a real bar to clear.
-    eprintln!("[dar-loop] training the incumbent...");
-    let incumbent_path = out_dir.join("loop_incumbent.ckpt");
-    {
-        let mut rng = dar::rng(seed + 1);
-        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
-        let mut model = Rnp::new(&cfg, &emb, ml, &mut rng);
-        let mut rng = dar::rng(seed + 2);
-        let report = Trainer::new(TrainConfig {
-            epochs: 1,
-            batch_size: 32,
-            patience: None,
-            ..Default::default()
-        })
-        .fit(&mut model, &data, &mut rng);
-        eprintln!(
-            "[dar-loop] incumbent: acc {:.1}%  rationale F1 {:.1}%",
-            report.test.acc.unwrap_or(0.0) * 100.0,
-            report.test.f1 * 100.0
-        );
-        serial::save_checkpoint_path(
-            &incumbent_path,
-            &Checkpoint::new(model.params(), Vec::new()),
-        )
-        .expect("saving incumbent checkpoint");
-    }
+    // Incumbent: recovered from the durable journal when possible, else
+    // one trained epoch, hot-swapped in before the loop runs, so
+    // candidates have a real bar to clear.
+    let recovered_incumbent = durable
+        .as_ref()
+        .filter(|_| recover)
+        .and_then(|st| st.incumbent_path());
+    let incumbent_path = match &recovered_incumbent {
+        Some(p) => {
+            eprintln!(
+                "[dar-loop] republishing recovered incumbent {}",
+                p.display()
+            );
+            p.clone()
+        }
+        None => {
+            eprintln!("[dar-loop] training the incumbent...");
+            let path = out_dir.join("loop_incumbent.ckpt");
+            let mut rng = dar::rng(seed + 1);
+            let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+            let mut model = Rnp::new(&cfg, &emb, ml, &mut rng);
+            let mut rng = dar::rng(seed + 2);
+            let report = Trainer::new(TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                patience: None,
+                ..Default::default()
+            })
+            .fit(&mut model, &data, &mut rng);
+            eprintln!(
+                "[dar-loop] incumbent: acc {:.1}%  rationale F1 {:.1}%",
+                report.test.acc.unwrap_or(0.0) * 100.0,
+                report.test.f1 * 100.0
+            );
+            serial::save_checkpoint_path(&path, &Checkpoint::new(model.params(), Vec::new()))
+                .expect("saving incumbent checkpoint");
+            path
+        }
+    };
 
     let factory: dar::serve::ModelFactory = Arc::new(move || {
         let mut rng = dar::rng(seed + 1);
@@ -117,16 +402,20 @@ fn main() {
         dar_par::max_threads()
     );
 
-    // Background trainer on a fresh streaming feed, poison every 9th
-    // review to exercise feed admission.
+    // Background trainer on a streaming feed (poison every 9th review to
+    // exercise feed admission), resuming at the journal's cursor when
+    // recovering so completed rounds are never re-trained.
+    let first_round = durable.as_ref().map_or(0, |st| st.resume_round());
     let trainer_cfg = OnlineTrainerConfig {
         rounds,
+        first_round,
         epochs_per_round: 2,
         batch_size: 32,
         vocab_size: vocab,
         max_len: ml,
         candidate_dir: out_dir.clone(),
         seed: seed + 3,
+        resume_from: recovered_incumbent.clone(),
         panic_at_round: None,
     };
     let feed = FeedConfig {
@@ -149,7 +438,10 @@ fn main() {
     };
     let traffic: Vec<Review> = data.test.clone();
     let started = Instant::now();
-    let report = run_online_loop(&server, &candidates, &traffic, &loop_cfg);
+    let report = match durable.as_mut() {
+        Some(state) => run_online_loop_durable(&server, &candidates, &traffic, &loop_cfg, state),
+        None => run_online_loop(&server, &candidates, &traffic, &loop_cfg),
+    };
     let elapsed = started.elapsed();
     trainer.join().expect("joining the trainer thread");
 
@@ -230,7 +522,9 @@ fn main() {
         && candidates_seen == rounds
         && verdicts_sound
         && stats.panics == 0;
-    std::fs::remove_file(&incumbent_path).ok();
+    if recovered_incumbent.is_none() {
+        std::fs::remove_file(&incumbent_path).ok();
+    }
     if !healthy {
         eprintln!("[dar-loop] UNHEALTHY run — see counters above");
         std::process::exit(1);

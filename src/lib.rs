@@ -16,7 +16,10 @@
 //!   micro-batching, circuit breaker, hot checkpoint swap);
 //! * [`obs`] — the zero-dependency observability layer (metrics registry,
 //!   hierarchical span timings, typed event journal, deterministic
-//!   snapshots; see DESIGN.md §12).
+//!   snapshots; see DESIGN.md §12);
+//! * [`store`] — the crash-consistent durability layer (write-ahead
+//!   state journal, generation manifest, fault-injectable storage; see
+//!   DESIGN.md §15).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -42,6 +45,7 @@ pub use dar_data as data;
 pub use dar_nn as nn;
 pub use dar_obs as obs;
 pub use dar_serve as serve;
+pub use dar_store as store;
 pub use dar_tensor as tensor;
 pub use dar_text as text;
 

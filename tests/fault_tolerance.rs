@@ -5,7 +5,8 @@
 use dar::core::fault::{self, FaultPlan, FaultyModel};
 use dar::core::guard::{GuardPolicy, GuardReason, GuardedTrainer, TrainEvent};
 use dar::prelude::*;
-use dar::tensor::serial;
+use dar::store::{save_checkpoint_atomic, FaultyStorage, RealStorage, Storage, StorageFaultPlan};
+use dar::tensor::serial::{self, Checkpoint};
 use dar::tensor::{DarError, Tensor};
 use proptest::prelude::*;
 
@@ -189,6 +190,110 @@ fn persistent_fault_exhausts_retries() {
         "wrong error: {err:?}"
     );
     std::fs::remove_file(path).ok();
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("dar_ft_dir_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn small_checkpoint(value: f32) -> Checkpoint {
+    Checkpoint::new(
+        vec![Tensor::param(vec![value; 6], &[2, 3])],
+        vec![value as u8],
+    )
+}
+
+/// A checkpoint save through a disk that fails — `ENOSPC`, a short
+/// write, a failed rename — must surface a typed error and leave the
+/// destination byte-identical to what was there before: no partial
+/// file, no temp dropping masquerading as the real thing.
+#[test]
+fn injected_storage_faults_never_leave_a_partial_checkpoint() {
+    let d = tmpdir("inject");
+    let dest = d.join("model.ckpt");
+    save_checkpoint_atomic(&RealStorage, &dest, &small_checkpoint(1.0)).unwrap();
+    let before = std::fs::read(&dest).unwrap();
+
+    let plans: [(&str, StorageFaultPlan); 3] = [
+        (
+            "enospc",
+            StorageFaultPlan {
+                enospc_at: Some(0),
+                ..Default::default()
+            },
+        ),
+        (
+            "short write",
+            StorageFaultPlan {
+                seed: 11,
+                short_write_at: Some(0),
+                ..Default::default()
+            },
+        ),
+        (
+            "failed rename",
+            StorageFaultPlan {
+                fail_rename_at: Some(0),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (what, plan) in plans {
+        let s = FaultyStorage::new(plan);
+        let err = save_checkpoint_atomic(&s, &dest, &small_checkpoint(2.0))
+            .expect_err(&format!("{what} must fail the save"));
+        assert!(
+            matches!(err, DarError::Io(_)),
+            "{what}: untyped error {err:?}"
+        );
+        assert_eq!(
+            std::fs::read(&dest).unwrap(),
+            before,
+            "{what}: destination was disturbed"
+        );
+        assert!(
+            !RealStorage
+                .list(&d)
+                .unwrap()
+                .iter()
+                .any(|n| n.contains(".tmp.")),
+            "{what}: temp file left behind"
+        );
+        // The survivor still loads — the old weights are intact, not
+        // merely present.
+        let loaded = serial::load_checkpoint_path(&dest).expect("incumbent still loads");
+        assert_eq!(loaded.tensors[0].to_vec(), vec![1.0; 6]);
+    }
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// The atomic save's fsync discipline, asserted on the op log rather
+/// than inferred: data is synced before the rename publishes the name,
+/// and the parent directory is synced after — the order that makes the
+/// rename itself durable.
+#[test]
+fn checkpoint_save_orders_data_sync_rename_dir_sync() {
+    let d = tmpdir("order");
+    let s = FaultyStorage::new(StorageFaultPlan::none());
+    save_checkpoint_atomic(&s, &d.join("model.ckpt"), &small_checkpoint(3.0)).unwrap();
+    let log = s.op_log();
+    let wr = log
+        .iter()
+        .position(|e| e.starts_with("write_file:"))
+        .expect("data write logged");
+    let rn = log
+        .iter()
+        .position(|e| e.starts_with("rename:"))
+        .expect("rename logged");
+    let sd = log
+        .iter()
+        .position(|e| e.starts_with("sync_dir:"))
+        .expect("dir sync logged");
+    assert!(wr < rn && rn < sd, "fsync discipline out of order: {log:?}");
+    std::fs::remove_dir_all(&d).ok();
 }
 
 /// A guarded run's checkpoint is a plain trainer checkpoint: an

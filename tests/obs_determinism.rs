@@ -159,6 +159,94 @@ fn serve_run_matches_golden_deterministic_section() {
     );
 }
 
+/// Crash recovery followed by serving produces an exactly known
+/// deterministic section: the typed durability events (DESIGN.md §15)
+/// land in the journal in protocol order — recovery start, torn-tail
+/// truncation, the truncation's own WAL commit, recovery complete —
+/// followed by the serve counters, byte-identical under any thread
+/// budget (CI re-runs this binary under `DAR_THREADS=1` and `=4`).
+#[test]
+fn recover_then_serve_matches_golden_deterministic_section() {
+    use dar::store::{DurableState, RealStorage, Storage, WAL_FILE};
+
+    let _g = obs_lock();
+    let dir = std::env::temp_dir().join(format!("dar_obs_det_recover_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A journal with one settled promotion… (obs off: setup is not the
+    // run under test)
+    dar::obs::set_enabled(false);
+    {
+        let cand = {
+            std::fs::create_dir_all(&dir).unwrap();
+            let p = dir.join("cand.ckpt");
+            std::fs::write(&p, b"weights").unwrap();
+            p
+        };
+        let (mut st, _) = DurableState::open(Arc::new(RealStorage), &dir).unwrap();
+        st.log_canary_started(0).unwrap();
+        st.log_promoted(0, &cand).unwrap();
+        st.log_feed_cursor(1).unwrap();
+    }
+    // …plus a 7-byte torn half-frame a crashed writer left at the tail.
+    RealStorage
+        .append_sync(&dir.join(WAL_FILE), &[44, 0, 0, 0, 7, 7, 7])
+        .unwrap();
+
+    dar::obs::reset();
+    dar::obs::set_enabled(true);
+
+    // Recovery: replays 3 records, truncates the tail, journals the
+    // truncation (the 4th record), keeps generation 1.
+    let (st, rec) = DurableState::open(Arc::new(RealStorage), &dir).unwrap();
+    assert_eq!(rec.truncated_bytes, 7);
+    assert_eq!(st.generation(), 1);
+    assert_eq!(st.resume_round(), 1);
+    drop(st);
+
+    // Then serve: the same 100-request flow as the serve golden.
+    let data = tiny_dataset(910);
+    let cfg = tiny_cfg();
+    let vocab = data.vocab.len();
+    let ml = pretrain::max_len(&data);
+    let factory: dar::serve::ModelFactory = Arc::new(move || {
+        let mut rng = dar::rng(911);
+        let emb = SharedEmbedding::random(vocab, cfg.emb_dim, &mut rng);
+        Box::new(Rnp::new(&cfg, &emb, ml, &mut rng))
+    });
+    let serve_cfg = ServeConfig {
+        replicas: 1,
+        vocab_size: vocab,
+        max_len: ml,
+        breaker: BreakerPolicy {
+            collapse: open_policy(),
+            ..BreakerPolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(serve_cfg, factory);
+    for i in 0..100 {
+        server
+            .submit(data.test[i % data.test.len()].clone())
+            .wait()
+            .expect("request failed");
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let det = dar::obs::snapshot("recover_serve").deterministic_json();
+    assert_eq!(
+        det,
+        "{\"counters\":{\"serve.served_full\":100,\"serve.submitted\":100},\
+         \"gauges\":{},\"events\":[\
+         {\"seq\":0,\"kind\":\"recovery_started\"},\
+         {\"seq\":1,\"kind\":\"wal_truncated_tail\",\"lost_bytes\":7},\
+         {\"seq\":2,\"kind\":\"wal_append\",\"record\":\"tail_truncated\"},\
+         {\"seq\":3,\"kind\":\"recovery_complete\",\"records\":4,\"generation\":1}],\
+         \"events_dropped\":0}"
+    );
+}
+
 /// Checkpoint resume must not double-count: epochs already recorded by
 /// the interrupted run are not re-emitted, and the resume is marked.
 #[test]

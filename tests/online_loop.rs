@@ -544,12 +544,14 @@ fn trainer_panic_leaves_serving_untouched() {
     std::fs::create_dir_all(&dir).expect("candidate dir");
     let trainer_cfg = OnlineTrainerConfig {
         rounds: 3,
+        first_round: 0,
         epochs_per_round: 1,
         batch_size: 16,
         vocab_size: fx.vocab,
         max_len: fx.ml,
         candidate_dir: dir.clone(),
         seed: 651,
+        resume_from: None,
         panic_at_round: Some(1),
     };
     let feed = FeedConfig {
@@ -608,12 +610,14 @@ fn closed_loop_survives_a_poisoned_feed() {
     std::fs::create_dir_all(&dir).expect("candidate dir");
     let trainer_cfg = OnlineTrainerConfig {
         rounds: 2,
+        first_round: 0,
         epochs_per_round: 1,
         batch_size: 16,
         vocab_size: fx.vocab,
         max_len: fx.ml,
         candidate_dir: dir.clone(),
         seed: 661,
+        resume_from: None,
         panic_at_round: None,
     };
     let feed = FeedConfig {
