@@ -55,6 +55,13 @@ st_online_t4() { DAR_THREADS=4 cargo test --release -q --test online_loop; }
 st_scale_out_t1() { DAR_THREADS=1 cargo test --release -q --test scale_out; }
 st_scale_out_t4() { DAR_THREADS=4 cargo test --release -q --test scale_out; }
 
+# The self-healing chaos suite (DESIGN.md §16) under both budgets:
+# stall-quarantine-hedge at 1/2/4 replicas, probation rejoin, the
+# canary-voiding quarantine, the supervisor deadline sweep, and the
+# watchdog-silent obs golden.
+st_watchdog_t1() { DAR_THREADS=1 cargo test --release -q --test self_healing; }
+st_watchdog_t4() { DAR_THREADS=4 cargo test --release -q --test self_healing; }
+
 # Record sustained throughput + tail latency of the serving demo into
 # results/serve_bench.txt and the obs_serve.json observability snapshot.
 st_serve_bench() { cargo run --release --bin dar-serve -- --requests 400 --out results; }
@@ -65,6 +72,14 @@ st_serve_bench() { cargo run --release --bin dar-serve -- --requests 400 --out r
 # non-zero if any request fails or any worker panics.
 st_serve_saturation() {
     cargo run --release --bin dar-serve -- --saturate --requests 1024 --out results
+}
+
+# Self-healing bench: stall-detection latency and hedge overhead at
+# 1/2/4 replicas, written to results/BENCH_health.json for the benchgate
+# stage. The binary exits non-zero if a quarantine is missed, a stranded
+# request resolves untyped, or hedging fails.
+st_health_bench() {
+    cargo run --release --bin dar-serve -- --health-bench --out results
 }
 
 # Closed online loop demo: train-while-serve with canary promotion and
@@ -121,7 +136,7 @@ st_benchgate() {
     rm -rf "$bl" && mkdir -p "$bl"
     local f
     for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json BENCH_online.json \
-        BENCH_recovery.json; do
+        BENCH_recovery.json BENCH_health.json; do
         git show "HEAD:results/$f" > "$bl/$f" 2>/dev/null || rm -f "$bl/$f"
     done
     cargo run --release --bin benchgate -- --baseline "$bl" --fresh results
@@ -130,9 +145,10 @@ st_benchgate() {
 # ---- stage driver -------------------------------------------------------
 
 STAGE_NAMES=(fmt clippy build par-tests test-t1 test-t4 chaos-t1 chaos-t4
-    online-t1 online-t4 scale-out-t1 scale-out-t4 serve-bench
-    serve-saturation loop-bench crash-recovery-t1 crash-recovery-t4
-    recovery-drill ops-deny fuzz-t1 fuzz-t4 numbench obsbench benchgate)
+    online-t1 online-t4 scale-out-t1 scale-out-t4 watchdog-t1 watchdog-t4
+    serve-bench serve-saturation health-bench loop-bench crash-recovery-t1
+    crash-recovery-t4 recovery-drill ops-deny fuzz-t1 fuzz-t4 numbench
+    obsbench benchgate)
 
 RAN_NAMES=()
 RAN_STATUS=()

@@ -209,6 +209,33 @@ pub struct ChaosPlan {
     /// with NaN through a real `0/0` div op, so the serving taint layer
     /// can attribute the failure to `div`.
     pub nan_logit_token: Option<usize>,
+    /// Stall faults: the worker wedges inside `infer` without panicking
+    /// — the failure class the serving watchdog (DESIGN.md §16) exists
+    /// for, invisible to panic-based supervision.
+    pub stall: StallPlan,
+}
+
+/// Wedge schedule for [`ChaosModel`]: trigger tokens that make `infer`
+/// hang. `sleep` models a worker blocked on I/O or a lock (scheduled but
+/// silent); `spin` models a livelock burning its core. `sticky = false`
+/// arms the plan once — the first triggered batch stalls, later ones run
+/// clean (a transient wedge the replica recovers from); `sticky = true`
+/// stalls every triggered batch (a permanently wedged replica that can
+/// only be quarantined).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallPlan {
+    /// `(token, millis)`: a triggered batch sleeps this long in `infer`.
+    pub sleep_token: Option<(usize, u64)>,
+    /// `(token, millis)`: a triggered batch busy-spins this long.
+    pub spin_token: Option<(usize, u64)>,
+    /// Every triggered batch stalls, not just the first.
+    pub sticky: bool,
+}
+
+impl StallPlan {
+    pub fn is_armed(&self) -> bool {
+        self.sleep_token.is_some() || self.spin_token.is_some()
+    }
 }
 
 impl ChaosPlan {
@@ -223,15 +250,30 @@ impl ChaosPlan {
 pub struct ChaosModel<M: RationaleModel> {
     inner: M,
     plan: ChaosPlan,
+    /// One-shot latch for a non-sticky [`StallPlan`]: set by the first
+    /// triggered batch so later batches run clean. Atomic because
+    /// `infer` takes `&self`.
+    stall_fired: std::sync::atomic::AtomicBool,
 }
 
 impl<M: RationaleModel> ChaosModel<M> {
     pub fn new(inner: M, plan: ChaosPlan) -> Self {
-        ChaosModel { inner, plan }
+        ChaosModel {
+            inner,
+            plan,
+            stall_fired: std::sync::atomic::AtomicBool::new(false),
+        }
     }
 
     pub fn into_inner(self) -> M {
         self.inner
+    }
+
+    /// Should a triggered batch stall right now? Consumes the one-shot
+    /// arming for non-sticky plans.
+    fn stall_due(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.plan.stall.sticky || !self.stall_fired.swap(true, Ordering::SeqCst)
     }
 }
 
@@ -261,6 +303,19 @@ impl<M: RationaleModel> RationaleModel for ChaosModel<M> {
         if let Some((t, ms)) = self.plan.slow_token {
             if ChaosPlan::batch_has(batch, t) {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        if let Some((t, ms)) = self.plan.stall.sleep_token {
+            if ChaosPlan::batch_has(batch, t) && self.stall_due() {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        if let Some((t, ms)) = self.plan.stall.spin_token {
+            if ChaosPlan::batch_has(batch, t) && self.stall_due() {
+                let until = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+                while std::time::Instant::now() < until {
+                    std::hint::spin_loop();
+                }
             }
         }
         let mut inf = self.inner.infer(batch);
@@ -503,6 +558,63 @@ mod tests {
         assert!(crashed, "panic token did not fire");
         // The generator path is dead; the full-text path still answers.
         assert!(chaos.predict_full_text(&batch).is_some());
+    }
+
+    #[test]
+    fn stall_plan_one_shot_arms_once_and_sticky_repeats() {
+        use crate::models::test_support::{max_len, tiny_config, tiny_dataset, tiny_embedding};
+        use crate::models::Rnp;
+        use dar_data::BatchIter;
+
+        let data = tiny_dataset(320);
+        let cfg = tiny_config();
+        let emb = tiny_embedding(&data, 321);
+        let mut rng = dar_tensor::rng(322);
+        let model = Rnp::new(&cfg, &emb, max_len(&data), &mut rng);
+        let batch = BatchIter::sequential(&data.test, 2).next().unwrap();
+        let trigger = batch.ids[0][0];
+
+        let timed = |m: &dyn RationaleModel, b: &Batch| {
+            let start = std::time::Instant::now();
+            m.infer(b);
+            start.elapsed()
+        };
+
+        let one_shot = ChaosModel::new(
+            model,
+            ChaosPlan {
+                stall: StallPlan {
+                    sleep_token: Some((trigger, 60)),
+                    sticky: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let first = timed(&one_shot, &batch);
+        let second = timed(&one_shot, &batch);
+        assert!(first.as_millis() >= 60, "first triggered batch must stall");
+        assert!(
+            second < first,
+            "one-shot plan must disarm after firing ({second:?} !< {first:?})"
+        );
+
+        let sticky = ChaosModel::new(
+            one_shot.into_inner(),
+            ChaosPlan {
+                stall: StallPlan {
+                    spin_token: Some((trigger, 30)),
+                    sticky: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert!(timed(&sticky, &batch).as_millis() >= 30);
+        assert!(
+            timed(&sticky, &batch).as_millis() >= 30,
+            "sticky plan must stall every triggered batch"
+        );
     }
 
     #[test]

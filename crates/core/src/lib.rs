@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::config::{EncoderKind, RationaleConfig, TrainConfig};
     pub use crate::embedder::SharedEmbedding;
     pub use crate::eval::{class_metrics, evaluate_model, RationaleMetrics};
-    pub use crate::fault::{ChaosModel, ChaosPlan, FaultPlan, FaultyModel};
+    pub use crate::fault::{ChaosModel, ChaosPlan, FaultPlan, FaultyModel, StallPlan};
     pub use crate::generator::Generator;
     pub use crate::guard::{GuardPolicy, GuardReason, GuardedReport, GuardedTrainer, TrainEvent};
     pub use crate::models::{

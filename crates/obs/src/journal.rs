@@ -75,6 +75,22 @@ pub enum ObsEvent {
     /// only when a steal actually happens, so sequential traffic leaves
     /// the deterministic section untouched.
     ReplicaSteal { thief: u64, victim: u64, n: u64 },
+    /// The watchdog saw a replica holding work but silent past its
+    /// missed-heartbeat budget: Healthy → Suspect (DESIGN.md §16).
+    /// Emitted once per stall episode; like every health event, only
+    /// when a stall actually occurs, so clean traffic keeps the
+    /// deterministic section byte-identical.
+    ReplicaStalled { slot: u64 },
+    /// A Suspect replica exhausted its deadline-aware grace and was
+    /// quarantined: routing detours around it, its queue and in-flight
+    /// slots are force-drained, and its thread is abandoned.
+    ReplicaQuarantined { slot: u64 },
+    /// A respawned replica passed its probation probes and rejoined the
+    /// healthy set; original routing is restored.
+    ReplicaRejoined { slot: u64 },
+    /// A request stranded on a quarantined replica was re-dispatched to
+    /// a healthy sibling with deadline budget to spare.
+    RequestHedged { from: u64, to: u64 },
     /// One record was committed to the durable write-ahead state
     /// journal; `record` is the stable record kind (`promoted`,
     /// `rolled_back`, `feed_cursor`, …) (DESIGN.md §15).
@@ -110,6 +126,10 @@ impl ObsEvent {
             ObsEvent::OfferRejected { .. } => "offer_rejected",
             ObsEvent::RespawnBackoff { .. } => "respawn_backoff",
             ObsEvent::ReplicaSteal { .. } => "replica_steal",
+            ObsEvent::ReplicaStalled { .. } => "replica_stalled",
+            ObsEvent::ReplicaQuarantined { .. } => "replica_quarantined",
+            ObsEvent::ReplicaRejoined { .. } => "replica_rejoined",
+            ObsEvent::RequestHedged { .. } => "request_hedged",
             ObsEvent::WalAppend { .. } => "wal_append",
             ObsEvent::WalTruncatedTail { .. } => "wal_truncated_tail",
             ObsEvent::RecoveryStarted => "recovery_started",
@@ -201,6 +221,14 @@ impl ObsEvent {
             }
             ObsEvent::ReplicaSteal { thief, victim, n } => {
                 out.push_str(&format!(",\"thief\":{thief},\"victim\":{victim},\"n\":{n}"));
+            }
+            ObsEvent::ReplicaStalled { slot }
+            | ObsEvent::ReplicaQuarantined { slot }
+            | ObsEvent::ReplicaRejoined { slot } => {
+                out.push_str(&format!(",\"slot\":{slot}"));
+            }
+            ObsEvent::RequestHedged { from, to } => {
+                out.push_str(&format!(",\"from\":{from},\"to\":{to}"));
             }
             ObsEvent::WalAppend { record } => {
                 out.push_str(",\"record\":");
@@ -298,6 +326,22 @@ mod tests {
             ObsEvent::WalTruncatedTail { lost_bytes: 6 }.kind(),
             "wal_truncated_tail"
         );
+        assert_eq!(
+            ObsEvent::ReplicaStalled { slot: 1 }.kind(),
+            "replica_stalled"
+        );
+        assert_eq!(
+            ObsEvent::ReplicaQuarantined { slot: 1 }.kind(),
+            "replica_quarantined"
+        );
+        assert_eq!(
+            ObsEvent::ReplicaRejoined { slot: 1 }.kind(),
+            "replica_rejoined"
+        );
+        assert_eq!(
+            ObsEvent::RequestHedged { from: 1, to: 0 }.kind(),
+            "request_hedged"
+        );
         assert_eq!(ObsEvent::RecoveryStarted.kind(), "recovery_started");
         assert_eq!(
             ObsEvent::RecoveryComplete {
@@ -333,6 +377,22 @@ mod tests {
             out,
             r#"{"seq":3,"kind":"recovery_complete","records":9,"generation":3}"#
         );
+    }
+
+    #[test]
+    fn health_events_serialize_stably() {
+        let mut out = String::new();
+        ObsEvent::ReplicaStalled { slot: 2 }.push_json(&mut out, 7);
+        assert_eq!(out, r#"{"seq":7,"kind":"replica_stalled","slot":2}"#);
+        let mut out = String::new();
+        ObsEvent::ReplicaQuarantined { slot: 2 }.push_json(&mut out, 8);
+        assert_eq!(out, r#"{"seq":8,"kind":"replica_quarantined","slot":2}"#);
+        let mut out = String::new();
+        ObsEvent::ReplicaRejoined { slot: 2 }.push_json(&mut out, 9);
+        assert_eq!(out, r#"{"seq":9,"kind":"replica_rejoined","slot":2}"#);
+        let mut out = String::new();
+        ObsEvent::RequestHedged { from: 2, to: 0 }.push_json(&mut out, 10);
+        assert_eq!(out, r#"{"seq":10,"kind":"request_hedged","from":2,"to":0}"#);
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub enum RollbackCause {
     /// commit the promotion record — without a durable record the
     /// promotion must not take effect (DESIGN.md §15).
     DurabilityFailed,
+    /// A replica was quarantined while the canary window was open
+    /// (DESIGN.md §16). Arm stats collected across a quarantine mix
+    /// healthy and wedged traffic, so the round is voided rather than
+    /// judged on corrupted numbers.
+    ReplicaQuarantined,
 }
 
 impl RollbackCause {
@@ -83,6 +88,7 @@ impl RollbackCause {
             RollbackCause::LatencyInflated => "latency_inflated",
             RollbackCause::Aborted => "aborted",
             RollbackCause::DurabilityFailed => "durability_failed",
+            RollbackCause::ReplicaQuarantined => "replica_quarantined",
         }
     }
 }

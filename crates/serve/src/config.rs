@@ -48,6 +48,58 @@ pub struct ServeConfig {
     /// check (the default — single-tenant traffic is the common case).
     /// Submissions past the cap get `TenantThrottled`.
     pub tenant_fair_share: Option<f32>,
+    /// Heartbeat watchdog: stall detection, quarantine, and hedged
+    /// re-dispatch for wedged (non-panicking) replicas (DESIGN.md §16).
+    pub health: HealthPolicy,
+}
+
+/// Watchdog policy for the self-healing layer (DESIGN.md §16). Workers
+/// bump a per-replica progress counter at claim/batch/respond
+/// boundaries; the supervisor's poll loop doubles as the watchdog tick
+/// and walks each replica through `Healthy → Suspect → Quarantined →
+/// Probation → Healthy`. The stall budget alone makes a replica
+/// *Suspect*; quarantine additionally waits out the deadline-aware
+/// grace, so a replica legitimately busy on a huge batch (whose
+/// requests still have deadline budget) is never condemned for being
+/// slow — only for being silent *past the point its work could still
+/// matter*.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Master switch. `false` restores the pre-§16 supervisor: death
+    /// respawn only, no stall detection (the deadline sweep stays — it
+    /// is a bug fix, not a health feature).
+    pub enabled: bool,
+    /// Missed-heartbeat budget: a replica holding work (queued or
+    /// in-flight) whose progress counter is silent this long becomes
+    /// `Suspect`.
+    pub stall_budget: Duration,
+    /// Deadline-aware grace: a Suspect replica is `Quarantined` only
+    /// once its in-flight requests' latest deadline (plus this grace)
+    /// has also passed — "busy on a huge batch" keeps its slot as long
+    /// as the batch could still answer within deadline. A Suspect with
+    /// *no* in-flight work (wedged between batches while its queue
+    /// backs up) is quarantined after `stall_budget + deadline_grace`.
+    pub deadline_grace: Duration,
+    /// Successful batches a respawned replica must serve in `Probation`
+    /// before it is declared `Healthy` again (`replica_rejoined`). `0`
+    /// rejoins immediately at respawn.
+    pub probation_probes: u64,
+    /// Minimum remaining deadline budget for a drained request to be
+    /// hedged to a healthy sibling instead of abandoned — re-dispatch
+    /// below this is wasted compute.
+    pub hedge_min_budget: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            enabled: true,
+            stall_budget: Duration::from_secs(2),
+            deadline_grace: Duration::from_millis(500),
+            probation_probes: 2,
+            hedge_min_budget: Duration::from_millis(1),
+        }
+    }
 }
 
 /// Work-stealing policy for idle replicas (DESIGN.md §14). An idle
@@ -119,6 +171,7 @@ impl Default for ServeConfig {
             respawn: RespawnBackoff::default(),
             steal: StealPolicy::default(),
             tenant_fair_share: None,
+            health: HealthPolicy::default(),
         }
     }
 }

@@ -31,6 +31,7 @@
 pub mod breaker;
 pub mod canary;
 pub mod config;
+pub mod health;
 pub mod online;
 pub mod request;
 pub mod router;
@@ -44,11 +45,12 @@ pub use canary::{
     decide, routes_to_canary, ArmStats, CanaryDecision, CanaryOutcome, CanaryPolicy,
     CanarySnapshot, PromotionPhase, RollbackCause,
 };
-pub use config::{RespawnBackoff, ServeConfig, StealPolicy};
+pub use config::{HealthPolicy, RespawnBackoff, ServeConfig, StealPolicy};
+pub use health::HealthState;
 pub use online::{
     run_online_loop, run_online_loop_durable, LoopReport, OnlineLoopConfig, RoundReport,
 };
 pub use request::{ServeError, ServeOutput, ServeResult, Ticket};
-pub use router::route_tenant;
+pub use router::{route_tenant, route_tenant_healthy};
 pub use server::{ModelFactory, ReplicaStats, Server, StatsSnapshot};
 pub use weights::{WeightSet, WeightStore};

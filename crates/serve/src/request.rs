@@ -44,6 +44,11 @@ pub enum ServeError {
     DegradedUnavailable,
     /// The server shut down before the request ran.
     Shutdown,
+    /// The request was stranded on a quarantined replica with too little
+    /// deadline budget left to hedge (or no healthy sibling to hedge to),
+    /// and was given up deliberately (DESIGN.md §16). Unlike
+    /// `DeadlineExceeded`, the deadline itself had not passed.
+    Abandoned,
     /// The response channel died without a verdict — a runtime bug; the
     /// chaos harness asserts this is never produced.
     Lost,
@@ -60,6 +65,7 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerPanicked => write!(f, "worker panicked"),
             ServeError::DegradedUnavailable => write!(f, "no degraded path"),
             ServeError::Shutdown => write!(f, "server shut down"),
+            ServeError::Abandoned => write!(f, "abandoned: replica quarantined, no hedge budget"),
             ServeError::Lost => write!(f, "response lost (runtime bug)"),
         }
     }
@@ -81,6 +87,10 @@ pub(crate) struct Pending {
     /// When the request entered the runtime — the start of its queue wait
     /// in the observability timings.
     pub submitted: Instant,
+    /// Set when the watchdog re-dispatched this request off a quarantined
+    /// replica (DESIGN.md §16). One hedge per request: a hedged request
+    /// stranded a second time is abandoned, not bounced around forever.
+    pub hedged: bool,
     tx: mpsc::Sender<ServeResult>,
 }
 
@@ -94,6 +104,7 @@ impl Pending {
                 seq,
                 tenant,
                 submitted: Instant::now(),
+                hedged: false,
                 tx,
             },
             Ticket { rx },

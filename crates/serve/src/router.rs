@@ -25,6 +25,42 @@ pub fn route_tenant(tenant: u64, replicas: usize) -> usize {
     (splitmix64(tenant ^ ROUTER_SALT) % n) as usize
 }
 
+/// Second-level salt for the quarantine detour hash, domain-separated
+/// from both `ROUTER_SALT` and the canary slice hash so the detour pick
+/// can't correlate with the home-shard pick.
+const REROUTE_SALT: u64 = 0xDA2_4EA17;
+
+/// Health-aware shard for `tenant`: the home shard from [`route_tenant`]
+/// unless that shard is quarantined (`quarantined` is a bitmask over
+/// slots 0..64), in which case the tenant detours to a deterministic
+/// pick among the healthy slots. Pure in its three arguments — the same
+/// mask always yields the same detour, preserving per-tenant FIFO
+/// stickiness among the healthy set — and `mask == 0` is exactly
+/// `route_tenant`, so a rejoined replica restores original routing.
+/// With no healthy slot at all the home shard is returned (the caller's
+/// drain policy owns that request's fate, not the router).
+pub fn route_tenant_healthy(tenant: u64, replicas: usize, quarantined: u64) -> usize {
+    let n = replicas.max(1);
+    let home = route_tenant(tenant, n);
+    // Slots past 63 can't be expressed in the mask and are never
+    // quarantined; mask off phantom bits at or above `n` likewise.
+    if home >= 64 {
+        return home;
+    }
+    let expressible = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let quarantined = quarantined & expressible;
+    if quarantined & (1u64 << home) == 0 {
+        return home;
+    }
+    let healthy: Vec<usize> = (0..n.min(64))
+        .filter(|s| quarantined & (1u64 << s) == 0)
+        .collect();
+    if healthy.is_empty() {
+        return home;
+    }
+    healthy[(splitmix64(tenant ^ REROUTE_SALT) % healthy.len() as u64) as usize]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,6 +75,36 @@ mod tests {
             }
         }
         assert_eq!(route_tenant(7, 0), 0, "zero shards degrades to one");
+    }
+
+    #[test]
+    fn healthy_routing_degrades_and_restores() {
+        for t in 0..128u64 {
+            for r in [1usize, 2, 4, 8] {
+                let home = route_tenant(t, r);
+                assert_eq!(
+                    route_tenant_healthy(t, r, 0),
+                    home,
+                    "empty mask must be exactly route_tenant"
+                );
+                let mask = 1u64 << home;
+                let detour = route_tenant_healthy(t, r, mask);
+                if r == 1 {
+                    assert_eq!(detour, home, "no healthy sibling: home is returned");
+                } else {
+                    assert_ne!(detour, home, "detour must leave the quarantined shard");
+                    assert!(detour < r);
+                }
+                assert_eq!(
+                    detour,
+                    route_tenant_healthy(t, r, mask),
+                    "detour must be deterministic"
+                );
+            }
+        }
+        // All shards quarantined: the router hands back home and lets the
+        // drain policy decide.
+        assert_eq!(route_tenant_healthy(9, 4, 0b1111), route_tenant(9, 4));
     }
 
     #[test]

@@ -62,8 +62,11 @@ use crate::canary::{
     CanarySnapshot, PromotionPhase, RollbackCause,
 };
 use crate::config::{RespawnBackoff, ServeConfig};
+use crate::health::{
+    classify_stall, drain_verdict, DrainFate, HealthSlot, HealthState, StallVerdict,
+};
 use crate::request::{Pending, ServeError, ServeOutput, Ticket};
-use crate::router::route_tenant;
+use crate::router::route_tenant_healthy;
 use crate::weights::{WeightSet, WeightStore};
 
 /// Builds one model replica. Called on each worker thread (replicas are
@@ -108,6 +111,11 @@ struct StatsInner {
     steals: u64,
     stolen_requests: u64,
     panics: u64,
+    stalls: u64,
+    quarantines: u64,
+    rejoins: u64,
+    hedged: u64,
+    abandoned: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -120,6 +128,17 @@ pub struct ReplicaStats {
     pub steals: u64,
     /// Requests carried by those stolen batches.
     pub stolen_requests: u64,
+    /// Heartbeat progress counter (claim/batch/respond boundary bumps).
+    pub heartbeats: u64,
+    /// Micro-batches this replica answered fully successfully.
+    pub ok_batches: u64,
+    /// Times this replica was quarantined by the watchdog.
+    pub quarantines: u64,
+    /// Requests hedged away from this replica at quarantine drains.
+    pub hedged_away: u64,
+    /// Current health state (`healthy`/`suspect`/`quarantined`/
+    /// `probation`).
+    pub health: String,
 }
 
 /// Point-in-time counters plus latency percentiles (microseconds, over
@@ -139,6 +158,17 @@ pub struct StatsSnapshot {
     /// Total requests carried by stolen batches.
     pub stolen_requests: u64,
     pub panics: u64,
+    /// Stall episodes the watchdog flagged (Healthy → Suspect).
+    pub stalls: u64,
+    /// Replicas condemned by the watchdog (Suspect → Quarantined).
+    pub quarantines: u64,
+    /// Respawned replicas that passed probation (Probation → Healthy).
+    pub rejoins: u64,
+    /// Requests hedged to a healthy sibling off a quarantined replica.
+    pub hedged: u64,
+    /// Requests given up with `ServeError::Abandoned` at quarantine
+    /// drains (no hedge budget or no healthy sibling).
+    pub abandoned: u64,
     pub p50_us: u64,
     pub p99_us: u64,
     pub max_us: u64,
@@ -156,6 +186,18 @@ struct CanaryRun {
     incumbent: ArmStats,
 }
 
+/// One replica's in-flight parking slot, keyed by worker generation so
+/// an abandoned (quarantined) thread can never race the supervisor for
+/// its victims: the supervisor drains items and zeroes `owner_gen`; a
+/// stale worker coming back from inference sees the mismatch and
+/// discards its outputs instead of responding twice.
+#[derive(Default)]
+struct InflightSlot {
+    /// Generation of the worker that parked `items` (0 = none).
+    owner_gen: u64,
+    items: Vec<(Pending, Instant)>,
+}
+
 struct Shared {
     cfg: ServeConfig,
     /// One queue shard per replica; a tenant's home shard is
@@ -165,14 +207,34 @@ struct Shared {
     weights: WeightStore,
     /// One slot per replica: requests claimed from any shard live here
     /// while inference runs, so a dying worker cannot take them along.
-    inflight: Mutex<Vec<Vec<(Pending, Instant)>>>,
+    inflight: Mutex<Vec<InflightSlot>>,
     stats: Mutex<StatsInner>,
     replica_stats: Mutex<Vec<ReplicaStats>>,
+    /// Per-replica heartbeat ledger + health state (DESIGN.md §16).
+    health: Vec<HealthSlot>,
+    /// Bitmask of quarantined slots, read by `submit_for_tenant` for
+    /// health-aware routing. One atomic load on the hot path.
+    quarantined_mask: AtomicU64,
+    /// Authorized worker generation per slot (0 = none). A worker whose
+    /// generation no longer matches is a zombie: it must not claim,
+    /// park, drain, or respond — quarantine revokes ownership here, and
+    /// this is what makes abandoning a wedged thread safe without any
+    /// way to kill it.
+    worker_gen: Vec<AtomicU64>,
+    /// Generation allocator (starts at 1; 0 means "no worker").
+    next_gen: AtomicU64,
     /// Submission sequence numbers — the deterministic canary routing key.
     next_seq: AtomicU64,
     /// Cheap hot-path check before touching the `canary` mutex.
     canary_active: AtomicBool,
     canary: Mutex<Option<CanaryRun>>,
+    /// Latched by the watchdog when a quarantine lands while a canary
+    /// window is open. The *controller* thread consumes it in
+    /// `try_conclude_canary_with` and settles the round as a typed
+    /// `replica_quarantined` rollback — the watchdog never emits canary
+    /// verdict events itself, preserving the single-thread determinism
+    /// of the promotion journal.
+    canary_interrupted: AtomicBool,
     shutdown: AtomicBool,
 }
 
@@ -200,17 +262,20 @@ impl Shared {
     }
 }
 
-/// Sends the worker's slot index to the supervisor if the thread dies
-/// unwinding — the only signal a hard death leaves behind.
+/// Sends the worker's slot index and generation to the supervisor if the
+/// thread dies unwinding — the only signal a hard death leaves behind.
+/// The generation lets the supervisor ignore the eventual death of an
+/// already-quarantined zombie (its slot has a new worker by then).
 struct DeathNotice {
     slot: usize,
-    tx: mpsc::Sender<usize>,
+    gen: u64,
+    tx: mpsc::Sender<(usize, u64)>,
 }
 
 impl Drop for DeathNotice {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            let _ = self.tx.send(self.slot);
+            let _ = self.tx.send((self.slot, self.gen));
         }
     }
 }
@@ -257,22 +322,30 @@ impl Server {
             cfg,
             shards: (0..replicas).map(|_| Shard::new()).collect(),
             weights: WeightStore::new(initial),
-            inflight: Mutex::new((0..replicas).map(|_| Vec::new()).collect()),
+            inflight: Mutex::new((0..replicas).map(|_| InflightSlot::default()).collect()),
             stats: Mutex::new(StatsInner::default()),
             replica_stats: Mutex::new(vec![ReplicaStats::default(); replicas]),
+            health: (0..replicas).map(|_| HealthSlot::default()).collect(),
+            quarantined_mask: AtomicU64::new(0),
+            worker_gen: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
+            next_gen: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             canary_active: AtomicBool::new(false),
             canary: Mutex::new(None),
+            canary_interrupted: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         });
 
-        let (death_tx, death_rx) = mpsc::channel::<usize>();
+        let (death_tx, death_rx) = mpsc::channel::<(usize, u64)>();
         let handles: Vec<Option<JoinHandle<()>>> = (0..replicas)
             .map(|slot| {
+                let gen = shared.next_gen.fetch_add(1, Ordering::SeqCst);
+                shared.worker_gen[slot].store(gen, Ordering::SeqCst);
                 Some(spawn_worker(
                     Arc::clone(&shared),
                     Arc::clone(&factory),
                     slot,
+                    gen,
                     death_tx.clone(),
                 ))
             })
@@ -341,8 +414,12 @@ impl Server {
 
         // Home shard: bounded queue (full means backpressure, not
         // waiting) plus the per-tenant fair-share check — both are
-        // single-shard decisions thanks to sticky routing.
-        let shard = &shared.shards[route_tenant(tenant, shared.shards.len())];
+        // single-shard decisions thanks to sticky routing. Routing is
+        // health-aware: a quarantined home shard detours the tenant to a
+        // deterministic healthy sibling until the replica rejoins
+        // (mask 0 is exactly `route_tenant`, the steady-state path).
+        let mask = shared.quarantined_mask.load(Ordering::SeqCst);
+        let shard = &shared.shards[route_tenant_healthy(tenant, shared.shards.len(), mask)];
         {
             let mut q = shard.queue.lock().unwrap();
             if !q.accepting {
@@ -422,6 +499,9 @@ impl Server {
             candidate: ArmStats::default(),
             incumbent: ArmStats::default(),
         });
+        self.shared
+            .canary_interrupted
+            .store(false, Ordering::SeqCst);
         self.shared.canary_active.store(true, Ordering::SeqCst);
         drop(guard);
         dar_obs::event(ObsEvent::CanaryStarted { version });
@@ -467,8 +547,16 @@ impl Server {
     {
         let mut guard = self.shared.canary.lock().unwrap();
         let run = guard.as_ref()?;
-        if run.candidate.outcomes() < run.policy.window
-            || run.incumbent.outcomes() < run.policy.window
+        // A quarantine that landed inside the window voids the round:
+        // its arm stats mix healthy and wedged traffic, so no verdict
+        // may be computed from them. The watchdog only latches the flag;
+        // the typed rollback is decided and journaled *here*, on the
+        // controller thread, keeping the promotion event sequence
+        // deterministic whatever the worker interleaving.
+        let interrupted = self.shared.canary_interrupted.load(Ordering::SeqCst);
+        if !interrupted
+            && (run.candidate.outcomes() < run.policy.window
+                || run.incumbent.outcomes() < run.policy.window)
         {
             return None;
         }
@@ -477,8 +565,12 @@ impl Server {
         // claimed still resolves normally (it just stops being counted).
         let run = guard.take().expect("guarded above");
         self.shared.canary_active.store(false, Ordering::SeqCst);
+        self.shared
+            .canary_interrupted
+            .store(false, Ordering::SeqCst);
         drop(guard);
-        Some(self.settle_canary(run, None, pre_commit))
+        let forced = interrupted.then_some(RollbackCause::ReplicaQuarantined);
+        Some(self.settle_canary(run, forced, pre_commit))
     }
 
     /// Abort an active canary without a verdict: clear the slot, keep
@@ -499,6 +591,9 @@ impl Server {
         let mut guard = self.shared.canary.lock().unwrap();
         let run = guard.take()?;
         self.shared.canary_active.store(false, Ordering::SeqCst);
+        self.shared
+            .canary_interrupted
+            .store(false, Ordering::SeqCst);
         drop(guard);
         Some(self.settle_canary(run, Some(RollbackCause::Aborted), pre_commit))
     }
@@ -590,6 +685,15 @@ impl Server {
                 lat[idx]
             }
         };
+        let mut replicas = self.shared.replica_stats.lock().unwrap().clone();
+        for (slot, r) in replicas.iter_mut().enumerate() {
+            let h = &self.shared.health[slot];
+            r.heartbeats = h.progress.load(Ordering::Relaxed);
+            r.ok_batches = h.ok_batches.load(Ordering::Relaxed);
+            r.quarantines = h.quarantines.load(Ordering::Relaxed);
+            r.hedged_away = h.hedged_away.load(Ordering::Relaxed);
+            r.health = h.state().as_str().to_owned();
+        }
         StatsSnapshot {
             served_full: s.served_full,
             served_degraded: s.served_degraded,
@@ -601,12 +705,29 @@ impl Server {
             steals: s.steals,
             stolen_requests: s.stolen_requests,
             panics: s.panics,
+            stalls: s.stalls,
+            quarantines: s.quarantines,
+            rejoins: s.rejoins,
+            hedged: s.hedged,
+            abandoned: s.abandoned,
             p50_us: pct(0.5),
             p99_us: pct(0.99),
             max_us: lat.last().copied().unwrap_or(0),
             weights_version: self.shared.weights.version(),
-            replicas: self.shared.replica_stats.lock().unwrap().clone(),
+            replicas,
         }
+    }
+
+    /// Current health state of every replica slot.
+    pub fn health_states(&self) -> Vec<HealthState> {
+        self.shared.health.iter().map(|h| h.state()).collect()
+    }
+
+    /// Bitmask of currently quarantined slots (bit `s` = slot `s`).
+    /// Zero in steady state — and zero again after every rejoin, which
+    /// is what restores original routing.
+    pub fn quarantined_mask(&self) -> u64 {
+        self.shared.quarantined_mask.load(Ordering::SeqCst)
     }
 
     /// Stop accepting, fail queued requests with `Shutdown`, join every
@@ -640,12 +761,44 @@ fn spawn_worker(
     shared: Arc<Shared>,
     factory: ModelFactory,
     slot: usize,
-    death_tx: mpsc::Sender<usize>,
+    gen: u64,
+    death_tx: mpsc::Sender<(usize, u64)>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("dar-serve-worker-{slot}"))
-        .spawn(move || worker_loop(shared, factory, slot, death_tx))
+        .spawn(move || worker_loop(shared, factory, slot, gen, death_tx))
         .expect("spawning dar-serve worker")
+}
+
+/// Is `gen` still the authorized worker for `slot`? A `false` means the
+/// watchdog quarantined this thread: it is a zombie and must stop
+/// touching shared request state immediately.
+fn superseded(shared: &Shared, slot: usize, gen: u64) -> bool {
+    shared.worker_gen[slot].load(Ordering::SeqCst) != gen
+}
+
+/// A zombie worker answering requests it claimed before learning it was
+/// superseded (claimed from the queue, not yet parked — the one window
+/// the supervisor's drain cannot reach). Expired ones get the deadline
+/// verdict; the rest are abandoned: the zombie must not run inference
+/// for them (its replica is condemned) and must not re-enqueue (it races
+/// the drain). Never `Lost`.
+fn orphan_respond(shared: &Shared, claimed: Vec<Pending>) {
+    if claimed.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    let (expired, live): (Vec<_>, Vec<_>) = claimed.into_iter().partition(|p| p.expired(now));
+    respond_expired(shared, expired);
+    if !live.is_empty() {
+        let mut s = shared.stats.lock().unwrap();
+        s.abandoned += live.len() as u64;
+        drop(s);
+        dar_obs::add("serve.abandoned", live.len() as u64);
+        for p in live {
+            p.respond(Err(ServeError::Abandoned));
+        }
+    }
 }
 
 /// One claimed micro-batch, with its canary arm and (if stolen) the
@@ -786,11 +939,20 @@ fn try_steal(shared: &Shared, thief: usize, cap: usize) -> Option<Claim> {
 /// from the longest sibling backlog when its own shard is empty. Stolen
 /// batches skip the linger — they exist to relieve backlog, not to wait
 /// for more of it. `None` means shutdown.
-fn claim_batch(shared: &Shared, slot: usize, cap: usize) -> Option<Claim> {
+fn claim_batch(shared: &Shared, slot: usize, gen: u64, cap: usize) -> Option<Claim> {
     let cfg = &shared.cfg;
     let shard = &shared.shards[slot];
     let mut q = shard.queue.lock().unwrap();
     loop {
+        // Zombie check first — before the shutdown drain, so a
+        // quarantined worker can never drain a queue that now belongs to
+        // its replacement. Pass the wakeup on in case the condvar woke
+        // the zombie instead of the live worker.
+        if superseded(shared, slot, gen) {
+            drop(q);
+            shard.notify.notify_one();
+            return None;
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
             // Drain this replica's own shard with a terminal verdict;
             // the supervisor's final sweep covers shards whose replica
@@ -998,13 +1160,32 @@ fn run_predictor(
         .collect())
 }
 
+/// Take this worker's parked in-flight batch back — but only if it still
+/// owns it. `None` means the supervisor drained the slot (quarantine):
+/// the victims were already answered, and this thread must discard
+/// whatever it computed and exit.
+fn take_owned(shared: &Shared, slot: usize, gen: u64) -> Option<Vec<(Pending, Instant)>> {
+    let mut g = shared.inflight.lock().unwrap();
+    let s = &mut g[slot];
+    if s.owner_gen != gen {
+        return None;
+    }
+    s.owner_gen = 0;
+    Some(std::mem::take(&mut s.items))
+}
+
 fn worker_loop(
     shared: Arc<Shared>,
     factory: ModelFactory,
     slot: usize,
-    death_tx: mpsc::Sender<usize>,
+    gen: u64,
+    death_tx: mpsc::Sender<(usize, u64)>,
 ) {
-    let _death = DeathNotice { slot, tx: death_tx };
+    let _death = DeathNotice {
+        slot,
+        gen,
+        tx: death_tx,
+    };
     let mut model: Box<dyn RationaleModel> = factory();
     let mut version = 0u64;
 
@@ -1014,12 +1195,14 @@ fn worker_loop(
             .lock()
             .unwrap()
             .batch_cap(shared.cfg.max_batch);
-        let Some(Claim { claimed, to_canary }) = claim_batch(&shared, slot, cap) else {
-            return; // shutdown
+        let Some(Claim { claimed, to_canary }) = claim_batch(&shared, slot, gen, cap) else {
+            return; // shutdown, or this worker was quarantined away
         };
         if claimed.is_empty() {
             continue;
         }
+        // Heartbeat: claim boundary.
+        shared.health[slot].beat();
         // The plan is read *after* claiming: claim_batch may have blocked
         // through a breaker transition, and requests must be served by
         // the mode in force now, not the one when the worker went idle.
@@ -1090,9 +1273,25 @@ fn worker_loop(
         }
 
         // Park the requests where the supervisor can reach them if this
-        // thread dies mid-inference.
+        // thread dies mid-inference. Generation-checked under the same
+        // lock the supervisor drains with: a worker quarantined between
+        // claim and park answers its claimed requests itself (they are
+        // the one thing the drain cannot see) and exits.
         let born = Instant::now();
-        shared.inflight.lock().unwrap()[slot] = claimed.into_iter().map(|p| (p, born)).collect();
+        {
+            let mut g = shared.inflight.lock().unwrap();
+            if superseded(&shared, slot, gen) {
+                drop(g);
+                orphan_respond(&shared, claimed);
+                return;
+            }
+            g[slot] = InflightSlot {
+                owner_gen: gen,
+                items: claimed.into_iter().map(|p| (p, born)).collect(),
+            };
+        }
+        // Heartbeat: batch-park boundary.
+        shared.health[slot].beat();
 
         let probe = matches!(plan, BatchPlan::Full { probe: true });
         // Per-batch taint latch: anything recorded during this inference
@@ -1118,7 +1317,13 @@ fn worker_loop(
         match outcome {
             Ok(Ok((outs, degraded))) => {
                 let _span = dar_obs::span("serve_respond");
-                let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                let Some(inflight) = take_owned(&shared, slot, gen) else {
+                    // Quarantined mid-inference: the supervisor already
+                    // answered these victims. Discard the late outputs
+                    // (responding would double-dispatch) and exit — this
+                    // thread is disowned, its breaker opinion included.
+                    return;
+                };
                 {
                     let mut b = shared.breaker.lock().unwrap();
                     match plan {
@@ -1140,11 +1345,19 @@ fn worker_loop(
                     );
                     p.respond(Ok(out));
                 }
+                // Heartbeat: respond boundary; a fully answered batch is
+                // also a probation probe.
+                shared.health[slot].beat();
+                shared.health[slot]
+                    .ok_batches
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Ok(Err(err)) => {
                 // Typed failure (no full-text path): the whole batch gets
                 // the same verdict and the breaker hears about it.
-                let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                let Some(inflight) = take_owned(&shared, slot, gen) else {
+                    return;
+                };
                 record_canary_errors(&shared, to_canary, inflight.len() as u64, origin.is_some());
                 {
                     let mut b = shared.breaker.lock().unwrap();
@@ -1160,6 +1373,8 @@ fn worker_loop(
                         dar_tensor::DarError::InvalidData(msg.clone()),
                     )));
                 }
+                // Heartbeat: a typed failure is still forward progress.
+                shared.health[slot].beat();
             }
             Err(payload) => {
                 shared.stats.lock().unwrap().panics += 1;
@@ -1189,11 +1404,16 @@ fn worker_loop(
                 }
                 // Soft recovery: answer the victims, rebuild the replica
                 // in place (the model may be mid-panic inconsistent).
-                let inflight = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+                let Some(inflight) = take_owned(&shared, slot, gen) else {
+                    return;
+                };
                 record_canary_errors(&shared, to_canary, inflight.len() as u64, origin.is_some());
                 for (p, _) in inflight {
                     p.respond(Err(ServeError::WorkerPanicked));
                 }
+                // Heartbeat: the worker survived and is rebuilding —
+                // wedged it is not.
+                shared.health[slot].beat();
                 model = factory();
                 version = 0; // force a weight re-sync next batch
             }
@@ -1201,15 +1421,93 @@ fn worker_loop(
     }
 }
 
+/// Give every request force-drained off quarantined replica `from`
+/// exactly one typed outcome: the deadline verdict when its budget is
+/// gone, a hedged re-dispatch onto a healthy sibling when budget remains
+/// (one hedge per request), `Abandoned` otherwise. Never `Lost`.
+fn resolve_stranded(shared: &Shared, from: usize, stranded: Vec<Pending>) {
+    let pol = &shared.cfg.health;
+    let n_shards = shared.shards.len();
+    for mut p in stranded {
+        let now = Instant::now();
+        let mask = shared.quarantined_mask.load(Ordering::SeqCst);
+        let target = route_tenant_healthy(p.tenant, n_shards, mask);
+        let target_quarantined = target < 64 && mask & (1u64 << target) != 0;
+        let has_target = target != from && !target_quarantined;
+        let remaining = p.deadline.checked_duration_since(now);
+        match drain_verdict(remaining, p.hedged, has_target, pol) {
+            DrainFate::Expired => respond_expired(shared, vec![p]),
+            DrainFate::Hedge => {
+                p.hedged = true;
+                // Re-enqueue on the healthy sibling, past queue_cap and
+                // fair-share: a displaced victim is not a new arrival,
+                // and dropping it to enforce an admission limit would
+                // punish it twice.
+                let shard = &shared.shards[target];
+                let mut q = shard.queue.lock().unwrap();
+                if !q.accepting {
+                    drop(q);
+                    p.respond(Err(ServeError::Shutdown));
+                    continue;
+                }
+                q.items.push_back(p);
+                drop(q);
+                shard.notify.notify_one();
+                shared.stats.lock().unwrap().hedged += 1;
+                shared.health[from]
+                    .hedged_away
+                    .fetch_add(1, Ordering::Relaxed);
+                dar_obs::inc("serve.hedged_requests");
+                dar_obs::event(ObsEvent::RequestHedged {
+                    from: from as u64,
+                    to: target as u64,
+                });
+            }
+            DrainFate::Abandon => {
+                shared.stats.lock().unwrap().abandoned += 1;
+                dar_obs::inc("serve.abandoned");
+                p.respond(Err(ServeError::Abandoned));
+            }
+        }
+    }
+}
+
+/// Supervisor-local per-slot watchdog bookkeeping. The shared, worker-
+/// visible side lives in [`HealthSlot`]; this is the supervisor's view
+/// of each slot's heartbeat history and pending transitions.
+struct SlotWatch {
+    /// Last progress-counter value the watchdog observed.
+    last_counter: u64,
+    /// When the counter last moved (or the replica was last idle).
+    last_progress_at: Instant,
+    /// A stall episode is open (`replica_stalled` already emitted).
+    suspect: bool,
+    /// Probation probes still owed before rejoin (0 = not probing).
+    probes_pending: u64,
+    /// `ok_batches` reading when probation began.
+    probation_base: u64,
+    /// Scheduled respawn (death backoff or quarantine backoff).
+    respawn_at: Option<Instant>,
+    /// The pending respawn rejoins through probation (quarantine path)
+    /// instead of directly (plain-death path, pre-§16 behavior).
+    respawn_probation: bool,
+}
+
 fn supervisor_loop(
     shared: Arc<Shared>,
     factory: ModelFactory,
-    death_rx: mpsc::Receiver<usize>,
-    death_tx: mpsc::Sender<usize>,
+    death_rx: mpsc::Receiver<(usize, u64)>,
+    death_tx: mpsc::Sender<(usize, u64)>,
     mut handles: Vec<Option<JoinHandle<()>>>,
 ) {
+    let n = handles.len();
     let drain_slot = |slot: usize| {
-        let victims = std::mem::take(&mut shared.inflight.lock().unwrap()[slot]);
+        let victims = {
+            let mut g = shared.inflight.lock().unwrap();
+            let s = &mut g[slot];
+            s.owner_gen = 0;
+            std::mem::take(&mut s.items)
+        };
         for (p, _) in victims {
             p.respond(Err(ServeError::WorkerPanicked));
         }
@@ -1217,64 +1515,274 @@ fn supervisor_loop(
 
     // Respawn pacing (per slot): attempts since the last quiet period
     // drive a bounded exponential backoff, so a crash-looping replica
-    // cannot spin the supervisor while healthy slots keep serving.
-    let mut attempts: Vec<u32> = vec![0; handles.len()];
-    let mut last_death: Vec<Option<Instant>> = vec![None; handles.len()];
+    // cannot spin the supervisor while healthy slots keep serving. The
+    // backoff is a *scheduled* respawn, not a sleep — the poll loop
+    // stays live as the watchdog tick and deadline sweep for every
+    // other slot.
+    let mut attempts: Vec<u32> = vec![0; n];
+    let mut last_death: Vec<Option<Instant>> = vec![None; n];
+    let start = Instant::now();
+    let mut watch: Vec<SlotWatch> = (0..n)
+        .map(|_| SlotWatch {
+            last_counter: 0,
+            last_progress_at: start,
+            suspect: false,
+            probes_pending: 0,
+            probation_base: 0,
+            respawn_at: None,
+            respawn_probation: false,
+        })
+        .collect();
 
     loop {
         match death_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(slot) => {
-                if let Some(h) = handles[slot].take() {
-                    let _ = h.join(); // collect the corpse (ignore payload)
-                }
-                drain_slot(slot);
-                if !shared.shutdown.load(Ordering::SeqCst) {
-                    let now = Instant::now();
-                    let pol = &shared.cfg.respawn;
-                    if last_death[slot]
-                        .is_some_and(|prev| now.duration_since(prev) > pol.reset_after)
-                    {
-                        attempts[slot] = 0;
+            Ok((slot, gen)) => {
+                // A stale generation is a quarantined zombie finally
+                // unwinding: its requests were drained at quarantine and
+                // its slot belongs to a successor — nothing to do.
+                if gen == shared.worker_gen[slot].load(Ordering::SeqCst) {
+                    if let Some(h) = handles[slot].take() {
+                        let _ = h.join(); // collect the corpse (ignore payload)
                     }
-                    last_death[slot] = Some(now);
-                    attempts[slot] += 1;
-                    let delay = respawn_delay(pol, slot, attempts[slot]);
-                    dar_obs::event(ObsEvent::RespawnBackoff {
-                        slot: slot as u64,
-                        attempt: attempts[slot] as u64,
-                        delay_ms: delay.as_millis() as u64,
-                    });
-                    dar_obs::inc("serve.respawn_backoffs");
-                    // Sleep in slices so shutdown stays responsive; if it
-                    // arrives mid-backoff the slot stays down and the
-                    // final sweep below answers whatever is left.
-                    let until = now + delay;
-                    loop {
-                        if shared.shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let now = Instant::now();
-                        if now >= until {
-                            break;
-                        }
-                        std::thread::sleep((until - now).min(Duration::from_millis(2)));
-                    }
+                    shared.worker_gen[slot].store(0, Ordering::SeqCst);
+                    drain_slot(slot);
                     if !shared.shutdown.load(Ordering::SeqCst) {
-                        handles[slot] = Some(spawn_worker(
-                            Arc::clone(&shared),
-                            Arc::clone(&factory),
-                            slot,
-                            death_tx.clone(),
-                        ));
+                        let now = Instant::now();
+                        let pol = &shared.cfg.respawn;
+                        if last_death[slot]
+                            .is_some_and(|prev| now.duration_since(prev) > pol.reset_after)
+                        {
+                            attempts[slot] = 0;
+                        }
+                        last_death[slot] = Some(now);
+                        attempts[slot] += 1;
+                        let delay = respawn_delay(pol, slot, attempts[slot]);
+                        dar_obs::event(ObsEvent::RespawnBackoff {
+                            slot: slot as u64,
+                            attempt: attempts[slot] as u64,
+                            delay_ms: delay.as_millis() as u64,
+                        });
+                        dar_obs::inc("serve.respawn_backoffs");
+                        watch[slot].respawn_at = Some(now + delay);
+                        watch[slot].respawn_probation = false;
                     }
                 }
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+
+        let now = Instant::now();
+
+        // Deadline sweep, every tick, every shard, regardless of the
+        // health switch: a queue whose backlog sits at or below the
+        // steal threshold is invisible to thieves, so if its home
+        // replica is wedged (or mid-backoff) its expired requests used
+        // to wait for an owner that never came. The supervisor owes
+        // them their verdict independent of work stealing.
+        for shard in &shared.shards {
+            let expired = {
+                let mut q = shard.queue.lock().unwrap();
+                take_expired(&mut q)
+            };
+            respond_expired(&shared, expired);
+        }
+
+        // Quarantined shards keep force-draining every tick: requests
+        // that raced the routing mask (submitted before the bit was
+        // set) still get their typed outcome promptly, not at respawn.
+        for slot in 0..n.min(64) {
+            if shared.quarantined_mask.load(Ordering::SeqCst) & (1u64 << slot) != 0 {
+                let stranded: Vec<Pending> = {
+                    let mut q = shared.shards[slot].queue.lock().unwrap();
+                    q.items.drain(..).collect()
+                };
+                resolve_stranded(&shared, slot, stranded);
+            }
+        }
+
+        // Scheduled respawns that have served their backoff.
+        for slot in 0..n {
+            if watch[slot].respawn_at.is_none_or(|due| now < due) {
+                continue;
+            }
+            let gen = shared.next_gen.fetch_add(1, Ordering::SeqCst);
+            shared.worker_gen[slot].store(gen, Ordering::SeqCst);
+            handles[slot] = Some(spawn_worker(
+                Arc::clone(&shared),
+                Arc::clone(&factory),
+                slot,
+                gen,
+                death_tx.clone(),
+            ));
+            let h = &shared.health[slot];
+            let w = &mut watch[slot];
+            w.respawn_at = None;
+            w.last_counter = h.progress.load(Ordering::Relaxed);
+            w.last_progress_at = now;
+            w.suspect = false;
+            if w.respawn_probation {
+                w.respawn_probation = false;
+                w.probation_base = h.ok_batches.load(Ordering::Relaxed);
+                w.probes_pending = shared.cfg.health.probation_probes;
+                // Lift the routing detour now — probation probes *are*
+                // real traffic, so the shard must be routable again.
+                if slot < 64 {
+                    shared
+                        .quarantined_mask
+                        .fetch_and(!(1u64 << slot), Ordering::SeqCst);
+                }
+                if w.probes_pending == 0 {
+                    h.set_state(HealthState::Healthy);
+                    shared.stats.lock().unwrap().rejoins += 1;
+                    dar_obs::inc("serve.rejoins");
+                    dar_obs::event(ObsEvent::ReplicaRejoined { slot: slot as u64 });
+                } else {
+                    h.set_state(HealthState::Probation);
+                }
+            } else {
+                h.set_state(HealthState::Healthy);
+            }
+        }
+
+        // The watchdog tick proper.
+        if shared.cfg.health.enabled {
+            let pol = shared.cfg.health.clone();
+            for slot in 0..n.min(64) {
+                if handles[slot].is_none() {
+                    continue; // no worker: dead or quarantined, respawn pending
+                }
+                let h = &shared.health[slot];
+                let w = &mut watch[slot];
+
+                // Probation: enough successful batches since respawn
+                // completes the rejoin.
+                if w.probes_pending > 0 {
+                    let probes = h
+                        .ok_batches
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(w.probation_base);
+                    if probes >= w.probes_pending {
+                        w.probes_pending = 0;
+                        h.set_state(HealthState::Healthy);
+                        shared.stats.lock().unwrap().rejoins += 1;
+                        dar_obs::inc("serve.rejoins");
+                        dar_obs::event(ObsEvent::ReplicaRejoined { slot: slot as u64 });
+                    }
+                }
+
+                let cur = h.progress.load(Ordering::Relaxed);
+                if cur != w.last_counter {
+                    // Progress: reset the stall clock, close any episode.
+                    w.last_counter = cur;
+                    w.last_progress_at = now;
+                    if w.suspect {
+                        w.suspect = false;
+                        h.set_state(if w.probes_pending > 0 {
+                            HealthState::Probation
+                        } else {
+                            HealthState::Healthy
+                        });
+                    }
+                    continue;
+                }
+
+                // Silent — but only silence *while holding work* counts:
+                // an idle replica has nothing to heartbeat about.
+                let queued = !shared.shards[slot].queue.lock().unwrap().items.is_empty();
+                let latest_deadline = {
+                    let g = shared.inflight.lock().unwrap();
+                    g[slot].items.iter().map(|(p, _)| p.deadline).max()
+                };
+                if !queued && latest_deadline.is_none() {
+                    w.last_progress_at = now;
+                    if w.suspect {
+                        w.suspect = false;
+                        h.set_state(if w.probes_pending > 0 {
+                            HealthState::Probation
+                        } else {
+                            HealthState::Healthy
+                        });
+                    }
+                    continue;
+                }
+
+                let verdict = classify_stall(now, w.last_progress_at, latest_deadline, &pol);
+                if verdict == StallVerdict::Fine {
+                    continue;
+                }
+                if !w.suspect {
+                    // Healthy → Suspect (also on the way to quarantine,
+                    // so the journal always shows the full walk).
+                    w.suspect = true;
+                    h.set_state(HealthState::Suspect);
+                    shared.stats.lock().unwrap().stalls += 1;
+                    dar_obs::inc("serve.replica_stalls");
+                    dar_obs::event(ObsEvent::ReplicaStalled { slot: slot as u64 });
+                }
+                if verdict != StallVerdict::Quarantine {
+                    continue;
+                }
+
+                // Suspect → Quarantined: revoke the generation (the
+                // wedged thread becomes a zombie), detour routing, drop
+                // the handle (it may never unwind — abandon, not join),
+                // and give every stranded request its typed outcome.
+                w.suspect = false;
+                h.set_state(HealthState::Quarantined);
+                h.quarantines.fetch_add(1, Ordering::Relaxed);
+                shared.stats.lock().unwrap().quarantines += 1;
+                dar_obs::inc("serve.quarantines");
+                dar_obs::event(ObsEvent::ReplicaQuarantined { slot: slot as u64 });
+                shared
+                    .quarantined_mask
+                    .fetch_or(1u64 << slot, Ordering::SeqCst);
+                shared.worker_gen[slot].store(0, Ordering::SeqCst);
+                drop(handles[slot].take());
+
+                let mut stranded: Vec<Pending> = {
+                    let mut g = shared.inflight.lock().unwrap();
+                    let s = &mut g[slot];
+                    s.owner_gen = 0;
+                    std::mem::take(&mut s.items)
+                        .into_iter()
+                        .map(|(p, _)| p)
+                        .collect()
+                };
+                {
+                    let mut q = shared.shards[slot].queue.lock().unwrap();
+                    stranded.extend(q.items.drain(..));
+                }
+                resolve_stranded(&shared, slot, stranded);
+
+                // A canary window spanning a quarantine is void: latch
+                // for the controller thread, which owns the verdict.
+                if shared.canary_active.load(Ordering::SeqCst) {
+                    shared.canary_interrupted.store(true, Ordering::SeqCst);
+                }
+
+                // Replacement under the standard respawn backoff, then
+                // probation before rejoin.
+                let pol_r = &shared.cfg.respawn;
+                if last_death[slot].is_some_and(|prev| now.duration_since(prev) > pol_r.reset_after)
+                {
+                    attempts[slot] = 0;
+                }
+                last_death[slot] = Some(now);
+                attempts[slot] += 1;
+                let delay = respawn_delay(pol_r, slot, attempts[slot]);
+                dar_obs::event(ObsEvent::RespawnBackoff {
+                    slot: slot as u64,
+                    attempt: attempts[slot] as u64,
+                    delay_ms: delay.as_millis() as u64,
+                });
+                dar_obs::inc("serve.respawn_backoffs");
+                w.respawn_at = Some(now + delay);
+                w.respawn_probation = true;
+            }
         }
     }
     // Shutdown: join workers (each drains its own shard with `Shutdown`).
@@ -1288,7 +1796,7 @@ fn supervisor_loop(
     // respawned. NB: the slot count is read *before* the loop — a `for`
     // over `0..lock().len()` would hold the guard across `drain_slot`'s
     // own lock and self-deadlock.
-    while let Ok(slot) = death_rx.try_recv() {
+    while let Ok((slot, _gen)) = death_rx.try_recv() {
         drain_slot(slot);
     }
     let slots = shared.inflight.lock().unwrap().len();

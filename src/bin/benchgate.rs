@@ -38,6 +38,8 @@ const LATENCY_METRICS: &[(&str, &str)] = &[
     ("BENCH_serve.json", "p99_us"),
     ("BENCH_online.json", "p99_us"),
     ("BENCH_recovery.json", "replay_us"),
+    ("BENCH_health.json", "detection_us"),
+    ("BENCH_health.json", "hedge_overhead_us"),
 ];
 
 /// Scale-context keys per file: when both sides carry the key and the
@@ -176,11 +178,13 @@ fn self_test() {
     let obs = r#"{"on_examples_per_s": 480.0}"#;
     let online = r#"{"throughput_rps": 200.0, "p99_us": 8000}"#;
     let recovery = r#"{"replay_records": 20000, "replay_us": 50000}"#;
+    let health = r#"{"detection_us": 300000, "hedge_overhead_us": 4000}"#;
     std::fs::write(base.join("BENCH_serve.json"), serve_base).expect("writing baseline");
     std::fs::write(base.join("BENCH_numeric.json"), numeric).expect("writing baseline");
     std::fs::write(base.join("BENCH_obs.json"), obs).expect("writing baseline");
     std::fs::write(base.join("BENCH_online.json"), online).expect("writing baseline");
     std::fs::write(base.join("BENCH_recovery.json"), recovery).expect("writing baseline");
+    std::fs::write(base.join("BENCH_health.json"), health).expect("writing baseline");
 
     // Identical fresh point: must pass.
     std::fs::write(fresh.join("BENCH_serve.json"), serve_base).expect("writing fresh");
@@ -188,6 +192,7 @@ fn self_test() {
     std::fs::write(fresh.join("BENCH_obs.json"), obs).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_online.json"), online).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_recovery.json"), recovery).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_health.json"), health).expect("writing fresh");
     let failures = run_gate(&base, &fresh).expect("self-test gate errored");
     assert!(
         failures.is_empty(),
@@ -266,6 +271,31 @@ fn self_test() {
     assert!(
         failures[0].contains("BENCH_recovery.json:replay_us"),
         "wrong gate fired: {failures:?}"
+    );
+
+    // Watchdog regression (+30% stall-detection latency, +50% hedge
+    // overhead) with everything else at baseline: exactly the two
+    // health gates must fire.
+    std::fs::write(fresh.join("BENCH_recovery.json"), recovery).expect("writing fresh");
+    std::fs::write(
+        fresh.join("BENCH_health.json"),
+        r#"{"detection_us": 390000, "hedge_overhead_us": 6000}"#,
+    )
+    .expect("writing regressed fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert_eq!(
+        failures.len(),
+        2,
+        "slower detection and hedging must fail exactly the health gates, got {failures:?}"
+    );
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.contains("BENCH_health.json:detection_us"))
+            && failures
+                .iter()
+                .any(|f| f.contains("BENCH_health.json:hedge_overhead_us")),
+        "wrong gates fired: {failures:?}"
     );
 
     std::fs::remove_dir_all(&dir).ok();

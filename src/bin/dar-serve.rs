@@ -16,19 +16,28 @@
 //! per-width `rps_wN` / `p99_wN` series and steal counts.
 //! EXPERIMENTS.md explains how to read the sweep.
 //!
+//! **Health mode** (`--health-bench`): wedges one replica with a sticky
+//! livelock at 1/2/4 replicas and measures the self-healing layer
+//! (DESIGN.md §16): stall-detection latency (stall onset → quarantine)
+//! and hedge overhead (extra end-to-end latency a hedged victim pays
+//! over a clean request), written to the flat
+//! `results/BENCH_health.json` the bench regression gate consumes.
+//!
 //! ```sh
 //! dar-serve                          # demo: 400 requests, auto replicas
 //! dar-serve --requests 1000 --replicas 2 --seed 7 --out results
 //! dar-serve --saturate --requests 1024 --out results
+//! dar-serve --health-bench --out results
 //! ```
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dar::core::fault::StallPlan;
 use dar::data::Review;
 use dar::prelude::*;
-use dar::serve::{ServeConfig, ServeError, Server};
+use dar::serve::{HealthPolicy, ServeConfig, ServeError, Server, StealPolicy};
 use dar::tensor::serial::{self, Checkpoint};
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
@@ -49,13 +58,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: dar-serve [--saturate] [--requests N] [--replicas N] [--seed N] [--out DIR]"
+            "usage: dar-serve [--saturate | --health-bench] [--requests N] [--replicas N] \
+             [--seed N] [--out DIR]"
         );
         std::process::exit(2);
     }
     let seed = flag(&args, "--seed").unwrap_or(42);
     let out_dir = PathBuf::from(str_flag(&args, "--out").unwrap_or_else(|| "results".into()));
-    if args.iter().any(|a| a == "--saturate") {
+    if args.iter().any(|a| a == "--health-bench") {
+        health_bench(seed, &out_dir);
+    } else if args.iter().any(|a| a == "--saturate") {
         let n_requests = flag(&args, "--requests").unwrap_or(1024) as usize;
         saturate(n_requests, seed, &out_dir);
     } else {
@@ -196,6 +208,200 @@ fn saturate(n_requests: usize, seed: u64, out_dir: &std::path::Path) {
     );
     if !all_ok || total_panics > 0 {
         eprintln!("[dar-serve] UNHEALTHY sweep — see per-width lines above");
+        std::process::exit(1);
+    }
+    eprintln!("[dar-serve] ok");
+}
+
+// ---- Self-healing bench -------------------------------------------------
+
+/// Wedge one replica with a sticky livelock at 1/2/4 replicas and
+/// measure the watchdog (DESIGN.md §16): `detection_us` is stall onset →
+/// quarantine, `hedge_overhead_us` is the extra end-to-end latency a
+/// hedged victim pays over a clean request on the same server. Best
+/// (minimum) of 3 repetitions per width — the other repetitions measure
+/// scheduler luck; correctness is demanded of every repetition. The
+/// headline columns are the 2-replica width (the smallest that can
+/// hedge); other widths ride along as `_wN` columns.
+fn health_bench(seed: u64, out_dir: &std::path::Path) {
+    const WIDTHS: [usize; 3] = [1, 2, 4];
+    const HEADLINE_WIDTH: usize = 2;
+    const REPS: usize = 3;
+    const VICTIMS: usize = 8;
+
+    let synth = SynthConfig {
+        n_train: 128,
+        n_dev: 32,
+        n_test: 64,
+        filler_sentences: 0,
+        filler_in_sentence: (0, 1),
+        sentiment_tokens: 1,
+        ..SynthConfig::beer(Aspect::Aroma)
+    };
+    let data = SynBeer::generate(&synth, &mut dar::rng(seed));
+    let cfg = RationaleConfig {
+        emb_dim: 8,
+        hidden: 8,
+        sparsity: 0.16,
+        ..Default::default()
+    };
+    let ml = pretrain::max_len(&data);
+    // One trigger row past the organic vocabulary wedges a batch.
+    let spin_tok = data.vocab.len();
+    let vocab_rows = data.vocab.len() + 1;
+    let policy = HealthPolicy {
+        enabled: true,
+        stall_budget: Duration::from_millis(150),
+        deadline_grace: Duration::from_millis(60),
+        probation_probes: 1,
+        hedge_min_budget: Duration::from_millis(1),
+    };
+
+    let mut detection = Vec::new(); // per width, best-of-REPS, us
+    let mut hedge = Vec::new(); // per width (>= 2), best-of-REPS, us
+    let mut healthy = true;
+    for width in WIDTHS {
+        let mut best_det = u64::MAX;
+        let mut best_hedge = u64::MAX;
+        for _rep in 0..REPS {
+            let factory: dar::serve::ModelFactory = Arc::new(move || {
+                let mut rng = dar::rng(seed + 1);
+                let emb = SharedEmbedding::random(vocab_rows, cfg.emb_dim, &mut rng);
+                let rnp = Rnp::new(&cfg, &emb, ml, &mut rng);
+                Box::new(ChaosModel::new(
+                    rnp,
+                    ChaosPlan {
+                        stall: StallPlan {
+                            spin_token: Some((spin_tok, 600)),
+                            sticky: true,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                ))
+            });
+            let server = Server::start(
+                ServeConfig {
+                    replicas: width,
+                    max_batch: 8,
+                    linger: Duration::from_millis(1),
+                    queue_cap: 64,
+                    vocab_size: vocab_rows,
+                    max_len: ml,
+                    steal: StealPolicy {
+                        enabled: false,
+                        min_victim_backlog: None,
+                    },
+                    health: policy.clone(),
+                    ..ServeConfig::default()
+                },
+                factory,
+            );
+            let tenant = 1u64;
+
+            // Clean-latency baseline on the soon-to-be-wedged shard.
+            let base_started = Instant::now();
+            for i in 0..VICTIMS {
+                server
+                    .submit_for_tenant(
+                        data.test[i % data.test.len()].clone(),
+                        tenant,
+                        Duration::from_secs(10),
+                    )
+                    .wait()
+                    .expect("baseline traffic serves");
+            }
+            let baseline_us = base_started.elapsed().as_micros() as u64 / VICTIMS as u64;
+
+            // Stall onset: a short-deadline trigger wedges the replica.
+            let mut wedged = data.test[0].clone();
+            wedged.ids[0] = spin_tok;
+            let onset = Instant::now();
+            let wedge = server.submit_for_tenant(wedged, tenant, Duration::from_millis(200));
+            std::thread::sleep(Duration::from_millis(40)); // let it get claimed
+            let victim_started = Instant::now();
+            let victims: Vec<_> = (0..VICTIMS)
+                .map(|i| {
+                    server.submit_for_tenant(
+                        data.test[i % data.test.len()].clone(),
+                        tenant,
+                        Duration::from_secs(10),
+                    )
+                })
+                .collect();
+            while server.stats().quarantines < 1 {
+                if onset.elapsed() > Duration::from_secs(5) {
+                    eprintln!("[dar-serve] width {width}: quarantine never detected");
+                    healthy = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let det_us = onset.elapsed().as_micros() as u64;
+            healthy &= matches!(wedge.wait(), Err(ServeError::DeadlineExceeded));
+            let mut victim_sum_us = 0u64;
+            for t in victims {
+                match t.wait() {
+                    Ok(_) if width >= 2 => {
+                        victim_sum_us += victim_started.elapsed().as_micros() as u64;
+                    }
+                    Err(ServeError::Abandoned) if width == 1 => {}
+                    other => {
+                        eprintln!("[dar-serve] width {width}: unexpected victim verdict {other:?}");
+                        healthy = false;
+                    }
+                }
+            }
+            let stats = server.shutdown();
+            healthy &= stats.quarantines == 1;
+            best_det = best_det.min(det_us);
+            if width >= 2 {
+                let mean_us = victim_sum_us / VICTIMS as u64;
+                best_hedge = best_hedge.min(mean_us.saturating_sub(baseline_us).max(1));
+                healthy &= stats.hedged == VICTIMS as u64;
+            }
+        }
+        eprintln!(
+            "[dar-serve] width {width}: detection {best_det} us{}",
+            if width >= 2 {
+                format!(", hedge overhead {best_hedge} us")
+            } else {
+                String::new()
+            }
+        );
+        detection.push(best_det);
+        if width >= 2 {
+            hedge.push(best_hedge);
+        }
+    }
+
+    std::fs::create_dir_all(out_dir).expect("creating output dir");
+    // Flat JSON only — benchgate's parser has no nesting. Headline
+    // columns are the 2-replica width; `workers` pins the scale context.
+    let hl = WIDTHS
+        .iter()
+        .position(|&w| w == HEADLINE_WIDTH)
+        .expect("headline width is part of the sweep");
+    let mut json = format!(
+        "{{\"schema_version\": 1, \"workers\": {HEADLINE_WIDTH}, \"seed\": {seed}, \
+          \"victims\": {VICTIMS}, \"detection_us\": {}, \"hedge_overhead_us\": {}",
+        detection[hl],
+        hedge[hl - 1],
+    );
+    for (i, width) in WIDTHS.iter().enumerate() {
+        json += &format!(", \"detection_us_w{width}\": {}", detection[i]);
+        if *width >= 2 {
+            json += &format!(", \"hedge_overhead_us_w{width}\": {}", hedge[i - 1]);
+        }
+    }
+    json += "}\n";
+    std::fs::write(out_dir.join("BENCH_health.json"), json).expect("writing BENCH_health.json");
+    eprintln!(
+        "[dar-serve] health bench written: {}",
+        out_dir.join("BENCH_health.json").display()
+    );
+    if !healthy {
+        eprintln!("[dar-serve] UNHEALTHY health bench — see lines above");
         std::process::exit(1);
     }
     eprintln!("[dar-serve] ok");

@@ -209,4 +209,53 @@ proptest! {
             }
         }
     }
+
+    /// Healthy-set re-routing (DESIGN.md §16) is a pure function of
+    /// (tenant, replica count, quarantine mask): deterministic across
+    /// calls, always in range, independent of the `DAR_THREADS` budget,
+    /// never a quarantined shard while a healthy one exists, and an
+    /// empty mask — a rejoin — restores exactly the home shard.
+    #[test]
+    fn healthy_rerouting_is_deterministic_in_range_and_restores_home(
+        base in 0u64..1_000_000, mask in 0u64..256
+    ) {
+        use dar::serve::{route_tenant, route_tenant_healthy};
+        for replicas in [1usize, 2, 4, 8] {
+            let expressible = (1u64 << replicas) - 1;
+            let quarantined = mask & expressible;
+            for t in base..base + 32 {
+                let home = route_tenant(t, replicas);
+                let shard = route_tenant_healthy(t, replicas, mask);
+                prop_assert!(shard < replicas, "shard {shard} out of range");
+                prop_assert_eq!(
+                    shard,
+                    route_tenant_healthy(t, replicas, mask),
+                    "re-routing must be stable"
+                );
+                let (t1, t4) = (
+                    dar_par::with_threads(1, || route_tenant_healthy(t, replicas, mask)),
+                    dar_par::with_threads(4, || route_tenant_healthy(t, replicas, mask)),
+                );
+                prop_assert_eq!(t1, shard, "re-routing must ignore the thread budget");
+                prop_assert_eq!(t4, shard, "re-routing must ignore the thread budget");
+                if quarantined == expressible {
+                    // Nowhere healthy to go: fall back to the home shard
+                    // (the caller drains it anyway).
+                    prop_assert_eq!(shard, home, "all-quarantined falls back home");
+                } else {
+                    prop_assert_eq!(
+                        quarantined & (1u64 << shard), 0,
+                        "routed to quarantined shard {} under mask {:b}", shard, quarantined
+                    );
+                }
+                if quarantined & (1u64 << home) == 0 {
+                    prop_assert_eq!(shard, home, "a healthy home shard is sticky");
+                }
+                prop_assert_eq!(
+                    route_tenant_healthy(t, replicas, 0), home,
+                    "an empty mask (post-rejoin) restores the home shard"
+                );
+            }
+        }
+    }
 }

@@ -183,6 +183,100 @@ fn exactly_one_outcome_under_chaos_at_every_width() {
     }
 }
 
+/// Quarantine racing the steal path: the home replica wedges on a
+/// sticky livelock while thieves are actively stealing its backlog down,
+/// with panic chaos mixed in so thieves die and respawn mid-storm. When
+/// the watchdog condemns the victim and force-drains what's left, no
+/// request may be double-dispatched: every ticket resolves exactly once,
+/// never `Lost`, and the per-replica served counts sum to exactly the
+/// `Ok` outcomes — a request served twice would break that ledger.
+#[test]
+fn mid_steal_quarantine_never_double_dispatches() {
+    let _g = suite_lock();
+    let fx = ServeFixture::new(750);
+    let spin_tok = fx.trigger(1);
+    let panic_tok = fx.trigger(0);
+    let server = Server::start(
+        ServeConfig {
+            max_batch: 8,
+            linger: Duration::from_millis(1),
+            queue_cap: 128,
+            health: dar::serve::HealthPolicy {
+                enabled: true,
+                stall_budget: Duration::from_millis(120),
+                deadline_grace: Duration::from_millis(80),
+                probation_probes: 1,
+                hedge_min_budget: Duration::from_millis(1),
+            },
+            ..fx.serve_cfg(4)
+        },
+        fx.factory(ChaosPlan {
+            panic_token: Some(panic_tok),
+            stall: dar::core::fault::StallPlan {
+                spin_token: Some((spin_tok, 1500)),
+                sticky: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+    );
+    let tenant = 1u64;
+    // Wedge the home replica first so the flood piles up behind it.
+    let wedge = server.submit_for_tenant(
+        fx.triggered(0, spin_tok),
+        tenant,
+        Duration::from_millis(300),
+    );
+    std::thread::sleep(Duration::from_millis(50)); // let the stall batch get claimed
+    let tickets: Vec<_> = (0..95)
+        .map(|i| {
+            let review = if i % 12 == 11 {
+                fx.triggered(i, panic_tok)
+            } else {
+                fx.clean(i)
+            };
+            server.submit_for_tenant(review, tenant, Duration::from_secs(30))
+        })
+        .collect();
+
+    assert!(
+        matches!(wedge.wait(), Err(ServeError::DeadlineExceeded)),
+        "the wedged request resolves to its deadline"
+    );
+    let (mut ok, mut panicked, mut other_typed) = (0usize, 0usize, 0usize);
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait() {
+            Ok(out) => {
+                assert!(out.label < 2);
+                ok += 1;
+            }
+            Err(ServeError::Lost) => panic!("request {i}: a response was lost"),
+            Err(ServeError::WorkerPanicked) => panicked += 1,
+            Err(ServeError::DeadlineExceeded) | Err(ServeError::Abandoned) => other_typed += 1,
+            Err(e) => panic!("request {i}: unexpected verdict {e}"),
+        }
+    }
+    assert_eq!(
+        ok + panicked + other_typed,
+        95,
+        "every ticket resolves once"
+    );
+    assert!(panicked >= 1, "panic chaos fired typed");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.quarantines, 1, "the wedged home was condemned");
+    assert!(
+        stats.steals >= 1,
+        "a 95-deep hot shard with idle siblings must steal"
+    );
+    let served: u64 = stats.replicas.iter().map(|r| r.served).sum();
+    assert_eq!(
+        served, ok as u64,
+        "served ledger must equal Ok outcomes — a double dispatch would \
+         serve one request on two replicas"
+    );
+}
+
 /// Weight publication is atomic across 4 replicas, twice over: a hot
 /// swap mid-burst (no request sees anything but {old, new}; post-quiesce
 /// traffic is uniformly new) and then a canary promotion of an
