@@ -10,10 +10,19 @@
 #   ./ci.sh                   # full gate
 #   ./ci.sh --stage clippy    # one stage, same report/table machinery
 #   ./ci.sh --list            # stage names
+#   ./ci.sh --timings         # also print the three slowest stages
+#
+# Stages are ordered fail-fast: the cheap text gates (fmt, ops-deny,
+# kernel-deny) run before anything that compiles, so a trivial rejection
+# costs seconds, not a release build.
 #
 # The benchgate stage compares fresh BENCH_*.json against the trajectory
 # committed at HEAD; DAR_BENCHGATE=off skips that comparison for machines
 # whose absolute throughput is incomparable to the committed baseline.
+#
+# DAR_CI_REPORT overrides the report path (default results/ci_report.json);
+# DAR_CI_SELFTEST=1 exposes a deliberately failing fake stage so the
+# report machinery itself can be regression-tested (tests/ci_report.rs).
 set -uo pipefail
 cd "$(dirname "$0")"
 
@@ -112,6 +121,38 @@ st_ops_deny() {
         || { echo "ci.sh: crates/tensor/src/ops lost its unwrap/expect deny"; return 1; }
 }
 
+# Unsafe containment for the kernel backends (DESIGN.md §17): every
+# `unsafe` block under crates/tensor/src/ops/ must live under the
+# module-level undocumented-unsafe-blocks deny (so clippy rejects any
+# block without a `// SAFETY:` comment) — and as a belt-and-braces text
+# check, any ops/ file using the `unsafe` keyword must carry at least one
+# `// SAFETY:` comment.
+st_kernel_deny() {
+    grep -q 'deny(clippy::undocumented_unsafe_blocks)' crates/tensor/src/ops/mod.rs \
+        || { echo "ci.sh: crates/tensor/src/ops lost its undocumented_unsafe_blocks deny"; return 1; }
+    local bad=0 f
+    while IFS= read -r f; do
+        grep -q '// SAFETY:' "$f" ||
+            { echo "ci.sh: $f uses unsafe without a // SAFETY: comment"; bad=1; }
+    done < <(grep -rlw 'unsafe' crates/tensor/src/ops --include='*.rs')
+    return $bad
+}
+
+# Kernel-backend equivalence (DESIGN.md §17) under both thread budgets:
+# BlockedKernel outputs and gradients must agree with ReferenceKernel to
+# gradient-checker tolerance on every model and on boundary-straddling
+# op shapes, and each backend must stay bit-identical to itself across
+# budgets.
+st_kernel_equiv_t1() { DAR_THREADS=1 cargo test --release -q --test kernel_equivalence; }
+st_kernel_equiv_t4() { DAR_THREADS=4 cargo test --release -q --test kernel_equivalence; }
+
+# Per-kernel throughput trajectory: best-of-3 gemm/bmm/gru_bptt/softmax/
+# layer_norm reference vs blocked plus end-to-end examples/s, recorded
+# into results/BENCH_kernels.json for the benchgate stage. The binary
+# exits non-zero below the design floors (blocked >= 2x reference on
+# gemm and gru_bptt, >= 1.3x end to end) on SIMD-capable machines.
+st_kernel_bench() { cargo run --release --bin numbench -- --kernels --out results; }
+
 # Adversarial numeric fuzz: every public op returns a finite result or a
 # typed error under hostile inputs — never a panic — on both budgets.
 st_fuzz_t1() { DAR_THREADS=1 cargo test --release -q --test numeric_fuzz; }
@@ -136,26 +177,46 @@ st_benchgate() {
     rm -rf "$bl" && mkdir -p "$bl"
     local f
     for f in BENCH_serve.json BENCH_numeric.json BENCH_obs.json BENCH_online.json \
-        BENCH_recovery.json BENCH_health.json; do
+        BENCH_recovery.json BENCH_health.json BENCH_kernels.json; do
         git show "HEAD:results/$f" > "$bl/$f" 2>/dev/null || rm -f "$bl/$f"
     done
     cargo run --release --bin benchgate -- --baseline "$bl" --fresh results
 }
 
+# Deliberately failing fake stage, only exposed under DAR_CI_SELFTEST=1:
+# tests/ci_report.rs drives it to prove a failed run still writes a valid
+# report.
+st_selftest_fail() {
+    echo "ci.sh: selftest-fail stage failing on purpose"
+    return 1
+}
+
 # ---- stage driver -------------------------------------------------------
 
-STAGE_NAMES=(fmt clippy build par-tests test-t1 test-t4 chaos-t1 chaos-t4
+# Fail-fast order: text gates (fmt, ops-deny, kernel-deny) cost seconds
+# and run before anything build-heavy; clippy compiles but still beats a
+# full release build + test sweep.
+STAGE_NAMES=(fmt ops-deny kernel-deny clippy build par-tests test-t1 test-t4
+    kernel-equiv-t1 kernel-equiv-t4 chaos-t1 chaos-t4
     online-t1 online-t4 scale-out-t1 scale-out-t4 watchdog-t1 watchdog-t4
     serve-bench serve-saturation health-bench loop-bench crash-recovery-t1
-    crash-recovery-t4 recovery-drill ops-deny fuzz-t1 fuzz-t4 numbench
-    obsbench benchgate)
+    crash-recovery-t4 recovery-drill fuzz-t1 fuzz-t4 numbench
+    obsbench kernel-bench benchgate)
+[[ ${DAR_CI_SELFTEST:-0} == 1 ]] && STAGE_NAMES+=(selftest-fail)
+
+REPORT_PATH="${DAR_CI_REPORT:-results/ci_report.json}"
+TIMINGS=0 # may be set by --timings below, read by the summary trap
 
 RAN_NAMES=()
 RAN_STATUS=()
 RAN_SECS=()
 
+# Always emits valid JSON: zero stages ran (e.g. an unknown --stage name)
+# produces an empty stages map, and `last` is only consulted inside the
+# loop, so the failure path — where the trap fires mid-run — closes every
+# brace it opened.
 write_report() {
-    mkdir -p results
+    mkdir -p "$(dirname "$REPORT_PATH")"
     {
         echo '{'
         echo '  "schema_version": 1,'
@@ -169,20 +230,29 @@ write_report() {
         done
         echo '  }'
         echo '}'
-    } > results/ci_report.json
+    } > "$REPORT_PATH"
 }
 
 summary() {
-    [[ ${#RAN_NAMES[@]} -eq 0 ]] && return 0
     write_report
+    [[ ${#RAN_NAMES[@]} -eq 0 ]] && return 0
     echo
-    echo "ci.sh summary (results/ci_report.json):"
+    echo "ci.sh summary ($REPORT_PATH):"
     printf '  %-16s %-6s %8s\n' stage status seconds
     local i
     for i in "${!RAN_NAMES[@]}"; do
         printf '  %-16s %-6s %8s\n' \
             "${RAN_NAMES[$i]}" "${RAN_STATUS[$i]}" "${RAN_SECS[$i]}"
     done
+    if [[ $TIMINGS == 1 ]]; then
+        echo
+        echo "  slowest stages:"
+        for i in "${!RAN_NAMES[@]}"; do
+            printf '%s %s\n' "${RAN_SECS[$i]}" "${RAN_NAMES[$i]}"
+        done | sort -rn | head -3 | while read -r secs name; do
+            printf '  %-16s %15ss\n' "$name" "$secs"
+        done
+    fi
 }
 trap summary EXIT
 
@@ -200,6 +270,11 @@ run_stage() {
     fi
 }
 
+TIMINGS=0
+for arg in "$@"; do
+    [[ $arg == --timings ]] && TIMINGS=1
+done
+
 ONLY=""
 case "${1:-}" in
     --stage)
@@ -210,11 +285,13 @@ case "${1:-}" in
         fi
         ;;
     --list)
+        trap - EXIT # listing must not touch the report
         printf '%s\n' "${STAGE_NAMES[@]}"
         exit 0
         ;;
     -h | --help)
-        echo "usage: ci.sh [--stage <name>] [--list]"
+        trap - EXIT
+        echo "usage: ci.sh [--stage <name>] [--list] [--timings]"
         exit 0
         ;;
 esac

@@ -31,6 +31,9 @@
 //!   the test suites of downstream crates.
 //! * [`taint`] — opt-in NaN/Inf provenance: with `DAR_TAINT=1` the first
 //!   non-finite op result on a thread is attributed to its originating op.
+//! * [`ops::kernel`] — pluggable compute backends: `DAR_KERNEL=blocked`
+//!   (or [`set_kernel_backend`]) swaps the hot inner loops for the
+//!   cache-blocked SIMD kernel; the default stays the bit-exact reference.
 
 pub mod error;
 pub mod grad_check;
@@ -43,6 +46,10 @@ pub mod taint;
 mod tensor;
 
 pub use error::{DarError, DarResult};
+pub use ops::kernel::{
+    current_kernel, kernel_backend, kernel_for, set_kernel_backend, with_kernel_backend, Kernel,
+    KernelBackend,
+};
 pub use taint::{clear_taint, first_taint, set_taint_mode, taint_enabled, TaintRecord};
 pub use tensor::{no_grad, with_no_grad_disabled, Tensor};
 

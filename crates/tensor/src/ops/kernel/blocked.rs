@@ -1,0 +1,530 @@
+//! Cache-blocked + SIMD kernel backend.
+//!
+//! GEMM follows the classic GotoBLAS decomposition: loop over `NC`-wide
+//! column blocks of C, `KC`-deep slices of K (packing B once per slice),
+//! and `MC`-tall row blocks (packing A once per block), then sweep an
+//! MR×NR register microkernel over the packed panels. Packing zero-pads
+//! partial panels, so the microkernel never branches on edges; partial
+//! output tiles go through a small on-stack staging tile instead.
+//!
+//! All scratch comes from the per-thread arena ([`super::with_scratch`]);
+//! block sizes are compile-time constants, so the compute decomposition —
+//! and therefore every float — is a pure function of `(m, k, n)`: the
+//! bit-determinism contract across `DAR_THREADS` holds exactly as it does
+//! for the reference backend (sharding happens *above* the kernel and
+//! shard boundaries only pick which rows each call sees).
+//!
+//! On x86-64 with runtime-detected AVX2+FMA the microkernel and the row
+//! kernels (softmax / log-softmax / layer norm / sigmoid / tanh) use
+//! `std::arch` intrinsics from [`super::simd`]; otherwise everything falls
+//! back to the scalar reference loops, which still benefit from the
+//! blocked memory traffic.
+
+use super::reference::ReferenceKernel;
+use super::{with_scratch, Kernel};
+
+/// Microtile rows: each microkernel call produces MR output rows.
+const MR: usize = 6;
+/// Microtile columns: two 8-lane vectors per row.
+const NR: usize = 16;
+/// K-slice depth — one packed A panel column set fits L1 alongside B rows.
+const KC: usize = 256;
+/// Row-block height (a multiple of MR) — packed A block sized for L2.
+const MC: usize = 72;
+/// Column-block width (a multiple of NR) — packed B block sized for L2/L3.
+const NC: usize = 512;
+
+/// Below this many multiply-adds the packed path's setup cannot amortize;
+/// use the unpacked vector axpy instead.
+const PACK_FLOP_THRESHOLD: usize = 32 * 1024;
+
+/// The cache-blocked SIMD backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockedKernel;
+
+/// Whether the `std::arch` AVX2+FMA paths are usable on this machine
+/// (always false off x86-64).
+fn have_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        super::simd::avx2_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Numeric SIMD level for bench context keys (0 = scalar, 2 = AVX2+FMA).
+pub fn simd_level() -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        super::simd::simd_level()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// Pack the `mc × kc` block of `a` (full row stride `lda`) starting at
+/// `(ic, pc)` into MR-row panels: `dst[panel][p][i]`, zero-padding rows
+/// past `mc` so the microkernel can always consume full MR strips.
+fn pack_a(a: &[f32], lda: usize, ic: usize, mc: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+    let panels = mc.div_ceil(MR);
+    for ip in 0..panels {
+        let base = ip * kc * MR;
+        let rows = MR.min(mc - ip * MR);
+        for p in 0..kc {
+            let out = &mut dst[base + p * MR..base + p * MR + MR];
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = if i < rows {
+                    a[(ic + ip * MR + i) * lda + pc + p]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` block of `b` (full row stride `ldb`) starting at
+/// `(pc, jc)` into NR-column panels: `dst[panel][p][j]`, zero-padding
+/// columns past `nc`.
+fn pack_b(b: &[f32], ldb: usize, pc: usize, kc: usize, jc: usize, nc: usize, dst: &mut [f32]) {
+    let panels = nc.div_ceil(NR);
+    for jp in 0..panels {
+        let base = jp * kc * NR;
+        let col0 = jc + jp * NR;
+        let cols = NR.min(nc - jp * NR);
+        for p in 0..kc {
+            let src_row = (pc + p) * ldb;
+            let out = &mut dst[base + p * NR..base + p * NR + NR];
+            if cols == NR {
+                out.copy_from_slice(&b[src_row + col0..src_row + col0 + NR]);
+            } else {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = if j < cols { b[src_row + col0 + j] } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Portable MR×NR microkernel over packed panels (same contract as
+/// [`super::simd::microkernel_6x16`]); the fixed-size accumulator tile
+/// autovectorizes on any target.
+fn microkernel_scalar(ap: &[f32], bp: &[f32], kc: usize, c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for (i, accrow) in acc.iter_mut().enumerate() {
+            let av = arow[i];
+            for (o, &bv) in accrow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (i, accrow) in acc.iter().enumerate() {
+        for (o, &v) in c[i * ldc..i * ldc + NR].iter_mut().zip(accrow) {
+            *o += v;
+        }
+    }
+}
+
+/// Run the microkernel for one (possibly partial) output tile at
+/// `(row0, col0)`. Full tiles hit `c` directly; partial tiles stage
+/// through a zeroed MR×NR scratch tile and add the valid region.
+#[allow(clippy::too_many_arguments)]
+fn tile(
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+    tmp: &mut [f32],
+    avx2: bool,
+) {
+    if mr == MR && nr == NR {
+        let start = row0 * n + col0;
+        #[cfg(target_arch = "x86_64")]
+        if avx2 {
+            // SAFETY: AVX2+FMA checked via `avx2`; ap/bp hold at least
+            // kc*MR / kc*NR packed floats, and the full-tile case
+            // guarantees rows row0..row0+6 and cols col0..col0+16 are in
+            // bounds, so every touched index is < m*n.
+            unsafe {
+                super::simd::microkernel_6x16(
+                    ap.as_ptr(),
+                    bp.as_ptr(),
+                    kc,
+                    c.as_mut_ptr().add(start),
+                    n,
+                );
+            }
+            return;
+        }
+        let end = start + (MR - 1) * n + NR;
+        microkernel_scalar(ap, bp, kc, &mut c[start..end], n);
+        return;
+    }
+    tmp[..MR * NR].fill(0.0);
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: AVX2+FMA checked via `avx2`; tmp is a dedicated MR×NR
+        // staging tile, ap/bp hold at least kc*MR / kc*NR packed floats.
+        unsafe {
+            super::simd::microkernel_6x16(ap.as_ptr(), bp.as_ptr(), kc, tmp.as_mut_ptr(), NR);
+        }
+    }
+    if !avx2 {
+        microkernel_scalar(ap, bp, kc, tmp, NR);
+    }
+    for i in 0..mr {
+        let crow = &mut c[(row0 + i) * n + col0..(row0 + i) * n + col0 + nr];
+        for (o, &v) in crow.iter_mut().zip(&tmp[i * NR..i * NR + nr]) {
+            *o += v;
+        }
+    }
+}
+
+/// The packed cache-blocked GEMM: `c += a @ b`.
+fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let avx2 = have_avx2();
+    let a_cap = MC.div_ceil(MR) * MR * KC;
+    let b_cap = NC * KC;
+    with_scratch(a_cap + b_cap + MR * NR, |scratch| {
+        let (abuf, rest) = scratch.split_at_mut(a_cap);
+        let (bbuf, tmp) = rest.split_at_mut(b_cap);
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(b, n, pc, kc, jc, nc, bbuf);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    pack_a(a, k, ic, mc, pc, kc, abuf);
+                    let npan = nc.div_ceil(NR);
+                    let mpan = mc.div_ceil(MR);
+                    for jp in 0..npan {
+                        let nr = NR.min(nc - jp * NR);
+                        let bp = &bbuf[jp * kc * NR..(jp + 1) * kc * NR];
+                        for ip in 0..mpan {
+                            let mr = MR.min(mc - ip * MR);
+                            let ap = &abuf[ip * kc * MR..(ip + 1) * kc * MR];
+                            tile(
+                                ap,
+                                bp,
+                                kc,
+                                c,
+                                n,
+                                ic + ip * MR,
+                                jc + jp * NR,
+                                mr,
+                                nr,
+                                tmp,
+                                avx2,
+                            );
+                        }
+                    }
+                    ic += MC;
+                }
+                pc += KC;
+            }
+            jc += NC;
+        }
+    });
+}
+
+impl Kernel for BlockedKernel {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gru_rows_hint(&self) -> usize {
+        // Fat shards: per-step GEMMs below the MR row tile never engage
+        // the packed path, and at the historical granularity (1 row/shard
+        // minimum ⇒ up to 16 shards) the blocked backend spends more time
+        // on shard bookkeeping than on math. 16 rows per shard keeps a
+        // batch-32 step at m=16 GEMMs (2 shards) while still splitting
+        // work for the pool on larger batches.
+        16
+    }
+
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if !have_avx2() {
+            // No intrinsics: blocking alone doesn't beat the streaming
+            // axpy at these sizes, so keep the portable loop.
+            ReferenceKernel.gemm(a, b, c, m, k, n);
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if m < MR || m * k * n < PACK_FLOP_THRESHOLD {
+            // SAFETY: AVX2+FMA availability checked above; slice lengths
+            // asserted to m*k / k*n / m*n.
+            unsafe { super::simd::gemm_axpy(a, b, c, m, k, n) };
+            return;
+        }
+        gemm_blocked(a, b, c, m, k, n);
+    }
+
+    fn softmax_rows(&self, x: &[f32], out: &mut [f32], c: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked; `x` and `out` are the
+            // same length by the op-layer contract.
+            unsafe { super::simd::softmax_rows(x, out, c) };
+            return;
+        }
+        ReferenceKernel.softmax_rows(x, out, c);
+    }
+
+    fn softmax_bwd_rows(&self, y: &[f32], g: &[f32], gin: &mut [f32], c: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked; equal-length slices
+            // per the op-layer contract.
+            unsafe { super::simd::softmax_bwd_rows(y, g, gin, c) };
+            return;
+        }
+        ReferenceKernel.softmax_bwd_rows(y, g, gin, c);
+    }
+
+    fn log_softmax_rows(&self, x: &[f32], out: &mut [f32], c: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked; equal-length slices
+            // per the op-layer contract.
+            unsafe { super::simd::log_softmax_rows(x, out, c) };
+            return;
+        }
+        ReferenceKernel.log_softmax_rows(x, out, c);
+    }
+
+    fn log_softmax_bwd_rows(&self, ls: &[f32], g: &[f32], gin: &mut [f32], c: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked; equal-length slices
+            // per the op-layer contract.
+            unsafe { super::simd::log_softmax_bwd_rows(ls, g, gin, c) };
+            return;
+        }
+        ReferenceKernel.log_softmax_bwd_rows(ls, g, gin, c);
+    }
+
+    fn layer_norm_rows(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+        xhat: &mut [f32],
+        inv_std: &mut [f32],
+        c: usize,
+        eps: f32,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked; buffer lengths per
+            // the op-layer contract (x/out/xhat rows*c, gamma/beta c,
+            // inv_std rows).
+            unsafe { super::simd::layer_norm_rows(x, gamma, beta, out, xhat, inv_std, c, eps) };
+            return;
+        }
+        ReferenceKernel.layer_norm_rows(x, gamma, beta, out, xhat, inv_std, c, eps);
+    }
+
+    fn layer_norm_bwd_rows(
+        &self,
+        g: &[f32],
+        xhat: &[f32],
+        inv_std: &[f32],
+        gamma: &[f32],
+        dx: &mut [f32],
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+        c: usize,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked; buffer lengths per
+            // the op-layer contract.
+            unsafe {
+                super::simd::layer_norm_bwd_rows(g, xhat, inv_std, gamma, dx, dgamma, dbeta, c)
+            };
+            return;
+        }
+        ReferenceKernel.layer_norm_bwd_rows(g, xhat, inv_std, gamma, dx, dgamma, dbeta, c);
+    }
+
+    fn sigmoid(&self, x: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked.
+            unsafe { super::simd::sigmoid(x) };
+            return;
+        }
+        ReferenceKernel.sigmoid(x);
+    }
+
+    fn tanh(&self, x: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if have_avx2() {
+            // SAFETY: AVX2+FMA availability checked.
+            unsafe { super::simd::tanh(x) };
+            return;
+        }
+        ReferenceKernel.tanh(x);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::super::Kernel;
+    use super::*;
+
+    fn fill(n: usize, mul: usize, md: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * mul) % md) as f32 * 0.13 - 0.7)
+            .collect()
+    }
+
+    /// Blocked and reference GEMM agree within float re-association slack
+    /// on shapes chosen to straddle every block boundary.
+    #[test]
+    fn blocked_gemm_matches_reference_across_boundaries() {
+        let shapes = [
+            (1, 1, 1),
+            (1, 7, 17),
+            (5, 3, 16),
+            (6, 256, 16),
+            (7, 257, 17),
+            (13, 31, 33),
+            (66, 97, 511),
+            (73, 256, 513),
+            (96, 300, 130),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = fill(m * k, 37, 19);
+            let b = fill(k * n, 53, 23);
+            let mut want = fill(m * n, 11, 7); // nonzero init: += semantics
+            let mut got = want.clone();
+            ReferenceKernel.gemm(&a, &b, &mut want, m, k, n);
+            BlockedKernel.gemm(&a, &b, &mut got, m, k, n);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                let tol = 1e-4 * (1.0 + w.abs());
+                assert!(
+                    (g - w).abs() < tol,
+                    "({m},{k},{n})[{i}]: blocked {g} vs reference {w}"
+                );
+            }
+        }
+    }
+
+    /// Same inputs, same bytes — run-to-run determinism of the blocked
+    /// path (pure function of the problem size, stale scratch invisible).
+    #[test]
+    fn blocked_gemm_is_deterministic_across_runs() {
+        let (m, k, n) = (37, 113, 61);
+        let a = fill(m * k, 29, 17);
+        let b = fill(k * n, 31, 13);
+        let mut c1 = vec![0.0f32; m * n];
+        BlockedKernel.gemm(&a, &b, &mut c1, m, k, n);
+        // Dirty the scratch arena with a different-shaped problem.
+        let mut junk = vec![0.0f32; 64 * 64];
+        BlockedKernel.gemm(
+            &fill(64 * 64, 7, 5),
+            &fill(64 * 64, 3, 11),
+            &mut junk,
+            64,
+            64,
+            64,
+        );
+        let mut c2 = vec![0.0f32; m * n];
+        BlockedKernel.gemm(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2, "blocked gemm not run-to-run deterministic");
+    }
+
+    #[test]
+    fn blocked_row_kernels_match_reference() {
+        for c in [1usize, 2, 3, 7, 8, 13, 16, 31, 64, 65] {
+            let rows = 5;
+            let x = fill(rows * c, 41, 29);
+            let mut r_out = vec![0.0f32; rows * c];
+            let mut b_out = vec![0.0f32; rows * c];
+            ReferenceKernel.softmax_rows(&x, &mut r_out, c);
+            BlockedKernel.softmax_rows(&x, &mut b_out, c);
+            for (g, w) in b_out.iter().zip(&r_out) {
+                assert!((g - w).abs() < 1e-5, "softmax c={c}: {g} vs {w}");
+            }
+            ReferenceKernel.log_softmax_rows(&x, &mut r_out, c);
+            BlockedKernel.log_softmax_rows(&x, &mut b_out, c);
+            for (g, w) in b_out.iter().zip(&r_out) {
+                assert!((g - w).abs() < 1e-5, "log_softmax c={c}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_layer_norm_matches_reference() {
+        let (rows, c) = (4, 33);
+        let x = fill(rows * c, 17, 23);
+        let gamma = fill(c, 5, 7);
+        let beta = fill(c, 3, 5);
+        let mut r = (
+            vec![0.0f32; rows * c],
+            vec![0.0f32; rows * c],
+            vec![0.0f32; rows],
+        );
+        let mut b = r.clone();
+        ReferenceKernel.layer_norm_rows(&x, &gamma, &beta, &mut r.0, &mut r.1, &mut r.2, c, 1e-5);
+        BlockedKernel.layer_norm_rows(&x, &gamma, &beta, &mut b.0, &mut b.1, &mut b.2, c, 1e-5);
+        for (g, w) in b.0.iter().zip(&r.0) {
+            assert!((g - w).abs() < 1e-5, "layer_norm out: {g} vs {w}");
+        }
+        let gr = fill(rows * c, 13, 11);
+        let mut rd = (vec![0.0f32; rows * c], vec![0.0f32; c], vec![0.0f32; c]);
+        let mut bd = rd.clone();
+        ReferenceKernel
+            .layer_norm_bwd_rows(&gr, &r.1, &r.2, &gamma, &mut rd.0, &mut rd.1, &mut rd.2, c);
+        BlockedKernel
+            .layer_norm_bwd_rows(&gr, &b.1, &b.2, &gamma, &mut bd.0, &mut bd.1, &mut bd.2, c);
+        for (g, w) in bd.0.iter().zip(&rd.0).chain(bd.1.iter().zip(&rd.1)) {
+            assert!((g - w).abs() < 1e-4, "layer_norm bwd: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_transcendentals_track_reference() {
+        let x = fill(37, 19, 31);
+        let mut r = x.clone();
+        let mut b = x.clone();
+        ReferenceKernel.sigmoid(&mut r);
+        BlockedKernel.sigmoid(&mut b);
+        for (g, w) in b.iter().zip(&r) {
+            assert!((g - w).abs() < 1e-6, "sigmoid: {g} vs {w}");
+        }
+        let mut r = x.clone();
+        let mut b = x.clone();
+        ReferenceKernel.tanh(&mut r);
+        BlockedKernel.tanh(&mut b);
+        for (g, w) in b.iter().zip(&r) {
+            assert!((g - w).abs() < 2e-6, "tanh: {g} vs {w}");
+        }
+    }
+}

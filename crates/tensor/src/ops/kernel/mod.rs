@@ -1,0 +1,284 @@
+//! Pluggable compute-kernel backends for the hot dense loops.
+//!
+//! Every op that spends real time in a tight numeric loop — GEMM (and the
+//! batched/bmm/GRU call sites built on it), softmax/log-softmax, the fused
+//! layer norm — routes its inner loops through the [`Kernel`] trait instead
+//! of hard-coding one implementation. Two backends ship:
+//!
+//! * [`ReferenceKernel`] — the original loops, bit-for-bit. This is the
+//!   default: every committed golden, checkpoint, and bench trajectory was
+//!   produced by these exact float orderings.
+//! * [`BlockedKernel`] — cache-blocked GEMM (MC/KC/NC tiling over a packed
+//!   MR×NR microkernel) and vectorized row kernels, with `std::arch`
+//!   AVX2+FMA paths behind runtime feature detection and an
+//!   autovectorization-friendly scalar fallback. Its results differ from
+//!   the reference only by float re-association (tolerance-tested by
+//!   `tests/kernel_equivalence.rs`), never across thread budgets.
+//!
+//! # Backend selection
+//!
+//! The backend is a **per-thread** choice, exactly like taint mode: the
+//! process default comes from `DAR_KERNEL` (`blocked` opts in, anything
+//! else — including unset — means reference), overridable per thread with
+//! [`set_kernel_backend`]. Ops capture the *calling* thread's kernel once
+//! at entry and pass it into their `dar-par` shards, so pool workers always
+//! compute with the dispatching op's backend, never their own default.
+//!
+//! # Contracts every backend must honor (DESIGN.md §17)
+//!
+//! * **Layout**: all buffers are dense row-major `f32` slices; `gemm` is
+//!   `C += A·B` with `A: [m,k]`, `B: [k,n]`, `C: [m,n]`, no implicit
+//!   zeroing (callers pre-load bias or zeros). Row kernels treat their
+//!   slices as `len/c` contiguous rows of width `c`.
+//! * **Determinism**: a kernel's output is a pure function of its inputs
+//!   and the problem size. No thread-count, time, or address dependence —
+//!   `DAR_THREADS=1` and `=4` must produce identical bytes.
+//! * **Scratch**: transient buffers come from the per-thread
+//!   [`with_scratch`] arena, never from per-call allocation on the hot
+//!   path; a kernel must fully overwrite every scratch slot it reads.
+//! * **Taint/provenance**: kernels compute values only. Node construction
+//!   (and the taint scan naming the originating op) stays in the op layer,
+//!   so `NonFinite { op, .. }` origins are backend-independent.
+
+pub mod blocked;
+pub mod reference;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd;
+
+use std::cell::Cell;
+
+pub use blocked::BlockedKernel;
+pub use reference::ReferenceKernel;
+
+/// One compute backend: the dense inner loops behind the tensor ops.
+///
+/// All methods operate on dense row-major `f32` slices; see the module
+/// docs for the layout/determinism/scratch contract.
+pub trait Kernel: Sync {
+    /// Backend name, as reported in benches and error contexts.
+    fn name(&self) -> &'static str;
+
+    /// `c[m,n] += a[m,k] @ b[k,n]` (row-major, no implicit zeroing).
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Row softmax: `out` rows are `softmax(x)` rows of width `c`.
+    fn softmax_rows(&self, x: &[f32], out: &mut [f32], c: usize);
+
+    /// Softmax backward: `gin = y ⊙ (g − ⟨y, g⟩)` per row of width `c`.
+    fn softmax_bwd_rows(&self, y: &[f32], g: &[f32], gin: &mut [f32], c: usize);
+
+    /// Row log-softmax (stable log-sum-exp).
+    fn log_softmax_rows(&self, x: &[f32], out: &mut [f32], c: usize);
+
+    /// Log-softmax backward: `gin = g − exp(ls) ⊙ Σg` per row.
+    fn log_softmax_bwd_rows(&self, ls: &[f32], g: &[f32], gin: &mut [f32], c: usize);
+
+    /// Fused layer norm forward over rows of width `c`:
+    /// `out = x̂ ⊙ gamma + beta` with `x̂ = (x − μ) / sqrt(σ² + eps)`.
+    /// Also stashes `x̂` (`xhat`, same shape) and the per-row reciprocal
+    /// standard deviation (`inv_std`, one per row) for backward.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_norm_rows(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+        xhat: &mut [f32],
+        inv_std: &mut [f32],
+        c: usize,
+        eps: f32,
+    );
+
+    /// Fused layer norm backward. `dx` receives the input gradient for
+    /// this row chunk; `dgamma`/`dbeta` (length `c`) accumulate this
+    /// chunk's parameter-gradient partials (the op layer reduces chunks
+    /// in shard order).
+    #[allow(clippy::too_many_arguments)]
+    fn layer_norm_bwd_rows(
+        &self,
+        g: &[f32],
+        xhat: &[f32],
+        inv_std: &[f32],
+        gamma: &[f32],
+        dx: &mut [f32],
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+        c: usize,
+    );
+
+    /// In-place logistic sigmoid `x ← 1 / (1 + exp(−x))`.
+    fn sigmoid(&self, x: &mut [f32]);
+
+    /// In-place `x ← tanh(x)`.
+    fn tanh(&self, x: &mut [f32]);
+
+    /// Minimum rows per shard this backend wants from row-sharded
+    /// recurrences (the GRU). Shard counts stay a pure function of
+    /// problem size *and backend*, so each backend remains bit-identical
+    /// to itself under every thread budget; Reference must keep the
+    /// historical `1` so its shard decomposition — and every golden
+    /// pinned to its weight-gradient reduction order — is unchanged.
+    /// Blocked asks for fatter shards: per-step GEMMs with `m` below the
+    /// microkernel tile are pure overhead.
+    fn gru_rows_hint(&self) -> usize {
+        1
+    }
+}
+
+/// Which [`Kernel`] implementation a thread dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The original graph-kernel loops, bit-compatible with every
+    /// committed golden.
+    Reference,
+    /// Cache-blocked + SIMD backend (tolerance-equivalent, faster).
+    Blocked,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name (`"reference"` / `"blocked"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Reference => "reference",
+            KernelBackend::Blocked => "blocked",
+        }
+    }
+}
+
+static REFERENCE: ReferenceKernel = ReferenceKernel;
+static BLOCKED: BlockedKernel = BlockedKernel;
+
+thread_local! {
+    static BACKEND: Cell<KernelBackend> = Cell::new(env_backend_default());
+}
+
+/// The process-wide default, read once per thread: `DAR_KERNEL=blocked`
+/// opts every thread into the blocked backend; any other value (or unset)
+/// keeps the bit-compatible reference loops.
+fn env_backend_default() -> KernelBackend {
+    match std::env::var("DAR_KERNEL") {
+        Ok(v) if v.eq_ignore_ascii_case("blocked") => KernelBackend::Blocked,
+        _ => KernelBackend::Reference,
+    }
+}
+
+/// The backend this thread's ops dispatch to.
+pub fn kernel_backend() -> KernelBackend {
+    BACKEND.with(|c| c.get())
+}
+
+/// Select the kernel backend for this thread (overrides `DAR_KERNEL`).
+/// Pool workers never read this themselves: ops capture the dispatching
+/// thread's kernel and pass it into their shards.
+pub fn set_kernel_backend(backend: KernelBackend) {
+    BACKEND.with(|c| c.set(backend));
+}
+
+/// Run `f` under the given backend, restoring the previous selection
+/// afterwards (test and bench helper).
+pub fn with_kernel_backend<T>(backend: KernelBackend, f: impl FnOnce() -> T) -> T {
+    let prev = kernel_backend();
+    set_kernel_backend(backend);
+    let out = f();
+    set_kernel_backend(prev);
+    out
+}
+
+/// The `'static` kernel instance the current thread dispatches to. Ops
+/// call this once at entry and thread the reference through their shards
+/// and backward closures.
+pub fn current_kernel() -> &'static dyn Kernel {
+    kernel_for(kernel_backend())
+}
+
+/// The `'static` instance implementing `backend`.
+pub fn kernel_for(backend: KernelBackend) -> &'static dyn Kernel {
+    match backend {
+        KernelBackend::Reference => &REFERENCE,
+        KernelBackend::Blocked => &BLOCKED,
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch slab reused across kernel invocations. Taken out
+    /// of the slot for the duration of a `with_scratch` call so re-entrant
+    /// use falls back to a fresh allocation instead of aliasing.
+    static SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Borrow `len` floats of per-thread scratch. The slice contents are
+/// unspecified on entry — callers must fully overwrite every slot they
+/// read (packing routines write their zero padding explicitly).
+pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut buf = cell.take();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        let out = f(&mut buf[..len]);
+        cell.set(buf);
+        out
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_reference() {
+        // The suite does not set DAR_KERNEL; the default must stay the
+        // bit-compatible path.
+        if std::env::var("DAR_KERNEL").is_err() {
+            assert_eq!(kernel_backend(), KernelBackend::Reference);
+        }
+    }
+
+    #[test]
+    fn backend_switch_is_thread_local_and_restored() {
+        let prev = kernel_backend();
+        let inside = with_kernel_backend(KernelBackend::Blocked, || {
+            assert_eq!(current_kernel().name(), "blocked");
+            kernel_backend()
+        });
+        assert_eq!(inside, KernelBackend::Blocked);
+        assert_eq!(kernel_backend(), prev);
+        // Another thread keeps its own default.
+        set_kernel_backend(KernelBackend::Blocked);
+        let other = std::thread::spawn(|| kernel_backend()).join().unwrap();
+        if std::env::var("DAR_KERNEL").is_err() {
+            assert_eq!(other, KernelBackend::Reference);
+        }
+        set_kernel_backend(prev);
+    }
+
+    #[test]
+    fn scratch_grows_and_is_reusable_reentrantly() {
+        with_scratch(16, |a| {
+            a.fill(1.0);
+            with_scratch(8, |b| {
+                b.fill(2.0);
+                assert_eq!(b.len(), 8);
+            });
+            // The outer borrow is untouched by the nested call.
+            assert!(a.iter().all(|&v| v == 1.0));
+        });
+        with_scratch(1024, |a| assert_eq!(a.len(), 1024));
+    }
+
+    #[test]
+    fn both_backends_expose_the_same_contract() {
+        for b in [KernelBackend::Reference, KernelBackend::Blocked] {
+            let k = kernel_for(b);
+            assert_eq!(k.name(), b.name());
+            let a = [1.0, 2.0, 3.0, 4.0];
+            let bm = [5.0, 6.0, 7.0, 8.0];
+            let mut c = [0.0f32; 4];
+            k.gemm(&a, &bm, &mut c, 2, 2, 2);
+            // [[19,22],[43,50]] — exact in f32 for both backends.
+            assert_eq!(c, [19.0, 22.0, 43.0, 50.0], "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The original inner loops, unchanged: this backend is the bit-exact
+//! baseline every committed golden and fingerprint was produced with.
+//!
+//! Nothing here may be "optimized" — any change to summation order,
+//! transcendental evaluation, or zero-skip behavior silently invalidates
+//! byte-pinned artifacts (serve goldens, promotion journals, equivalence
+//! fingerprints). Speed work belongs in [`super::BlockedKernel`].
+
+use super::Kernel;
+
+/// The existing graph-path loops packaged as a [`Kernel`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReferenceKernel;
+
+impl Kernel for ReferenceKernel {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    /// ikj axpy with the historical zero-skip: the inner loop is a
+    /// vectorizable `out_row += av * b_row` over contiguous rows.
+    fn gemm(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut c[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    fn softmax_rows(&self, x: &[f32], out: &mut [f32], c: usize) {
+        let rows = out.len() / c.max(1);
+        for r in 0..rows {
+            let row = &x[r * c..(r + 1) * c];
+            let out_row = &mut out[r * c..(r + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &x) in out_row.iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in out_row {
+                *o /= denom;
+            }
+        }
+    }
+
+    fn softmax_bwd_rows(&self, y: &[f32], g: &[f32], gin: &mut [f32], c: usize) {
+        let rows = gin.len() / c.max(1);
+        for r in 0..rows {
+            let yr = &y[r * c..(r + 1) * c];
+            let gr = &g[r * c..(r + 1) * c];
+            let gin_row = &mut gin[r * c..(r + 1) * c];
+            let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+            for (i, o) in gin_row.iter_mut().enumerate() {
+                *o = yr[i] * (gr[i] - dot);
+            }
+        }
+    }
+
+    fn log_softmax_rows(&self, x: &[f32], out: &mut [f32], c: usize) {
+        let rows = out.len() / c.max(1);
+        for r in 0..rows {
+            let row = &x[r * c..(r + 1) * c];
+            let out_row = &mut out[r * c..(r + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for (o, &x) in out_row.iter_mut().zip(row) {
+                *o = x - lse;
+            }
+        }
+    }
+
+    fn log_softmax_bwd_rows(&self, ls: &[f32], g: &[f32], gin: &mut [f32], c: usize) {
+        let rows = gin.len() / c.max(1);
+        for r in 0..rows {
+            let lsr = &ls[r * c..(r + 1) * c];
+            let gr = &g[r * c..(r + 1) * c];
+            let gin_row = &mut gin[r * c..(r + 1) * c];
+            let gsum: f32 = gr.iter().sum();
+            for (i, o) in gin_row.iter_mut().enumerate() {
+                *o = gr[i] - lsr[i].exp() * gsum;
+            }
+        }
+    }
+
+    fn layer_norm_rows(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        out: &mut [f32],
+        xhat: &mut [f32],
+        inv_std: &mut [f32],
+        c: usize,
+        eps: f32,
+    ) {
+        let rows = out.len() / c.max(1);
+        for r in 0..rows {
+            let row = &x[r * c..(r + 1) * c];
+            let mut mean = 0.0f32;
+            for &v in row {
+                mean += v;
+            }
+            mean /= c as f32;
+            let mut var = 0.0f32;
+            for &v in row {
+                let d = v - mean;
+                var += d * d;
+            }
+            var /= c as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for j in 0..c {
+                let xh = (row[j] - mean) * istd;
+                xhat[r * c + j] = xh;
+                out[r * c + j] = xh * gamma[j] + beta[j];
+            }
+        }
+    }
+
+    fn layer_norm_bwd_rows(
+        &self,
+        g: &[f32],
+        xhat: &[f32],
+        inv_std: &[f32],
+        gamma: &[f32],
+        dx: &mut [f32],
+        dgamma: &mut [f32],
+        dbeta: &mut [f32],
+        c: usize,
+    ) {
+        let rows = dx.len() / c.max(1);
+        let cf = c as f32;
+        for r in 0..rows {
+            let gr = &g[r * c..(r + 1) * c];
+            let xr = &xhat[r * c..(r + 1) * c];
+            let istd = inv_std[r];
+            // s1 = Σ gᵧ, s2 = Σ gᵧ ⊙ x̂ with gᵧ = g ⊙ gamma.
+            let mut s1 = 0.0f32;
+            let mut s2 = 0.0f32;
+            for j in 0..c {
+                let gg = gr[j] * gamma[j];
+                s1 += gg;
+                s2 += gg * xr[j];
+            }
+            for j in 0..c {
+                let gg = gr[j] * gamma[j];
+                dx[r * c + j] = istd * (gg - s1 / cf - xr[j] * (s2 / cf));
+                dgamma[j] += gr[j] * xr[j];
+                dbeta[j] += gr[j];
+            }
+        }
+    }
+
+    fn sigmoid(&self, x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+    }
+
+    fn tanh(&self, x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = v.tanh();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::super::Kernel;
+    use super::ReferenceKernel;
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let k = ReferenceKernel;
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [10.0f32]; // pre-loaded (bias) value must survive
+        k.gemm(&a, &b, &mut c, 1, 2, 1);
+        assert_eq!(c, [10.0 + 3.0 + 8.0]);
+    }
+
+    #[test]
+    fn softmax_rows_match_manual() {
+        let k = ReferenceKernel;
+        let x = [0.0f32, f32::ln(3.0)];
+        let mut out = [0.0f32; 2];
+        k.softmax_rows(&x, &mut out, 2);
+        assert!((out[0] - 0.25).abs() < 1e-6 && (out[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_rows_normalize() {
+        let k = ReferenceKernel;
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let gamma = [1.0f32; 4];
+        let beta = [0.0f32; 4];
+        let (mut out, mut xhat, mut istd) = ([0.0f32; 4], [0.0f32; 4], [0.0f32; 1]);
+        k.layer_norm_rows(&x, &gamma, &beta, &mut out, &mut xhat, &mut istd, 4, 1e-5);
+        let mean: f32 = out.iter().sum::<f32>() / 4.0;
+        let var: f32 = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        assert_eq!(out, xhat);
+    }
+}

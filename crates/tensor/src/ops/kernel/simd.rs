@@ -1,0 +1,648 @@
+//! `std::arch` AVX2+FMA paths for the blocked kernel.
+//!
+//! Everything here is reached only through [`avx2_available`] gating (the
+//! blocked kernel falls back to autovectorized scalar loops otherwise), and
+//! every function is deterministic: lane order, reduction order, and the
+//! polynomial used for `exp` are fixed, so outputs are bit-stable across
+//! runs and thread budgets on the same machine. `DAR_SIMD=0` forces the
+//! scalar fallback for A/B debugging.
+//!
+//! The transcendental kernels use the classic Cephes order-5 polynomial
+//! `exp` (the same coefficients as libm-family SIMD math libraries), good
+//! to ~1 ulp over the clamped range — well inside the blocked-vs-reference
+//! equivalence tolerance.
+
+use std::arch::x86_64::*;
+use std::sync::OnceLock;
+
+/// Runtime gate for the AVX2+FMA paths, detected once per process.
+/// `DAR_SIMD=0` forces the scalar fallback regardless of hardware.
+pub(crate) fn avx2_available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        if std::env::var("DAR_SIMD").is_ok_and(|v| v == "0") {
+            return false;
+        }
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    })
+}
+
+/// Numeric SIMD level for bench context keys: 0 = scalar, 2 = AVX2+FMA.
+pub(crate) fn simd_level() -> u32 {
+    if avx2_available() {
+        2
+    } else {
+        0
+    }
+}
+
+/// Horizontal sum of all 8 lanes (fixed fold order).
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum(v: __m256) -> f32 {
+    // Pure register ops: safe under the enabled target features.
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01));
+    _mm_cvtss_f32(s)
+}
+
+/// Horizontal max of all 8 lanes.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hmax(v: __m256) -> f32 {
+    // Pure register ops: safe under the enabled target features.
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_max_ps(lo, hi);
+    let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0b01));
+    _mm_cvtss_f32(s)
+}
+
+const EXP_HI: f32 = 88.376_26;
+const EXP_LO: f32 = -88.376_26;
+const LOG2EF: f32 = std::f32::consts::LOG2_E;
+const EXP_C1: f32 = 0.693_359_4;
+const EXP_C2: f32 = -2.121_944_4e-4;
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_3e-1;
+
+/// Vector `exp(x)` for 8 lanes: range-clamped Cephes polynomial plus
+/// exponent reconstruction via integer bit tricks.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn exp_ps(x: __m256) -> __m256 {
+    // Pure register ops (including AVX2 integer shifts): safe under the
+    // enabled target features.
+    {
+        let x = _mm256_min_ps(
+            _mm256_set1_ps(EXP_HI),
+            _mm256_max_ps(_mm256_set1_ps(EXP_LO), x),
+        );
+        // n = floor(x * log2(e) + 0.5)
+        let fx = _mm256_fmadd_ps(x, _mm256_set1_ps(LOG2EF), _mm256_set1_ps(0.5));
+        let fx = _mm256_floor_ps(fx);
+        // Reduce: x -= n * ln(2), split into hi/lo parts for precision.
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(EXP_C1), x);
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(EXP_C2), x);
+        let z = _mm256_mul_ps(x, x);
+        let mut y = _mm256_set1_ps(EXP_P0);
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P2));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P4));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P5));
+        y = _mm256_fmadd_ps(y, z, x);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // 2^n via exponent bits.
+        let n = _mm256_cvttps_epi32(fx);
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(n, _mm256_set1_epi32(0x7f)),
+            23,
+        ));
+        _mm256_mul_ps(y, pow2n)
+    }
+}
+
+/// Scalar twin of [`exp_ps`] so vector lanes and tail elements agree
+/// bit-for-bit within one blocked-backend call.
+pub(crate) fn exp_scalar(x: f32) -> f32 {
+    let x = x.clamp(EXP_LO, EXP_HI);
+    let fx = (x * LOG2EF + 0.5).floor();
+    let x = x - fx * EXP_C1;
+    let x = x - fx * EXP_C2;
+    let z = x * x;
+    let mut y = EXP_P0;
+    y = y * x + EXP_P1;
+    y = y * x + EXP_P2;
+    y = y * x + EXP_P3;
+    y = y * x + EXP_P4;
+    y = y * x + EXP_P5;
+    y = y * z + x + 1.0;
+    y * f32::from_bits(((fx as i32 + 0x7f) << 23) as u32)
+}
+
+/// MR×NR = 6×16 register microkernel: `c[0..6, 0..16] += ap · bp` over a
+/// packed A panel (`kc` steps of 6 row values) and packed B panel (`kc`
+/// steps of 16 column values). Twelve ymm accumulators live in registers
+/// for the whole k loop; `c` rows are `ldc` apart and are loaded/stored
+/// once.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA are available, `ap` points to at least
+/// `kc * 6` floats, `bp` to at least `kc * 16` floats, and each of the 6
+/// rows `c + i*ldc` has 16 writable floats.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn microkernel_6x16(
+    ap: *const f32,
+    bp: *const f32,
+    kc: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    // SAFETY: all loads/stores stay inside the ranges the caller
+    // guarantees: ap is read at [0, kc*6), bp at [0, kc*16), and c rows
+    // i*ldc..i*ldc+16 for i in 0..6.
+    unsafe {
+        let mut acc = [_mm256_setzero_ps(); 12];
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(bp.add(p * 16));
+            let b1 = _mm256_loadu_ps(bp.add(p * 16 + 8));
+            let arow = ap.add(p * 6);
+            for i in 0..6 {
+                let av = _mm256_set1_ps(*arow.add(i));
+                acc[2 * i] = _mm256_fmadd_ps(av, b0, acc[2 * i]);
+                acc[2 * i + 1] = _mm256_fmadd_ps(av, b1, acc[2 * i + 1]);
+            }
+        }
+        for i in 0..6 {
+            let cp = c.add(i * ldc);
+            _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), acc[2 * i]));
+            let cp8 = cp.add(8);
+            _mm256_storeu_ps(cp8, _mm256_add_ps(_mm256_loadu_ps(cp8), acc[2 * i + 1]));
+        }
+    }
+}
+
+/// Unpacked vectorized GEMM for shapes where packing cannot pay (few
+/// output rows): the reference ikj axpy with an 8-lane FMA inner loop.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA are available and the slices to be
+/// `m*k` / `k*n` / `m*n` long.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn gemm_axpy(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let chunks = n / 8 * 8;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            // SAFETY: j stays below `chunks <= n`; both rows are exactly n
+            // floats; AVX2 availability per caller.
+            unsafe {
+                let avv = _mm256_set1_ps(av);
+                for j in (0..chunks).step_by(8) {
+                    let o = out_row.as_mut_ptr().add(j);
+                    _mm256_storeu_ps(
+                        o,
+                        _mm256_fmadd_ps(
+                            avv,
+                            _mm256_loadu_ps(b_row.as_ptr().add(j)),
+                            _mm256_loadu_ps(o),
+                        ),
+                    );
+                }
+            }
+            for j in chunks..n {
+                out_row[j] += av * b_row[j];
+            }
+        }
+    }
+}
+
+/// Vectorized row softmax (max-subtracted, denom via fixed-order lane sum).
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA are available; `x` and `out` must both
+/// be `rows * c` long.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn softmax_rows(x: &[f32], out: &mut [f32], c: usize) {
+    let rows = out.len() / c.max(1);
+    for r in 0..rows {
+        let row = &x[r * c..(r + 1) * c];
+        let out_row = &mut out[r * c..(r + 1) * c];
+        let chunks = c / 8 * 8;
+        // SAFETY: slice-bounded loads/stores only: every index below is
+        // < c within `row`/`out_row`; AVX2 availability per caller.
+        unsafe {
+            let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+            for j in (0..chunks).step_by(8) {
+                vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row.as_ptr().add(j)));
+            }
+            let mut m = hmax(vmax);
+            for &v in &row[chunks..] {
+                m = m.max(v);
+            }
+            let mv = _mm256_set1_ps(m);
+            let mut vsum = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                let e = exp_ps(_mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(j)), mv));
+                _mm256_storeu_ps(out_row.as_mut_ptr().add(j), e);
+                vsum = _mm256_add_ps(vsum, e);
+            }
+            let mut denom = hsum(vsum);
+            for j in chunks..c {
+                let e = exp_scalar(row[j] - m);
+                out_row[j] = e;
+                denom += e;
+            }
+            let inv = _mm256_set1_ps(1.0 / denom);
+            for j in (0..chunks).step_by(8) {
+                let p = out_row.as_mut_ptr().add(j);
+                _mm256_storeu_ps(p, _mm256_mul_ps(_mm256_loadu_ps(p), inv));
+            }
+            for o in &mut out_row[chunks..] {
+                *o *= 1.0 / denom;
+            }
+        }
+    }
+}
+
+/// Vectorized softmax backward: `gin = y ⊙ (g − ⟨y, g⟩)` per row.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA; all three slices must be `rows * c`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn softmax_bwd_rows(y: &[f32], g: &[f32], gin: &mut [f32], c: usize) {
+    let rows = gin.len() / c.max(1);
+    for r in 0..rows {
+        let yr = &y[r * c..(r + 1) * c];
+        let gr = &g[r * c..(r + 1) * c];
+        let gin_row = &mut gin[r * c..(r + 1) * c];
+        let chunks = c / 8 * 8;
+        // SAFETY: slice-bounded loads/stores only (indices < c); AVX2
+        // availability per caller.
+        unsafe {
+            let mut vdot = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                vdot = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(yr.as_ptr().add(j)),
+                    _mm256_loadu_ps(gr.as_ptr().add(j)),
+                    vdot,
+                );
+            }
+            let mut dot = hsum(vdot);
+            for j in chunks..c {
+                dot += yr[j] * gr[j];
+            }
+            let dv = _mm256_set1_ps(dot);
+            for j in (0..chunks).step_by(8) {
+                let out = _mm256_mul_ps(
+                    _mm256_loadu_ps(yr.as_ptr().add(j)),
+                    _mm256_sub_ps(_mm256_loadu_ps(gr.as_ptr().add(j)), dv),
+                );
+                _mm256_storeu_ps(gin_row.as_mut_ptr().add(j), out);
+            }
+            for j in chunks..c {
+                gin_row[j] = yr[j] * (gr[j] - dot);
+            }
+        }
+    }
+}
+
+/// Vectorized row log-softmax (stable log-sum-exp).
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA; `x` and `out` must be `rows * c`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn log_softmax_rows(x: &[f32], out: &mut [f32], c: usize) {
+    let rows = out.len() / c.max(1);
+    for r in 0..rows {
+        let row = &x[r * c..(r + 1) * c];
+        let out_row = &mut out[r * c..(r + 1) * c];
+        let chunks = c / 8 * 8;
+        // SAFETY: slice-bounded loads/stores only (indices < c); AVX2
+        // availability per caller.
+        unsafe {
+            let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+            for j in (0..chunks).step_by(8) {
+                vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row.as_ptr().add(j)));
+            }
+            let mut m = hmax(vmax);
+            for &v in &row[chunks..] {
+                m = m.max(v);
+            }
+            let mv = _mm256_set1_ps(m);
+            let mut vsum = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                vsum = _mm256_add_ps(
+                    vsum,
+                    exp_ps(_mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(j)), mv)),
+                );
+            }
+            let mut sum = hsum(vsum);
+            for &v in &row[chunks..] {
+                sum += exp_scalar(v - m);
+            }
+            let lse = m + sum.ln();
+            let lv = _mm256_set1_ps(lse);
+            for j in (0..chunks).step_by(8) {
+                _mm256_storeu_ps(
+                    out_row.as_mut_ptr().add(j),
+                    _mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(j)), lv),
+                );
+            }
+            for j in chunks..c {
+                out_row[j] = row[j] - lse;
+            }
+        }
+    }
+}
+
+/// Vectorized log-softmax backward: `gin = g − exp(ls) ⊙ Σg` per row.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA; all three slices must be `rows * c`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn log_softmax_bwd_rows(ls: &[f32], g: &[f32], gin: &mut [f32], c: usize) {
+    let rows = gin.len() / c.max(1);
+    for r in 0..rows {
+        let lsr = &ls[r * c..(r + 1) * c];
+        let gr = &g[r * c..(r + 1) * c];
+        let gin_row = &mut gin[r * c..(r + 1) * c];
+        let chunks = c / 8 * 8;
+        // SAFETY: slice-bounded loads/stores only (indices < c); AVX2
+        // availability per caller.
+        unsafe {
+            let mut vsum = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(gr.as_ptr().add(j)));
+            }
+            let mut gsum = hsum(vsum);
+            for &v in &gr[chunks..] {
+                gsum += v;
+            }
+            let gv = _mm256_set1_ps(gsum);
+            for j in (0..chunks).step_by(8) {
+                let e = exp_ps(_mm256_loadu_ps(lsr.as_ptr().add(j)));
+                let out = _mm256_fnmadd_ps(e, gv, _mm256_loadu_ps(gr.as_ptr().add(j)));
+                _mm256_storeu_ps(gin_row.as_mut_ptr().add(j), out);
+            }
+            for j in chunks..c {
+                gin_row[j] = gr[j] - exp_scalar(lsr[j]) * gsum;
+            }
+        }
+    }
+}
+
+/// Vectorized fused layer-norm forward rows (see the trait docs for the
+/// `out`/`xhat`/`inv_std` contract).
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA; `x`/`out`/`xhat` must be `rows * c`,
+/// `gamma`/`beta` length `c`, `inv_std` length `rows`.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn layer_norm_rows(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    xhat: &mut [f32],
+    inv_std: &mut [f32],
+    c: usize,
+    eps: f32,
+) {
+    let rows = out.len() / c.max(1);
+    let cf = c as f32;
+    for r in 0..rows {
+        let row = &x[r * c..(r + 1) * c];
+        let chunks = c / 8 * 8;
+        // SAFETY: slice-bounded loads/stores only (indices < c); AVX2
+        // availability per caller.
+        unsafe {
+            let mut vsum = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(row.as_ptr().add(j)));
+            }
+            let mut mean = hsum(vsum);
+            for &v in &row[chunks..] {
+                mean += v;
+            }
+            mean /= cf;
+            let meanv = _mm256_set1_ps(mean);
+            let mut vvar = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                let d = _mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(j)), meanv);
+                vvar = _mm256_fmadd_ps(d, d, vvar);
+            }
+            let mut var = hsum(vvar);
+            for &v in &row[chunks..] {
+                let d = v - mean;
+                var += d * d;
+            }
+            var /= cf;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            let istdv = _mm256_set1_ps(istd);
+            for j in (0..chunks).step_by(8) {
+                let xh = _mm256_mul_ps(
+                    _mm256_sub_ps(_mm256_loadu_ps(row.as_ptr().add(j)), meanv),
+                    istdv,
+                );
+                _mm256_storeu_ps(xhat.as_mut_ptr().add(r * c + j), xh);
+                let o = _mm256_fmadd_ps(
+                    xh,
+                    _mm256_loadu_ps(gamma.as_ptr().add(j)),
+                    _mm256_loadu_ps(beta.as_ptr().add(j)),
+                );
+                _mm256_storeu_ps(out.as_mut_ptr().add(r * c + j), o);
+            }
+            for j in chunks..c {
+                let xh = (row[j] - mean) * istd;
+                xhat[r * c + j] = xh;
+                out[r * c + j] = xh * gamma[j] + beta[j];
+            }
+        }
+    }
+}
+
+/// Vectorized fused layer-norm backward rows.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA; `g`/`xhat`/`dx` must be `rows * c`,
+/// `gamma`/`dgamma`/`dbeta` length `c`, `inv_std` length `rows`.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn layer_norm_bwd_rows(
+    g: &[f32],
+    xhat: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+    c: usize,
+) {
+    let rows = dx.len() / c.max(1);
+    let cf = c as f32;
+    for r in 0..rows {
+        let gr = &g[r * c..(r + 1) * c];
+        let xr = &xhat[r * c..(r + 1) * c];
+        let istd = inv_std[r];
+        let chunks = c / 8 * 8;
+        // SAFETY: slice-bounded loads/stores only (indices < c); AVX2
+        // availability per caller.
+        unsafe {
+            let mut v1 = _mm256_setzero_ps();
+            let mut v2 = _mm256_setzero_ps();
+            for j in (0..chunks).step_by(8) {
+                let gg = _mm256_mul_ps(
+                    _mm256_loadu_ps(gr.as_ptr().add(j)),
+                    _mm256_loadu_ps(gamma.as_ptr().add(j)),
+                );
+                v1 = _mm256_add_ps(v1, gg);
+                v2 = _mm256_fmadd_ps(gg, _mm256_loadu_ps(xr.as_ptr().add(j)), v2);
+            }
+            let mut s1 = hsum(v1);
+            let mut s2 = hsum(v2);
+            for j in chunks..c {
+                let gg = gr[j] * gamma[j];
+                s1 += gg;
+                s2 += gg * xr[j];
+            }
+            let m1 = _mm256_set1_ps(s1 / cf);
+            let m2 = _mm256_set1_ps(s2 / cf);
+            let istdv = _mm256_set1_ps(istd);
+            for j in (0..chunks).step_by(8) {
+                let gv = _mm256_loadu_ps(gr.as_ptr().add(j));
+                let xv = _mm256_loadu_ps(xr.as_ptr().add(j));
+                let gg = _mm256_mul_ps(gv, _mm256_loadu_ps(gamma.as_ptr().add(j)));
+                let inner = _mm256_sub_ps(_mm256_sub_ps(gg, m1), _mm256_mul_ps(xv, m2));
+                _mm256_storeu_ps(dx.as_mut_ptr().add(r * c + j), _mm256_mul_ps(istdv, inner));
+                let dgp = dgamma.as_mut_ptr().add(j);
+                _mm256_storeu_ps(dgp, _mm256_fmadd_ps(gv, xv, _mm256_loadu_ps(dgp)));
+                let dbp = dbeta.as_mut_ptr().add(j);
+                _mm256_storeu_ps(dbp, _mm256_add_ps(_mm256_loadu_ps(dbp), gv));
+            }
+            for j in chunks..c {
+                let gg = gr[j] * gamma[j];
+                dx[r * c + j] = istd * (gg - s1 / cf - xr[j] * (s2 / cf));
+                dgamma[j] += gr[j] * xr[j];
+                dbeta[j] += gr[j];
+            }
+        }
+    }
+}
+
+/// Vectorized in-place logistic sigmoid.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA are available.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn sigmoid(x: &mut [f32]) {
+    let n = x.len();
+    let chunks = n / 8 * 8;
+    // SAFETY: slice-bounded loads/stores only (indices < n); AVX2
+    // availability per caller.
+    unsafe {
+        let one = _mm256_set1_ps(1.0);
+        let zero = _mm256_setzero_ps();
+        for j in (0..chunks).step_by(8) {
+            let p = x.as_mut_ptr().add(j);
+            let e = exp_ps(_mm256_sub_ps(zero, _mm256_loadu_ps(p)));
+            _mm256_storeu_ps(p, _mm256_div_ps(one, _mm256_add_ps(one, e)));
+        }
+    }
+    for v in &mut x[chunks..] {
+        *v = 1.0 / (1.0 + exp_scalar(-*v));
+    }
+}
+
+/// Vectorized in-place tanh via `(e^{2x} − 1) / (e^{2x} + 1)`.
+///
+/// # Safety
+/// Caller must guarantee AVX2+FMA are available.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn tanh(x: &mut [f32]) {
+    let n = x.len();
+    let chunks = n / 8 * 8;
+    // SAFETY: slice-bounded loads/stores only (indices < n); AVX2
+    // availability per caller.
+    unsafe {
+        let one = _mm256_set1_ps(1.0);
+        let two = _mm256_set1_ps(2.0);
+        for j in (0..chunks).step_by(8) {
+            let p = x.as_mut_ptr().add(j);
+            let t = exp_ps(_mm256_mul_ps(two, _mm256_loadu_ps(p)));
+            _mm256_storeu_ps(
+                p,
+                _mm256_div_ps(_mm256_sub_ps(t, one), _mm256_add_ps(t, one)),
+            );
+        }
+    }
+    for v in &mut x[chunks..] {
+        let t = exp_scalar(2.0 * *v);
+        *v = (t - 1.0) / (t + 1.0);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_scalar_tracks_libm() {
+        for i in -870..=880 {
+            let x = i as f32 * 0.1;
+            let got = exp_scalar(x);
+            let want = x.exp();
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            assert!(rel < 3e-7, "exp({x}): {got} vs {want} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn vector_paths_match_scalar_tails() {
+        if !avx2_available() {
+            return;
+        }
+        // 13 elements: 8 vector lanes + 5 scalar tail; both must agree
+        // with the scalar twin closely.
+        let x: Vec<f32> = (0..13).map(|i| (i as f32) * 0.37 - 2.0).collect();
+        let mut out = vec![0.0f32; 13];
+        // SAFETY: avx2_available() checked above; slices are same length.
+        unsafe { softmax_rows(&x, &mut out, 13) };
+        let s: f32 = out.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5, "softmax sum {s}");
+
+        let mut sg = x.clone();
+        // SAFETY: avx2_available() checked above.
+        unsafe { sigmoid(&mut sg) };
+        for (j, (&xv, &got)) in x.iter().zip(&sg).enumerate() {
+            let want = 1.0 / (1.0 + (-xv).exp());
+            assert!((got - want).abs() < 1e-6, "sigmoid[{j}] {got} vs {want}");
+        }
+
+        let mut th = x.clone();
+        // SAFETY: avx2_available() checked above.
+        unsafe { tanh(&mut th) };
+        for (j, (&xv, &got)) in x.iter().zip(&th).enumerate() {
+            let want = xv.tanh();
+            assert!((got - want).abs() < 2e-6, "tanh[{j}] {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn microkernel_matches_naive_6x16() {
+        if !avx2_available() {
+            return;
+        }
+        let kc = 37;
+        let ap: Vec<f32> = (0..kc * 6).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let bp: Vec<f32> = (0..kc * 16).map(|i| ((i * 11) % 5) as f32 - 2.0).collect();
+        let mut c = vec![1.0f32; 6 * 16];
+        // SAFETY: avx2_available() checked; ap/bp/c sized exactly as the
+        // microkernel contract requires (kc*6, kc*16, 6 rows of ldc=16).
+        unsafe { microkernel_6x16(ap.as_ptr(), bp.as_ptr(), kc, c.as_mut_ptr(), 16) };
+        for i in 0..6 {
+            for j in 0..16 {
+                let mut want = 1.0f32;
+                for p in 0..kc {
+                    want += ap[p * 6 + i] * bp[p * 16 + j];
+                }
+                let got = c[i * 16 + j];
+                assert!((got - want).abs() < 1e-3, "c[{i},{j}] = {got}, want {want}");
+            }
+        }
+    }
+}

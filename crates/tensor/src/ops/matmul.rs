@@ -9,6 +9,7 @@
 //! `DAR_THREADS` (DESIGN.md §9).
 
 use crate::error::{DarError, DarResult};
+use crate::ops::kernel::{current_kernel, Kernel};
 use crate::Tensor;
 
 /// Problems below this many flops are not worth dispatching to the pool.
@@ -16,27 +17,6 @@ const PARALLEL_FLOP_THRESHOLD: usize = 200_000;
 
 /// Don't split finer than this many output rows per shard.
 const MIN_ROWS_PER_SHARD: usize = 4;
-
-/// `out[m,n] += a[m,k] * b[k,n]` — ikj loop order so the inner loop is a
-/// vectorizable axpy over contiguous rows of `b` and `out`.
-pub(crate) fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
-}
 
 /// Deterministic shard count for an `[m,k] @ [k,n]` product: 1 below the
 /// flop threshold, otherwise a pure function of `m`.
@@ -49,18 +29,27 @@ fn gemm_shards(m: usize, k: usize, n: usize) -> usize {
 }
 
 /// Shard-parallel GEMM: splits output rows into fixed shards; each shard
-/// runs the serial kernel over its rows, so per-element summation order is
-/// independent of both sharding and thread count.
-pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+/// runs the backend's serial kernel over its rows, so per-element
+/// summation order is independent of both sharding and thread count. The
+/// kernel is captured by the *dispatching* thread and threaded into the
+/// shards (pool workers never consult their own backend selection).
+pub(crate) fn gemm(
+    kern: &'static dyn Kernel,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
     let shards = gemm_shards(m, k, n);
     if shards <= 1 || out.is_empty() {
-        gemm_serial(a, b, &mut out, m, k, n);
+        kern.gemm(a, b, &mut out, m, k, n);
         return out;
     }
     dar_par::run_shards_mut(&mut out, shards, n, |i, chunk| {
         let r = dar_par::shard_range(m, shards, i);
-        gemm_serial(&a[r.start * k..r.end * k], b, chunk, r.len(), k, n);
+        kern.gemm(&a[r.start * k..r.end * k], b, chunk, r.len(), k, n);
     });
     out
 }
@@ -116,7 +105,8 @@ impl Tensor {
             )));
         }
         let (m, k, n) = (sa[0], sa[1], sb[1]);
-        let values = gemm(&self.values(), &other.values(), m, k, n);
+        let kern = current_kernel();
+        let values = gemm(kern, &self.values(), &other.values(), m, k, n);
         Ok(Tensor::from_op(
             "matmul",
             values,
@@ -127,13 +117,13 @@ impl Tensor {
                 if a.requires_grad() {
                     // dA = G @ B^T : [m,n] @ [n,k]
                     let bt = transpose_raw(&b.values(), k, n);
-                    let ga = gemm(g, &bt, m, n, k);
+                    let ga = gemm(kern, g, &bt, m, n, k);
                     a.accumulate_grad(&ga);
                 }
                 if b.requires_grad() {
                     // dB = A^T @ G : [k,m] @ [m,n]
                     let at = transpose_raw(&a.values(), m, k);
-                    let gb = gemm(&at, g, k, m, n);
+                    let gb = gemm(kern, &at, g, k, m, n);
                     b.accumulate_grad(&gb);
                 }
             }),
@@ -172,6 +162,7 @@ impl Tensor {
             )));
         }
         let (bs, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
+        let kern = current_kernel();
         let av_guard = self.values();
         let bv_guard = other.values();
         // Reborrow as plain slices: the cell guards are not Sync, slices are.
@@ -182,12 +173,12 @@ impl Tensor {
             for i in 0..bs {
                 let a_i = &av[i * m * k..(i + 1) * m * k];
                 let b_i = &bv[i * k * n..(i + 1) * k * n];
-                gemm_serial(a_i, b_i, &mut values[i * m * n..(i + 1) * m * n], m, k, n);
+                kern.gemm(a_i, b_i, &mut values[i * m * n..(i + 1) * m * n], m, k, n);
             }
         } else {
             dar_par::run_shards_mut(&mut values, shards, m * n, |s, chunk| {
                 for (local, i) in dar_par::shard_range(bs, shards, s).enumerate() {
-                    gemm_serial(
+                    kern.gemm(
                         &av[i * m * k..(i + 1) * m * k],
                         &bv[i * k * n..(i + 1) * k * n],
                         &mut chunk[local * m * n..(local + 1) * m * n],
@@ -215,7 +206,7 @@ impl Tensor {
                     let per_item = |i: usize, out: &mut [f32]| {
                         // dA_i = G_i @ B_i^T
                         let bt = transpose_raw(&bv[i * k * n..(i + 1) * k * n], k, n);
-                        gemm_serial(&g[i * m * n..(i + 1) * m * n], &bt, out, m, n, k);
+                        kern.gemm(&g[i * m * n..(i + 1) * m * n], &bt, out, m, n, k);
                     };
                     if shards <= 1 || ga.is_empty() {
                         for i in 0..bs {
@@ -238,7 +229,7 @@ impl Tensor {
                     let per_item = |i: usize, out: &mut [f32]| {
                         // dB_i = A_i^T @ G_i
                         let at = transpose_raw(&av[i * m * k..(i + 1) * m * k], m, k);
-                        gemm_serial(&at, &g[i * m * n..(i + 1) * m * n], out, k, m, n);
+                        kern.gemm(&at, &g[i * m * n..(i + 1) * m * n], out, k, m, n);
                     };
                     if shards <= 1 || gb.is_empty() {
                         for i in 0..bs {
@@ -298,7 +289,7 @@ mod tests {
         let n = 170;
         let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 19) as f32 - 9.0).collect();
         let b: Vec<f32> = (0..k * n).map(|i| ((i * 53) % 23) as f32 - 11.0).collect();
-        let got = super::gemm(&a, &b, m, k, n);
+        let got = super::gemm(crate::current_kernel(), &a, &b, m, k, n);
         let mut want = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
@@ -326,9 +317,19 @@ mod tests {
         let b: Vec<f32> = (0..k * n)
             .map(|i| ((i * 29) % 13) as f32 * 0.11 - 0.7)
             .collect();
-        let serial = dar_par::with_threads(1, || super::gemm(&a, &b, m, k, n));
-        let par = dar_par::with_threads(4, || super::gemm(&a, &b, m, k, n));
-        assert_eq!(serial, par, "gemm output depends on thread budget");
+        for kern in [
+            crate::kernel_for(crate::KernelBackend::Reference),
+            crate::kernel_for(crate::KernelBackend::Blocked),
+        ] {
+            let serial = dar_par::with_threads(1, || super::gemm(kern, &a, &b, m, k, n));
+            let par = dar_par::with_threads(4, || super::gemm(kern, &a, &b, m, k, n));
+            assert_eq!(
+                serial,
+                par,
+                "{} gemm output depends on thread budget",
+                kern.name()
+            );
+        }
     }
 
     #[test]

@@ -12,17 +12,25 @@
 //! * [`structural`] — reshape, transpose, concat, narrow, stack, pad.
 //! * [`compare`] — non-differentiable helpers (argmax, one-hot, equality).
 //! * [`rnn`] — fused GRU sequence kernel with hand-written BPTT.
+//! * [`norm`] — fused layer-norm over the last dimension.
+//! * [`kernel`] — pluggable compute backends (reference vs cache-blocked
+//!   SIMD) the hot loops above dispatch through.
 
 // Containment rule: op code never calls `.unwrap()`/`.expect()`. Fallible
 // paths return `DarResult` (the `try_*` entry points); the panicking
 // wrappers funnel through those errors. Tests opt out locally.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
+// Kernel containment rule: every `unsafe` block under ops/ (they live only
+// in the SIMD kernel backend) must carry a `// SAFETY:` comment.
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod activation;
 pub mod arith;
 pub mod compare;
 pub mod embed;
+pub mod kernel;
 pub mod matmul;
+pub mod norm;
 pub mod reduce;
 pub mod rnn;
 pub mod softmax;

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use crate::ops::matmul::gemm_serial;
+use crate::ops::kernel::{current_kernel, Kernel};
 use crate::Tensor;
 
 /// Problems below this many flops are not worth dispatching to the pool.
@@ -34,13 +34,16 @@ struct Dims {
 }
 
 impl Dims {
-    /// Deterministic shard count: pure function of the problem size.
-    fn shards(&self) -> usize {
+    /// Deterministic shard count: pure function of the problem size and
+    /// of the backend's row-granularity hint (`min_rows`) — never of the
+    /// thread budget. Reference hints `1`, preserving the historical
+    /// decomposition its goldens are pinned to.
+    fn shards(&self, min_rows: usize) -> usize {
         let flops = 2 * self.b * self.l * 3 * self.h * (self.e + self.h);
         if flops < PARALLEL_FLOP_THRESHOLD {
             1
         } else {
-            dar_par::shard_count(self.b, 1)
+            dar_par::shard_count(self.b, min_rows)
         }
     }
 
@@ -66,6 +69,7 @@ impl Dims {
 /// this batching.
 #[allow(clippy::too_many_arguments)]
 fn forward_rows(
+    kern: &dyn Kernel,
     r0: usize,
     r1: usize,
     xv: &[f32],
@@ -96,10 +100,8 @@ fn forward_rows(
             xh[ri * eh + e..(ri + 1) * eh].copy_from_slice(&hprev[ri * h..(ri + 1) * h]);
             zr[ri * 2 * h..(ri + 1) * 2 * h].copy_from_slice(bzr);
         }
-        gemm_serial(&xh, wzr, &mut zr, rows, eh, 2 * h);
-        for v in zr.iter_mut() {
-            *v = 1.0 / (1.0 + (-*v).exp());
-        }
+        kern.gemm(&xh, wzr, &mut zr, rows, eh, 2 * h);
+        kern.sigmoid(&mut zr);
         // [x, r ⊙ h] @ W_h + b_h — reuse xh's tail for r ⊙ h.
         for ri in 0..rows {
             let r = &zr[ri * 2 * h + h..(ri + 1) * 2 * h];
@@ -108,14 +110,15 @@ fn forward_rows(
             }
             clin[ri * h..(ri + 1) * h].copy_from_slice(bh);
         }
-        gemm_serial(&xh, wh, &mut clin, rows, eh, h);
+        kern.gemm(&xh, wh, &mut clin, rows, eh, h);
+        kern.tanh(&mut clin);
         for ri in 0..rows {
             let i = r0 + ri;
             let base = (ri * l + t) * h;
             let m = mv.map_or(1.0, |mv| mv[i * l + t]);
             let (z, r) = zr[ri * 2 * h..(ri + 1) * 2 * h].split_at(h);
             for j in 0..h {
-                let c = clin[ri * h + j].tanh();
+                let c = clin[ri * h + j];
                 let hn = (1.0 - z[j]) * hprev[ri * h + j] + z[j] * c;
                 let hm = m * hn + (1.0 - m) * hprev[ri * h + j];
                 zs[base + j] = z[j];
@@ -147,6 +150,7 @@ type GradChunk = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
 /// Stash/out buffers are indexed globally.
 #[allow(clippy::too_many_arguments)]
 fn backward_rows(
+    kern: &dyn Kernel,
     r0: usize,
     r1: usize,
     g: &[f32],
@@ -255,11 +259,11 @@ fn backward_rows(
         if needs.dwh {
             // dW_h += xrh^T [eh, rows] @ dclin [rows, h].
             transpose(&xrh, &mut xt_buf);
-            gemm_serial(&xt_buf, &dclin, &mut dwh, eh, rows, h);
+            kern.gemm(&xt_buf, &dclin, &mut dwh, eh, rows, h);
         }
         // dxrh = dclin @ W_h^T, then split into dx and the r/h products.
         dxh.iter_mut().for_each(|v| *v = 0.0);
-        gemm_serial(&dclin, &wh_t, &mut dxh, rows, h, eh);
+        kern.gemm(&dclin, &wh_t, &mut dxh, rows, h, eh);
         for ri in 0..rows {
             if needs.dx {
                 for p in 0..e {
@@ -286,10 +290,10 @@ fn backward_rows(
         if needs.dwzr {
             // dW_zr += xh^T [eh, rows] @ dzr [rows, 2h].
             transpose(&xh, &mut xt_buf);
-            gemm_serial(&xt_buf, &dzr, &mut dwzr, eh, rows, 2 * h);
+            kern.gemm(&xt_buf, &dzr, &mut dwzr, eh, rows, 2 * h);
         }
         dxh.iter_mut().for_each(|v| *v = 0.0);
-        gemm_serial(&dzr, &wzr_t, &mut dxh, rows, 2 * h, eh);
+        kern.gemm(&dzr, &wzr_t, &mut dxh, rows, 2 * h, eh);
         for ri in 0..rows {
             if needs.dx {
                 for p in 0..e {
@@ -345,7 +349,10 @@ pub fn gru_seq(
     }
     let d = Dims { b, l, e, h };
     let steps = d.steps(reverse);
-    let shards = d.shards();
+    // Captured on the dispatching thread; shards and the backward closure
+    // reuse it so pool workers never consult their own backend selection.
+    let kern = current_kernel();
+    let shards = d.shards(kern.gru_rows_hint());
 
     let mask_vals: Option<Arc<Vec<f32>>> = mask.map(|m| Arc::new(m.to_vec()));
     let (out, zs, rs, cs) = {
@@ -360,7 +367,7 @@ pub fn gru_seq(
         let steps = &steps;
         let chunks = dar_par::run_shards(shards, |si| {
             let r = dar_par::shard_range(b, shards, si);
-            forward_rows(r.start, r.end, xv, mv, wzr, bzr, wh, bh, d, steps)
+            forward_rows(kern, r.start, r.end, xv, mv, wzr, bzr, wh, bh, d, steps)
         });
         // Stitch per-shard chunks back together in shard order.
         let mut out = Vec::with_capacity(b * l * h);
@@ -421,7 +428,7 @@ pub fn gru_seq(
             let chunks = dar_par::run_shards(shards, |si| {
                 let r = dar_par::shard_range(b, shards, si);
                 backward_rows(
-                    r.start, r.end, g, xv, mv, out, zs, rs, cs, wzr, wh, d, steps, needs,
+                    kern, r.start, r.end, g, xv, mv, out, zs, rs, cs, wzr, wh, d, steps, needs,
                 )
             });
             // Fixed-order reduction: accumulate shard partials by ascending

@@ -4,6 +4,7 @@
 //! bit-identical for any thread budget (DESIGN.md §9).
 
 use crate::error::{DarError, DarResult};
+use crate::ops::kernel::current_kernel;
 use crate::Tensor;
 
 /// The row width softmax normalizes over; degenerate shapes are typed
@@ -36,30 +37,26 @@ fn row_shards(rows: usize, c: usize) -> usize {
     }
 }
 
-/// Apply `per_row(global_row, input_row, output_row)` over a row-major
-/// buffer pair, sharded across rows.
+/// Apply `per_chunk(first_global_row, input_rows, output_rows)` over a
+/// row-major buffer pair, sharded across rows. Each chunk is a contiguous
+/// run of whole rows, so the backend kernels can sweep it in one call;
+/// shard boundaries are a pure function of the problem size, keeping
+/// results bit-identical for any thread budget.
 fn for_rows_sharded(
     input: &[f32],
     out: &mut [f32],
     c: usize,
-    per_row: impl Fn(usize, &[f32], &mut [f32]) + Sync,
+    per_chunk: impl Fn(usize, &[f32], &mut [f32]) + Sync,
 ) {
     let rows = out.len() / c.max(1);
     let shards = row_shards(rows, c);
     if shards <= 1 {
-        for r in 0..rows {
-            per_row(r, &input[r * c..(r + 1) * c], &mut out[r * c..(r + 1) * c]);
-        }
+        per_chunk(0, input, out);
         return;
     }
     dar_par::run_shards_mut(out, shards, c, |s, chunk| {
-        for (local, r) in dar_par::shard_range(rows, shards, s).enumerate() {
-            per_row(
-                r,
-                &input[r * c..(r + 1) * c],
-                &mut chunk[local * c..(local + 1) * c],
-            );
-        }
+        let r = dar_par::shard_range(rows, shards, s);
+        per_chunk(r.start, &input[r.start * c..r.end * c], chunk);
     });
 }
 
@@ -75,19 +72,11 @@ impl Tensor {
     pub fn try_softmax(&self) -> DarResult<Tensor> {
         let _span = dar_obs::span("softmax");
         let c = last_dim("softmax", self.shape())?;
+        let kern = current_kernel();
         let v = self.values();
         let mut out = vec![0.0f32; v.len()];
-        for_rows_sharded(&v, &mut out, c, |_, row, out_row| {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for (o, &x) in out_row.iter_mut().zip(row) {
-                let e = (x - m).exp();
-                *o = e;
-                denom += e;
-            }
-            for o in out_row {
-                *o /= denom;
-            }
+        for_rows_sharded(&v, &mut out, c, |_, rows, out_rows| {
+            kern.softmax_rows(rows, out_rows, c);
         });
         drop(v);
         let y_saved = out.clone();
@@ -102,12 +91,9 @@ impl Tensor {
                     return;
                 }
                 let mut gin = vec![0.0f32; g.len()];
-                for_rows_sharded(g, &mut gin, c, |r, gr, gin_row| {
-                    let y = &y_saved[r * c..(r + 1) * c];
-                    let dot: f32 = y.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
-                    for (i, o) in gin_row.iter_mut().enumerate() {
-                        *o = y[i] * (gr[i] - dot);
-                    }
+                for_rows_sharded(g, &mut gin, c, |r0, gr, gin_rows| {
+                    let y = &y_saved[r0 * c..r0 * c + gr.len()];
+                    kern.softmax_bwd_rows(y, gr, gin_rows, c);
                 });
                 p.accumulate_grad(&gin);
             }),
@@ -123,14 +109,11 @@ impl Tensor {
     pub fn try_log_softmax(&self) -> DarResult<Tensor> {
         let _span = dar_obs::span("log_softmax");
         let c = last_dim("log_softmax", self.shape())?;
+        let kern = current_kernel();
         let v = self.values();
         let mut out = vec![0.0f32; v.len()];
-        for_rows_sharded(&v, &mut out, c, |_, row, out_row| {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            for (o, &x) in out_row.iter_mut().zip(row) {
-                *o = x - lse;
-            }
+        for_rows_sharded(&v, &mut out, c, |_, rows, out_rows| {
+            kern.log_softmax_rows(rows, out_rows, c);
         });
         drop(v);
         let ls_saved = out.clone();
@@ -145,12 +128,9 @@ impl Tensor {
                     return;
                 }
                 let mut gin = vec![0.0f32; g.len()];
-                for_rows_sharded(g, &mut gin, c, |r, gr, gin_row| {
-                    let ls = &ls_saved[r * c..(r + 1) * c];
-                    let gsum: f32 = gr.iter().sum();
-                    for (i, o) in gin_row.iter_mut().enumerate() {
-                        *o = gr[i] - ls[i].exp() * gsum;
-                    }
+                for_rows_sharded(g, &mut gin, c, |r0, gr, gin_rows| {
+                    let ls = &ls_saved[r0 * c..r0 * c + gr.len()];
+                    kern.log_softmax_bwd_rows(ls, gr, gin_rows, c);
                 });
                 p.accumulate_grad(&gin);
             }),

@@ -30,6 +30,14 @@ const THROUGHPUT_METRICS: &[(&str, &str)] = &[
     ("BENCH_numeric.json", "guarded_examples_per_s"),
     ("BENCH_obs.json", "on_examples_per_s"),
     ("BENCH_online.json", "throughput_rps"),
+    ("BENCH_kernels.json", "gemm_blocked_gflops"),
+    ("BENCH_kernels.json", "gru_bptt_blocked_seq_per_s"),
+    ("BENCH_kernels.json", "softmax_blocked_melem_per_s"),
+    ("BENCH_kernels.json", "layer_norm_blocked_melem_per_s"),
+    ("BENCH_kernels.json", "e2e_blocked_examples_per_s"),
+    ("BENCH_kernels.json", "gemm_speedup"),
+    ("BENCH_kernels.json", "gru_bptt_speedup"),
+    ("BENCH_kernels.json", "e2e_speedup"),
 ];
 
 /// Lower-is-better metrics: fresh must stay below
@@ -48,7 +56,12 @@ const LATENCY_METRICS: &[(&str, &str)] = &[
 /// comparing them is meaningless — every metric in the file is skipped
 /// with a note instead of gating. A side *missing* the key still gates:
 /// only a known mismatch disarms the comparison.
-const CONTEXT_KEYS: &[(&str, &str)] = &[("BENCH_serve.json", "workers")];
+const CONTEXT_KEYS: &[(&str, &str)] = &[
+    ("BENCH_serve.json", "workers"),
+    // A scalar-only box produces a wholly different kernel trajectory
+    // than an AVX2 one; only same-level points are comparable.
+    ("BENCH_kernels.json", "simd_level"),
+];
 
 const MAX_THROUGHPUT_DROP: f64 = 0.10;
 const MAX_LATENCY_INFLATION: f64 = 0.15;
@@ -97,7 +110,7 @@ fn context_mismatch(
     baseline: &Path,
     fresh: &Path,
     file: &str,
-) -> Result<Option<(f64, f64)>, String> {
+) -> Result<Option<(&'static str, f64, f64)>, String> {
     for &(f, key) in CONTEXT_KEYS {
         if f != file {
             continue;
@@ -106,7 +119,7 @@ fn context_mismatch(
             continue;
         };
         if b != n {
-            return Ok(Some((b, n)));
+            return Ok(Some((key, b, n)));
         }
     }
     Ok(None)
@@ -128,10 +141,10 @@ fn run_gate(baseline: &Path, fresh: &Path) -> Result<Vec<String>, String> {
             println!("benchgate: {file}:{key} has no baseline yet — skipping");
             continue;
         };
-        if let Some((bw, nw)) = context_mismatch(baseline, fresh, file)? {
+        if let Some((ckey, bw, nw)) = context_mismatch(baseline, fresh, file)? {
             println!(
-                "benchgate: {file}:{key} baseline measured at workers={bw}, fresh at \
-                 workers={nw} — incomparable scales, skipping"
+                "benchgate: {file}:{key} baseline measured at {ckey}={bw}, fresh at \
+                 {ckey}={nw} — incomparable scales, skipping"
             );
             continue;
         }
@@ -179,12 +192,14 @@ fn self_test() {
     let online = r#"{"throughput_rps": 200.0, "p99_us": 8000}"#;
     let recovery = r#"{"replay_records": 20000, "replay_us": 50000}"#;
     let health = r#"{"detection_us": 300000, "hedge_overhead_us": 4000}"#;
+    let kernels = r#"{"simd_level": 2, "gemm_blocked_gflops": 60.0, "gru_bptt_blocked_seq_per_s": 12000.0, "softmax_blocked_melem_per_s": 1000.0, "layer_norm_blocked_melem_per_s": 1200.0, "e2e_blocked_examples_per_s": 2000.0, "gemm_speedup": 4.0, "gru_bptt_speedup": 2.5, "e2e_speedup": 1.6}"#;
     std::fs::write(base.join("BENCH_serve.json"), serve_base).expect("writing baseline");
     std::fs::write(base.join("BENCH_numeric.json"), numeric).expect("writing baseline");
     std::fs::write(base.join("BENCH_obs.json"), obs).expect("writing baseline");
     std::fs::write(base.join("BENCH_online.json"), online).expect("writing baseline");
     std::fs::write(base.join("BENCH_recovery.json"), recovery).expect("writing baseline");
     std::fs::write(base.join("BENCH_health.json"), health).expect("writing baseline");
+    std::fs::write(base.join("BENCH_kernels.json"), kernels).expect("writing baseline");
 
     // Identical fresh point: must pass.
     std::fs::write(fresh.join("BENCH_serve.json"), serve_base).expect("writing fresh");
@@ -193,6 +208,7 @@ fn self_test() {
     std::fs::write(fresh.join("BENCH_online.json"), online).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_recovery.json"), recovery).expect("writing fresh");
     std::fs::write(fresh.join("BENCH_health.json"), health).expect("writing fresh");
+    std::fs::write(fresh.join("BENCH_kernels.json"), kernels).expect("writing fresh");
     let failures = run_gate(&base, &fresh).expect("self-test gate errored");
     assert!(
         failures.is_empty(),
@@ -296,6 +312,44 @@ fn self_test() {
                 .iter()
                 .any(|f| f.contains("BENCH_health.json:hedge_overhead_us")),
         "wrong gates fired: {failures:?}"
+    );
+
+    // Kernel-trajectory regression (-20% blocked GEMM throughput, -20%
+    // GRU-BPTT speedup) with everything else at baseline: exactly the
+    // two kernel gates must fire.
+    std::fs::write(fresh.join("BENCH_health.json"), health).expect("writing fresh");
+    std::fs::write(
+        fresh.join("BENCH_kernels.json"),
+        r#"{"simd_level": 2, "gemm_blocked_gflops": 48.0, "gru_bptt_blocked_seq_per_s": 12000.0, "softmax_blocked_melem_per_s": 1000.0, "layer_norm_blocked_melem_per_s": 1200.0, "e2e_blocked_examples_per_s": 2000.0, "gemm_speedup": 4.0, "gru_bptt_speedup": 2.0, "e2e_speedup": 1.6}"#,
+    )
+    .expect("writing regressed fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert_eq!(
+        failures.len(),
+        2,
+        "a slower blocked GEMM and a shrunken GRU speedup must fail exactly the two kernel gates, got {failures:?}"
+    );
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.contains("BENCH_kernels.json:gemm_blocked_gflops"))
+            && failures
+                .iter()
+                .any(|f| f.contains("BENCH_kernels.json:gru_bptt_speedup")),
+        "wrong gates fired: {failures:?}"
+    );
+
+    // SIMD-level mismatch: a scalar box's kernel point must never gate
+    // against an AVX2 baseline — the same regressed numbers now skip.
+    std::fs::write(
+        fresh.join("BENCH_kernels.json"),
+        r#"{"simd_level": 0, "gemm_blocked_gflops": 48.0, "gru_bptt_blocked_seq_per_s": 12000.0, "softmax_blocked_melem_per_s": 1000.0, "layer_norm_blocked_melem_per_s": 1200.0, "e2e_blocked_examples_per_s": 2000.0, "gemm_speedup": 4.0, "gru_bptt_speedup": 2.0, "e2e_speedup": 1.6}"#,
+    )
+    .expect("writing mismatched fresh");
+    let failures = run_gate(&base, &fresh).expect("self-test gate errored");
+    assert!(
+        failures.is_empty(),
+        "mismatched simd_level must skip every kernel gate, got {failures:?}"
     );
 
     std::fs::remove_dir_all(&dir).ok();
